@@ -1,0 +1,207 @@
+//! The AutoML benchmark's scaled-score calibration (Gijsbers et al. 2019),
+//! used throughout the paper's Figures 5, 6, 8 and Table 9: a constant
+//! class-prior (or label-mean) predictor maps to score 0 and a tuned
+//! random forest maps to score 1.
+
+use flaml_core::{
+    fit_learner, run_trial, AutoMlError, BudgetClock, LearnerKind, ResampleRule, TimeSource,
+    TrialInfo,
+};
+use flaml_data::{Dataset, Task};
+use flaml_learners::FittedModel;
+use flaml_metrics::{Metric, Pred, ScaleAnchors};
+use flaml_search::RandomSearch;
+use std::time::{Duration, Instant};
+
+/// The constant baseline predictor: class priors for classification,
+/// label mean for regression, fitted on `train` and emitted for `n_test`
+/// rows.
+pub fn constant_predictor(train: &Dataset, n_test: usize) -> Pred {
+    match train.task() {
+        Task::Regression => {
+            let mean = train.target().iter().sum::<f64>() / train.n_rows() as f64;
+            Pred::from_values(vec![mean; n_test])
+        }
+        _ => {
+            let priors = train.class_priors().expect("classification task");
+            let k = priors.len();
+            let mut p = Vec::with_capacity(n_test * k);
+            for _ in 0..n_test {
+                p.extend_from_slice(&priors);
+            }
+            Pred::Probs { n_classes: k, p }
+        }
+    }
+}
+
+/// Tunes a random forest by random search under `budget_secs`, returning
+/// the best model refit on all of `train`. This is the benchmark's
+/// reference model (scaled score 1).
+///
+/// # Errors
+///
+/// Returns [`AutoMlError::NoViableModel`] if no configuration could be
+/// evaluated.
+pub fn tuned_random_forest(
+    train: &Dataset,
+    metric: Metric,
+    budget_secs: f64,
+    seed: u64,
+    time_source: TimeSource,
+    max_trials: Option<usize>,
+) -> Result<FittedModel, AutoMlError> {
+    let kind = LearnerKind::Rf;
+    let shuffled = train.shuffled(seed);
+    let n = shuffled.n_rows();
+    let space = kind.space(n);
+    let strategy = ResampleRule::default().choose(n, shuffled.n_features(), budget_secs);
+    let mut clock = BudgetClock::new(time_source);
+    let mut sampler = RandomSearch::new(space.clone(), seed);
+    let mut best: Option<(flaml_search::Config, f64)> = None;
+    let mut iter = 0usize;
+    loop {
+        if let Some(cap) = max_trials {
+            if iter >= cap {
+                break;
+            }
+        }
+        if iter > 0 && clock.elapsed() >= budget_secs {
+            break;
+        }
+        let point = sampler.ask();
+        let config = space.decode(&point);
+        let deadline = if clock.is_wall() {
+            Some(Duration::from_secs_f64(
+                (budget_secs - clock.elapsed()).max(0.05),
+            ))
+        } else {
+            None
+        };
+        let t0 = Instant::now();
+        let outcome = run_trial(
+            &shuffled,
+            &flaml_core::Estimator::Builtin(kind),
+            &config,
+            &space,
+            n,
+            strategy,
+            metric,
+            seed.wrapping_add(iter as u64),
+            deadline,
+        );
+        let measured = t0.elapsed().as_secs_f64();
+        clock.charge(
+            &TrialInfo {
+                learner_cost_constant: kind.cost_constant(),
+                sample_size: n,
+                n_features: shuffled.n_features(),
+                cost_factor: outcome.cost_factor,
+                n_fits: outcome.n_fits.max(1),
+            },
+            measured,
+        );
+        sampler.tell(outcome.error);
+        if outcome.error.is_finite()
+            && best.as_ref().map(|(_, e)| outcome.error < *e).unwrap_or(true)
+        {
+            best = Some((config, outcome.error));
+        }
+        iter += 1;
+    }
+    let Some((config, _)) = best else {
+        return Err(AutoMlError::NoViableModel);
+    };
+    fit_learner(kind, &shuffled, &config, &space, seed, None).map_err(AutoMlError::RefitFailed)
+}
+
+/// Computes the benchmark's scale anchors on a train/test pair: the raw
+/// score of the constant predictor (anchor 0) and of the tuned random
+/// forest (anchor 1), both evaluated on `test`.
+///
+/// # Errors
+///
+/// Returns [`AutoMlError`] if the reference forest could not be tuned.
+pub fn calibration_anchors(
+    train: &Dataset,
+    test: &Dataset,
+    metric: Metric,
+    rf_budget_secs: f64,
+    seed: u64,
+    time_source: TimeSource,
+    max_trials: Option<usize>,
+) -> Result<ScaleAnchors, AutoMlError> {
+    let baseline_pred = constant_predictor(train, test.n_rows());
+    let baseline = metric
+        .score(&baseline_pred, test.target())
+        .unwrap_or(f64::NEG_INFINITY);
+    let rf = tuned_random_forest(train, metric, rf_budget_secs, seed, time_source, max_trials)?;
+    let reference = metric
+        .score(&rf.predict(test), test.target())
+        .unwrap_or(f64::NEG_INFINITY);
+    Ok(ScaleAnchors::new(baseline, reference))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flaml_core::default_virtual_cost;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn split_dataset(n: usize, seed: u64) -> (Dataset, Dataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let x1: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| f64::from((x0[i] - 0.5) * (x1[i] - 0.5) > 0.0))
+            .collect();
+        let d = Dataset::new("cal", Task::Binary, vec![x0, x1], y).unwrap();
+        let cut = n * 4 / 5;
+        let train = d.select(&(0..cut).collect::<Vec<_>>());
+        let test = d.select(&(cut..n).collect::<Vec<_>>());
+        (train, test)
+    }
+
+    #[test]
+    fn constant_predictor_matches_priors() {
+        let (train, _) = split_dataset(200, 0);
+        let pred = constant_predictor(&train, 3);
+        let (k, p) = pred.probs().unwrap();
+        assert_eq!(k, 2);
+        let priors = train.class_priors().unwrap();
+        assert!((p[0] - priors[0]).abs() < 1e-12);
+        assert_eq!(pred.n_rows(), 3);
+    }
+
+    #[test]
+    fn constant_predictor_regression_is_mean() {
+        let y = vec![1.0, 2.0, 3.0];
+        let train =
+            Dataset::new("r", Task::Regression, vec![vec![0.0, 1.0, 2.0]], y).unwrap();
+        let pred = constant_predictor(&train, 2);
+        assert_eq!(pred.values().unwrap(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn anchors_order_sensibly() {
+        let (train, test) = split_dataset(800, 1);
+        let anchors = calibration_anchors(
+            &train,
+            &test,
+            Metric::RocAuc,
+            1.0,
+            0,
+            TimeSource::Virtual(default_virtual_cost),
+            Some(4),
+        )
+        .unwrap();
+        // A tuned forest must beat the constant predictor on a learnable
+        // task (auc 0.5 for the constant model).
+        assert!(
+            anchors.reference > anchors.baseline,
+            "rf {} <= const {}",
+            anchors.reference,
+            anchors.baseline
+        );
+    }
+}

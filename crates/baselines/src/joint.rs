@@ -1,0 +1,145 @@
+//! The joint learner × hyperparameter search space used by the baselines.
+//!
+//! HpBandSter, auto-sklearn-style BO and random search all search one flat
+//! space whose first coordinate selects the learner and whose remaining
+//! coordinates are the union of every learner's Table 5 parameters
+//! (inactive coordinates are simply ignored at evaluation time, the
+//! standard flat encoding of conditional spaces).
+
+use flaml_core::LearnerKind;
+use flaml_search::{Config, Domain, ParamDef, SearchSpace};
+
+/// A flat joint space over several learners.
+#[derive(Debug, Clone)]
+pub struct JointSpace {
+    space: SearchSpace,
+    learners: Vec<LearnerKind>,
+    subspaces: Vec<SearchSpace>,
+    offsets: Vec<usize>,
+}
+
+impl JointSpace {
+    /// Builds the joint space for the given learners and dataset size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learners` has fewer than 2 entries (the categorical
+    /// learner dimension needs at least two choices).
+    pub fn new(learners: &[LearnerKind], n_rows: usize) -> JointSpace {
+        assert!(
+            learners.len() >= 2,
+            "joint space needs at least two learners"
+        );
+        let mut params = vec![ParamDef::new(
+            "learner",
+            Domain::categorical(learners.len()),
+            0.0,
+        )];
+        let mut subspaces = Vec::with_capacity(learners.len());
+        let mut offsets = Vec::with_capacity(learners.len());
+        for kind in learners {
+            let sub = kind.space(n_rows);
+            offsets.push(params.len());
+            for p in sub.params() {
+                params.push(ParamDef::new(
+                    format!("{}_{}", kind.name(), p.name),
+                    p.domain,
+                    p.init,
+                ));
+            }
+            subspaces.push(sub);
+        }
+        JointSpace {
+            space: SearchSpace::new(params).expect("joint space is well-formed"),
+            learners: learners.to_vec(),
+            subspaces,
+            offsets,
+        }
+    }
+
+    /// The flat search space (for samplers and surrogates).
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// The learners covered.
+    pub fn learners(&self) -> &[LearnerKind] {
+        &self.learners
+    }
+
+    /// Splits a unit-cube point of the joint space into the selected
+    /// learner, its decoded configuration, and its subspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point length does not match the joint dimension.
+    pub fn split(&self, point: &[f64]) -> (LearnerKind, Config, &SearchSpace) {
+        assert_eq!(point.len(), self.space.dim(), "point/space mismatch");
+        let l_idx = (point[0] * self.learners.len() as f64)
+            .floor()
+            .min(self.learners.len() as f64 - 1.0)
+            .max(0.0) as usize;
+        let sub = &self.subspaces[l_idx];
+        let off = self.offsets[l_idx];
+        let sub_point: Vec<f64> = point[off..off + sub.dim()].to_vec();
+        (self.learners[l_idx], sub.decode(&sub_point), sub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dimensions_add_up() {
+        let learners = [LearnerKind::LightGbm, LearnerKind::XgBoost, LearnerKind::Lr];
+        let js = JointSpace::new(&learners, 1000);
+        assert_eq!(js.space().dim(), 1 + 9 + 9 + 1);
+    }
+
+    #[test]
+    fn split_selects_each_learner() {
+        let learners = [LearnerKind::LightGbm, LearnerKind::Lr];
+        let js = JointSpace::new(&learners, 1000);
+        let d = js.space().dim();
+        let mut point = vec![0.5; d];
+        point[0] = 0.1;
+        let (k, _, sub) = js.split(&point);
+        assert_eq!(k, LearnerKind::LightGbm);
+        assert_eq!(sub.dim(), 9);
+        point[0] = 0.9;
+        let (k, cfg, sub) = js.split(&point);
+        assert_eq!(k, LearnerKind::Lr);
+        assert_eq!(sub.dim(), 1);
+        assert!(cfg.get(sub, "c") > 0.0);
+    }
+
+    #[test]
+    fn split_round_trips_subspace_values() {
+        let learners = [LearnerKind::Rf, LearnerKind::Lr];
+        let js = JointSpace::new(&learners, 500);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            let p = js.space().random_point(&mut rng);
+            let (k, cfg, sub) = js.split(&p);
+            // Every decoded value must lie in its domain.
+            for (def, &v) in sub.params().iter().zip(cfg.values()) {
+                let u = def.domain.encode(v);
+                let back = def.domain.decode(u);
+                assert!(
+                    (back - v).abs() < 1e-9,
+                    "{k}: {} = {v} not stable",
+                    def.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two learners")]
+    fn single_learner_panics() {
+        let _ = JointSpace::new(&[LearnerKind::Lr], 100);
+    }
+}

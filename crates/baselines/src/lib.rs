@@ -1,0 +1,29 @@
+//! Baseline AutoML systems the paper compares FLAML against.
+//!
+//! * [`BaselineKind::Bohb`] — HpBandSter: TPE surrogate × Hyperband over
+//!   sample-size fidelity, sharing FLAML's exact search space (the paper's
+//!   apples-to-apples baseline in Figures 1, 5, 6 and Table 3).
+//! * [`BaselineKind::Bo`] — Bayesian optimization (TPE) over the joint
+//!   learner × hyperparameter space on full data; stands in for the
+//!   BO-based auto-sklearn/cloud-automl family (§4 of DESIGN.md).
+//! * [`BaselineKind::RandomSearch`] — uniform joint search on full data;
+//!   stands in for randomized-grid systems (H2O-style).
+//! * [`BaselineKind::Hyperband`] — random configs under Hyperband
+//!   allocation (Li et al. 2017), the pure bandit baseline.
+//!
+//! All baselines run through one driver ([`run_baseline`]) that uses the
+//! same trial executor, resampling rule, budget clock and trial-record
+//! format as FLAML's controller, so traces are directly comparable. The
+//! crate also provides the benchmark's score calibration anchors
+//! ([`calibration_anchors`]): a constant predictor (score 0) and a tuned
+//! random forest (score 1).
+
+#![warn(missing_docs)]
+
+mod calibrate;
+mod driver;
+mod joint;
+
+pub use calibrate::{calibration_anchors, constant_predictor, tuned_random_forest};
+pub use driver::{run_baseline, BaselineKind, BaselineSettings};
+pub use joint::JointSpace;

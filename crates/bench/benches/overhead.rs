@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the AutoML layer, validating the paper's claim
+//! (§4.2) that the computational overhead beyond trial cost is negligible
+//! — ECI updates, ECI-based sampling, and FLOW² proposals are all linear
+//! in the hyperparameter dimensionality and independent of the number of
+//! trials.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flaml_core::{sample_by_inverse_eci, EciState, LearnerKind};
+use flaml_search::{Flow2, RandomSearch, Tpe};
+
+fn bench_eci(c: &mut Criterion) {
+    c.bench_function("eci_update_and_query", |b| {
+        let mut state = EciState::new(1.0);
+        state.on_trial(1.0, 0.5);
+        state.on_trial(2.0, 0.4);
+        let mut cost = 0.1;
+        b.iter(|| {
+            state.on_trial(black_box(cost), black_box(0.39));
+            cost += 1e-9;
+            black_box(state.eci(0.3, 2.0))
+        });
+    });
+
+    c.bench_function("eci_sampling_6_learners", |b| {
+        let ecis: Vec<f64> = LearnerKind::ALL.iter().map(|k| k.cost_constant()).collect();
+        let mut u = 0.0;
+        b.iter(|| {
+            u = (u + 0.123) % 1.0;
+            black_box(sample_by_inverse_eci(black_box(&ecis), u))
+        });
+    });
+}
+
+fn bench_flow2(c: &mut Criterion) {
+    // The 9-dimensional LightGBM space: the largest in Table 5.
+    let space = LearnerKind::LightGbm.space(100_000);
+    c.bench_function("flow2_ask_tell_9d", |b| {
+        let mut opt = Flow2::new(space.clone(), 0);
+        let mut err = 1.0;
+        b.iter(|| {
+            let p = opt.ask();
+            err *= 0.9999;
+            opt.tell(black_box(err));
+            black_box(p)
+        });
+    });
+
+    c.bench_function("random_ask_tell_9d", |b| {
+        let mut opt = RandomSearch::new(space.clone(), 0);
+        b.iter(|| {
+            let p = opt.ask();
+            opt.tell(black_box(0.5));
+            black_box(p)
+        });
+    });
+}
+
+fn bench_tpe(c: &mut Criterion) {
+    // TPE cost grows with observation count — exactly the overhead FLAML
+    // avoids. Benchmark at two history sizes to expose the trend.
+    let space = LearnerKind::LightGbm.space(100_000);
+    for n_obs in [50usize, 400] {
+        c.bench_function(&format!("tpe_ask_tell_9d_{n_obs}obs"), |b| {
+            let mut opt = Tpe::new(space.clone(), 0);
+            for i in 0..n_obs {
+                let p = opt.ask();
+                let err = p.iter().sum::<f64>() + i as f64 * 1e-6;
+                opt.tell(err);
+            }
+            b.iter(|| {
+                let p = opt.ask();
+                opt.tell(black_box(0.5));
+                black_box(p)
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench_eci, bench_flow2, bench_tpe);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Figure 4 — ECI-based prioritization: best error per learner vs. AutoML
+//! time, and the per-learner ECI trajectory (self-adjusting priorities).
+//!
+//! ```text
+//! cargo run -p flaml-bench --release --bin fig4_eci -- --budget 10
+//! ```
+
+use flaml_bench::{render_table, Args, Method};
+use flaml_core::TimeSource;
+use flaml_synth::{binary_suite, SuiteScale};
+use std::collections::BTreeMap;
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.f64("budget", 10.0);
+    let seed = args.u64("seed", 0);
+    let scale = if args.flag("full") {
+        SuiteScale::Full
+    } else {
+        SuiteScale::Small
+    };
+    let data = binary_suite(scale)
+        .into_iter()
+        .find(|d| d.name() == "higgs-like")
+        .expect("suite contains higgs-like");
+
+    let result = Method::Flaml
+        .run(&data, budget, seed, 500, TimeSource::Wall, None)
+        .expect("flaml runs");
+
+    // Best error per learner over time (the figure's top panel).
+    let mut best_per_learner: BTreeMap<String, f64> = BTreeMap::new();
+    let mut rows = Vec::new();
+    for t in &result.trials {
+        let name = t.learner.clone();
+        let entry = best_per_learner.entry(name.clone()).or_insert(f64::INFINITY);
+        if t.error < *entry {
+            *entry = t.error;
+        }
+        let mut row = vec![
+            t.iter.to_string(),
+            format!("{:.2}", t.total_time),
+            name.to_string(),
+            if entry.is_finite() {
+                format!("{:.4}", entry)
+            } else {
+                "inf".to_string()
+            },
+        ];
+        // ECI of every learner after this trial (the figure's arrows).
+        for (l, eci) in &t.eci_snapshot {
+            row.push(format!("{l}={eci:.2}"));
+        }
+        // Pad so all rows have the same width.
+        while row.len() < 4 + result.trials[0].eci_snapshot.len() {
+            row.push(String::new());
+        }
+        rows.push(row);
+    }
+    let mut header: Vec<String> = vec![
+        "iter".into(),
+        "time_s".into(),
+        "learner".into(),
+        "learner_best_err".into(),
+    ];
+    for i in 0..result.trials[0].eci_snapshot.len() {
+        header.push(format!("eci_{i}"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    println!("{}", render_table(&header_refs, &rows));
+
+    println!("\nFinal best error per learner (top panel end state):");
+    for (l, e) in &best_per_learner {
+        println!("  {l:12} {e:.4}");
+    }
+    println!(
+        "\nBest overall: {} with {} (error {:.4})",
+        result.best_learner, result.best_config_rendered, result.best_error
+    );
+}

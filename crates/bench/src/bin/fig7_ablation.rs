@@ -1,0 +1,97 @@
+//! Figure 7 — ablation study: FLAML vs. roundrobin / fulldata / cv on one
+//! binary, one multi-class and one regression task; validation error vs.
+//! search time, averaged over seeds with min/max bands.
+//!
+//! ```text
+//! cargo run -p flaml-bench --release --bin fig7_ablation -- --budget 8 --seeds 3
+//! ```
+
+use flaml_bench::{render_table, Args, Method};
+use flaml_core::TimeSource;
+use flaml_synth::{binary_suite, multiclass_suite, regression_suite, SuiteScale};
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.f64("budget", 8.0);
+    let n_seeds = args.u64("seeds", 3);
+    let scale = if args.flag("full") {
+        SuiteScale::Full
+    } else {
+        SuiteScale::Small
+    };
+    // The paper uses MiniBooNE (binary), Dionis (multi-class), bng_pbc
+    // (regression); these are the suite's counterparts.
+    let datasets = vec![
+        binary_suite(scale)
+            .into_iter()
+            .find(|d| d.name() == "miniboone-like")
+            .expect("suite dataset"),
+        multiclass_suite(scale)
+            .into_iter()
+            .find(|d| d.name() == "helena-like")
+            .expect("suite dataset"),
+        regression_suite(scale)
+            .into_iter()
+            .find(|d| d.name() == "houses-like")
+            .expect("suite dataset"),
+    ];
+
+    // Error at checkpoints: fractions of the budget.
+    let checkpoints = [0.125, 0.25, 0.5, 1.0];
+    for data in &datasets {
+        println!(
+            "\n== {} ({} x {}), budget {budget}s, {n_seeds} seeds ==",
+            data.name(),
+            data.n_rows(),
+            data.n_features()
+        );
+        let mut rows = Vec::new();
+        for method in Method::ABLATIONS {
+            // best-so-far error at each checkpoint, per seed
+            let mut per_cp: Vec<Vec<f64>> = vec![Vec::new(); checkpoints.len()];
+            for seed in 0..n_seeds {
+                let result = match method.run(data, budget, seed, 500, TimeSource::Wall, None) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("[fig7] {method} seed {seed} failed: {e}");
+                        continue;
+                    }
+                };
+                for (ci, &frac) in checkpoints.iter().enumerate() {
+                    let t_limit = budget * frac;
+                    let best = result
+                        .trials
+                        .iter()
+                        .filter(|t| t.total_time <= t_limit)
+                        .map(|t| t.best_error_so_far)
+                        .filter(|e| e.is_finite())
+                        .fold(f64::INFINITY, f64::min);
+                    if best.is_finite() {
+                        per_cp[ci].push(best);
+                    }
+                }
+            }
+            let mut row = vec![method.name().to_string()];
+            for values in &per_cp {
+                if values.is_empty() {
+                    row.push("-".into());
+                } else {
+                    let mean = values.iter().sum::<f64>() / values.len() as f64;
+                    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    row.push(format!("{mean:.4} [{min:.4},{max:.4}]"));
+                }
+            }
+            rows.push(row);
+        }
+        let headers: Vec<String> = std::iter::once("method".to_string())
+            .chain(
+                checkpoints
+                    .iter()
+                    .map(|f| format!("err@{:.2}s", budget * f)),
+            )
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        println!("{}", render_table(&header_refs, &rows));
+    }
+}

@@ -1,0 +1,86 @@
+//! Table 3 — case study: the configurations tried by FLAML vs. BOHB on
+//! the same task, showing that FLAML starts cheap and escalates only when
+//! warranted, while BOHB samples expensive configs early.
+//!
+//! ```text
+//! cargo run -p flaml-bench --release --bin table3_case_study -- --budget 10
+//! ```
+
+use flaml_bench::{render_table, Args, Method};
+use flaml_core::{AutoMlResult, TimeSource};
+use flaml_synth::{binary_suite, SuiteScale};
+
+fn print_trace(title: &str, result: &AutoMlResult, only_improvements: bool) {
+    println!("\n== {title} ==");
+    let rows: Vec<Vec<String>> = result
+        .trials
+        .iter()
+        .filter(|t| !only_improvements || t.improved_global)
+        .map(|t| {
+            vec![
+                t.iter.to_string(),
+                format!("{:.1}", t.total_time),
+                t.learner.to_string(),
+                t.config.clone(),
+                if t.error.is_finite() {
+                    format!("{:.4}", t.error)
+                } else {
+                    "fail".into()
+                },
+                format!("{:.2}", t.cost),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["iter", "time_s", "learner", "config", "error", "cost_s"], &rows)
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.f64("budget", 10.0);
+    let seed = args.u64("seed", 0);
+    let all = args.flag("all-trials");
+    let scale = if args.flag("full") {
+        SuiteScale::Full
+    } else {
+        SuiteScale::Small
+    };
+    let data = binary_suite(scale)
+        .into_iter()
+        .find(|d| d.name() == "higgs-like")
+        .expect("suite contains higgs-like");
+    eprintln!(
+        "[table3] dataset {} ({} x {}), budget {budget}s{}",
+        data.name(),
+        data.n_rows(),
+        data.n_features(),
+        if all { "" } else { " (improving trials only; --all-trials for everything)" }
+    );
+
+    let flaml = Method::Flaml
+        .run(&data, budget, seed, 500, TimeSource::Wall, None)
+        .expect("flaml runs");
+    let bohb = Method::Bohb
+        .run(&data, budget, seed, 500, TimeSource::Wall, None)
+        .expect("bohb runs");
+
+    print_trace("Config trace: FLAML", &flaml, !all);
+    print_trace("Config trace: BOHB (HpBandSter)", &bohb, !all);
+
+    // The table's headline: the cost of the most expensive trial in the
+    // first half of the budget.
+    for (name, r) in [("FLAML", &flaml), ("BOHB", &bohb)] {
+        let early_max = r
+            .trials
+            .iter()
+            .filter(|t| t.total_time <= budget / 2.0)
+            .map(|t| t.cost)
+            .fold(0.0, f64::max);
+        println!(
+            "{name}: best error {:.4}, most expensive early trial {early_max:.2}s",
+            r.best_error
+        );
+    }
+}

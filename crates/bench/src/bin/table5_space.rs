@@ -1,0 +1,44 @@
+//! Table 5 — the default search space of every learner, with ranges and
+//! low-cost initial values, for a given training-set size.
+//!
+//! ```text
+//! cargo run -p flaml-bench --release --bin table5_space -- --rows 100000
+//! ```
+
+use flaml_bench::{render_table, Args};
+use flaml_core::LearnerKind;
+use flaml_search::Domain;
+
+fn main() {
+    let args = Args::parse();
+    let rows = args.usize("rows", 100_000);
+    let mut out: Vec<Vec<String>> = Vec::new();
+    for kind in LearnerKind::ALL {
+        let space = kind.space(rows);
+        for p in space.params() {
+            let (ty, range) = match p.domain {
+                Domain::Float { lo, hi, log } => (
+                    if log { "float(log)" } else { "float" },
+                    format!("[{lo}, {hi}]"),
+                ),
+                Domain::Int { lo, hi, log } => (
+                    if log { "int(log)" } else { "int" },
+                    format!("[{lo}, {hi}]"),
+                ),
+                Domain::Categorical { n } => ("cat", format!("{{0..{}}}", n - 1)),
+            };
+            out.push(vec![
+                kind.name().to_string(),
+                p.name.clone(),
+                ty.to_string(),
+                range,
+                format!("{}", p.init),
+            ]);
+        }
+    }
+    println!("Default search space for S = {rows} training instances:\n");
+    println!(
+        "{}",
+        render_table(&["learner", "hyperparameter", "type", "range", "init"], &out)
+    );
+}

@@ -1,0 +1,116 @@
+//! Minimal argument parsing shared by the experiment binaries
+//! (`--key value` pairs and `--flag` switches; no external dependencies).
+
+use std::collections::{HashMap, HashSet};
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: HashSet<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`. A token `--key` followed by a non-`--`
+    /// token is a key/value pair; a `--key` followed by another `--key`
+    /// (or nothing) is a flag.
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream (testable).
+    pub fn from_iter(tokens: impl IntoIterator<Item = String>) -> Args {
+        let tokens: Vec<String> = tokens.into_iter().collect();
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(key) = t.strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    args.values.insert(key.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.flags.insert(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        args
+    }
+
+    /// A float value, or the default.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// An integer value, or the default.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A u64 value, or the default.
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A string value, or the default.
+    pub fn str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Whether `--flag` was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.contains(key)
+    }
+
+    /// Comma-separated float list, or the default.
+    pub fn f64_list(&self, key: &str, default: &[f64]) -> Vec<f64> {
+        match self.values.get(key) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = args("--budget 2.5 --full --seed 7");
+        assert_eq!(a.f64("budget", 1.0), 2.5);
+        assert!(a.flag("full"));
+        assert_eq!(a.u64("seed", 0), 7);
+        assert!(!a.flag("missing"));
+        assert_eq!(a.f64("missing", 9.0), 9.0);
+    }
+
+    #[test]
+    fn parses_lists() {
+        let a = args("--budgets 0.5,2,8");
+        assert_eq!(a.f64_list("budgets", &[1.0]), vec![0.5, 2.0, 8.0]);
+        assert_eq!(a.f64_list("other", &[1.0]), vec![1.0]);
+    }
+}

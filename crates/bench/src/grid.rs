@@ -1,0 +1,298 @@
+//! The comparative-study grid (datasets × budgets × methods) behind
+//! Figures 5, 6, 8 and Table 9: run every method on every dataset at every
+//! budget, evaluate on a held-out test split, and calibrate to the
+//! benchmark's scaled score.
+
+use crate::run::{evaluate_scaled, holdout_split, Method};
+use flaml_baselines::calibration_anchors;
+use flaml_core::TimeSource;
+use flaml_data::Dataset;
+use flaml_metrics::Metric;
+use serde::{Deserialize, Serialize};
+
+/// One grid cell's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// Dataset group ("binary" / "multiclass" / "regression").
+    pub group: String,
+    /// Method name.
+    pub method: String,
+    /// Budget in seconds.
+    pub budget: f64,
+    /// Raw test score (metric-dependent, higher is better).
+    pub raw_score: f64,
+    /// Benchmark-calibrated scaled score (0 = constant, 1 = tuned RF).
+    pub scaled_score: f64,
+    /// Number of trials the method completed.
+    pub n_trials: usize,
+    /// Best learner the method selected.
+    pub best_learner: String,
+}
+
+/// Grid configuration.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Budgets in seconds, ascending (the paper's 1m / 10m / 1h, scaled).
+    pub budgets: Vec<f64>,
+    /// Methods to compare.
+    pub methods: Vec<Method>,
+    /// Test-set fraction per dataset.
+    pub test_ratio: f64,
+    /// Seed.
+    pub seed: u64,
+    /// FLAML's initial sample size / the bandit baselines' fidelity floor.
+    pub sample_init: usize,
+    /// Wall or virtual budget accounting.
+    pub time_source: TimeSource,
+    /// Budget for tuning the reference random forest of the calibration.
+    pub rf_budget: f64,
+    /// Optional per-run trial cap (keeps smoke runs fast).
+    pub max_trials: Option<usize>,
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        GridSpec {
+            budgets: vec![0.5, 2.0, 8.0],
+            methods: Method::COMPARATIVE.to_vec(),
+            test_ratio: 0.2,
+            seed: 0,
+            sample_init: 500,
+            time_source: TimeSource::Wall,
+            rf_budget: 2.0,
+            max_trials: None,
+        }
+    }
+}
+
+/// Runs the grid over `(group, datasets)` pairs, printing one progress
+/// line per cell to stderr.
+pub fn run_grid(groups: &[(&str, Vec<Dataset>)], spec: &GridSpec) -> Vec<GridResult> {
+    let mut out = Vec::new();
+    for (group, datasets) in groups {
+        for data in datasets {
+            let (train, test) = holdout_split(data, spec.test_ratio, spec.seed);
+            let metric = Metric::default_for(data.task());
+            // One calibration per dataset, shared across methods/budgets.
+            let anchors = match calibration_anchors(
+                &train,
+                &test,
+                metric,
+                spec.rf_budget,
+                spec.seed,
+                spec.time_source,
+                spec.max_trials,
+            ) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("[grid] {}: calibration failed: {e}", data.name());
+                    continue;
+                }
+            };
+            for &budget in &spec.budgets {
+                for &method in &spec.methods {
+                    let result = match method.run(
+                        &train,
+                        budget,
+                        spec.seed,
+                        spec.sample_init,
+                        spec.time_source,
+                        spec.max_trials,
+                    ) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!(
+                                "[grid] {} / {} @ {budget}s failed: {e}",
+                                data.name(),
+                                method
+                            );
+                            continue;
+                        }
+                    };
+                    let (raw, scaled) = match evaluate_scaled(
+                        &result,
+                        &train,
+                        &test,
+                        metric,
+                        Some(anchors),
+                        spec.rf_budget,
+                        spec.seed,
+                        spec.time_source,
+                    ) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            eprintln!("[grid] {} eval failed: {e}", data.name());
+                            continue;
+                        }
+                    };
+                    eprintln!(
+                        "[grid] {group}/{} {} @ {budget}s: scaled {scaled:.3} ({} trials)",
+                        data.name(),
+                        method,
+                        result.trials.len()
+                    );
+                    out.push(GridResult {
+                        dataset: data.name().to_string(),
+                        group: group.to_string(),
+                        method: method.name().to_string(),
+                        budget,
+                        raw_score: raw,
+                        scaled_score: scaled,
+                        n_trials: result.trials.len(),
+                        best_learner: result.best_learner.clone(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Serializes grid results to a JSON file (pretty-printed, stable order).
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn save_results(path: &str, results: &[GridResult]) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let json = serde_json::to_string_pretty(results)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+/// Loads grid results saved by [`save_results`]; `None` if the file does
+/// not exist or cannot be parsed.
+pub fn load_results(path: &str) -> Option<Vec<GridResult>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// The default grid used by Figures 5/6 and Table 9 when no results file
+/// is given: a subset of each suite (or all of it with `full = true`).
+pub fn default_groups(
+    scale: flaml_synth::SuiteScale,
+    per_group: usize,
+) -> Vec<(&'static str, Vec<Dataset>)> {
+    // Spread the subset across the size-ordered suite so small and large
+    // datasets are both represented.
+    let take = |v: Vec<Dataset>| -> Vec<Dataset> {
+        if per_group >= v.len() {
+            return v;
+        }
+        let n = v.len();
+        let mut picked: Vec<usize> = (0..per_group)
+            .map(|i| i * (n - 1) / (per_group - 1).max(1))
+            .collect();
+        picked.dedup();
+        let mut v: Vec<Option<Dataset>> = v.into_iter().map(Some).collect();
+        picked.into_iter().map(|i| v[i].take().expect("unique index")).collect()
+    };
+    vec![
+        ("binary", take(flaml_synth::binary_suite(scale))),
+        ("multiclass", take(flaml_synth::multiclass_suite(scale))),
+        ("regression", take(flaml_synth::regression_suite(scale))),
+    ]
+}
+
+/// Extracts the paired scores of `(method, budget)` across datasets, in
+/// dataset order, for win-rate and box-plot computations. Only datasets
+/// where both sides have results are included.
+pub fn paired_scores(
+    results: &[GridResult],
+    a: (&str, f64),
+    b: (&str, f64),
+) -> (Vec<f64>, Vec<f64>) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let find = |method: &str, budget: f64, dataset: &str| -> Option<f64> {
+        results
+            .iter()
+            .find(|r| r.method == method && (r.budget - budget).abs() < 1e-9 && r.dataset == dataset)
+            .map(|r| r.scaled_score)
+    };
+    let mut datasets: Vec<&str> = results.iter().map(|r| r.dataset.as_str()).collect();
+    datasets.dedup();
+    let mut seen = std::collections::BTreeSet::new();
+    for d in datasets {
+        if !seen.insert(d) {
+            continue;
+        }
+        if let (Some(x), Some(y)) = (find(a.0, a.1, d), find(b.0, b.1, d)) {
+            xs.push(x);
+            ys.push(y);
+        }
+    }
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flaml_core::default_virtual_cost;
+    use flaml_synth::{binary_suite, SuiteScale};
+
+    #[test]
+    fn tiny_grid_produces_results() {
+        let datasets = vec![binary_suite(SuiteScale::Small)[0].clone()];
+        let spec = GridSpec {
+            budgets: vec![0.3],
+            methods: vec![Method::Flaml, Method::Random],
+            time_source: TimeSource::Virtual(default_virtual_cost),
+            rf_budget: 0.3,
+            max_trials: Some(6),
+            sample_init: 100,
+            ..GridSpec::default()
+        };
+        let results = run_grid(&[("binary", datasets)], &spec);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.scaled_score.is_finite());
+            assert!(r.n_trials > 0);
+        }
+    }
+
+    #[test]
+    fn paired_scores_align_by_dataset() {
+        let results = vec![
+            GridResult {
+                dataset: "a".into(),
+                group: "binary".into(),
+                method: "flaml".into(),
+                budget: 1.0,
+                raw_score: 0.9,
+                scaled_score: 1.1,
+                n_trials: 5,
+                best_learner: "lightgbm".into(),
+            },
+            GridResult {
+                dataset: "a".into(),
+                group: "binary".into(),
+                method: "bohb".into(),
+                budget: 1.0,
+                raw_score: 0.8,
+                scaled_score: 0.7,
+                n_trials: 5,
+                best_learner: "xgboost".into(),
+            },
+            GridResult {
+                dataset: "b".into(),
+                group: "binary".into(),
+                method: "flaml".into(),
+                budget: 1.0,
+                raw_score: 0.5,
+                scaled_score: 0.4,
+                n_trials: 5,
+                best_learner: "rf".into(),
+            },
+        ];
+        let (xs, ys) = paired_scores(&results, ("flaml", 1.0), ("bohb", 1.0));
+        assert_eq!(xs, vec![1.1]);
+        assert_eq!(ys, vec![0.7]);
+    }
+}

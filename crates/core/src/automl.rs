@@ -1,0 +1,307 @@
+//! The public AutoML API: settings, trial records, and results.
+//!
+//! Mirrors the paper's scikit-learn-style interface:
+//!
+//! ```text
+//! automl.fit(X_train, y_train, time_budget=60, estimator_list=[...])
+//! ```
+//!
+//! becomes
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use flaml_core::AutoMl;
+//! use flaml_data::{Dataset, Task};
+//!
+//! let x: Vec<f64> = (0..300).map(|i| i as f64 / 300.0).collect();
+//! let noise: Vec<f64> = (0..300).map(|i| ((i * 31) % 17) as f64).collect();
+//! let y: Vec<f64> = x.iter().map(|v| f64::from(*v > 0.5)).collect();
+//! let data = Dataset::new("demo", Task::Binary, vec![x, noise], y)?;
+//!
+//! let result = AutoMl::new()
+//!     .time_budget(1.0)
+//!     .seed(42)
+//!     .fit(&data)?;
+//! let predictions = result.model.predict(&data);
+//! # let _ = predictions;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::clock::TimeSource;
+use crate::controller;
+use crate::custom::{CustomLearner, Estimator};
+use crate::resample::{ResampleRule, ResampleStrategy};
+use crate::spaces::LearnerKind;
+use flaml_data::Dataset;
+use flaml_learners::FittedModel;
+use flaml_metrics::Metric;
+use flaml_search::Config;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// How the learner proposer picks the next learner (Step 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LearnerSelection {
+    /// ECI-based randomized prioritization (FLAML).
+    Eci,
+    /// Round-robin over the estimator list (the paper's `roundrobin`
+    /// ablation).
+    RoundRobin,
+}
+
+/// How the resampling strategy is chosen (Step 0).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ResampleChoice {
+    /// The paper's thresholding rule.
+    Auto,
+    /// Always cross-validate (the paper's `cv` ablation).
+    AlwaysCv,
+    /// Always hold out.
+    AlwaysHoldout,
+}
+
+/// Whether a trial searched a new configuration or grew the sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrialMode {
+    /// A new configuration proposed by FLOW².
+    Search,
+    /// The incumbent configuration re-evaluated at a doubled sample size.
+    SampleUp,
+}
+
+/// One completed trial, as recorded in [`AutoMlResult::trials`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// 1-based trial index.
+    pub iter: usize,
+    /// Name of the learner evaluated.
+    pub learner: String,
+    /// The configuration, rendered as `name=value` pairs.
+    pub config: String,
+    /// Sample size used.
+    pub sample_size: usize,
+    /// Validation error observed (metric loss; may be infinite).
+    pub error: f64,
+    /// Cost charged for this trial (seconds of the active clock).
+    pub cost: f64,
+    /// Total budget consumed when the trial finished.
+    pub total_time: f64,
+    /// Search or sample-growth trial.
+    pub mode: TrialMode,
+    /// Whether this trial improved the global best error.
+    pub improved_global: bool,
+    /// Best global error after this trial.
+    pub best_error_so_far: f64,
+    /// ECI of every learner after this trial (empty under round-robin).
+    pub eci_snapshot: Vec<(String, f64)>,
+}
+
+/// Error from [`AutoMl::fit`].
+#[derive(Debug)]
+pub enum AutoMlError {
+    /// The estimator list was empty.
+    NoEstimators,
+    /// No trial produced a finite validation error, so there is no model
+    /// to return.
+    NoViableModel,
+    /// The final refit of the best configuration failed.
+    RefitFailed(flaml_learners::FitError),
+}
+
+impl fmt::Display for AutoMlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutoMlError::NoEstimators => write!(f, "estimator list is empty"),
+            AutoMlError::NoViableModel => {
+                write!(f, "no trial produced a finite validation error")
+            }
+            AutoMlError::RefitFailed(e) => write!(f, "refit of best config failed: {e}"),
+        }
+    }
+}
+
+impl Error for AutoMlError {}
+
+/// The outcome of an AutoML run.
+#[derive(Debug)]
+pub struct AutoMlResult {
+    /// Name of the best configuration's learner.
+    pub best_learner: String,
+    /// Best configuration (natural units).
+    pub best_config: Config,
+    /// Best configuration rendered as `name=value` pairs.
+    pub best_config_rendered: String,
+    /// Best validation error.
+    pub best_error: f64,
+    /// The final model, retrained on all training rows.
+    pub model: FittedModel,
+    /// Every trial in order.
+    pub trials: Vec<TrialRecord>,
+    /// The resampling strategy used.
+    pub strategy: ResampleStrategy,
+    /// The metric optimized.
+    pub metric: Metric,
+}
+
+/// Builder-style AutoML entry point (the library's `fit()`).
+#[derive(Debug, Clone)]
+pub struct AutoMl {
+    pub(crate) time_budget: f64,
+    pub(crate) metric: Option<Metric>,
+    pub(crate) estimators: Vec<LearnerKind>,
+    pub(crate) seed: u64,
+    pub(crate) sample_size_init: usize,
+    pub(crate) sampling: bool,
+    pub(crate) learner_selection: LearnerSelection,
+    pub(crate) resample_choice: ResampleChoice,
+    pub(crate) resample_rule: ResampleRule,
+    pub(crate) max_trials: Option<usize>,
+    pub(crate) time_source: TimeSource,
+    pub(crate) sample_growth: f64,
+    pub(crate) ensemble: bool,
+    pub(crate) custom_learners: Vec<std::sync::Arc<dyn CustomLearner>>,
+}
+
+impl Default for AutoMl {
+    fn default() -> Self {
+        AutoMl {
+            time_budget: 60.0,
+            metric: None,
+            estimators: LearnerKind::ALL.to_vec(),
+            seed: 0,
+            // The paper starts at 10K rows on datasets up to 1M rows; this
+            // reproduction's workloads are ~100x smaller, so the scaled
+            // default keeps the same number of doublings available.
+            sample_size_init: 500,
+            sampling: true,
+            learner_selection: LearnerSelection::Eci,
+            resample_choice: ResampleChoice::Auto,
+            resample_rule: ResampleRule::default(),
+            max_trials: None,
+            time_source: TimeSource::Wall,
+            sample_growth: 2.0,
+            ensemble: false,
+            custom_learners: Vec::new(),
+        }
+    }
+}
+
+impl AutoMl {
+    /// Creates an AutoML instance with the paper's defaults.
+    pub fn new() -> AutoMl {
+        AutoMl::default()
+    }
+
+    /// Sets the time budget in seconds (wall or virtual).
+    pub fn time_budget(mut self, seconds: f64) -> AutoMl {
+        self.time_budget = seconds;
+        self
+    }
+
+    /// Sets the optimization metric (default: the task's benchmark
+    /// metric — roc-auc / log-loss / r2).
+    pub fn metric(mut self, metric: Metric) -> AutoMl {
+        self.metric = Some(metric);
+        self
+    }
+
+    /// Restricts the estimator list (the API's `estimator_list`).
+    pub fn estimators(mut self, estimators: impl Into<Vec<LearnerKind>>) -> AutoMl {
+        self.estimators = estimators.into();
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn seed(mut self, seed: u64) -> AutoMl {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the initial sample size for data subsampling.
+    pub fn sample_size_init(mut self, s: usize) -> AutoMl {
+        self.sample_size_init = s.max(1);
+        self
+    }
+
+    /// Enables or disables data subsampling (disable = the paper's
+    /// `fulldata` ablation).
+    pub fn sampling(mut self, on: bool) -> AutoMl {
+        self.sampling = on;
+        self
+    }
+
+    /// Chooses the learner-selection strategy (ECI or round-robin).
+    pub fn learner_selection(mut self, sel: LearnerSelection) -> AutoMl {
+        self.learner_selection = sel;
+        self
+    }
+
+    /// Overrides the resampling-strategy choice.
+    pub fn resample(mut self, choice: ResampleChoice) -> AutoMl {
+        self.resample_choice = choice;
+        self
+    }
+
+    /// Overrides the thresholds of the automatic resampling rule.
+    pub fn resample_rule(mut self, rule: ResampleRule) -> AutoMl {
+        self.resample_rule = rule;
+        self
+    }
+
+    /// Caps the number of trials (useful for deterministic tests).
+    pub fn max_trials(mut self, n: usize) -> AutoMl {
+        self.max_trials = Some(n);
+        self
+    }
+
+    /// Switches budget accounting to a deterministic virtual cost model.
+    pub fn time_source(mut self, source: TimeSource) -> AutoMl {
+        self.time_source = source;
+        self
+    }
+
+    /// Registers a user-defined learner (the paper's `add_learner`). The
+    /// learner joins the estimator list and is searched like any builtin
+    /// one: ECI prioritization, FLOW² over its declared space, and the
+    /// sample-size schedule all apply.
+    pub fn add_learner(mut self, learner: std::sync::Arc<dyn CustomLearner>) -> AutoMl {
+        self.custom_learners.push(learner);
+        self
+    }
+
+    /// The full estimator roster: builtins then custom learners.
+    pub(crate) fn roster(&self) -> Vec<Estimator> {
+        let mut out: Vec<Estimator> = Vec::new();
+        for &k in &self.estimators {
+            if !out.iter().any(|e| matches!(e, Estimator::Builtin(b) if *b == k)) {
+                out.push(Estimator::Builtin(k));
+            }
+        }
+        for c in &self.custom_learners {
+            out.push(Estimator::Custom(c.clone()));
+        }
+        out
+    }
+
+    /// Enables stacked-ensemble post-processing (paper appendix): the best
+    /// configuration of each learner becomes a member, a linear
+    /// meta-learner is trained on out-of-fold predictions, and the
+    /// returned model is the stack. Off by default to keep overhead low;
+    /// the extra training happens after the search budget, as in FLAML.
+    pub fn ensemble(mut self, on: bool) -> AutoMl {
+        self.ensemble = on;
+        self
+    }
+
+    /// Runs the search on `data` and returns the best model found.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutoMlError`] if the estimator list is empty, no trial
+    /// succeeded, or the final refit failed.
+    pub fn fit(&self, data: &Dataset) -> Result<AutoMlResult, AutoMlError> {
+        controller::run(data, self)
+    }
+}

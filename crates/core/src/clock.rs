@@ -1,0 +1,147 @@
+//! Budget accounting for the AutoML controller.
+//!
+//! The paper charges each trial its measured CPU time. For deterministic
+//! tests and reproducible experiment traces this crate also supports a
+//! *virtual* clock that charges an analytic cost model instead; the
+//! controller's behaviour (ECI updates, sample-size schedule, stopping)
+//! is then a pure function of the seed.
+
+use std::time::Instant;
+
+/// Facts about a trial that a virtual cost model may use.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialInfo {
+    /// The trained learner's relative cost constant (see
+    /// [`crate::LearnerKind::cost_constant`]).
+    pub learner_cost_constant: f64,
+    /// Number of training rows used (sample size x folds handled via
+    /// `n_fits`).
+    pub sample_size: usize,
+    /// Number of feature columns.
+    pub n_features: usize,
+    /// Rough model-complexity factor (e.g. trees x leaves).
+    pub cost_factor: f64,
+    /// Number of model fits the trial performed (k for k-fold CV, 1 for
+    /// holdout).
+    pub n_fits: usize,
+}
+
+/// Where trial costs come from.
+#[derive(Debug, Clone, Copy)]
+pub enum TimeSource {
+    /// Measured wall-clock seconds (the paper's setting).
+    Wall,
+    /// A deterministic analytic model of trial cost in virtual seconds.
+    Virtual(fn(&TrialInfo) -> f64),
+}
+
+/// A reasonable default virtual cost model: linear in rows x features x
+/// fits, scaled by model complexity. Only relative magnitudes matter.
+pub fn default_virtual_cost(info: &TrialInfo) -> f64 {
+    let volume = info.sample_size as f64 * info.n_features as f64 * info.n_fits as f64;
+    let complexity = 1.0 + info.cost_factor / 256.0;
+    let learner_factor = info.learner_cost_constant;
+    // Scaled so that a cheap init trial on ~500 x 10 data costs about
+    // 0.05 virtual seconds: a 1-second virtual budget buys tens of trials,
+    // keeping virtual-clock tests fast while preserving relative costs.
+    1e-5 * volume * complexity * learner_factor
+}
+
+/// Tracks elapsed budget in wall or virtual seconds.
+#[derive(Debug)]
+pub struct BudgetClock {
+    source: TimeSource,
+    start: Instant,
+    virtual_now: f64,
+}
+
+impl BudgetClock {
+    /// Starts the clock.
+    pub fn new(source: TimeSource) -> BudgetClock {
+        BudgetClock {
+            source,
+            start: Instant::now(),
+            virtual_now: 0.0,
+        }
+    }
+
+    /// Whether this clock runs on wall time.
+    pub fn is_wall(&self) -> bool {
+        matches!(self.source, TimeSource::Wall)
+    }
+
+    /// Seconds elapsed since the clock started.
+    pub fn elapsed(&self) -> f64 {
+        match self.source {
+            TimeSource::Wall => self.start.elapsed().as_secs_f64(),
+            TimeSource::Virtual(_) => self.virtual_now,
+        }
+    }
+
+    /// Charges one trial: returns the cost in this clock's seconds and
+    /// advances virtual time if applicable. `measured` is the trial's
+    /// measured wall seconds.
+    pub fn charge(&mut self, info: &TrialInfo, measured: f64) -> f64 {
+        match self.source {
+            TimeSource::Wall => measured.max(1e-9),
+            TimeSource::Virtual(model) => {
+                let cost = model(info).max(1e-9);
+                self.virtual_now += cost;
+                cost
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(s: usize) -> TrialInfo {
+        TrialInfo {
+            learner_cost_constant: 1.0,
+            sample_size: s,
+            n_features: 10,
+            cost_factor: 16.0,
+            n_fits: 1,
+        }
+    }
+
+    #[test]
+    fn virtual_clock_accumulates_model_costs() {
+        let mut clock = BudgetClock::new(TimeSource::Virtual(default_virtual_cost));
+        assert_eq!(clock.elapsed(), 0.0);
+        let c1 = clock.charge(&info(1000), 123.0);
+        let c2 = clock.charge(&info(2000), 456.0);
+        assert!((clock.elapsed() - (c1 + c2)).abs() < 1e-12);
+        assert!((c2 / c1 - 2.0).abs() < 1e-9, "cost linear in sample size");
+    }
+
+    #[test]
+    fn wall_clock_charges_measured_time() {
+        let mut clock = BudgetClock::new(TimeSource::Wall);
+        let c = clock.charge(&info(1000), 0.25);
+        assert_eq!(c, 0.25);
+        assert!(clock.is_wall());
+    }
+
+    #[test]
+    fn default_model_scales_with_learner_constant() {
+        let lgbm = default_virtual_cost(&info(1000));
+        let lr = default_virtual_cost(&TrialInfo {
+            learner_cost_constant: 160.0,
+            ..info(1000)
+        });
+        assert!((lr / lgbm - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cv_fits_multiply_cost() {
+        let one = default_virtual_cost(&info(1000));
+        let five = default_virtual_cost(&TrialInfo {
+            n_fits: 5,
+            ..info(1000)
+        });
+        assert!((five / one - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,324 @@
+//! The AutoML controller: FLAML's main loop (paper Figure 3).
+//!
+//! Step 0 chooses the resampling strategy once; then Steps 1–3 repeat
+//! until the budget runs out: sample a learner with probability `∝ 1/ECI`,
+//! let its proposer either grow the sample size (when `ECI1 >= ECI2`) or
+//! ask FLOW² for new hyperparameters, run the trial, and feed the observed
+//! error and cost back into ECI and FLOW². Step-size adaptation and
+//! restarts are enabled only at the full sample size; a restart resets the
+//! learner's sample size to the initial value.
+
+use crate::automl::{
+    AutoMl, AutoMlError, AutoMlResult, LearnerSelection, ResampleChoice, TrialMode, TrialRecord,
+};
+use crate::ensemble::{build_stacked, MemberSpec};
+use crate::clock::{BudgetClock, TrialInfo};
+use crate::custom::Estimator;
+use crate::eci::{sample_by_inverse_eci, EciState};
+use crate::resample::{run_trial, ResampleStrategy};
+use flaml_data::Dataset;
+use flaml_metrics::Metric;
+use flaml_search::{Config, Flow2};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+struct LearnerState {
+    kind: Estimator,
+    space: flaml_search::SearchSpace,
+    flow2: Flow2,
+    eci: EciState,
+    sample_size: usize,
+}
+
+pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, AutoMlError> {
+    let roster = settings.roster();
+    if roster.is_empty() {
+        return Err(AutoMlError::NoEstimators);
+    }
+    let metric = settings
+        .metric
+        .unwrap_or_else(|| Metric::default_for(data.task()));
+    let mut clock = BudgetClock::new(settings.time_source);
+    let shuffled = data.shuffled(settings.seed);
+    let n = shuffled.n_rows();
+    let d = shuffled.n_features();
+
+    let strategy = match settings.resample_choice {
+        ResampleChoice::Auto => settings.resample_rule.choose(n, d, settings.time_budget),
+        ResampleChoice::AlwaysCv => ResampleStrategy::Cv {
+            folds: settings.resample_rule.cv_folds,
+        },
+        ResampleChoice::AlwaysHoldout => ResampleStrategy::Holdout {
+            ratio: settings.resample_rule.holdout_ratio,
+        },
+    };
+
+    let init_s = if settings.sampling {
+        settings.sample_size_init.min(n)
+    } else {
+        n
+    };
+
+    let mut states: Vec<LearnerState> = roster
+        .iter()
+        .enumerate()
+        .map(|(idx, kind)| {
+            let space = kind.space(n);
+            let mut flow2 =
+                Flow2::new(space.clone(), settings.seed ^ (0x1111 * (idx as u64 + 1)));
+            flow2.set_adaptation(init_s >= n);
+            LearnerState {
+                kind: kind.clone(),
+                space,
+                flow2,
+                // Pre-calibration placeholder; replaced after the first
+                // trial measures the base cost.
+                eci: EciState::new(kind.cost_constant()),
+                sample_size: init_s,
+            }
+        })
+        .collect();
+
+    let fastest = states
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.kind
+                .cost_constant()
+                .partial_cmp(&b.1.kind.cost_constant())
+                .expect("cost constants are finite")
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty estimators");
+
+    let mut rng = StdRng::seed_from_u64(settings.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut trials: Vec<TrialRecord> = Vec::new();
+    let mut best: Option<(usize, Config, f64, Option<flaml_learners::FittedModel>, usize)> = None;
+    let mut iter = 0usize;
+
+    loop {
+        if let Some(cap) = settings.max_trials {
+            if iter >= cap {
+                break;
+            }
+        }
+        if iter > 0 && clock.elapsed() >= settings.time_budget {
+            break;
+        }
+
+        // Step 1: learner choice.
+        let li = if iter == 0 {
+            // The paper first runs the fastest learner to calibrate the
+            // base trial cost.
+            fastest
+        } else {
+            match settings.learner_selection {
+                LearnerSelection::RoundRobin => iter % states.len(),
+                LearnerSelection::Eci => {
+                    let global_best = best
+                        .as_ref()
+                        .map(|(_, _, e, _, _)| *e)
+                        .unwrap_or(f64::INFINITY);
+                    let ecis: Vec<f64> = states
+                        .iter()
+                        .map(|s| s.eci.eci(global_best, settings.sample_growth))
+                        .collect();
+                    sample_by_inverse_eci(&ecis, rng.gen::<f64>())
+                }
+            }
+        };
+
+        // Step 2: hyperparameters and sample size.
+        let (mode, trial_s, point) = {
+            let st = &mut states[li];
+            let grow_sample = st.eci.tried()
+                && st.sample_size < n
+                && st.eci.eci1() >= st.eci.eci2(settings.sample_growth);
+            if grow_sample {
+                let s_new = ((st.sample_size as f64 * settings.sample_growth) as usize).min(n);
+                (TrialMode::SampleUp, s_new, st.flow2.best_point())
+            } else {
+                (TrialMode::Search, st.sample_size, st.flow2.ask())
+            }
+        };
+        let config = states[li].space.decode(&point);
+
+        // Step 3: run the trial and observe error and cost.
+        let deadline = if clock.is_wall() {
+            let remaining = settings.time_budget - clock.elapsed();
+            Some(Duration::from_secs_f64(remaining.max(0.05)))
+        } else {
+            None
+        };
+        let t0 = Instant::now();
+        let outcome = run_trial(
+            &shuffled,
+            &states[li].kind,
+            &config,
+            &states[li].space,
+            trial_s,
+            strategy,
+            metric,
+            settings.seed.wrapping_add(iter as u64),
+            deadline,
+        );
+        let measured = t0.elapsed().as_secs_f64();
+        let info = TrialInfo {
+            learner_cost_constant: states[li].kind.cost_constant(),
+            sample_size: trial_s,
+            n_features: d,
+            cost_factor: outcome.cost_factor,
+            n_fits: outcome.n_fits.max(1),
+        };
+        let cost = clock.charge(&info, measured);
+
+        // Feedback into the proposers.
+        {
+            let st = &mut states[li];
+            match mode {
+                TrialMode::Search => {
+                    st.flow2.tell(outcome.error);
+                    st.eci.on_trial(cost, outcome.error);
+                }
+                TrialMode::SampleUp => {
+                    st.sample_size = trial_s;
+                    st.flow2.set_best_err(outcome.error);
+                    let improved = st.eci.on_trial(cost, outcome.error);
+                    if !improved && outcome.error.is_finite() {
+                        // Errors are only comparable at the same sample
+                        // size: rebase the learner's incumbent error. A
+                        // failed (infinite) trial must not poison it, or
+                        // the learner would never be selected again
+                        // (Property 3, FairChance).
+                        st.eci.rebase_err(outcome.error);
+                    }
+                    if st.sample_size >= n {
+                        st.flow2.set_adaptation(true);
+                    }
+                }
+            }
+            // Restart a converged thread (full sample size only).
+            if st.sample_size >= n && st.flow2.converged() {
+                st.flow2.restart();
+                if settings.sampling {
+                    st.sample_size = settings.sample_size_init.min(n);
+                    st.flow2.set_adaptation(st.sample_size >= n);
+                }
+            }
+        }
+
+        // Calibrate untried learners' ECI after the very first trial.
+        if iter == 0 {
+            for (i, st) in states.iter_mut().enumerate() {
+                if i != li {
+                    st.eci
+                        .set_untried_estimate(cost * st.kind.cost_constant());
+                }
+            }
+        }
+
+        // Global best bookkeeping.
+        let improved_global = outcome.error.is_finite()
+            && best
+                .as_ref()
+                .map(|(_, _, e, _, _)| outcome.error < *e)
+                .unwrap_or(true);
+        if improved_global {
+            best = Some((li, config.clone(), outcome.error, outcome.model, trial_s));
+        }
+
+        iter += 1;
+        let eci_snapshot = if settings.learner_selection == LearnerSelection::Eci {
+            let global_best = best
+                .as_ref()
+                .map(|(_, _, e, _, _)| *e)
+                .unwrap_or(f64::INFINITY);
+            states
+                .iter()
+                .map(|s| {
+                    (
+                        s.kind.name(),
+                        s.eci.eci(global_best, settings.sample_growth),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        trials.push(TrialRecord {
+            iter,
+            learner: states[li].kind.name(),
+            config: config.render(&states[li].space),
+            sample_size: trial_s,
+            error: outcome.error,
+            cost,
+            total_time: clock.elapsed(),
+            mode,
+            improved_global,
+            best_error_so_far: best
+                .as_ref()
+                .map(|(_, _, e, _, _)| *e)
+                .unwrap_or(f64::INFINITY),
+            eci_snapshot,
+        });
+    }
+
+    let Some((best_li, best_config, best_error, trial_model, _best_s)) = best else {
+        return Err(AutoMlError::NoViableModel);
+    };
+    let best_kind = states[best_li].kind.clone();
+    let best_space = &states[best_li].space;
+
+    // Final model: retrain the best configuration on the full training
+    // data (CV trials defer training; holdout trials trained on 90% of a
+    // sample). Fall back to the trial's model if the refit fails.
+    let refit_budget = if clock.is_wall() {
+        let remaining = settings.time_budget - clock.elapsed();
+        Some(Duration::from_secs_f64(remaining.max(0.1).min(settings.time_budget)))
+    } else {
+        None
+    };
+    let model = match best_kind.fit(
+        &shuffled,
+        &best_config,
+        best_space,
+        settings.seed,
+        refit_budget,
+    ) {
+        Ok(m) => m,
+        Err(e) => match trial_model {
+            Some(m) => m,
+            None => return Err(AutoMlError::RefitFailed(e)),
+        },
+    };
+
+    // Optional stacked-ensemble post-processing (paper appendix).
+    let model = if settings.ensemble {
+        let specs: Vec<MemberSpec> = states
+            .iter()
+            .filter(|st| st.eci.tried() && st.eci.best_err().is_finite())
+            .map(|st| MemberSpec {
+                kind: st.kind.clone(),
+                config: st.space.decode(&st.flow2.best_point()),
+                space: st.space.clone(),
+                error: st.eci.best_err(),
+            })
+            .collect();
+        build_stacked(&shuffled, specs, 4, 5, settings.seed, refit_budget).unwrap_or(model)
+    } else {
+        model
+    };
+
+    Ok(AutoMlResult {
+        best_learner: best_kind.name(),
+        best_config_rendered: best_config.render(best_space),
+        best_config,
+        best_error,
+        model,
+        trials,
+        strategy,
+        metric,
+    })
+}
+

@@ -1,0 +1,61 @@
+//! The FLAML AutoML layer (the paper's contribution, Section 4).
+//!
+//! The system has two layers: the ML layer ([`flaml_learners`]) holds the
+//! candidate learners, and this AutoML layer drives the search with four
+//! components (paper Figure 3):
+//!
+//! 1. **Resampling-strategy proposer** ([`ResampleRule`]) — cross
+//!    validation vs. holdout by a thresholding rule on data size and
+//!    budget.
+//! 2. **Learner proposer** ([`EciState`]) — each learner is chosen with
+//!    probability proportional to `1/ECI`, its *estimated cost for
+//!    improvement*.
+//! 3. **Hyperparameter and sample-size proposer** — FLOW² randomized
+//!    direct search ([`flaml_search::Flow2`]) interleaved with
+//!    sample-size doubling, choosing between them by comparing `ECI1`
+//!    with `ECI2`.
+//! 4. **Controller** — runs trials, observes error and cost, and feeds
+//!    both back.
+//!
+//! The entry point is [`AutoMl`]:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use flaml_core::{AutoMl, LearnerKind};
+//! use flaml_data::{Dataset, Task};
+//!
+//! let x: Vec<f64> = (0..400).map(|i| (i % 97) as f64 / 97.0).collect();
+//! let y: Vec<f64> = x.iter().map(|v| f64::from(*v > 0.4)).collect();
+//! let data = Dataset::new("quick", Task::Binary, vec![x], y)?;
+//!
+//! let result = AutoMl::new()
+//!     .time_budget(1.0)
+//!     .estimators([LearnerKind::LightGbm, LearnerKind::Lr])
+//!     .fit(&data)?;
+//! println!("best: {} ({})", result.best_learner, result.best_config_rendered);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod automl;
+mod clock;
+mod controller;
+mod custom;
+mod eci;
+mod ensemble;
+mod learner;
+mod resample;
+mod spaces;
+
+pub use automl::{
+    AutoMl, AutoMlError, AutoMlResult, LearnerSelection, ResampleChoice, TrialMode, TrialRecord,
+};
+pub use clock::{default_virtual_cost, BudgetClock, TimeSource, TrialInfo};
+pub use custom::{CustomLearner, Estimator};
+pub use eci::{sample_by_inverse_eci, EciState};
+pub use ensemble::{build_stacked, MemberSpec};
+pub use learner::{config_cost_factor, fit_learner};
+pub use resample::{run_trial, ResampleRule, ResampleStrategy, TrialOutcome};
+pub use spaces::LearnerKind;

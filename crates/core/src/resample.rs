@@ -1,0 +1,322 @@
+//! Step 0 of FLAML's search: the resampling-strategy proposer, plus the
+//! trial evaluation that executes a configuration under the chosen
+//! strategy.
+//!
+//! The paper's thresholding rule: use 5-fold cross-validation when the
+//! training set has fewer than 100K instances *and* `#instances x
+//! #features / budget` is below 10M per hour; otherwise use holdout with
+//! ratio 0.1.
+
+use crate::custom::Estimator;
+use flaml_data::{stratified_kfold, train_test_split, Dataset};
+use flaml_learners::FittedModel;
+use flaml_metrics::Metric;
+use flaml_search::{Config, SearchSpace};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The resampling strategy used to assess each trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ResampleStrategy {
+    /// k-fold cross-validation.
+    Cv {
+        /// Number of folds.
+        folds: usize,
+    },
+    /// Holdout with the given validation ratio.
+    Holdout {
+        /// Fraction of rows held out for validation.
+        ratio: f64,
+    },
+}
+
+impl std::fmt::Display for ResampleStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResampleStrategy::Cv { folds } => write!(f, "cv{folds}"),
+            ResampleStrategy::Holdout { ratio } => write!(f, "holdout{ratio}"),
+        }
+    }
+}
+
+/// Thresholds of the strategy rule; the defaults are the paper's numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResampleRule {
+    /// Use holdout above this instance count (paper: 100K).
+    pub instance_threshold: usize,
+    /// Use holdout above this `instances x features / budget-seconds`
+    /// rate (paper: 10M per hour).
+    pub rate_threshold: f64,
+    /// Folds for cross-validation (paper: 5).
+    pub cv_folds: usize,
+    /// Holdout ratio (paper: 0.1).
+    pub holdout_ratio: f64,
+}
+
+impl Default for ResampleRule {
+    fn default() -> Self {
+        ResampleRule {
+            instance_threshold: 100_000,
+            rate_threshold: 10.0e6 / 3600.0,
+            cv_folds: 5,
+            holdout_ratio: 0.1,
+        }
+    }
+}
+
+impl ResampleRule {
+    /// Applies the thresholding rule for a dataset and time budget.
+    pub fn choose(&self, n_rows: usize, n_features: usize, budget_secs: f64) -> ResampleStrategy {
+        let rate = n_rows as f64 * n_features as f64 / budget_secs.max(1e-9);
+        if n_rows < self.instance_threshold && rate < self.rate_threshold {
+            ResampleStrategy::Cv {
+                folds: self.cv_folds,
+            }
+        } else {
+            ResampleStrategy::Holdout {
+                ratio: self.holdout_ratio,
+            }
+        }
+    }
+}
+
+/// The observable result of one trial.
+#[derive(Debug)]
+pub struct TrialOutcome {
+    /// Validation error (the metric's loss; `INFINITY` if the trial
+    /// failed, e.g. a single-class subsample).
+    pub error: f64,
+    /// The model trained during the trial (holdout only; CV trials defer
+    /// training the final model).
+    pub model: Option<FittedModel>,
+    /// Number of model fits the trial performed.
+    pub n_fits: usize,
+    /// Virtual-cost complexity factor of the evaluated configuration.
+    pub cost_factor: f64,
+}
+
+/// Evaluates `config` for `kind` on the first `sample_size` rows of the
+/// (pre-shuffled) dataset under `strategy`, scoring with `metric`.
+///
+/// Failures (unfittable subsample, degenerate metric) surface as
+/// `error = INFINITY` rather than an `Err`, because a failed trial is a
+/// legitimate observation for the search.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trial(
+    shuffled: &Dataset,
+    kind: &Estimator,
+    config: &Config,
+    space: &SearchSpace,
+    sample_size: usize,
+    strategy: ResampleStrategy,
+    metric: Metric,
+    seed: u64,
+    deadline: Option<Duration>,
+) -> TrialOutcome {
+    let sample = shuffled.prefix(sample_size);
+    let cost_factor = kind.cost_factor(config, space);
+    match strategy {
+        ResampleStrategy::Holdout { ratio } => {
+            let Ok(fold) = train_test_split(sample.n_rows(), ratio) else {
+                return TrialOutcome {
+                    error: f64::INFINITY,
+                    model: None,
+                    n_fits: 0,
+                    cost_factor,
+                };
+            };
+            let train = sample.select(&fold.train);
+            let valid = sample.select(&fold.valid);
+            let error = match kind.fit(&train, config, space, seed, deadline) {
+                Ok(model) => {
+                    let err = metric
+                        .loss(&model.predict(&valid), valid.target())
+                        .unwrap_or(f64::INFINITY);
+                    return TrialOutcome {
+                        error: err,
+                        model: Some(model),
+                        n_fits: 1,
+                        cost_factor,
+                    };
+                }
+                Err(_) => f64::INFINITY,
+            };
+            TrialOutcome {
+                error,
+                model: None,
+                n_fits: 1,
+                cost_factor,
+            }
+        }
+        ResampleStrategy::Cv { folds } => {
+            let Ok(folds_idx) = stratified_kfold(&sample, folds) else {
+                return TrialOutcome {
+                    error: f64::INFINITY,
+                    model: None,
+                    n_fits: 0,
+                    cost_factor,
+                };
+            };
+            let mut total = 0.0;
+            let mut n_ok = 0usize;
+            let n_fits = folds_idx.len();
+            // Split any deadline evenly across folds so CV cannot overrun.
+            let per_fold = deadline.map(|d| d / n_fits as u32);
+            for fold in &folds_idx {
+                let train = sample.select(&fold.train);
+                let valid = sample.select(&fold.valid);
+                match kind.fit(&train, config, space, seed, per_fold) {
+                    Ok(model) => {
+                        let err = metric
+                            .loss(&model.predict(&valid), valid.target())
+                            .unwrap_or(f64::INFINITY);
+                        total += err;
+                        n_ok += 1;
+                    }
+                    Err(_) => {
+                        total = f64::INFINITY;
+                        break;
+                    }
+                }
+            }
+            let error = if n_ok == n_fits && n_fits > 0 {
+                total / n_fits as f64
+            } else {
+                f64::INFINITY
+            };
+            TrialOutcome {
+                error,
+                model: None,
+                n_fits,
+                cost_factor,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flaml_data::Task;
+
+    fn data(n: usize, d: usize) -> Dataset {
+        let cols: Vec<Vec<f64>> = (0..d)
+            .map(|j| (0..n).map(|i| ((i * (j + 3)) % 17) as f64 + i as f64 / n as f64).collect())
+            .collect();
+        let y: Vec<f64> = (0..n).map(|i| f64::from(i % 2 == 0)).collect();
+        Dataset::new("d", Task::Binary, cols, y).unwrap()
+    }
+
+    #[test]
+    fn rule_picks_cv_for_small_cheap_tasks() {
+        let rule = ResampleRule::default();
+        // 1000 x 5 over 3600s => rate 1.39/s, far below 2778/s.
+        assert_eq!(
+            rule.choose(1_000, 5, 3600.0),
+            ResampleStrategy::Cv { folds: 5 }
+        );
+    }
+
+    #[test]
+    fn rule_picks_holdout_for_big_data() {
+        let rule = ResampleRule::default();
+        assert_eq!(
+            rule.choose(200_000, 5, 3600.0),
+            ResampleStrategy::Holdout { ratio: 0.1 }
+        );
+    }
+
+    #[test]
+    fn rule_picks_holdout_when_budget_is_tight() {
+        let rule = ResampleRule::default();
+        // 50k x 100 over 60s => 83k/s >> 2778/s.
+        assert_eq!(
+            rule.choose(50_000, 100, 60.0),
+            ResampleStrategy::Holdout { ratio: 0.1 }
+        );
+    }
+
+    #[test]
+    fn holdout_trial_returns_model_and_finite_error() {
+        let d = data(200, 3).shuffled(0);
+        let kind = Estimator::Builtin(crate::LearnerKind::LightGbm);
+        let space = kind.space(200);
+        let out = run_trial(
+            &d,
+            &kind,
+            &space.init_config(),
+            &space,
+            200,
+            ResampleStrategy::Holdout { ratio: 0.1 },
+            Metric::RocAuc,
+            0,
+            None,
+        );
+        assert!(out.error.is_finite());
+        assert!(out.model.is_some());
+        assert_eq!(out.n_fits, 1);
+    }
+
+    #[test]
+    fn cv_trial_averages_folds() {
+        let d = data(200, 3).shuffled(0);
+        let kind = Estimator::Builtin(crate::LearnerKind::LightGbm);
+        let space = kind.space(200);
+        let out = run_trial(
+            &d,
+            &kind,
+            &space.init_config(),
+            &space,
+            200,
+            ResampleStrategy::Cv { folds: 5 },
+            Metric::RocAuc,
+            0,
+            None,
+        );
+        assert!(out.error.is_finite());
+        assert!(out.model.is_none(), "cv defers the final model");
+        assert_eq!(out.n_fits, 5);
+    }
+
+    #[test]
+    fn subsampling_uses_prefix() {
+        let d = data(1000, 3).shuffled(0);
+        let kind = Estimator::Builtin(crate::LearnerKind::LightGbm);
+        let space = kind.space(1000);
+        let out = run_trial(
+            &d,
+            &kind,
+            &space.init_config(),
+            &space,
+            100,
+            ResampleStrategy::Holdout { ratio: 0.1 },
+            Metric::RocAuc,
+            0,
+            None,
+        );
+        assert!(out.error.is_finite());
+    }
+
+    #[test]
+    fn degenerate_sample_fails_softly() {
+        // All-positive dataset: binary GBDT cannot fit.
+        let n = 50;
+        let col: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y = vec![1.0; n];
+        let d = Dataset::new("deg", Task::Binary, vec![col], y).unwrap();
+        let kind = Estimator::Builtin(crate::LearnerKind::LightGbm);
+        let space = kind.space(n);
+        let out = run_trial(
+            &d,
+            &kind,
+            &space.init_config(),
+            &space,
+            n,
+            ResampleStrategy::Holdout { ratio: 0.1 },
+            Metric::RocAuc,
+            0,
+            None,
+        );
+        assert!(out.error.is_infinite());
+    }
+}

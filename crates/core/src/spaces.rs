@@ -1,0 +1,183 @@
+//! The learner registry and the default search spaces of the paper's
+//! Table 5.
+//!
+//! Each learner's space lists its searched hyperparameters with ranges and
+//! the low-cost initial values (the table's bold entries); upper bounds on
+//! tree and leaf counts depend on the training-set size `S` as
+//! `min(32768, S)` (`min(2048, S)` for the sklearn forests).
+
+use flaml_search::{Domain, ParamDef, SearchSpace};
+use serde::{Deserialize, Serialize};
+
+/// The six learners of FLAML's default ML layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LearnerKind {
+    /// Leaf-wise histogram GBDT (LightGBM-style).
+    LightGbm,
+    /// Depth-wise histogram GBDT (XGBoost-style).
+    XgBoost,
+    /// Oblivious-tree GBDT with early stopping (CatBoost-style).
+    CatBoost,
+    /// Random forest (sklearn-style).
+    Rf,
+    /// Extremely randomized trees (sklearn-style).
+    ExtraTrees,
+    /// L2-regularized logistic/ridge regression (sklearn lr).
+    Lr,
+}
+
+impl LearnerKind {
+    /// All learners, in FLAML's default estimator-list order.
+    pub const ALL: [LearnerKind; 6] = [
+        LearnerKind::LightGbm,
+        LearnerKind::XgBoost,
+        LearnerKind::CatBoost,
+        LearnerKind::Rf,
+        LearnerKind::ExtraTrees,
+        LearnerKind::Lr,
+    ];
+
+    /// Short name used in logs and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LearnerKind::LightGbm => "lightgbm",
+            LearnerKind::XgBoost => "xgboost",
+            LearnerKind::CatBoost => "catboost",
+            LearnerKind::Rf => "rf",
+            LearnerKind::ExtraTrees => "extra_tree",
+            LearnerKind::Lr => "lr",
+        }
+    }
+
+    /// Parses a learner name as used by [`LearnerKind::name`].
+    pub fn parse(name: &str) -> Option<LearnerKind> {
+        LearnerKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// The paper's predefined cost constants (appendix): the expected cost
+    /// of a learner's cheapest configuration as a multiple of the fastest
+    /// learner's cheapest trial.
+    pub fn cost_constant(&self) -> f64 {
+        match self {
+            LearnerKind::LightGbm => 1.0,
+            LearnerKind::XgBoost => 1.6,
+            LearnerKind::ExtraTrees => 1.9,
+            LearnerKind::Rf => 2.0,
+            LearnerKind::CatBoost => 15.0,
+            LearnerKind::Lr => 160.0,
+        }
+    }
+
+    /// The default search space for a training set of `n_rows` rows
+    /// (Table 5). Initial values are the table's bold entries.
+    pub fn space(&self, n_rows: usize) -> SearchSpace {
+        let s = n_rows.max(5) as i64;
+        let boost_cap = s.min(32_768);
+        let forest_cap = s.min(2_048);
+        let params = match self {
+            LearnerKind::XgBoost => vec![
+                ParamDef::new("tree_num", Domain::log_int(4, boost_cap), 4.0),
+                ParamDef::new("leaf_num", Domain::log_int(4, boost_cap), 4.0),
+                ParamDef::new("min_child_weight", Domain::log_float(0.01, 20.0), 20.0),
+                ParamDef::new("learning_rate", Domain::log_float(0.01, 1.0), 0.1),
+                ParamDef::new("subsample", Domain::float(0.6, 1.0), 1.0),
+                ParamDef::new("reg_alpha", Domain::log_float(1e-10, 1.0), 1e-10),
+                ParamDef::new("reg_lambda", Domain::log_float(1e-10, 1.0), 1.0),
+                ParamDef::new("colsample_bylevel", Domain::float(0.6, 1.0), 1.0),
+                ParamDef::new("colsample_bytree", Domain::float(0.7, 1.0), 1.0),
+            ],
+            LearnerKind::LightGbm => vec![
+                ParamDef::new("tree_num", Domain::log_int(4, boost_cap), 4.0),
+                ParamDef::new("leaf_num", Domain::log_int(4, boost_cap), 4.0),
+                ParamDef::new("min_child_weight", Domain::log_float(0.01, 20.0), 20.0),
+                ParamDef::new("learning_rate", Domain::log_float(0.01, 1.0), 0.1),
+                ParamDef::new("subsample", Domain::float(0.6, 1.0), 1.0),
+                ParamDef::new("reg_alpha", Domain::log_float(1e-10, 1.0), 1e-10),
+                ParamDef::new("reg_lambda", Domain::log_float(1e-10, 1.0), 1.0),
+                ParamDef::new("max_bin", Domain::log_int(7, 1023), 255.0),
+                ParamDef::new("colsample_bytree", Domain::float(0.7, 1.0), 1.0),
+            ],
+            LearnerKind::CatBoost => vec![
+                ParamDef::new("early_stop_rounds", Domain::int(10, 150), 10.0),
+                ParamDef::new("learning_rate", Domain::log_float(0.005, 0.2), 0.1),
+            ],
+            LearnerKind::Rf | LearnerKind::ExtraTrees => vec![
+                ParamDef::new("tree_num", Domain::log_int(4, forest_cap), 4.0),
+                ParamDef::new("max_features", Domain::float(0.1, 1.0), 1.0),
+                ParamDef::new("split_criterion", Domain::categorical(2), 0.0),
+            ],
+            LearnerKind::Lr => vec![ParamDef::new(
+                "c",
+                Domain::log_float(0.03125, 32_768.0),
+                1.0,
+            )],
+        };
+        SearchSpace::new(params).expect("table 5 spaces are well-formed")
+    }
+}
+
+impl std::fmt::Display for LearnerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_round_trip() {
+        for k in LearnerKind::ALL {
+            assert_eq!(LearnerKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(LearnerKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn cost_constants_match_the_appendix() {
+        assert_eq!(LearnerKind::LightGbm.cost_constant(), 1.0);
+        assert_eq!(LearnerKind::XgBoost.cost_constant(), 1.6);
+        assert_eq!(LearnerKind::ExtraTrees.cost_constant(), 1.9);
+        assert_eq!(LearnerKind::Rf.cost_constant(), 2.0);
+        assert_eq!(LearnerKind::CatBoost.cost_constant(), 15.0);
+        assert_eq!(LearnerKind::Lr.cost_constant(), 160.0);
+    }
+
+    #[test]
+    fn tree_caps_depend_on_dataset_size() {
+        let small = LearnerKind::XgBoost.space(100);
+        let c = small.init_config();
+        assert_eq!(c.get(&small, "tree_num"), 4.0);
+        // Upper bound is min(32768, S): decode(1.0) must be 100.
+        let idx = small.index_of("tree_num").unwrap();
+        assert_eq!(small.params()[idx].domain.decode(1.0), 100.0);
+        let big = LearnerKind::XgBoost.space(1_000_000);
+        let idx = big.index_of("tree_num").unwrap();
+        assert_eq!(big.params()[idx].domain.decode(1.0), 32_768.0);
+    }
+
+    #[test]
+    fn init_values_are_low_cost() {
+        for k in LearnerKind::ALL {
+            let space = k.space(10_000);
+            let init = space.init_config();
+            if let Some(i) = space.index_of("tree_num") {
+                assert_eq!(init.values()[i], 4.0, "{k}: init tree_num");
+            }
+            if let Some(i) = space.index_of("leaf_num") {
+                assert_eq!(init.values()[i], 4.0, "{k}: init leaf_num");
+            }
+        }
+    }
+
+    #[test]
+    fn spaces_have_expected_dimensions() {
+        assert_eq!(LearnerKind::XgBoost.space(1000).dim(), 9);
+        assert_eq!(LearnerKind::LightGbm.space(1000).dim(), 9);
+        assert_eq!(LearnerKind::CatBoost.space(1000).dim(), 2);
+        assert_eq!(LearnerKind::Rf.space(1000).dim(), 3);
+        assert_eq!(LearnerKind::ExtraTrees.space(1000).dim(), 3);
+        assert_eq!(LearnerKind::Lr.space(1000).dim(), 1);
+    }
+}

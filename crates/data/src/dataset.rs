@@ -1,0 +1,456 @@
+use crate::DataError;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The kind of a feature column.
+///
+/// Categorical columns store category indices as `f64` values; learners may
+/// exploit the distinction (e.g. one-hot encode for linear models). Missing
+/// values are represented as `NaN` in either kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// Real-valued feature.
+    Numeric,
+    /// Categorical feature with the given number of categories.
+    Categorical {
+        /// Number of distinct categories (indices `0..cardinality`).
+        cardinality: usize,
+    },
+}
+
+/// The prediction task a dataset defines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Task {
+    /// Binary classification; labels are 0.0 or 1.0.
+    Binary,
+    /// Multi-class classification with the given number of classes;
+    /// labels are class indices stored as `f64`.
+    MultiClass(usize),
+    /// Regression; labels are arbitrary finite reals.
+    Regression,
+}
+
+impl Task {
+    /// Number of classes, or `None` for regression.
+    pub fn n_classes(&self) -> Option<usize> {
+        match self {
+            Task::Binary => Some(2),
+            Task::MultiClass(k) => Some(*k),
+            Task::Regression => None,
+        }
+    }
+
+    /// Whether this is a classification task.
+    pub fn is_classification(&self) -> bool {
+        !matches!(self, Task::Regression)
+    }
+}
+
+/// A column-major, in-memory tabular dataset.
+///
+/// Feature values are `f64`; missing values are `NaN`. Labels for
+/// classification tasks are class indices stored as `f64`. The column-major
+/// layout favours the histogram construction done by the tree learners.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    task: Task,
+    columns: Vec<Vec<f64>>,
+    kinds: Vec<FeatureKind>,
+    target: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates a dataset with all columns marked [`FeatureKind::Numeric`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError`] if the columns are ragged, empty, or the labels
+    /// are not valid class indices for a classification `task`.
+    pub fn new(
+        name: impl Into<String>,
+        task: Task,
+        columns: Vec<Vec<f64>>,
+        target: Vec<f64>,
+    ) -> Result<Self, DataError> {
+        let kinds = vec![FeatureKind::Numeric; columns.len()];
+        Self::with_kinds(name, task, columns, kinds, target)
+    }
+
+    /// Creates a dataset with explicit per-column feature kinds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError`] if the columns are ragged, empty, the kinds
+    /// vector has the wrong length, or the labels are invalid for `task`.
+    pub fn with_kinds(
+        name: impl Into<String>,
+        task: Task,
+        columns: Vec<Vec<f64>>,
+        kinds: Vec<FeatureKind>,
+        target: Vec<f64>,
+    ) -> Result<Self, DataError> {
+        if columns.is_empty() {
+            return Err(DataError::NoFeatures);
+        }
+        if target.is_empty() {
+            return Err(DataError::Empty);
+        }
+        if kinds.len() != columns.len() {
+            return Err(DataError::KindMismatch {
+                columns: columns.len(),
+                kinds: kinds.len(),
+            });
+        }
+        for (j, col) in columns.iter().enumerate() {
+            if col.len() != target.len() {
+                return Err(DataError::RaggedColumns {
+                    expected: target.len(),
+                    column: j,
+                    actual: col.len(),
+                });
+            }
+        }
+        if let Some(k) = task.n_classes() {
+            for (i, &y) in target.iter().enumerate() {
+                if !(y.fract() == 0.0 && y >= 0.0 && (y as usize) < k) {
+                    return Err(DataError::BadLabel {
+                        row: i,
+                        value: y,
+                        n_classes: k,
+                    });
+                }
+            }
+        }
+        Ok(Dataset {
+            name: name.into(),
+            task,
+            columns,
+            kinds,
+            target,
+        })
+    }
+
+    /// Dataset name (used in experiment reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The prediction task.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.target.len()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The values of feature column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.n_features()`.
+    pub fn column(&self, j: usize) -> &[f64] {
+        &self.columns[j]
+    }
+
+    /// All feature columns.
+    pub fn columns(&self) -> &[Vec<f64>] {
+        &self.columns
+    }
+
+    /// The kind of feature column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.n_features()`.
+    pub fn feature_kind(&self, j: usize) -> FeatureKind {
+        self.kinds[j]
+    }
+
+    /// All feature kinds.
+    pub fn feature_kinds(&self) -> &[FeatureKind] {
+        &self.kinds
+    }
+
+    /// The target vector.
+    pub fn target(&self) -> &[f64] {
+        &self.target
+    }
+
+    /// The value of feature `j` at row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        self.columns[j][i]
+    }
+
+    /// Renames the dataset (builder-style), returning it.
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The empirical class distribution, `None` for regression.
+    pub fn class_priors(&self) -> Option<Vec<f64>> {
+        let k = self.task.n_classes()?;
+        let mut counts = vec![0usize; k];
+        for &y in &self.target {
+            counts[y as usize] += 1;
+        }
+        let n = self.n_rows() as f64;
+        Some(counts.into_iter().map(|c| c as f64 / n).collect())
+    }
+
+    /// A new dataset with rows reordered as `order` (must be a permutation
+    /// or a subset of row indices; duplicates are allowed, enabling
+    /// bootstrap resamples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or `order` is empty.
+    pub fn select(&self, order: &[usize]) -> Dataset {
+        assert!(!order.is_empty(), "cannot select zero rows");
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| order.iter().map(|&i| col[i]).collect())
+            .collect();
+        let target = order.iter().map(|&i| self.target[i]).collect();
+        Dataset {
+            name: self.name.clone(),
+            task: self.task,
+            columns,
+            kinds: self.kinds.clone(),
+            target,
+        }
+    }
+
+    /// The first `s` rows (the paper's prefix subsample of shuffled data).
+    ///
+    /// `s` is clamped to `1..=n_rows`.
+    pub fn prefix(&self, s: usize) -> Dataset {
+        let s = s.clamp(1, self.n_rows());
+        let columns = self.columns.iter().map(|col| col[..s].to_vec()).collect();
+        Dataset {
+            name: self.name.clone(),
+            task: self.task,
+            columns,
+            kinds: self.kinds.clone(),
+            target: self.target[..s].to_vec(),
+        }
+    }
+
+    /// A shuffled copy of the dataset.
+    ///
+    /// For classification tasks the shuffle is *stratified*: within each
+    /// class the rows are shuffled, then classes are interleaved so that
+    /// every prefix of the result preserves the class ratio (the paper
+    /// shuffles stratified by label so prefix samples are unbiased).
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let order = self.shuffle_order(seed);
+        self.select(&order)
+    }
+
+    /// The row order that [`Dataset::shuffled`] applies.
+    pub fn shuffle_order(&self, seed: u64) -> Vec<usize> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = self.n_rows();
+        match self.task.n_classes() {
+            None => {
+                let mut order: Vec<usize> = (0..n).collect();
+                order.shuffle(&mut rng);
+                order
+            }
+            Some(k) => {
+                // Shuffle within classes, then emit rows by repeatedly
+                // drawing from the class whose emitted share lags its prior
+                // the most: every prefix stays close to stratified.
+                let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); k];
+                for (i, &y) in self.target.iter().enumerate() {
+                    by_class[y as usize].push(i);
+                }
+                for rows in &mut by_class {
+                    rows.shuffle(&mut rng);
+                }
+                let totals: Vec<usize> = by_class.iter().map(Vec::len).collect();
+                let mut emitted = vec![0usize; k];
+                let mut order = Vec::with_capacity(n);
+                for step in 1..=n {
+                    // Pick the class with the largest deficit between its
+                    // fair share at this step and what it has emitted.
+                    let mut best = None;
+                    let mut best_deficit = f64::NEG_INFINITY;
+                    for c in 0..k {
+                        if emitted[c] >= totals[c] {
+                            continue;
+                        }
+                        let fair = totals[c] as f64 * step as f64 / n as f64;
+                        let deficit = fair - emitted[c] as f64;
+                        if deficit > best_deficit {
+                            best_deficit = deficit;
+                            best = Some(c);
+                        }
+                    }
+                    let c = best.expect("some class must have rows left");
+                    order.push(by_class[c][emitted[c]]);
+                    emitted[c] += 1;
+                }
+                order
+            }
+        }
+    }
+
+    /// `#instances * #features`, the size measure used by the paper's
+    /// resampling-strategy rule (Step 0).
+    pub fn size_product(&self) -> u64 {
+        self.n_rows() as u64 * self.n_features() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, task: Task) -> Dataset {
+        let col0: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let col1: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let target: Vec<f64> = match task {
+            Task::Regression => (0..n).map(|i| i as f64 * 0.5).collect(),
+            Task::Binary => (0..n).map(|i| (i % 2) as f64).collect(),
+            Task::MultiClass(k) => (0..n).map(|i| (i % k) as f64).collect(),
+        };
+        Dataset::new("toy", task, vec![col0, col1], target).unwrap()
+    }
+
+    #[test]
+    fn new_validates_ragged() {
+        let err = Dataset::new(
+            "bad",
+            Task::Regression,
+            vec![vec![1.0, 2.0], vec![1.0]],
+            vec![0.0, 1.0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::RaggedColumns { column: 1, .. }));
+    }
+
+    #[test]
+    fn new_validates_labels() {
+        let err = Dataset::new("bad", Task::Binary, vec![vec![1.0, 2.0]], vec![0.0, 2.0])
+            .unwrap_err();
+        assert!(matches!(err, DataError::BadLabel { row: 1, .. }));
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert_eq!(
+            Dataset::new("e", Task::Regression, vec![], vec![1.0]).unwrap_err(),
+            DataError::NoFeatures
+        );
+        assert_eq!(
+            Dataset::new("e", Task::Regression, vec![vec![]], vec![]).unwrap_err(),
+            DataError::Empty
+        );
+    }
+
+    #[test]
+    fn kinds_length_checked() {
+        let err = Dataset::with_kinds(
+            "bad",
+            Task::Regression,
+            vec![vec![1.0]],
+            vec![FeatureKind::Numeric, FeatureKind::Numeric],
+            vec![1.0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::KindMismatch { .. }));
+    }
+
+    #[test]
+    fn select_reorders_rows() {
+        let d = toy(4, Task::Regression);
+        let s = d.select(&[3, 1]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.value(0, 0), 3.0);
+        assert_eq!(s.value(1, 0), 1.0);
+        assert_eq!(s.target(), &[1.5, 0.5]);
+    }
+
+    #[test]
+    fn select_allows_duplicates_for_bootstrap() {
+        let d = toy(3, Task::Regression);
+        let s = d.select(&[0, 0, 2]);
+        assert_eq!(s.column(0), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn prefix_clamps() {
+        let d = toy(10, Task::Regression);
+        assert_eq!(d.prefix(3).n_rows(), 3);
+        assert_eq!(d.prefix(0).n_rows(), 1);
+        assert_eq!(d.prefix(99).n_rows(), 10);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let d = toy(100, Task::Regression);
+        let mut order = d.shuffle_order(7);
+        order.sort_unstable();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let d = toy(50, Task::Binary);
+        assert_eq!(d.shuffle_order(1), d.shuffle_order(1));
+        assert_ne!(d.shuffle_order(1), d.shuffle_order(2));
+    }
+
+    #[test]
+    fn stratified_shuffle_balances_prefixes() {
+        // 90/10 imbalanced binary labels: every prefix of the shuffle should
+        // contain the minority class at roughly its prior.
+        let n = 1000;
+        let col: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let target: Vec<f64> = (0..n).map(|i| if i < 100 { 1.0 } else { 0.0 }).collect();
+        let d = Dataset::new("imb", Task::Binary, vec![col], target).unwrap();
+        let s = d.shuffled(3);
+        for &prefix in &[50usize, 100, 200, 500] {
+            let p = s.prefix(prefix);
+            let minority = p.target().iter().filter(|&&y| y == 1.0).count() as f64;
+            let ratio = minority / prefix as f64;
+            assert!(
+                (ratio - 0.1).abs() < 0.03,
+                "prefix {prefix} minority ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_priors_sum_to_one() {
+        let d = toy(9, Task::MultiClass(3));
+        let p = d.class_priors().unwrap();
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_has_no_priors() {
+        assert!(toy(5, Task::Regression).class_priors().is_none());
+    }
+
+    #[test]
+    fn size_product_matches() {
+        assert_eq!(toy(7, Task::Regression).size_product(), 14);
+    }
+}

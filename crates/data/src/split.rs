@@ -1,0 +1,197 @@
+use crate::{DataError, Dataset};
+
+/// One cross-validation fold: row indices for training and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Row indices used for training.
+    pub train: Vec<usize>,
+    /// Row indices used for validation.
+    pub valid: Vec<usize>,
+}
+
+/// Splits the first `n` row indices into a holdout train/validation pair.
+///
+/// The *last* `ceil(n * ratio)` rows are held out, matching the paper's
+/// holdout on pre-shuffled data with holdout ratio `rho` (default 0.1).
+///
+/// # Errors
+///
+/// Returns [`DataError::BadSplit`] if `ratio` is not in `(0, 1)` or if the
+/// split would leave either side empty.
+pub fn train_test_split(n: usize, ratio: f64) -> Result<Fold, DataError> {
+    if !(ratio > 0.0 && ratio < 1.0) {
+        return Err(DataError::BadSplit(format!(
+            "holdout ratio {ratio} not in (0, 1)"
+        )));
+    }
+    let n_valid = ((n as f64) * ratio).ceil() as usize;
+    if n_valid == 0 || n_valid >= n {
+        return Err(DataError::BadSplit(format!(
+            "holdout of {n_valid} rows from {n} leaves an empty side"
+        )));
+    }
+    let cut = n - n_valid;
+    Ok(Fold {
+        train: (0..cut).collect(),
+        valid: (cut..n).collect(),
+    })
+}
+
+/// Splits the first `n` row indices into `k` contiguous cross-validation
+/// folds.
+///
+/// Rows are assumed already shuffled (the controller shuffles once up
+/// front), so contiguous chunks are random folds.
+///
+/// # Errors
+///
+/// Returns [`DataError::BadSplit`] if `k < 2` or `k > n`.
+pub fn kfold(n: usize, k: usize) -> Result<Vec<Fold>, DataError> {
+    if k < 2 {
+        return Err(DataError::BadSplit(format!("k = {k} must be at least 2")));
+    }
+    if k > n {
+        return Err(DataError::BadSplit(format!(
+            "cannot make {k} folds from {n} rows"
+        )));
+    }
+    let mut folds = Vec::with_capacity(k);
+    let base = n / k;
+    let rem = n % k;
+    let mut start = 0;
+    for f in 0..k {
+        let len = base + usize::from(f < rem);
+        let valid: Vec<usize> = (start..start + len).collect();
+        let train: Vec<usize> = (0..start).chain(start + len..n).collect();
+        folds.push(Fold { train, valid });
+        start += len;
+    }
+    Ok(folds)
+}
+
+/// Stratified k-fold for classification datasets: each fold's validation
+/// set receives every k-th row of each class, preserving class ratios.
+///
+/// Falls back to plain [`kfold`] for regression tasks.
+///
+/// # Errors
+///
+/// Returns [`DataError::BadSplit`] if `k < 2` or `k` exceeds the dataset
+/// row count.
+pub fn stratified_kfold(data: &Dataset, k: usize) -> Result<Vec<Fold>, DataError> {
+    let n = data.n_rows();
+    let Some(n_classes) = data.task().n_classes() else {
+        return kfold(n, k);
+    };
+    if k < 2 {
+        return Err(DataError::BadSplit(format!("k = {k} must be at least 2")));
+    }
+    if k > n {
+        return Err(DataError::BadSplit(format!(
+            "cannot make {k} folds from {n} rows"
+        )));
+    }
+    let mut assignment = vec![0usize; n];
+    let mut counter = vec![0usize; n_classes];
+    for (i, &y) in data.target().iter().enumerate() {
+        let c = y as usize;
+        assignment[i] = counter[c] % k;
+        counter[c] += 1;
+    }
+    let mut folds: Vec<Fold> = (0..k)
+        .map(|_| Fold {
+            train: Vec::new(),
+            valid: Vec::new(),
+        })
+        .collect();
+    for (i, &f) in assignment.iter().enumerate() {
+        for (g, fold) in folds.iter_mut().enumerate() {
+            if g == f {
+                fold.valid.push(i);
+            } else {
+                fold.train.push(i);
+            }
+        }
+    }
+    // A fold with an empty side can occur for degenerate k; reject it.
+    if folds.iter().any(|f| f.train.is_empty() || f.valid.is_empty()) {
+        return Err(DataError::BadSplit(format!(
+            "stratified {k}-fold on {n} rows produced an empty fold"
+        )));
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Task;
+
+    #[test]
+    fn holdout_sizes() {
+        let f = train_test_split(100, 0.1).unwrap();
+        assert_eq!(f.train.len(), 90);
+        assert_eq!(f.valid.len(), 10);
+        assert_eq!(f.valid[0], 90);
+    }
+
+    #[test]
+    fn holdout_rejects_bad_ratio() {
+        assert!(train_test_split(10, 0.0).is_err());
+        assert!(train_test_split(10, 1.0).is_err());
+        assert!(train_test_split(1, 0.5).is_err());
+    }
+
+    #[test]
+    fn holdout_small_n_rounds_up() {
+        let f = train_test_split(5, 0.1).unwrap();
+        assert_eq!(f.valid.len(), 1);
+    }
+
+    #[test]
+    fn kfold_partitions_all_rows() {
+        let folds = kfold(103, 5).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flat_map(|f| f.valid.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        for f in &folds {
+            assert_eq!(f.train.len() + f.valid.len(), 103);
+            for &v in &f.valid {
+                assert!(!f.train.contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn kfold_rejects_degenerate() {
+        assert!(kfold(10, 1).is_err());
+        assert!(kfold(3, 4).is_err());
+    }
+
+    #[test]
+    fn stratified_preserves_ratio() {
+        let n = 100;
+        let col: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..n).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect();
+        let d = Dataset::new("s", Task::Binary, vec![col], y).unwrap();
+        let folds = stratified_kfold(&d, 5).unwrap();
+        for f in &folds {
+            let pos = f
+                .valid
+                .iter()
+                .filter(|&&i| d.target()[i] == 1.0)
+                .count();
+            assert_eq!(pos, 4, "each fold sees 4 of the 20 positives");
+        }
+    }
+
+    #[test]
+    fn stratified_falls_back_for_regression() {
+        let col: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y = col.clone();
+        let d = Dataset::new("r", Task::Regression, vec![col], y).unwrap();
+        let folds = stratified_kfold(&d, 4).unwrap();
+        assert_eq!(folds.len(), 4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the data substrate's invariants.
+
+use flaml_data::{kfold, stratified_kfold, train_test_split, Dataset, Task};
+use proptest::prelude::*;
+
+fn arb_regression(max_n: usize) -> impl Strategy<Value = Dataset> {
+    (2usize..max_n).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-1e6f64..1e6, n),
+            proptest::collection::vec(-1e3f64..1e3, n),
+        )
+            .prop_map(|(col, y)| Dataset::new("p", Task::Regression, vec![col], y).unwrap())
+    })
+}
+
+fn arb_binary(max_n: usize) -> impl Strategy<Value = Dataset> {
+    (4usize..max_n).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-10f64..10.0, n),
+            proptest::collection::vec(0u8..2, n),
+        )
+            .prop_filter("both classes present", |(_, y)| {
+                y.contains(&0) && y.contains(&1)
+            })
+            .prop_map(|(col, y)| {
+                Dataset::new(
+                    "p",
+                    Task::Binary,
+                    vec![col],
+                    y.into_iter().map(f64::from).collect(),
+                )
+                .unwrap()
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn shuffle_is_always_a_permutation(data in arb_regression(200), seed in 0u64..1000) {
+        let mut order = data.shuffle_order(seed);
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..data.n_rows()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stratified_shuffle_preserves_label_multiset(data in arb_binary(200), seed in 0u64..1000) {
+        let shuffled = data.shuffled(seed);
+        let count = |d: &Dataset| d.target().iter().filter(|&&v| v == 1.0).count();
+        prop_assert_eq!(count(&data), count(&shuffled));
+        prop_assert_eq!(data.n_rows(), shuffled.n_rows());
+    }
+
+    #[test]
+    fn prefix_never_exceeds_rows(data in arb_regression(100), s in 0usize..500) {
+        let p = data.prefix(s);
+        prop_assert!(p.n_rows() >= 1);
+        prop_assert!(p.n_rows() <= data.n_rows());
+        prop_assert!(p.n_rows() <= s.max(1));
+    }
+
+    #[test]
+    fn kfold_is_a_partition(n in 4usize..300, k in 2usize..8) {
+        prop_assume!(k <= n);
+        let folds = kfold(n, k).unwrap();
+        prop_assert_eq!(folds.len(), k);
+        let mut seen = vec![false; n];
+        for f in &folds {
+            for &v in &f.valid {
+                prop_assert!(!seen[v], "row {} in two validation folds", v);
+                seen[v] = true;
+            }
+            prop_assert_eq!(f.train.len() + f.valid.len(), n);
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn stratified_kfold_balances_within_one(data in arb_binary(300), k in 2usize..5) {
+        prop_assume!(k <= data.n_rows());
+        if let Ok(folds) = stratified_kfold(&data, k) {
+            let pos_counts: Vec<usize> = folds
+                .iter()
+                .map(|f| f.valid.iter().filter(|&&i| data.target()[i] == 1.0).count())
+                .collect();
+            let max = *pos_counts.iter().max().unwrap();
+            let min = *pos_counts.iter().min().unwrap();
+            prop_assert!(max - min <= 1, "positives per fold: {:?}", pos_counts);
+        }
+    }
+
+    #[test]
+    fn holdout_sides_are_disjoint_and_complete(n in 2usize..500, ratio in 0.05f64..0.95) {
+        if let Ok(fold) = train_test_split(n, ratio) {
+            prop_assert_eq!(fold.train.len() + fold.valid.len(), n);
+            for &v in &fold.valid {
+                prop_assert!(!fold.train.contains(&v));
+            }
+            prop_assert!(!fold.train.is_empty());
+            prop_assert!(!fold.valid.is_empty());
+        }
+    }
+
+    #[test]
+    fn select_preserves_values(data in arb_regression(100), seed in 0u64..100) {
+        let order = data.shuffle_order(seed);
+        let s = data.select(&order);
+        for (new_i, &old_i) in order.iter().enumerate() {
+            prop_assert_eq!(s.value(new_i, 0), data.value(old_i, 0));
+            prop_assert_eq!(s.target()[new_i], data.target()[old_i]);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Histogram binning shared by the gradient-boosting learners.
+//!
+//! Feature values are discretized into at most `max_bin` bins using
+//! quantile cut points, the construction used by LightGBM (whose `max_bin`
+//! is itself a searched hyperparameter in the paper's Table 5). Bin `0` is
+//! reserved for missing values (`NaN`); a split at threshold `t` sends bins
+//! `<= t` left, so missing values always travel with the leftmost bin.
+
+use flaml_data::Dataset;
+
+/// Per-feature quantile cut points mapping raw values to bin indices.
+#[derive(Debug, Clone)]
+pub struct BinMapper {
+    /// `cuts[j]` holds the sorted cut points of feature `j`.
+    cuts: Vec<Vec<f64>>,
+}
+
+impl BinMapper {
+    /// Builds a mapper with at most `max_bin` value bins per feature
+    /// (missing-value bin excluded).
+    ///
+    /// `max_bin` is clamped to at least 2.
+    pub fn fit(data: &Dataset, max_bin: usize) -> BinMapper {
+        let max_bin = max_bin.max(2);
+        let cuts = (0..data.n_features())
+            .map(|j| Self::feature_cuts(data.column(j), max_bin))
+            .collect();
+        BinMapper { cuts }
+    }
+
+    fn feature_cuts(column: &[f64], max_bin: usize) -> Vec<f64> {
+        let mut values: Vec<f64> = column.iter().copied().filter(|v| !v.is_nan()).collect();
+        if values.is_empty() {
+            return Vec::new();
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        values.dedup();
+        if values.len() <= max_bin {
+            // One bin per distinct value: cuts at midpoints.
+            return values.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
+        }
+        // Quantile cuts: max_bin bins need max_bin - 1 interior cuts.
+        let mut cuts = Vec::with_capacity(max_bin - 1);
+        for q in 1..max_bin {
+            let pos = q * values.len() / max_bin;
+            let pos = pos.min(values.len() - 1).max(1);
+            let cut = (values[pos - 1] + values[pos]) / 2.0;
+            if cuts.last().is_none_or(|&last| cut > last) {
+                cuts.push(cut);
+            }
+        }
+        cuts
+    }
+
+    /// Number of features the mapper was fit on.
+    pub fn n_features(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Number of bins of feature `j`, including the missing-value bin 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn n_bins(&self, j: usize) -> usize {
+        self.cuts[j].len() + 2
+    }
+
+    /// The bin index of raw value `v` for feature `j`: 0 for `NaN`,
+    /// otherwise `1 + #cuts below v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn bin(&self, j: usize, v: f64) -> u32 {
+        if v.is_nan() {
+            return 0;
+        }
+        1 + self.cuts[j].partition_point(|&c| c < v) as u32
+    }
+
+    /// Bins an entire dataset (must have the same number of features).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count differs from the fit-time dataset.
+    pub fn transform(&self, data: &Dataset) -> BinnedDataset {
+        assert_eq!(
+            data.n_features(),
+            self.n_features(),
+            "binning a dataset with a different feature count"
+        );
+        let bins = (0..data.n_features())
+            .map(|j| data.column(j).iter().map(|&v| self.bin(j, v)).collect())
+            .collect();
+        BinnedDataset {
+            bins,
+            n_bins: (0..self.n_features()).map(|j| self.n_bins(j)).collect(),
+        }
+    }
+}
+
+/// A dataset discretized by a [`BinMapper`]: column-major bin indices.
+#[derive(Debug, Clone)]
+pub struct BinnedDataset {
+    bins: Vec<Vec<u32>>,
+    n_bins: Vec<usize>,
+}
+
+impl BinnedDataset {
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.bins.first().map_or(0, Vec::len)
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The bin indices of feature `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn column(&self, j: usize) -> &[u32] {
+        &self.bins[j]
+    }
+
+    /// The number of bins of feature `j` (missing-value bin included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn n_bins(&self, j: usize) -> usize {
+        self.n_bins[j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flaml_data::Task;
+
+    fn data(cols: Vec<Vec<f64>>) -> Dataset {
+        let n = cols[0].len();
+        Dataset::new("t", Task::Regression, cols, vec![0.5; n].iter().enumerate().map(|(i, _)| i as f64).collect()).unwrap()
+    }
+
+    #[test]
+    fn few_distinct_values_get_exact_bins() {
+        let d = data(vec![vec![1.0, 2.0, 1.0, 3.0, 2.0]]);
+        let m = BinMapper::fit(&d, 255);
+        // Distinct values 1, 2, 3 => cuts at 1.5, 2.5 => bins 1, 2, 3.
+        assert_eq!(m.bin(0, 1.0), 1);
+        assert_eq!(m.bin(0, 2.0), 2);
+        assert_eq!(m.bin(0, 3.0), 3);
+        assert_eq!(m.n_bins(0), 4);
+    }
+
+    #[test]
+    fn nan_maps_to_bin_zero() {
+        let d = data(vec![vec![1.0, f64::NAN, 3.0]]);
+        let m = BinMapper::fit(&d, 255);
+        assert_eq!(m.bin(0, f64::NAN), 0);
+        assert!(m.bin(0, 1.0) >= 1);
+    }
+
+    #[test]
+    fn all_nan_column_has_single_bin() {
+        let d = data(vec![vec![f64::NAN, f64::NAN]]);
+        let m = BinMapper::fit(&d, 255);
+        assert_eq!(m.n_bins(0), 2);
+        assert_eq!(m.bin(0, f64::NAN), 0);
+        assert_eq!(m.bin(0, 7.0), 1);
+    }
+
+    #[test]
+    fn bins_are_monotone_in_value() {
+        let col: Vec<f64> = (0..1000).map(|i| (i as f64 * 17.0) % 101.0).collect();
+        let d = data(vec![col.clone()]);
+        let m = BinMapper::fit(&d, 16);
+        let mut pairs: Vec<(f64, u32)> = col.iter().map(|&v| (v, m.bin(0, v))).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1, "bin must be monotone in value");
+        }
+    }
+
+    #[test]
+    fn max_bin_respected() {
+        let col: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let d = data(vec![col]);
+        let m = BinMapper::fit(&d, 32);
+        assert!(m.n_bins(0) <= 34, "32 value bins + NaN bin + overflow bin");
+        // Bins should be roughly balanced for uniform data.
+        let binned = m.transform(&d);
+        let mut counts = vec![0usize; m.n_bins(0)];
+        for &b in binned.column(0) {
+            counts[b as usize] += 1;
+        }
+        let nonzero: Vec<usize> = counts.into_iter().filter(|&c| c > 0).collect();
+        let max = *nonzero.iter().max().unwrap() as f64;
+        let min = *nonzero.iter().min().unwrap() as f64;
+        assert!(max / min < 2.5, "quantile bins stay balanced: {min}..{max}");
+    }
+
+    #[test]
+    fn transform_round_trips_bin_of_value() {
+        let col = vec![5.0, 1.0, 9.0, f64::NAN, 2.0];
+        let d = data(vec![col.clone()]);
+        let m = BinMapper::fit(&d, 8);
+        let binned = m.transform(&d);
+        for (i, &v) in col.iter().enumerate() {
+            assert_eq!(binned.column(0)[i], m.bin(0, v));
+        }
+        assert_eq!(binned.n_rows(), 5);
+        assert_eq!(binned.n_features(), 1);
+    }
+
+    #[test]
+    fn constant_column_single_value_bin() {
+        let d = data(vec![vec![4.0; 10]]);
+        let m = BinMapper::fit(&d, 255);
+        assert_eq!(m.n_bins(0), 2);
+        assert_eq!(m.bin(0, 4.0), 1);
+    }
+}

@@ -1,0 +1,597 @@
+//! A classic (non-boosted) decision tree over raw feature values, shared
+//! by the random-forest and extra-trees learners.
+//!
+//! Splits minimize gini impurity, entropy, or variance; the extra-trees
+//! variant replaces the threshold search with a single uniformly random
+//! threshold per candidate feature (Geurts et al.), which is what the
+//! paper's `extra trees` learner does. Missing values travel to the left
+//! child.
+
+use flaml_data::Dataset;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Split quality criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitCriterion {
+    /// Gini impurity (classification).
+    Gini,
+    /// Information gain / entropy (classification).
+    Entropy,
+    /// Variance reduction (regression).
+    Variance,
+}
+
+/// Parameters of a single decision tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeParams {
+    /// Fraction of features considered at each split, in `(0, 1]`.
+    pub max_features: f64,
+    /// Split criterion.
+    pub criterion: SplitCriterion,
+    /// Extra-trees mode: one uniformly random threshold per feature
+    /// instead of an exhaustive threshold search.
+    pub random_threshold: bool,
+    /// Minimum rows in each leaf.
+    pub min_samples_leaf: usize,
+    /// Optional depth cap.
+    pub max_depth: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_features: 1.0,
+            criterion: SplitCriterion::Gini,
+            random_threshold: false,
+            min_samples_leaf: 1,
+            max_depth: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DNode {
+    feature: u32,
+    threshold: f64,
+    left: u32,
+    right: u32,
+    is_leaf: bool,
+    /// Class distribution (classification) or `[mean]` (regression).
+    value: Vec<f64>,
+}
+
+/// A fitted decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<DNode>,
+    n_classes: usize,
+}
+
+/// Whether row value `v` goes to the left child of a split at `threshold`.
+/// Missing values always go left.
+fn goes_left(v: f64, threshold: f64) -> bool {
+    v.is_nan() || v <= threshold
+}
+
+impl DecisionTree {
+    /// Fits a tree on the rows `rows` of `data` (duplicates allowed, which
+    /// is how forests pass bootstrap samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or contains out-of-range indices.
+    pub fn fit(data: &Dataset, rows: &[usize], params: &TreeParams, rng: &mut StdRng) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a tree on zero rows");
+        let n_classes = data.task().n_classes().unwrap_or(0);
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes,
+        };
+        tree.nodes.push(DNode {
+            feature: 0,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            is_leaf: true,
+            value: leaf_value(data, rows, n_classes),
+        });
+        tree.grow(data, 0, rows.to_vec(), 0, params, rng);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        data: &Dataset,
+        node: usize,
+        rows: Vec<usize>,
+        depth: usize,
+        params: &TreeParams,
+        rng: &mut StdRng,
+    ) {
+        if rows.len() < 2 * params.min_samples_leaf.max(1) {
+            return;
+        }
+        if let Some(cap) = params.max_depth {
+            if depth >= cap {
+                return;
+            }
+        }
+        if is_pure(data, &rows) {
+            return;
+        }
+        let Some((feature, threshold)) = self.find_split(data, &rows, params, rng) else {
+            return;
+        };
+        let col = data.column(feature as usize);
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+            rows.into_iter().partition(|&r| goes_left(col[r], threshold));
+        if left_rows.len() < params.min_samples_leaf || right_rows.len() < params.min_samples_leaf
+        {
+            return;
+        }
+        let left_id = self.nodes.len() as u32;
+        let right_id = left_id + 1;
+        self.nodes.push(DNode {
+            feature: 0,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            is_leaf: true,
+            value: leaf_value(data, &left_rows, self.n_classes),
+        });
+        self.nodes.push(DNode {
+            feature: 0,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            is_leaf: true,
+            value: leaf_value(data, &right_rows, self.n_classes),
+        });
+        {
+            let parent = &mut self.nodes[node];
+            parent.is_leaf = false;
+            parent.feature = feature;
+            parent.threshold = threshold;
+            parent.left = left_id;
+            parent.right = right_id;
+        }
+        self.grow(data, left_id as usize, left_rows, depth + 1, params, rng);
+        self.grow(data, right_id as usize, right_rows, depth + 1, params, rng);
+    }
+
+    fn find_split(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+        params: &TreeParams,
+        rng: &mut StdRng,
+    ) -> Option<(u32, f64)> {
+        let d = data.n_features();
+        let want = ((d as f64 * params.max_features).ceil() as usize).clamp(1, d);
+        let mut features: Vec<u32> = (0..d as u32).collect();
+        for i in 0..want {
+            let j = rng.gen_range(i..features.len());
+            features.swap(i, j);
+        }
+        features.truncate(want);
+
+        let parent_impurity = impurity(data, rows, params.criterion, self.n_classes);
+        let mut best: Option<(u32, f64, f64)> = None; // (feature, threshold, score)
+        for &j in &features {
+            let col = data.column(j as usize);
+            let candidates = if params.random_threshold {
+                random_threshold(col, rows, rng).into_iter().collect()
+            } else {
+                candidate_thresholds(col, rows)
+            };
+            for t in candidates {
+                let (li, ln, ri, rn) =
+                    split_impurities(data, rows, j as usize, t, params.criterion, self.n_classes);
+                if ln < params.min_samples_leaf || rn < params.min_samples_leaf {
+                    continue;
+                }
+                let total = (ln + rn) as f64;
+                let weighted = (ln as f64 * li + rn as f64 * ri) / total;
+                let gain = parent_impurity - weighted;
+                if gain > 1e-12 && best.map_or(true, |(_, _, g)| gain > g) {
+                    best = Some((j, t, gain));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+
+    /// The leaf value vector for `row` of `data`: class distribution for
+    /// classification, `[mean]` for regression.
+    pub fn eval(&self, data: &Dataset, row: usize) -> &[f64] {
+        let mut at = 0usize;
+        loop {
+            let node = &self.nodes[at];
+            if node.is_leaf {
+                return &node.value;
+            }
+            let v = data.value(row, node.feature as usize);
+            at = if goes_left(v, node.threshold) {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf).count()
+    }
+
+    /// Adds one count per internal node to `counts[feature]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is shorter than the largest split feature index.
+    pub fn accumulate_split_counts(&self, counts: &mut [f64]) {
+        for node in &self.nodes {
+            if !node.is_leaf {
+                counts[node.feature as usize] += 1.0;
+            }
+        }
+    }
+
+    /// Maximum depth of the tree.
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[DNode], at: usize) -> usize {
+            let n = &nodes[at];
+            if n.is_leaf {
+                0
+            } else {
+                1 + rec(nodes, n.left as usize).max(rec(nodes, n.right as usize))
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+}
+
+fn leaf_value(data: &Dataset, rows: &[usize], n_classes: usize) -> Vec<f64> {
+    let y = data.target();
+    if n_classes == 0 {
+        let mean = rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len() as f64;
+        vec![mean]
+    } else {
+        let mut dist = vec![0.0; n_classes];
+        for &r in rows {
+            dist[y[r] as usize] += 1.0;
+        }
+        let total = rows.len() as f64;
+        for v in &mut dist {
+            *v /= total;
+        }
+        dist
+    }
+}
+
+fn is_pure(data: &Dataset, rows: &[usize]) -> bool {
+    let y = data.target();
+    let first = y[rows[0]];
+    rows.iter().all(|&r| y[r] == first)
+}
+
+fn impurity(data: &Dataset, rows: &[usize], criterion: SplitCriterion, n_classes: usize) -> f64 {
+    let y = data.target();
+    match criterion {
+        SplitCriterion::Variance => {
+            let n = rows.len() as f64;
+            let mean = rows.iter().map(|&r| y[r]).sum::<f64>() / n;
+            rows.iter().map(|&r| (y[r] - mean) * (y[r] - mean)).sum::<f64>() / n
+        }
+        SplitCriterion::Gini | SplitCriterion::Entropy => {
+            let mut counts = vec![0usize; n_classes];
+            for &r in rows {
+                counts[y[r] as usize] += 1;
+            }
+            class_impurity(&counts, rows.len(), criterion)
+        }
+    }
+}
+
+fn class_impurity(counts: &[usize], total: usize, criterion: SplitCriterion) -> f64 {
+    let total = total as f64;
+    match criterion {
+        SplitCriterion::Gini => {
+            1.0 - counts
+                .iter()
+                .map(|&c| {
+                    let p = c as f64 / total;
+                    p * p
+                })
+                .sum::<f64>()
+        }
+        SplitCriterion::Entropy => -counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total;
+                p * p.ln()
+            })
+            .sum::<f64>(),
+        SplitCriterion::Variance => unreachable!("variance handled separately"),
+    }
+}
+
+/// Impurities and sizes of the two sides of a split.
+fn split_impurities(
+    data: &Dataset,
+    rows: &[usize],
+    feature: usize,
+    threshold: f64,
+    criterion: SplitCriterion,
+    n_classes: usize,
+) -> (f64, usize, f64, usize) {
+    let col = data.column(feature);
+    let y = data.target();
+    if criterion == SplitCriterion::Variance {
+        // Single pass Welford-free: accumulate sums and squared sums.
+        let (mut ls, mut lss, mut ln) = (0.0, 0.0, 0usize);
+        let (mut rs, mut rss, mut rn) = (0.0, 0.0, 0usize);
+        for &r in rows {
+            let t = y[r];
+            if goes_left(col[r], threshold) {
+                ls += t;
+                lss += t * t;
+                ln += 1;
+            } else {
+                rs += t;
+                rss += t * t;
+                rn += 1;
+            }
+        }
+        let var = |s: f64, ss: f64, n: usize| {
+            if n == 0 {
+                0.0
+            } else {
+                let nf = n as f64;
+                (ss / nf - (s / nf) * (s / nf)).max(0.0)
+            }
+        };
+        (var(ls, lss, ln), ln, var(rs, rss, rn), rn)
+    } else {
+        let mut lc = vec![0usize; n_classes];
+        let mut rc = vec![0usize; n_classes];
+        let (mut ln, mut rn) = (0usize, 0usize);
+        for &r in rows {
+            if goes_left(col[r], threshold) {
+                lc[y[r] as usize] += 1;
+                ln += 1;
+            } else {
+                rc[y[r] as usize] += 1;
+                rn += 1;
+            }
+        }
+        let li = if ln == 0 {
+            0.0
+        } else {
+            class_impurity(&lc, ln, criterion)
+        };
+        let ri = if rn == 0 {
+            0.0
+        } else {
+            class_impurity(&rc, rn, criterion)
+        };
+        (li, ln, ri, rn)
+    }
+}
+
+/// Up to 15 quantile thresholds of the node's non-missing values
+/// (midpoints between consecutive distinct values when few).
+fn candidate_thresholds(col: &[f64], rows: &[usize]) -> Vec<f64> {
+    let mut values: Vec<f64> = rows
+        .iter()
+        .map(|&r| col[r])
+        .filter(|v| !v.is_nan())
+        .collect();
+    if values.len() < 2 {
+        return Vec::new();
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+    values.dedup();
+    if values.len() < 2 {
+        return Vec::new();
+    }
+    const MAX_CANDIDATES: usize = 15;
+    if values.len() <= MAX_CANDIDATES + 1 {
+        return values.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
+    }
+    let mut out = Vec::with_capacity(MAX_CANDIDATES);
+    for q in 1..=MAX_CANDIDATES {
+        let pos = (q * values.len() / (MAX_CANDIDATES + 1)).clamp(1, values.len() - 1);
+        let cut = (values[pos - 1] + values[pos]) / 2.0;
+        if out.last().is_none_or(|&last| cut > last) {
+            out.push(cut);
+        }
+    }
+    out
+}
+
+/// One uniformly random threshold strictly inside the node's value range
+/// (extra-trees), or `None` for constant/missing-only columns.
+fn random_threshold(col: &[f64], rows: &[usize], rng: &mut StdRng) -> Option<f64> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &r in rows {
+        let v = col[r];
+        if !v.is_nan() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !(lo < hi) {
+        return None;
+    }
+    // Uniform in (lo, hi): values equal to hi go right, so the split is
+    // never trivial on the value range.
+    let t = rng.gen_range(lo..hi);
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flaml_data::Task;
+    use rand::SeedableRng;
+
+    fn checkerboard(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2.0).collect();
+        let x1: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2.0).collect();
+        let y: Vec<f64> = x0
+            .iter()
+            .zip(&x1)
+            .map(|(&a, &b)| f64::from((a.floor() as i64 + b.floor() as i64) % 2 == 0))
+            .collect();
+        Dataset::new("cb", Task::Binary, vec![x0, x1], y).unwrap()
+    }
+
+    #[test]
+    fn overfits_training_data_without_limits() {
+        let d = checkerboard(300, 0);
+        let rows: Vec<usize> = (0..300).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = DecisionTree::fit(&d, &rows, &TreeParams::default(), &mut rng);
+        for i in 0..300 {
+            let dist = t.eval(&d, i);
+            let pred = f64::from(dist[1] > dist[0]);
+            assert_eq!(pred, d.target()[i], "row {i}");
+        }
+    }
+
+    #[test]
+    fn depth_cap_respected() {
+        let d = checkerboard(300, 1);
+        let rows: Vec<usize> = (0..300).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = DecisionTree::fit(
+            &d,
+            &rows,
+            &TreeParams {
+                max_depth: Some(3),
+                ..TreeParams::default()
+            },
+            &mut rng,
+        );
+        assert!(t.depth() <= 3);
+        assert!(t.n_leaves() <= 8);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let d = checkerboard(200, 2);
+        let rows: Vec<usize> = (0..200).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = DecisionTree::fit(
+            &d,
+            &rows,
+            &TreeParams {
+                min_samples_leaf: 50,
+                ..TreeParams::default()
+            },
+            &mut rng,
+        );
+        assert!(t.n_leaves() <= 4, "{} leaves", t.n_leaves());
+    }
+
+    #[test]
+    fn regression_variance_split() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| if v < 50.0 { 1.0 } else { 9.0 }).collect();
+        let d = Dataset::new("r", Task::Regression, vec![x], y).unwrap();
+        let rows: Vec<usize> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = DecisionTree::fit(
+            &d,
+            &rows,
+            &TreeParams {
+                criterion: SplitCriterion::Variance,
+                max_depth: Some(1),
+                ..TreeParams::default()
+            },
+            &mut rng,
+        );
+        assert!((t.eval(&d, 0)[0] - 1.0).abs() < 1e-9);
+        assert!((t.eval(&d, 99)[0] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_and_gini_both_split_informative_feature() {
+        let x0: Vec<f64> = (0..100).map(|i| f64::from(i >= 50)).collect();
+        let x1: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let y: Vec<f64> = (0..100).map(|i| f64::from(i >= 50)).collect();
+        let d = Dataset::new("inf", Task::Binary, vec![x0, x1], y).unwrap();
+        let rows: Vec<usize> = (0..100).collect();
+        for criterion in [SplitCriterion::Gini, SplitCriterion::Entropy] {
+            let mut rng = StdRng::seed_from_u64(0);
+            let t = DecisionTree::fit(
+                &d,
+                &rows,
+                &TreeParams {
+                    criterion,
+                    max_depth: Some(1),
+                    ..TreeParams::default()
+                },
+                &mut rng,
+            );
+            assert_eq!(t.nodes[0].feature, 0, "{criterion:?} must pick feature 0");
+        }
+    }
+
+    #[test]
+    fn random_threshold_mode_still_learns() {
+        let d = checkerboard(400, 4);
+        let rows: Vec<usize> = (0..400).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = DecisionTree::fit(
+            &d,
+            &rows,
+            &TreeParams {
+                random_threshold: true,
+                ..TreeParams::default()
+            },
+            &mut rng,
+        );
+        let mut correct = 0;
+        for i in 0..400 {
+            let dist = t.eval(&d, i);
+            if f64::from(dist[1] > dist[0]) == d.target()[i] {
+                correct += 1;
+            }
+        }
+        assert!(correct > 380, "{correct}/400");
+    }
+
+    #[test]
+    fn nan_rows_go_left_and_predict() {
+        let x = vec![f64::NAN, 1.0, 2.0, 3.0, f64::NAN, 5.0, 6.0, 7.0];
+        let y = vec![0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0];
+        let d = Dataset::new("nan", Task::Binary, vec![x], y).unwrap();
+        let rows: Vec<usize> = (0..8).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = DecisionTree::fit(&d, &rows, &TreeParams::default(), &mut rng);
+        for i in 0..8 {
+            let dist = t.eval(&d, i);
+            assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_node_stays_leaf() {
+        let d = Dataset::new(
+            "pure",
+            Task::Binary,
+            vec![vec![1.0, 2.0, 3.0, 4.0]],
+            vec![1.0, 1.0, 1.0, 0.0],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = DecisionTree::fit(&d, &[0, 1, 2], &TreeParams::default(), &mut rng);
+        assert_eq!(t.n_leaves(), 1, "all-ones subset must not split");
+    }
+}

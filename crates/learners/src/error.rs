@@ -1,0 +1,44 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a learner cannot be fit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// A hyperparameter value is outside its valid range.
+    BadParam {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// The dataset is unusable for this learner (e.g. a classification
+    /// learner fit on a regression task).
+    BadData(String),
+}
+
+impl FitError {
+    pub(crate) fn bad_param(name: &'static str, value: f64, constraint: &'static str) -> Self {
+        FitError::BadParam {
+            name,
+            value,
+            constraint,
+        }
+    }
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::BadParam {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter {name} = {value} violates: {constraint}"),
+            FitError::BadData(msg) => write!(f, "unusable dataset: {msg}"),
+        }
+    }
+}
+
+impl Error for FitError {}

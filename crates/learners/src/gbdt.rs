@@ -1,0 +1,1310 @@
+//! Histogram-based gradient-boosted decision trees.
+//!
+//! One boosting core with three tree-growth policies stands in for the
+//! three boosting libraries in the paper's ML layer:
+//!
+//! * [`Growth::LeafWise`] — best-first growth bounded by `max_leaves`
+//!   (LightGBM's strategy);
+//! * [`Growth::DepthWise`] — level-by-level growth (XGBoost's classic
+//!   strategy), still bounded by `max_leaves`;
+//! * [`Growth::Oblivious`] — one shared split per level (CatBoost's
+//!   symmetric trees), typically combined with
+//!   [`GbdtParams::early_stop_rounds`].
+//!
+//! Split gains use the second-order formulation with L1/L2 regularization
+//! (`reg_alpha`, `reg_lambda`) and `min_child_weight` on the hessian sum;
+//! rows and columns can be subsampled (`subsample`, `colsample_bytree`,
+//! `colsample_bylevel`). All of these are searched by FLAML (Table 5).
+
+use crate::binning::{BinMapper, BinnedDataset};
+use crate::FitError;
+use flaml_data::{Dataset, Task};
+use flaml_metrics::Pred;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Tree growth policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Growth {
+    /// Best-first (leaf-wise) growth: repeatedly split the leaf with the
+    /// highest gain until `max_leaves` is reached.
+    LeafWise,
+    /// Level-by-level (depth-wise) growth until `max_leaves` is reached.
+    DepthWise,
+    /// Oblivious (symmetric) trees: all leaves of a level share one split.
+    Oblivious,
+}
+
+/// Hyperparameters of the [`Gbdt`] learner, mirroring the paper's Table 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GbdtParams {
+    /// Number of boosting rounds ("tree num").
+    pub n_trees: usize,
+    /// Maximum leaves per tree ("leaf num").
+    pub max_leaves: usize,
+    /// Minimum hessian sum required in each child.
+    pub min_child_weight: f64,
+    /// Shrinkage applied to each tree's leaf values.
+    pub learning_rate: f64,
+    /// Row subsample fraction per tree, in `(0, 1]`.
+    pub subsample: f64,
+    /// L1 regularization on leaf values.
+    pub reg_alpha: f64,
+    /// L2 regularization on leaf values.
+    pub reg_lambda: f64,
+    /// Column subsample fraction per tree, in `(0, 1]`.
+    pub colsample_bytree: f64,
+    /// Column subsample fraction per level, in `(0, 1]`.
+    pub colsample_bylevel: f64,
+    /// Maximum histogram bins per feature.
+    pub max_bin: usize,
+    /// Tree growth policy.
+    pub growth: Growth,
+    /// If set, hold out 10% of the training rows and stop after this many
+    /// rounds without validation improvement (CatBoost-style).
+    pub early_stop_rounds: Option<usize>,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            n_trees: 100,
+            max_leaves: 31,
+            min_child_weight: 1e-3,
+            learning_rate: 0.1,
+            subsample: 1.0,
+            reg_alpha: 1e-10,
+            reg_lambda: 1.0,
+            colsample_bytree: 1.0,
+            colsample_bylevel: 1.0,
+            max_bin: 255,
+            growth: Growth::LeafWise,
+            early_stop_rounds: None,
+        }
+    }
+}
+
+impl GbdtParams {
+    fn validate(&self) -> Result<(), FitError> {
+        if self.n_trees == 0 {
+            return Err(FitError::bad_param("n_trees", 0.0, "must be >= 1"));
+        }
+        if self.max_leaves < 2 {
+            return Err(FitError::bad_param(
+                "max_leaves",
+                self.max_leaves as f64,
+                "must be >= 2",
+            ));
+        }
+        if !(self.learning_rate > 0.0 && self.learning_rate <= 2.0) {
+            return Err(FitError::bad_param(
+                "learning_rate",
+                self.learning_rate,
+                "must be in (0, 2]",
+            ));
+        }
+        for (name, v) in [
+            ("subsample", self.subsample),
+            ("colsample_bytree", self.colsample_bytree),
+            ("colsample_bylevel", self.colsample_bylevel),
+        ] {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(FitError::bad_param(
+                    match name {
+                        "subsample" => "subsample",
+                        "colsample_bytree" => "colsample_bytree",
+                        _ => "colsample_bylevel",
+                    },
+                    v,
+                    "must be in (0, 1]",
+                ));
+            }
+        }
+        if self.min_child_weight < 0.0 {
+            return Err(FitError::bad_param(
+                "min_child_weight",
+                self.min_child_weight,
+                "must be >= 0",
+            ));
+        }
+        if self.reg_alpha < 0.0 || self.reg_lambda < 0.0 {
+            return Err(FitError::bad_param(
+                "reg_alpha/reg_lambda",
+                self.reg_alpha.min(self.reg_lambda),
+                "must be >= 0",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The gradient-boosting learner. Construct models via [`Gbdt::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct Gbdt;
+
+#[derive(Debug, Clone)]
+struct Node {
+    feature: u32,
+    threshold: u32,
+    left: u32,
+    right: u32,
+    leaf_value: f64,
+    is_leaf: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn leaf(value: f64) -> Tree {
+        Tree {
+            nodes: vec![Node {
+                feature: 0,
+                threshold: 0,
+                left: 0,
+                right: 0,
+                leaf_value: value,
+                is_leaf: true,
+            }],
+        }
+    }
+
+    fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf).count()
+    }
+
+    /// Evaluates the tree on pre-binned feature columns for row `row`.
+    fn eval_binned(&self, binned: &BinnedDataset, row: usize) -> f64 {
+        let mut at = 0usize;
+        loop {
+            let node = &self.nodes[at];
+            if node.is_leaf {
+                return node.leaf_value;
+            }
+            let bin = binned.column(node.feature as usize)[row];
+            at = if bin <= node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+
+    /// Evaluates the tree on raw values via the mapper.
+    fn eval_raw(&self, mapper: &BinMapper, data: &Dataset, row: usize) -> f64 {
+        let mut at = 0usize;
+        loop {
+            let node = &self.nodes[at];
+            if node.is_leaf {
+                return node.leaf_value;
+            }
+            let j = node.feature as usize;
+            let bin = mapper.bin(j, data.value(row, j));
+            at = if bin <= node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+}
+
+/// A trained gradient-boosting model.
+#[derive(Debug, Clone)]
+pub struct GbdtModel {
+    mapper: BinMapper,
+    /// Trees grouped by round: `trees[round * n_groups + class]`.
+    trees: Vec<Tree>,
+    n_groups: usize,
+    init_scores: Vec<f64>,
+    task: Task,
+    n_features: usize,
+}
+
+impl GbdtModel {
+    /// Number of boosting rounds actually kept (after early stopping).
+    pub fn n_rounds(&self) -> usize {
+        self.trees.len() / self.n_groups
+    }
+
+    /// Total number of leaves across all trees.
+    pub fn total_leaves(&self) -> usize {
+        self.trees.iter().map(Tree::n_leaves).sum()
+    }
+
+    /// Split-count feature importance, normalized to sum to 1 (all zeros
+    /// if no tree ever split).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut counts = vec![0.0; self.n_features];
+        for tree in &self.trees {
+            for node in &tree.nodes {
+                if !node.is_leaf {
+                    counts[node.feature as usize] += 1.0;
+                }
+            }
+        }
+        let total: f64 = counts.iter().sum();
+        if total > 0.0 {
+            for c in &mut counts {
+                *c /= total;
+            }
+        }
+        counts
+    }
+
+    /// Raw (margin) scores per row and group, before the link function.
+    pub fn raw_scores(&self, data: &Dataset) -> Vec<f64> {
+        assert_eq!(
+            data.n_features(),
+            self.n_features,
+            "predicting with a different feature count"
+        );
+        let n = data.n_rows();
+        let k = self.n_groups;
+        let mut scores = vec![0.0; n * k];
+        for i in 0..n {
+            for (c, init) in self.init_scores.iter().enumerate() {
+                scores[i * k + c] = *init;
+            }
+        }
+        for (t, tree) in self.trees.iter().enumerate() {
+            let c = t % k;
+            for (i, slot) in scores.chunks_exact_mut(k).enumerate() {
+                slot[c] += tree.eval_raw(&self.mapper, data, i);
+            }
+        }
+        scores
+    }
+
+    /// Predicts class probabilities (classification) or values
+    /// (regression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has a different number of features than the
+    /// training data.
+    pub fn predict(&self, data: &Dataset) -> Pred {
+        let raw = self.raw_scores(data);
+        match self.task {
+            Task::Regression => Pred::from_values(raw),
+            Task::Binary => {
+                let pos = raw.iter().map(|&f| sigmoid(f)).collect();
+                Pred::binary_probs(pos)
+            }
+            Task::MultiClass(k) => {
+                let mut p = raw;
+                for row in p.chunks_exact_mut(k) {
+                    softmax_in_place(row);
+                }
+                Pred::Probs { n_classes: k, p }
+            }
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn softmax_in_place(row: &mut [f64]) {
+    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut total = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        total += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= total;
+    }
+}
+
+impl Gbdt {
+    /// Fits a boosting model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] for out-of-range hyperparameters or unusable
+    /// data (single-class classification training set).
+    pub fn fit(data: &Dataset, params: &GbdtParams, seed: u64) -> Result<GbdtModel, FitError> {
+        Self::fit_bounded(data, params, seed, None)
+    }
+
+    /// Like [`Gbdt::fit`] but stops adding trees once `budget` elapses,
+    /// returning the model built so far (at least one round). This mirrors
+    /// FLAML passing the remaining time budget into each trial.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gbdt::fit`].
+    pub fn fit_bounded(
+        data: &Dataset,
+        params: &GbdtParams,
+        seed: u64,
+        budget: Option<Duration>,
+    ) -> Result<GbdtModel, FitError> {
+        params.validate()?;
+        let start = Instant::now();
+        let n = data.n_rows();
+        let n_groups = match data.task() {
+            Task::Regression | Task::Binary => 1,
+            Task::MultiClass(k) => k,
+        };
+        let mapper = BinMapper::fit(data, params.max_bin);
+        let binned = mapper.transform(data);
+        let y = data.target();
+
+        // Early-stopping holdout: every 10th row (the controller shuffles
+        // data, so a stride is a random sample).
+        let (train_rows, valid_rows): (Vec<u32>, Vec<u32>) = if params.early_stop_rounds.is_some()
+            && n >= 20
+        {
+            let mut tr = Vec::with_capacity(n - n / 10);
+            let mut va = Vec::with_capacity(n / 10);
+            for i in 0..n {
+                if i % 10 == 9 {
+                    va.push(i as u32);
+                } else {
+                    tr.push(i as u32);
+                }
+            }
+            (tr, va)
+        } else {
+            ((0..n as u32).collect(), Vec::new())
+        };
+
+        let init_scores = init_scores(data, &train_rows)?;
+        let mut scores = vec![0.0; n * n_groups];
+        for slot in scores.chunks_exact_mut(n_groups) {
+            slot.copy_from_slice(&init_scores);
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trees: Vec<Tree> = Vec::new();
+        let mut grad = vec![0.0; n];
+        let mut hess = vec![0.0; n];
+        let mut best_valid = f64::INFINITY;
+        let mut best_round = 0usize;
+        let mut rounds_since_best = 0usize;
+
+        for round in 0..params.n_trees {
+            if round > 0 {
+                if let Some(b) = budget {
+                    if start.elapsed() >= b {
+                        break;
+                    }
+                }
+            }
+            // Row subsample for this round (shared across groups).
+            let rows: Vec<u32> = if params.subsample < 1.0 {
+                let sampled: Vec<u32> = train_rows
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen::<f64>() < params.subsample)
+                    .collect();
+                if sampled.is_empty() {
+                    train_rows.clone()
+                } else {
+                    sampled
+                }
+            } else {
+                train_rows.clone()
+            };
+
+            for c in 0..n_groups {
+                compute_gradients(data.task(), y, &scores, n_groups, c, &mut grad, &mut hess);
+                let tree = build_tree(&binned, &rows, &grad, &hess, params, &mut rng);
+                // Update scores on all rows (train + valid) for the group.
+                for i in 0..n {
+                    scores[i * n_groups + c] += tree.eval_binned(&binned, i);
+                }
+                trees.push(tree);
+            }
+
+            // Early stopping on the internal holdout.
+            if let Some(patience) = params.early_stop_rounds {
+                if !valid_rows.is_empty() {
+                    let loss = holdout_loss(data.task(), y, &scores, n_groups, &valid_rows);
+                    if loss < best_valid - 1e-12 {
+                        best_valid = loss;
+                        best_round = round;
+                        rounds_since_best = 0;
+                    } else {
+                        rounds_since_best += 1;
+                        if rounds_since_best >= patience {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Truncate to the best round when early stopping was active.
+        if params.early_stop_rounds.is_some() && !valid_rows.is_empty() {
+            trees.truncate((best_round + 1) * n_groups);
+        }
+        if trees.is_empty() {
+            trees.push(Tree::leaf(0.0));
+        }
+
+        Ok(GbdtModel {
+            mapper,
+            trees,
+            n_groups,
+            init_scores,
+            task: data.task(),
+            n_features: data.n_features(),
+        })
+    }
+}
+
+fn init_scores(data: &Dataset, rows: &[u32]) -> Result<Vec<f64>, FitError> {
+    let y = data.target();
+    match data.task() {
+        Task::Regression => {
+            let mean = rows.iter().map(|&i| y[i as usize]).sum::<f64>() / rows.len() as f64;
+            Ok(vec![mean])
+        }
+        Task::Binary => {
+            let pos = rows.iter().filter(|&&i| y[i as usize] == 1.0).count();
+            if pos == 0 || pos == rows.len() {
+                return Err(FitError::BadData(
+                    "binary training sample contains a single class".into(),
+                ));
+            }
+            let p = pos as f64 / rows.len() as f64;
+            Ok(vec![(p / (1.0 - p)).ln()])
+        }
+        Task::MultiClass(k) => {
+            let mut counts = vec![0usize; k];
+            for &i in rows {
+                counts[y[i as usize] as usize] += 1;
+            }
+            // Laplace smoothing keeps init finite for absent classes.
+            let total = rows.len() as f64 + k as f64;
+            Ok(counts
+                .iter()
+                .map(|&c| ((c as f64 + 1.0) / total).ln())
+                .collect())
+        }
+    }
+}
+
+fn compute_gradients(
+    task: Task,
+    y: &[f64],
+    scores: &[f64],
+    n_groups: usize,
+    class: usize,
+    grad: &mut [f64],
+    hess: &mut [f64],
+) {
+    match task {
+        Task::Regression => {
+            for i in 0..y.len() {
+                grad[i] = scores[i] - y[i];
+                hess[i] = 1.0;
+            }
+        }
+        Task::Binary => {
+            for i in 0..y.len() {
+                let p = sigmoid(scores[i]);
+                grad[i] = p - y[i];
+                hess[i] = (p * (1.0 - p)).max(1e-16);
+            }
+        }
+        Task::MultiClass(k) => {
+            for i in 0..y.len() {
+                let row = &scores[i * n_groups..i * n_groups + k];
+                let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let denom: f64 = row.iter().map(|&v| (v - max).exp()).sum();
+                let p = (row[class] - max).exp() / denom;
+                let target = f64::from(y[i] as usize == class);
+                grad[i] = p - target;
+                hess[i] = (2.0 * p * (1.0 - p)).max(1e-16);
+            }
+        }
+    }
+}
+
+fn holdout_loss(task: Task, y: &[f64], scores: &[f64], n_groups: usize, rows: &[u32]) -> f64 {
+    let mut total = 0.0;
+    match task {
+        Task::Regression => {
+            for &i in rows {
+                let d = scores[i as usize] - y[i as usize];
+                total += d * d;
+            }
+        }
+        Task::Binary => {
+            for &i in rows {
+                let p = sigmoid(scores[i as usize]).clamp(1e-15, 1.0 - 1e-15);
+                total -= if y[i as usize] == 1.0 {
+                    p.ln()
+                } else {
+                    (1.0 - p).ln()
+                };
+            }
+        }
+        Task::MultiClass(k) => {
+            for &i in rows {
+                let row = &scores[i as usize * n_groups..i as usize * n_groups + k];
+                let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let denom: f64 = row.iter().map(|&v| (v - max).exp()).sum();
+                let c = y[i as usize] as usize;
+                let p = ((row[c] - max).exp() / denom).clamp(1e-15, 1.0 - 1e-15);
+                total -= p.ln();
+            }
+        }
+    }
+    total / rows.len() as f64
+}
+
+/// Soft-thresholded gradient sum for L1 regularization.
+fn thresholded(g: f64, alpha: f64) -> f64 {
+    if g > alpha {
+        g - alpha
+    } else if g < -alpha {
+        g + alpha
+    } else {
+        0.0
+    }
+}
+
+fn leaf_objective(g: f64, h: f64, alpha: f64, lambda: f64) -> f64 {
+    let t = thresholded(g, alpha);
+    t * t / (h + lambda)
+}
+
+fn leaf_weight(g: f64, h: f64, alpha: f64, lambda: f64) -> f64 {
+    -thresholded(g, alpha) / (h + lambda)
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BinStats {
+    g: f64,
+    h: f64,
+    n: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Split {
+    feature: u32,
+    threshold: u32,
+    gain: f64,
+    left_g: f64,
+    left_h: f64,
+    right_g: f64,
+    right_h: f64,
+}
+
+struct NodeTask {
+    node: usize,
+    rows: Vec<u32>,
+    g_sum: f64,
+    h_sum: f64,
+    depth: usize,
+}
+
+/// Finds the best split for a node over the given features.
+#[allow(clippy::too_many_arguments)]
+fn best_split(
+    binned: &BinnedDataset,
+    rows: &[u32],
+    grad: &[f64],
+    hess: &[f64],
+    features: &[u32],
+    g_sum: f64,
+    h_sum: f64,
+    params: &GbdtParams,
+) -> Option<Split> {
+    let parent_obj = leaf_objective(g_sum, h_sum, params.reg_alpha, params.reg_lambda);
+    let mut best: Option<Split> = None;
+    let mut hist: Vec<BinStats> = Vec::new();
+    for &j in features {
+        let n_bins = binned.n_bins(j as usize);
+        hist.clear();
+        hist.resize(n_bins, BinStats::default());
+        let col = binned.column(j as usize);
+        for &r in rows {
+            let b = col[r as usize] as usize;
+            let s = &mut hist[b];
+            s.g += grad[r as usize];
+            s.h += hess[r as usize];
+            s.n += 1;
+        }
+        let total_n = rows.len() as u32;
+        let mut lg = 0.0;
+        let mut lh = 0.0;
+        let mut ln = 0u32;
+        for t in 0..n_bins - 1 {
+            lg += hist[t].g;
+            lh += hist[t].h;
+            ln += hist[t].n;
+            if ln == 0 {
+                continue;
+            }
+            if ln == total_n {
+                break;
+            }
+            let rg = g_sum - lg;
+            let rh = h_sum - lh;
+            if lh < params.min_child_weight || rh < params.min_child_weight {
+                continue;
+            }
+            let gain = leaf_objective(lg, lh, params.reg_alpha, params.reg_lambda)
+                + leaf_objective(rg, rh, params.reg_alpha, params.reg_lambda)
+                - parent_obj;
+            if gain > 1e-12 && best.map_or(true, |b| gain > b.gain) {
+                best = Some(Split {
+                    feature: j,
+                    threshold: t as u32,
+                    gain,
+                    left_g: lg,
+                    left_h: lh,
+                    right_g: rg,
+                    right_h: rh,
+                });
+            }
+        }
+    }
+    best
+}
+
+fn sample_features(all: &[u32], fraction: f64, rng: &mut StdRng) -> Vec<u32> {
+    if fraction >= 1.0 {
+        return all.to_vec();
+    }
+    let want = ((all.len() as f64 * fraction).ceil() as usize).clamp(1, all.len());
+    // Partial Fisher-Yates over a copy.
+    let mut pool = all.to_vec();
+    for i in 0..want {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(want);
+    pool
+}
+
+fn build_tree(
+    binned: &BinnedDataset,
+    rows: &[u32],
+    grad: &[f64],
+    hess: &[f64],
+    params: &GbdtParams,
+    rng: &mut StdRng,
+) -> Tree {
+    let all_features: Vec<u32> = (0..binned.n_features() as u32).collect();
+    let tree_features = sample_features(&all_features, params.colsample_bytree, rng);
+
+    let g_sum: f64 = rows.iter().map(|&r| grad[r as usize]).sum();
+    let h_sum: f64 = rows.iter().map(|&r| hess[r as usize]).sum();
+    let root_value = params.learning_rate
+        * leaf_weight(g_sum, h_sum, params.reg_alpha, params.reg_lambda);
+    let mut tree = Tree::leaf(root_value);
+    let root_task = NodeTask {
+        node: 0,
+        rows: rows.to_vec(),
+        g_sum,
+        h_sum,
+        depth: 0,
+    };
+
+    match params.growth {
+        Growth::LeafWise => grow_leaf_wise(binned, grad, hess, params, rng, &tree_features, &mut tree, root_task),
+        Growth::DepthWise => grow_depth_wise(binned, grad, hess, params, rng, &tree_features, &mut tree, root_task),
+        Growth::Oblivious => grow_oblivious(binned, grad, hess, params, rng, &tree_features, &mut tree, root_task),
+    }
+    tree
+}
+
+/// Applies `split` to `task`'s node, pushing two children onto the tree.
+/// Returns the two child tasks.
+fn apply_split(
+    tree: &mut Tree,
+    binned: &BinnedDataset,
+    task: NodeTask,
+    split: Split,
+    lr: f64,
+    alpha: f64,
+    lambda: f64,
+) -> (NodeTask, NodeTask) {
+    let col = binned.column(split.feature as usize);
+    let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = task
+        .rows
+        .iter()
+        .partition(|&&r| col[r as usize] <= split.threshold);
+    let left_id = tree.nodes.len() as u32;
+    let right_id = left_id + 1;
+    tree.nodes.push(Node {
+        feature: 0,
+        threshold: 0,
+        left: 0,
+        right: 0,
+        leaf_value: lr * leaf_weight(split.left_g, split.left_h, alpha, lambda),
+        is_leaf: true,
+    });
+    tree.nodes.push(Node {
+        feature: 0,
+        threshold: 0,
+        left: 0,
+        right: 0,
+        leaf_value: lr * leaf_weight(split.right_g, split.right_h, alpha, lambda),
+        is_leaf: true,
+    });
+    let parent = &mut tree.nodes[task.node];
+    parent.is_leaf = false;
+    parent.feature = split.feature;
+    parent.threshold = split.threshold;
+    parent.left = left_id;
+    parent.right = right_id;
+    (
+        NodeTask {
+            node: left_id as usize,
+            rows: left_rows,
+            g_sum: split.left_g,
+            h_sum: split.left_h,
+            depth: task.depth + 1,
+        },
+        NodeTask {
+            node: right_id as usize,
+            rows: right_rows,
+            g_sum: split.right_g,
+            h_sum: split.right_h,
+            depth: task.depth + 1,
+        },
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow_leaf_wise(
+    binned: &BinnedDataset,
+    grad: &[f64],
+    hess: &[f64],
+    params: &GbdtParams,
+    rng: &mut StdRng,
+    tree_features: &[u32],
+    tree: &mut Tree,
+    root: NodeTask,
+) {
+    // Candidate leaves with their best splits; pick the max gain greedily.
+    let mut candidates: Vec<(NodeTask, Split)> = Vec::new();
+    let feats = sample_features(tree_features, params.colsample_bylevel, rng);
+    if let Some(s) = best_split(
+        binned, &root.rows, grad, hess, &feats, root.g_sum, root.h_sum, params,
+    ) {
+        candidates.push((root, s));
+    }
+    let mut n_leaves = 1usize;
+    while n_leaves < params.max_leaves && !candidates.is_empty() {
+        let best_idx = candidates
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.gain.partial_cmp(&b.1 .1.gain).unwrap())
+            .map(|(i, _)| i)
+            .expect("non-empty candidates");
+        let (task, split) = candidates.swap_remove(best_idx);
+        let (left, right) = apply_split(
+            tree,
+            binned,
+            task,
+            split,
+            params.learning_rate,
+            params.reg_alpha,
+            params.reg_lambda,
+        );
+        n_leaves += 1;
+        for child in [left, right] {
+            if child.rows.len() >= 2 {
+                let feats = sample_features(tree_features, params.colsample_bylevel, rng);
+                if let Some(s) = best_split(
+                    binned, &child.rows, grad, hess, &feats, child.g_sum, child.h_sum, params,
+                ) {
+                    candidates.push((child, s));
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow_depth_wise(
+    binned: &BinnedDataset,
+    grad: &[f64],
+    hess: &[f64],
+    params: &GbdtParams,
+    rng: &mut StdRng,
+    tree_features: &[u32],
+    tree: &mut Tree,
+    root: NodeTask,
+) {
+    let mut level = vec![root];
+    let mut n_leaves = 1usize;
+    while !level.is_empty() && n_leaves < params.max_leaves {
+        let feats = sample_features(tree_features, params.colsample_bylevel, rng);
+        let mut next = Vec::new();
+        for task in level {
+            if n_leaves >= params.max_leaves || task.rows.len() < 2 {
+                continue;
+            }
+            if let Some(split) = best_split(
+                binned, &task.rows, grad, hess, &feats, task.g_sum, task.h_sum, params,
+            ) {
+                let (l, r) = apply_split(
+                    tree,
+                    binned,
+                    task,
+                    split,
+                    params.learning_rate,
+                    params.reg_alpha,
+                    params.reg_lambda,
+                );
+                n_leaves += 1;
+                next.push(l);
+                next.push(r);
+            }
+        }
+        level = next;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow_oblivious(
+    binned: &BinnedDataset,
+    grad: &[f64],
+    hess: &[f64],
+    params: &GbdtParams,
+    rng: &mut StdRng,
+    tree_features: &[u32],
+    tree: &mut Tree,
+    root: NodeTask,
+) {
+    let depth_cap = (params.max_leaves as f64).log2().ceil().max(1.0) as usize;
+    let mut level = vec![root];
+    for _ in 0..depth_cap {
+        let feats = sample_features(tree_features, params.colsample_bylevel, rng);
+        // Choose the single (feature, threshold) with the best *total* gain
+        // across all leaves of the level, using per-leaf histograms so the
+        // cost is O(leaves x (rows + bins)) per feature.
+        let mut best_total: Option<(u32, u32, f64)> = None;
+        let mut hist: Vec<BinStats> = Vec::new();
+        for &j in &feats {
+            let n_bins = binned.n_bins(j as usize);
+            let col = binned.column(j as usize);
+            // gains[t] accumulates the level's total gain at threshold t;
+            // a NaN marks thresholds invalidated by min_child_weight.
+            let mut gains = vec![0.0f64; n_bins.saturating_sub(1)];
+            let mut any_valid = vec![false; n_bins.saturating_sub(1)];
+            for task in &level {
+                hist.clear();
+                hist.resize(n_bins, BinStats::default());
+                for &r in &task.rows {
+                    let b = col[r as usize] as usize;
+                    let s = &mut hist[b];
+                    s.g += grad[r as usize];
+                    s.h += hess[r as usize];
+                    s.n += 1;
+                }
+                let parent_obj =
+                    leaf_objective(task.g_sum, task.h_sum, params.reg_alpha, params.reg_lambda);
+                let total_n = task.rows.len() as u32;
+                let mut lg = 0.0;
+                let mut lh = 0.0;
+                let mut ln = 0u32;
+                for t in 0..n_bins.saturating_sub(1) {
+                    lg += hist[t].g;
+                    lh += hist[t].h;
+                    ln += hist[t].n;
+                    if ln == 0 || ln == total_n {
+                        continue;
+                    }
+                    let rg = task.g_sum - lg;
+                    let rh = task.h_sum - lh;
+                    if lh < params.min_child_weight || rh < params.min_child_weight {
+                        continue;
+                    }
+                    let gain = leaf_objective(lg, lh, params.reg_alpha, params.reg_lambda)
+                        + leaf_objective(rg, rh, params.reg_alpha, params.reg_lambda)
+                        - parent_obj;
+                    gains[t] += gain;
+                    any_valid[t] = true;
+                }
+            }
+            for (t, (&g, &valid)) in gains.iter().zip(&any_valid).enumerate() {
+                if valid && g > 1e-12 && best_total.map_or(true, |(_, _, b)| g > b) {
+                    best_total = Some((j, t as u32, g));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best_total else {
+            break;
+        };
+        let mut next = Vec::new();
+        for task in level {
+            // Recompute the per-leaf stats for the shared condition.
+            let col = binned.column(feature as usize);
+            let mut lg = 0.0;
+            let mut lh = 0.0;
+            for &r in &task.rows {
+                if col[r as usize] <= threshold {
+                    lg += grad[r as usize];
+                    lh += hess[r as usize];
+                }
+            }
+            let split = Split {
+                feature,
+                threshold,
+                gain: 0.0,
+                left_g: lg,
+                left_h: lh,
+                right_g: task.g_sum - lg,
+                right_h: task.h_sum - lh,
+            };
+            let (l, r) = apply_split(
+                tree,
+                binned,
+                task,
+                split,
+                params.learning_rate,
+                params.reg_alpha,
+                params.reg_lambda,
+            );
+            next.push(l);
+            next.push(r);
+        }
+        level = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flaml_metrics::Metric;
+    use rand::Rng;
+
+    fn step_data(n: usize) -> Dataset {
+        let x: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| f64::from(v > 0.5)).collect();
+        Dataset::new("step", Task::Binary, vec![x], y).unwrap()
+    }
+
+    fn xor_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let x1: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let y: Vec<f64> = x0
+            .iter()
+            .zip(&x1)
+            .map(|(&a, &b)| f64::from((a > 0.5) != (b > 0.5)))
+            .collect();
+        Dataset::new("xor", Task::Binary, vec![x0, x1], y).unwrap()
+    }
+
+    fn sine_regression(n: usize) -> Dataset {
+        let x: Vec<f64> = (0..n).map(|i| i as f64 / n as f64 * 6.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| v.sin() * 3.0 + 1.0).collect();
+        Dataset::new("sine", Task::Regression, vec![x], y).unwrap()
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let d = step_data(400);
+        let m = Gbdt::fit(&d, &GbdtParams::default(), 0).unwrap();
+        let loss = Metric::RocAuc.loss(&m.predict(&d), d.target()).unwrap();
+        assert!(loss < 0.01, "auc regret {loss} too high");
+    }
+
+    #[test]
+    fn learns_xor_all_growth_policies() {
+        let d = xor_data(800, 1);
+        for growth in [Growth::LeafWise, Growth::DepthWise, Growth::Oblivious] {
+            let params = GbdtParams {
+                growth,
+                n_trees: 60,
+                ..GbdtParams::default()
+            };
+            let m = Gbdt::fit(&d, &params, 0).unwrap();
+            let loss = Metric::Accuracy.loss(&m.predict(&d), d.target()).unwrap();
+            assert!(loss < 0.06, "{growth:?} train error {loss} too high");
+        }
+    }
+
+    #[test]
+    fn regression_fits_sine() {
+        let d = sine_regression(500);
+        let params = GbdtParams {
+            n_trees: 150,
+            ..GbdtParams::default()
+        };
+        let m = Gbdt::fit(&d, &params, 0).unwrap();
+        let r2_loss = Metric::R2.loss(&m.predict(&d), d.target()).unwrap();
+        assert!(r2_loss < 0.02, "1 - r2 = {r2_loss}");
+    }
+
+    #[test]
+    fn multiclass_probabilities_sum_to_one() {
+        let n = 300;
+        let x: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| (v * 3.0).floor().min(2.0)).collect();
+        let d = Dataset::new("3c", Task::MultiClass(3), vec![x], y).unwrap();
+        let m = Gbdt::fit(&d, &GbdtParams::default(), 0).unwrap();
+        let pred = m.predict(&d);
+        let (k, p) = pred.probs().unwrap();
+        assert_eq!(k, 3);
+        for row in p.chunks_exact(3) {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        let loss = Metric::Accuracy.loss(&m.predict(&d), d.target()).unwrap();
+        assert!(loss < 0.05);
+    }
+
+    #[test]
+    fn more_leaves_fit_training_data_better() {
+        let d = xor_data(600, 3);
+        let small = Gbdt::fit(
+            &d,
+            &GbdtParams {
+                max_leaves: 2,
+                n_trees: 20,
+                ..GbdtParams::default()
+            },
+            0,
+        )
+        .unwrap();
+        let large = Gbdt::fit(
+            &d,
+            &GbdtParams {
+                max_leaves: 64,
+                n_trees: 20,
+                ..GbdtParams::default()
+            },
+            0,
+        )
+        .unwrap();
+        let l_small = Metric::LogLoss.loss(&small.predict(&d), d.target()).unwrap();
+        let l_large = Metric::LogLoss.loss(&large.predict(&d), d.target()).unwrap();
+        assert!(
+            l_large < l_small,
+            "64-leaf trees ({l_large}) must beat stumps ({l_small}) on train"
+        );
+    }
+
+    #[test]
+    fn heavy_regularization_shrinks_leaf_values() {
+        let d = sine_regression(200);
+        let free = Gbdt::fit(
+            &d,
+            &GbdtParams {
+                n_trees: 5,
+                reg_lambda: 1e-10,
+                ..GbdtParams::default()
+            },
+            0,
+        )
+        .unwrap();
+        let reg = Gbdt::fit(
+            &d,
+            &GbdtParams {
+                n_trees: 5,
+                reg_lambda: 1000.0,
+                ..GbdtParams::default()
+            },
+            0,
+        )
+        .unwrap();
+        let spread = |m: &GbdtModel, d: &Dataset| {
+            let v = m.raw_scores(d);
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - mean).abs()).fold(0.0, f64::max)
+        };
+        assert!(spread(&reg, &d) < spread(&free, &d));
+    }
+
+    #[test]
+    fn min_child_weight_limits_splits() {
+        let d = xor_data(200, 5);
+        let m = Gbdt::fit(
+            &d,
+            &GbdtParams {
+                min_child_weight: 1e9,
+                n_trees: 3,
+                ..GbdtParams::default()
+            },
+            0,
+        )
+        .unwrap();
+        // No split can satisfy the hessian constraint => all trees are
+        // single leaves.
+        assert_eq!(m.total_leaves(), 3);
+    }
+
+    #[test]
+    fn early_stopping_truncates_rounds() {
+        // 20% label noise: past some round the validation loss can only
+        // get worse, so patience must fire well before the round cap.
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 500;
+        let x0: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let x1: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let y: Vec<f64> = x0
+            .iter()
+            .zip(&x1)
+            .map(|(&a, &b)| {
+                let clean = f64::from((a > 0.5) != (b > 0.5));
+                if rng.gen::<f64>() < 0.2 {
+                    1.0 - clean
+                } else {
+                    clean
+                }
+            })
+            .collect();
+        let d = Dataset::new("noisy-xor", Task::Binary, vec![x0, x1], y).unwrap();
+        let m = Gbdt::fit(
+            &d,
+            &GbdtParams {
+                n_trees: 400,
+                early_stop_rounds: Some(5),
+                growth: Growth::Oblivious,
+                max_leaves: 16,
+                learning_rate: 0.3,
+                ..GbdtParams::default()
+            },
+            0,
+        )
+        .unwrap();
+        assert!(
+            m.n_rounds() < 400,
+            "early stopping should cut {} rounds",
+            m.n_rounds()
+        );
+    }
+
+    #[test]
+    fn nan_features_are_handled() {
+        let mut x: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        for i in (0..200).step_by(7) {
+            x[i] = f64::NAN;
+        }
+        let y: Vec<f64> = (0..200).map(|i| f64::from(i >= 100)).collect();
+        let d = Dataset::new("nan", Task::Binary, vec![x], y).unwrap();
+        let m = Gbdt::fit(&d, &GbdtParams::default(), 0).unwrap();
+        let pred = m.predict(&d);
+        for &p in &pred.positive_scores().unwrap() {
+            assert!(p.is_finite());
+        }
+    }
+
+    #[test]
+    fn validates_params() {
+        let d = step_data(50);
+        for bad in [
+            GbdtParams {
+                n_trees: 0,
+                ..GbdtParams::default()
+            },
+            GbdtParams {
+                max_leaves: 1,
+                ..GbdtParams::default()
+            },
+            GbdtParams {
+                learning_rate: 0.0,
+                ..GbdtParams::default()
+            },
+            GbdtParams {
+                subsample: 0.0,
+                ..GbdtParams::default()
+            },
+            GbdtParams {
+                reg_alpha: -1.0,
+                ..GbdtParams::default()
+            },
+        ] {
+            assert!(Gbdt::fit(&d, &bad, 0).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn single_class_binary_is_bad_data() {
+        let d = Dataset::new(
+            "one",
+            Task::Binary,
+            vec![vec![1.0, 2.0, 3.0]],
+            vec![1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        assert!(matches!(
+            Gbdt::fit(&d, &GbdtParams::default(), 0),
+            Err(FitError::BadData(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = xor_data(300, 11);
+        let params = GbdtParams {
+            subsample: 0.8,
+            colsample_bytree: 0.9,
+            n_trees: 10,
+            ..GbdtParams::default()
+        };
+        let a = Gbdt::fit(&d, &params, 42).unwrap().raw_scores(&d);
+        let b = Gbdt::fit(&d, &params, 42).unwrap().raw_scores(&d);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_bound_caps_rounds() {
+        let d = xor_data(2000, 13);
+        let params = GbdtParams {
+            n_trees: 100_000,
+            max_leaves: 64,
+            ..GbdtParams::default()
+        };
+        let m =
+            Gbdt::fit_bounded(&d, &params, 0, Some(Duration::from_millis(50))).unwrap();
+        assert!(m.n_rounds() < 100_000);
+        assert!(m.n_rounds() >= 1);
+    }
+
+    #[test]
+    fn feature_importance_finds_the_signal() {
+        // Feature 0 carries the label; feature 1 is noise.
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 400;
+        let x0: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let x1: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let y: Vec<f64> = x0.iter().map(|&v| f64::from(v > 0.5)).collect();
+        let d = Dataset::new("imp", Task::Binary, vec![x0, x1], y).unwrap();
+        let m = Gbdt::fit(&d, &GbdtParams { n_trees: 20, ..GbdtParams::default() }, 0).unwrap();
+        let imp = m.feature_importance();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > 0.8, "signal feature importance {imp:?}");
+    }
+
+    #[test]
+    fn oblivious_trees_are_symmetric() {
+        let d = xor_data(400, 17);
+        let m = Gbdt::fit(
+            &d,
+            &GbdtParams {
+                growth: Growth::Oblivious,
+                max_leaves: 8,
+                n_trees: 3,
+                ..GbdtParams::default()
+            },
+            0,
+        )
+        .unwrap();
+        // With max_leaves = 8 an oblivious tree has at most 3 levels, and
+        // every tree has 2^depth leaves (or 1 if no split found).
+        for tree in &m.trees {
+            let leaves = tree.n_leaves();
+            assert!(
+                [1, 2, 4, 8].contains(&leaves),
+                "oblivious tree must have power-of-two leaves, got {leaves}"
+            );
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Stacked ensembles — the optional post-processing step described in the
+//! paper's appendix ("Stacked ensemble can be added as a post-processing
+//! step like existing libraries... FLAML does not do it by default to
+//! keep the overhead low, but it offers the option").
+//!
+//! A [`StackedModel`] holds base members plus a linear meta-learner
+//! trained on their out-of-fold predictions. This module provides the
+//! model container and the feature plumbing; the AutoML layer assembles
+//! it from the best configuration of each searched learner.
+
+use crate::linear::{Linear, LinearParams, LinearModel};
+use crate::{FitError, FittedModel};
+use flaml_data::{Dataset, Task};
+use flaml_metrics::Pred;
+
+/// A stacked ensemble: base members and a linear meta-learner over their
+/// predictions.
+#[derive(Debug, Clone)]
+pub struct StackedModel {
+    members: Vec<FittedModel>,
+    meta: LinearModel,
+    task: Task,
+}
+
+/// Builds the meta-feature dataset for `data`: one column per member and
+/// class (probabilities) or per member (regression values), with `target`
+/// as the label.
+///
+/// # Panics
+///
+/// Panics if `members` is empty or a member produces the wrong prediction
+/// kind for the task.
+pub fn meta_features(
+    members: &[FittedModel],
+    data: &Dataset,
+    target: Vec<f64>,
+) -> Dataset {
+    assert!(!members.is_empty(), "stacking needs at least one member");
+    let n = data.n_rows();
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for member in members {
+        match member.predict(data) {
+            Pred::Values(v) => {
+                assert_eq!(v.len(), n);
+                columns.push(v);
+            }
+            Pred::Probs { n_classes, p } => {
+                // Skip the last class: its probability is redundant.
+                for c in 0..n_classes.saturating_sub(1) {
+                    columns.push(p.chunks_exact(n_classes).map(|row| row[c]).collect());
+                }
+            }
+        }
+    }
+    Dataset::new("meta", data.task(), columns, target).expect("consistent meta features")
+}
+
+impl StackedModel {
+    /// Assembles a stacked model from trained members and a meta-learner
+    /// that was fit on [`meta_features`] of out-of-fold predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<FittedModel>, meta: LinearModel, task: Task) -> StackedModel {
+        assert!(!members.is_empty(), "stacking needs at least one member");
+        StackedModel {
+            members,
+            meta,
+            task,
+        }
+    }
+
+    /// Number of base members.
+    pub fn n_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The base members.
+    pub fn members(&self) -> &[FittedModel] {
+        &self.members
+    }
+
+    /// Predicts by feeding every member's prediction into the
+    /// meta-learner.
+    pub fn predict(&self, data: &Dataset) -> Pred {
+        let dummy_target = match self.task {
+            Task::Regression => vec![0.0; data.n_rows()],
+            _ => vec![0.0; data.n_rows()],
+        };
+        let features = meta_features(&self.members, data, dummy_target);
+        self.meta.predict(&features)
+    }
+}
+
+/// Trains a linear meta-learner on out-of-fold member predictions.
+///
+/// `oof` must be the meta-feature dataset built from *out-of-fold*
+/// predictions (so the meta-learner does not overfit member train error).
+///
+/// # Errors
+///
+/// Returns [`FitError`] if the meta fit fails (e.g. a single-class fold).
+pub fn fit_meta(oof: &Dataset, seed: u64) -> Result<LinearModel, FitError> {
+    Linear::fit(
+        oof,
+        &LinearParams {
+            // Light regularization: member predictions are already
+            // well-scaled probabilities/values.
+            c: 10.0,
+            max_iter: 25,
+        },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gbdt, GbdtParams, Forest, ForestParams};
+    use flaml_metrics::Metric;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_binary(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let x1: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                let p = if (x0[i] - 0.5) * (x1[i] - 0.5) > 0.0 { 0.9 } else { 0.1 };
+                f64::from(rng.gen::<f64>() < p)
+            })
+            .collect();
+        Dataset::new("xor-ish", Task::Binary, vec![x0, x1], y).unwrap()
+    }
+
+    fn members_for(data: &Dataset) -> Vec<FittedModel> {
+        vec![
+            Gbdt::fit(data, &GbdtParams { n_trees: 20, ..GbdtParams::default() }, 0)
+                .unwrap()
+                .into(),
+            Forest::fit(data, &ForestParams { n_trees: 10, ..ForestParams::default() }, 0)
+                .unwrap()
+                .into(),
+        ]
+    }
+
+    #[test]
+    fn meta_features_shape() {
+        let data = noisy_binary(200, 0);
+        let members = members_for(&data);
+        let meta = meta_features(&members, &data, data.target().to_vec());
+        // Binary: one probability column per member.
+        assert_eq!(meta.n_features(), 2);
+        assert_eq!(meta.n_rows(), 200);
+    }
+
+    #[test]
+    fn stacked_predicts_probabilities() {
+        let data = noisy_binary(400, 1);
+        let members = members_for(&data);
+        let oof = meta_features(&members, &data, data.target().to_vec());
+        let meta = fit_meta(&oof, 0).unwrap();
+        let stacked = StackedModel::new(members, meta, data.task());
+        assert_eq!(stacked.n_members(), 2);
+        let pred = stacked.predict(&data);
+        for p in pred.positive_scores().unwrap() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        let loss = Metric::RocAuc.loss(&pred, data.target()).unwrap();
+        assert!(loss < 0.2, "stacked auc regret {loss}");
+    }
+
+    #[test]
+    fn stacked_not_worse_than_worst_member() {
+        let data = noisy_binary(600, 2);
+        let members = members_for(&data);
+        let worst_loss = members
+            .iter()
+            .map(|m| Metric::RocAuc.loss(&m.predict(&data), data.target()).unwrap())
+            .fold(0.0, f64::max);
+        let oof = meta_features(&members, &data, data.target().to_vec());
+        let meta = fit_meta(&oof, 0).unwrap();
+        let stacked = StackedModel::new(members, meta, data.task());
+        let loss = Metric::RocAuc
+            .loss(&stacked.predict(&data), data.target())
+            .unwrap();
+        assert!(
+            loss <= worst_loss + 0.02,
+            "stacked {loss} worse than worst member {worst_loss}"
+        );
+    }
+
+    #[test]
+    fn regression_stacking_works() {
+        let n = 300;
+        let x: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v * 8.0).sin() + v * 2.0).collect();
+        let data = Dataset::new("reg", Task::Regression, vec![x], y).unwrap();
+        let members: Vec<FittedModel> = vec![
+            Gbdt::fit(&data, &GbdtParams { n_trees: 30, ..GbdtParams::default() }, 0)
+                .unwrap()
+                .into(),
+            Forest::fit(&data, &ForestParams { n_trees: 10, ..ForestParams::default() }, 0)
+                .unwrap()
+                .into(),
+        ];
+        let oof = meta_features(&members, &data, data.target().to_vec());
+        let meta = fit_meta(&oof, 0).unwrap();
+        let stacked = StackedModel::new(members, meta, data.task());
+        let loss = Metric::R2.loss(&stacked.predict(&data), data.target()).unwrap();
+        assert!(loss < 0.05, "1 - r2 = {loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_members_panic() {
+        let data = noisy_binary(50, 3);
+        let _ = meta_features(&[], &data, data.target().to_vec());
+    }
+}

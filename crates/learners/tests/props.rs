@@ -1,0 +1,117 @@
+//! Property-based tests of the ML layer: binning invariants, probability
+//! normalization, and prediction-bound guarantees under arbitrary data.
+
+use flaml_data::{Dataset, Task};
+use flaml_learners::{
+    BinMapper, Forest, ForestParams, Gbdt, GbdtParams, Linear, LinearParams,
+};
+use proptest::prelude::*;
+
+fn arb_binary_dataset() -> impl Strategy<Value = Dataset> {
+    (20usize..120).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-100f64..100.0, n),
+            proptest::collection::vec(-1f64..1.0, n),
+            proptest::collection::vec(0u8..2, n),
+        )
+            .prop_filter("both classes", |(_, _, y)| y.contains(&0) && y.contains(&1))
+            .prop_map(|(c0, c1, y)| {
+                Dataset::new(
+                    "p",
+                    Task::Binary,
+                    vec![c0, c1],
+                    y.into_iter().map(f64::from).collect(),
+                )
+                .unwrap()
+            })
+    })
+}
+
+fn arb_regression_dataset() -> impl Strategy<Value = Dataset> {
+    (20usize..120).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-100f64..100.0, n),
+            proptest::collection::vec(-50f64..50.0, n),
+        )
+            .prop_map(|(c0, y)| {
+                Dataset::new("p", Task::Regression, vec![c0], y).unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn binning_is_monotone_and_bounded(
+        col in proptest::collection::vec(-1e6f64..1e6, 2..300),
+        max_bin in 2usize..64,
+    ) {
+        let n = col.len();
+        let data = Dataset::new(
+            "b",
+            Task::Regression,
+            vec![col.clone()],
+            (0..n).map(|i| i as f64).collect(),
+        ).unwrap();
+        let mapper = BinMapper::fit(&data, max_bin);
+        prop_assert!(mapper.n_bins(0) <= max_bin + 2);
+        let mut pairs: Vec<(f64, u32)> = col.iter().map(|&v| (v, mapper.bin(0, v))).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn gbdt_probabilities_are_normalized(data in arb_binary_dataset(), seed in 0u64..20) {
+        let params = GbdtParams { n_trees: 5, ..GbdtParams::default() };
+        let model = Gbdt::fit(&data, &params, seed).unwrap();
+        let pred = model.predict(&data);
+        let (_, p) = pred.probs().unwrap();
+        for row in p.chunks_exact(2) {
+            prop_assert!((row[0] + row[1] - 1.0).abs() < 1e-9);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn forest_probabilities_are_normalized(data in arb_binary_dataset(), seed in 0u64..20) {
+        let params = ForestParams { n_trees: 5, ..ForestParams::default() };
+        let model = Forest::fit(&data, &params, seed).unwrap();
+        let pred = model.predict(&data);
+        let (_, p) = pred.probs().unwrap();
+        for row in p.chunks_exact(2) {
+            prop_assert!((row[0] + row[1] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forest_regression_stays_in_label_range(data in arb_regression_dataset(), seed in 0u64..20) {
+        // Averaged leaf means can never leave the label range.
+        let params = ForestParams { n_trees: 5, ..ForestParams::default() };
+        let model = Forest::fit(&data, &params, seed).unwrap();
+        let lo = data.target().iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.target().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &v in model.predict(&data).values().unwrap() {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{} outside [{}, {}]", v, lo, hi);
+        }
+    }
+
+    #[test]
+    fn linear_predictions_are_finite(data in arb_binary_dataset()) {
+        let model = Linear::fit(&data, &LinearParams::default(), 0).unwrap();
+        for p in model.predict(&data).positive_scores().unwrap() {
+            prop_assert!(p.is_finite());
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn gbdt_deterministic_for_same_seed(data in arb_binary_dataset(), seed in 0u64..10) {
+        let params = GbdtParams { n_trees: 3, subsample: 0.8, ..GbdtParams::default() };
+        let a = Gbdt::fit(&data, &params, seed).unwrap().raw_scores(&data);
+        let b = Gbdt::fit(&data, &params, seed).unwrap().raw_scores(&data);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,160 @@
+use crate::pred::{check_lengths, MetricError};
+
+/// Area under the ROC curve for binary labels (`0.0`/`1.0`) and real-valued
+/// scores, computed via the rank statistic with midrank tie handling.
+///
+/// # Errors
+///
+/// Returns [`MetricError`] if lengths disagree or only one class is present.
+pub fn roc_auc(scores: &[f64], y: &[f64]) -> Result<f64, MetricError> {
+    check_lengths(scores.len(), y.len())?;
+    let n_pos = y.iter().filter(|&&v| v == 1.0).count();
+    let n_neg = y.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Err(MetricError::Degenerate(format!(
+            "auc needs both classes, got {n_pos} positives / {n_neg} negatives"
+        )));
+    }
+    // Rank scores (1-based), averaging ranks over ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // Rows i..=j are tied; their shared midrank:
+        let midrank = ((i + 1 + j + 1) as f64) / 2.0;
+        for &row in &idx[i..=j] {
+            if y[row] == 1.0 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let n_pos_f = n_pos as f64;
+    let n_neg_f = n_neg as f64;
+    Ok((rank_sum_pos - n_pos_f * (n_pos_f + 1.0) / 2.0) / (n_pos_f * n_neg_f))
+}
+
+/// Multi-class logarithmic loss with probabilities clipped to
+/// `[1e-15, 1 - 1e-15]`, matching the scikit-learn convention the paper's
+/// benchmark relies on.
+///
+/// `p` is row-major with `n_classes` entries per row; `y` holds class
+/// indices as `f64`.
+///
+/// # Errors
+///
+/// Returns [`MetricError`] if lengths disagree or a label is out of range.
+pub fn log_loss(n_classes: usize, p: &[f64], y: &[f64]) -> Result<f64, MetricError> {
+    if n_classes == 0 {
+        return Err(MetricError::Degenerate("zero classes".into()));
+    }
+    check_lengths(p.len() / n_classes, y.len())?;
+    const EPS: f64 = 1e-15;
+    let mut total = 0.0;
+    for (row, &label) in p.chunks_exact(n_classes).zip(y) {
+        let c = label as usize;
+        if label.fract() != 0.0 || c >= n_classes {
+            return Err(MetricError::Degenerate(format!(
+                "label {label} out of range for {n_classes} classes"
+            )));
+        }
+        total -= row[c].clamp(EPS, 1.0 - EPS).ln();
+    }
+    Ok(total / y.len() as f64)
+}
+
+/// Fraction of predictions equal to the labels.
+///
+/// # Errors
+///
+/// Returns [`MetricError::LengthMismatch`] if lengths disagree.
+pub fn accuracy(pred_labels: &[f64], y: &[f64]) -> Result<f64, MetricError> {
+    check_lengths(pred_labels.len(), y.len())?;
+    if y.is_empty() {
+        return Err(MetricError::Degenerate("no rows".into()));
+    }
+    let hits = pred_labels.iter().zip(y).filter(|(a, b)| a == b).count();
+    Ok(hits as f64 / y.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_ranking() {
+        let auc = roc_auc(&[0.1, 0.4, 0.35, 0.8], &[0.0, 0.0, 0.0, 1.0]).unwrap();
+        assert!((auc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_reversed_ranking() {
+        let auc = roc_auc(&[0.9, 0.1], &[0.0, 1.0]).unwrap();
+        assert!(auc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // Hand-computed: pairs (pos > neg): score 0.8>0.1, 0.8>0.4, 0.35>0.1
+        // => 3 wins of 4 pairs = 0.75.
+        let auc = roc_auc(&[0.1, 0.4, 0.35, 0.8], &[0.0, 0.0, 1.0, 1.0]).unwrap();
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_ties_give_half_credit() {
+        let auc = roc_auc(&[0.5, 0.5], &[0.0, 1.0]).unwrap();
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_error() {
+        assert!(roc_auc(&[0.1, 0.2], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn auc_complement_symmetry() {
+        // Negating scores must flip auc to 1 - auc.
+        let scores = [0.3, 0.7, 0.2, 0.9, 0.5];
+        let y = [0.0, 1.0, 0.0, 1.0, 0.0];
+        let neg: Vec<f64> = scores.iter().map(|s| -s).collect();
+        let a = roc_auc(&scores, &y).unwrap();
+        let b = roc_auc(&neg, &y).unwrap();
+        assert!((a + b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_confident_correct_is_small() {
+        let ll = log_loss(2, &[0.01, 0.99, 0.99, 0.01], &[1.0, 0.0]).unwrap();
+        assert!(ll < 0.02);
+    }
+
+    #[test]
+    fn log_loss_uniform_is_ln_k() {
+        let ll = log_loss(4, &[0.25; 8], &[0.0, 3.0]).unwrap();
+        assert!((ll - (4.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_clips_zero_probability() {
+        let ll = log_loss(2, &[1.0, 0.0], &[1.0]).unwrap();
+        assert!(ll.is_finite());
+        assert!(ll > 30.0, "clipped at 1e-15 => about 34.5");
+    }
+
+    #[test]
+    fn log_loss_rejects_bad_label() {
+        assert!(log_loss(2, &[0.5, 0.5], &[2.0]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_hits() {
+        let acc = accuracy(&[1.0, 0.0, 1.0], &[1.0, 1.0, 1.0]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

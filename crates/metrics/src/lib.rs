@@ -1,0 +1,171 @@
+//! Evaluation metrics for the FLAML reproduction.
+//!
+//! The paper's benchmark scores binary classification with roc-auc,
+//! multi-class with negative log-loss, regression with r2, and the
+//! selectivity-estimation study with q-error quantiles (Section 5.3). All
+//! of those, plus the scaled-score calibration used by the AutoML benchmark
+//! (0 = constant class-prior predictor, 1 = tuned random forest), are
+//! implemented here.
+//!
+//! Metrics are exposed through [`Metric`], which maps any prediction to an
+//! *error to minimize* via [`Metric::loss`], the quantity FLAML's search
+//! optimizes, and a human-oriented *score* (higher is better) via
+//! [`Metric::score`].
+//!
+//! # Example
+//!
+//! ```
+//! use flaml_metrics::{Metric, Pred};
+//!
+//! let pred = Pred::binary_probs(vec![0.9, 0.2, 0.8, 0.3]);
+//! let y = [1.0, 0.0, 1.0, 0.0];
+//! let loss = Metric::RocAuc.loss(&pred, &y).unwrap();
+//! assert!(loss.abs() < 1e-12, "perfect ranking has zero auc regret");
+//! ```
+
+#![warn(missing_docs)]
+
+mod classification;
+mod pred;
+mod qerror;
+mod regression;
+mod scaled;
+
+pub use classification::{accuracy, log_loss, roc_auc};
+pub use pred::{MetricError, Pred};
+pub use qerror::{q_error, q_error_quantile};
+pub use regression::{mae, mse, r2};
+pub use scaled::{scaled_score, ScaleAnchors};
+
+use serde::{Deserialize, Serialize};
+
+/// An evaluation metric, convertible to a minimization loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Area under the ROC curve (binary). Loss is `1 - auc`.
+    RocAuc,
+    /// Multi-class (or binary) logarithmic loss. Loss is the log-loss.
+    LogLoss,
+    /// Classification accuracy. Loss is `1 - accuracy`.
+    Accuracy,
+    /// Mean squared error (regression). Loss is the mse.
+    Mse,
+    /// Mean absolute error (regression). Loss is the mae.
+    Mae,
+    /// Coefficient of determination (regression). Loss is `1 - r2`.
+    R2,
+    /// 95th-percentile q-error over predictions in natural-log space
+    /// (selectivity estimation). Loss is the quantile itself (>= 1).
+    QErrorP95,
+}
+
+impl Metric {
+    /// The default metric of the paper's benchmark for each task kind.
+    pub fn default_for(task: flaml_data::Task) -> Metric {
+        match task {
+            flaml_data::Task::Binary => Metric::RocAuc,
+            flaml_data::Task::MultiClass(_) => Metric::LogLoss,
+            flaml_data::Task::Regression => Metric::R2,
+        }
+    }
+
+    /// Error to *minimize* for predictions `pred` against labels `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError`] when the prediction kind does not match the
+    /// metric (e.g. regression values scored with roc-auc) or lengths
+    /// disagree.
+    pub fn loss(&self, pred: &Pred, y: &[f64]) -> Result<f64, MetricError> {
+        match self {
+            Metric::RocAuc => Ok(1.0 - roc_auc(&pred.positive_scores()?, y)?),
+            Metric::LogLoss => {
+                let (k, p) = pred.probs()?;
+                log_loss(k, p, y)
+            }
+            Metric::Accuracy => {
+                let labels = pred.hard_labels()?;
+                Ok(1.0 - accuracy(&labels, y)?)
+            }
+            Metric::Mse => mse(pred.values()?, y),
+            Metric::Mae => mae(pred.values()?, y),
+            Metric::R2 => Ok(1.0 - r2(pred.values()?, y)?),
+            Metric::QErrorP95 => q_error_quantile(pred.values()?, y, 0.95),
+        }
+    }
+
+    /// Score (higher is better) for reporting: the negation of
+    /// [`Metric::loss`] for losses, or the underlying score (auc, accuracy,
+    /// r2) for score-like metrics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Metric::loss`].
+    pub fn score(&self, pred: &Pred, y: &[f64]) -> Result<f64, MetricError> {
+        let loss = self.loss(pred, y)?;
+        Ok(match self {
+            Metric::RocAuc | Metric::Accuracy | Metric::R2 => 1.0 - loss,
+            Metric::LogLoss | Metric::Mse | Metric::Mae | Metric::QErrorP95 => -loss,
+        })
+    }
+
+    /// Human-readable metric name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::RocAuc => "roc_auc",
+            Metric::LogLoss => "log_loss",
+            Metric::Accuracy => "accuracy",
+            Metric::Mse => "mse",
+            Metric::Mae => "mae",
+            Metric::R2 => "r2",
+            Metric::QErrorP95 => "q_error_p95",
+        }
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(Metric::default_for(flaml_data::Task::Binary), Metric::RocAuc);
+        assert_eq!(
+            Metric::default_for(flaml_data::Task::MultiClass(5)),
+            Metric::LogLoss
+        );
+        assert_eq!(
+            Metric::default_for(flaml_data::Task::Regression),
+            Metric::R2
+        );
+    }
+
+    #[test]
+    fn loss_rejects_kind_mismatch() {
+        let pred = Pred::from_values(vec![1.0, 2.0]);
+        assert!(Metric::RocAuc.loss(&pred, &[0.0, 1.0]).is_err());
+        let pred = Pred::binary_probs(vec![0.5, 0.5]);
+        assert!(Metric::Mse.loss(&pred, &[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn score_negates_losses() {
+        let pred = Pred::from_values(vec![1.0, 2.0, 3.0]);
+        let y = [1.0, 2.0, 4.0];
+        let loss = Metric::Mse.loss(&pred, &y).unwrap();
+        let score = Metric::Mse.score(&pred, &y).unwrap();
+        assert_eq!(score, -loss);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Metric::RocAuc.to_string(), "roc_auc");
+        assert_eq!(Metric::QErrorP95.to_string(), "q_error_p95");
+    }
+}

@@ -1,0 +1,177 @@
+use std::error::Error;
+use std::fmt;
+
+/// Model predictions: class probabilities or regression values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// Row-major class probabilities: `p[i * n_classes + c]` is the
+    /// probability of class `c` for row `i`.
+    Probs {
+        /// Number of classes.
+        n_classes: usize,
+        /// Flattened probabilities, length `n_rows * n_classes`.
+        p: Vec<f64>,
+    },
+    /// Regression predictions, one per row.
+    Values(Vec<f64>),
+}
+
+/// Error from evaluating a metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// The prediction kind does not match what the metric expects.
+    KindMismatch(&'static str),
+    /// Prediction and label lengths disagree.
+    LengthMismatch {
+        /// Number of predicted rows.
+        pred: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// The metric is undefined on this input (e.g. auc with one class).
+    Degenerate(String),
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::KindMismatch(what) => {
+                write!(f, "prediction kind mismatch: expected {what}")
+            }
+            MetricError::LengthMismatch { pred, labels } => {
+                write!(f, "{pred} predictions for {labels} labels")
+            }
+            MetricError::Degenerate(msg) => write!(f, "metric undefined: {msg}"),
+        }
+    }
+}
+
+impl Error for MetricError {}
+
+impl Pred {
+    /// Convenience constructor for binary probabilities given the
+    /// positive-class probability of each row.
+    pub fn binary_probs(positive: Vec<f64>) -> Pred {
+        let mut p = Vec::with_capacity(positive.len() * 2);
+        for &q in &positive {
+            p.push(1.0 - q);
+            p.push(q);
+        }
+        Pred::Probs { n_classes: 2, p }
+    }
+
+    /// Convenience constructor for regression values.
+    pub fn from_values(v: Vec<f64>) -> Pred {
+        Pred::Values(v)
+    }
+
+    /// Number of predicted rows.
+    pub fn n_rows(&self) -> usize {
+        match self {
+            Pred::Probs { n_classes, p } => p.len() / n_classes,
+            Pred::Values(v) => v.len(),
+        }
+    }
+
+    /// The regression values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::KindMismatch`] for probability predictions.
+    pub fn values(&self) -> Result<&[f64], MetricError> {
+        match self {
+            Pred::Values(v) => Ok(v),
+            Pred::Probs { .. } => Err(MetricError::KindMismatch("regression values")),
+        }
+    }
+
+    /// The class count and flattened probability matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::KindMismatch`] for value predictions.
+    pub fn probs(&self) -> Result<(usize, &[f64]), MetricError> {
+        match self {
+            Pred::Probs { n_classes, p } => Ok((*n_classes, p)),
+            Pred::Values(_) => Err(MetricError::KindMismatch("class probabilities")),
+        }
+    }
+
+    /// The positive-class probability of each row (binary tasks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::KindMismatch`] for value predictions or
+    /// non-binary probabilities.
+    pub fn positive_scores(&self) -> Result<Vec<f64>, MetricError> {
+        match self {
+            Pred::Probs { n_classes: 2, p } => {
+                Ok(p.chunks_exact(2).map(|row| row[1]).collect())
+            }
+            _ => Err(MetricError::KindMismatch("binary class probabilities")),
+        }
+    }
+
+    /// Argmax class labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::KindMismatch`] for value predictions.
+    pub fn hard_labels(&self) -> Result<Vec<f64>, MetricError> {
+        let (k, p) = self.probs()?;
+        Ok(p.chunks_exact(k)
+            .map(|row| {
+                let mut best = 0usize;
+                for (c, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = c;
+                    }
+                }
+                best as f64
+            })
+            .collect())
+    }
+}
+
+pub(crate) fn check_lengths(pred: usize, labels: usize) -> Result<(), MetricError> {
+    if pred != labels {
+        Err(MetricError::LengthMismatch { pred, labels })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_probs_layout() {
+        let p = Pred::binary_probs(vec![0.25, 0.875]);
+        let (k, flat) = p.probs().unwrap();
+        assert_eq!(k, 2);
+        assert_eq!(flat, &[0.75, 0.25, 0.125, 0.875]);
+        assert_eq!(p.n_rows(), 2);
+        assert_eq!(p.positive_scores().unwrap(), vec![0.25, 0.875]);
+    }
+
+    #[test]
+    fn hard_labels_argmax() {
+        let p = Pred::Probs {
+            n_classes: 3,
+            p: vec![0.1, 0.7, 0.2, 0.5, 0.2, 0.3],
+        };
+        assert_eq!(p.hard_labels().unwrap(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn kind_mismatch_errors() {
+        assert!(Pred::from_values(vec![1.0]).probs().is_err());
+        assert!(Pred::binary_probs(vec![0.5]).values().is_err());
+        let multi = Pred::Probs {
+            n_classes: 3,
+            p: vec![0.2, 0.3, 0.5],
+        };
+        assert!(multi.positive_scores().is_err());
+    }
+}

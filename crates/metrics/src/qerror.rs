@@ -1,0 +1,83 @@
+use crate::pred::{check_lengths, MetricError};
+
+/// Q-error of one prediction, with inputs in *natural-log space* (i.e. the
+/// model predicts `ln(selectivity)`).
+///
+/// In linear space, `q = max(pred/true, true/pred) >= 1`; in log space this
+/// is `exp(|pred - true|)`, which is how the selectivity-estimation models
+/// of Dutt et al. (the paper's Section 5.3 setting) are trained.
+pub fn q_error(pred_ln: f64, true_ln: f64) -> f64 {
+    (pred_ln - true_ln).abs().exp()
+}
+
+/// The `q`-quantile (e.g. 0.95 for the paper's Table 4) of per-row
+/// q-errors, computed with the nearest-rank method.
+///
+/// # Errors
+///
+/// Returns [`MetricError`] if lengths disagree, the input is empty, or the
+/// quantile is outside `(0, 1]`.
+pub fn q_error_quantile(pred_ln: &[f64], true_ln: &[f64], q: f64) -> Result<f64, MetricError> {
+    check_lengths(pred_ln.len(), true_ln.len())?;
+    if pred_ln.is_empty() {
+        return Err(MetricError::Degenerate("no rows".into()));
+    }
+    if !(q > 0.0 && q <= 1.0) {
+        return Err(MetricError::Degenerate(format!(
+            "quantile {q} outside (0, 1]"
+        )));
+    }
+    let mut errs: Vec<f64> = pred_ln
+        .iter()
+        .zip(true_ln)
+        .map(|(&p, &t)| q_error(p, t))
+        .collect();
+    errs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((q * errs.len() as f64).ceil() as usize).clamp(1, errs.len());
+    Ok(errs[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_q_one() {
+        assert!((q_error(-3.2, -3.2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_error_is_symmetric() {
+        // Over- and under-estimating by the same factor gives the same q.
+        let t = (0.01f64).ln();
+        let over = (0.02f64).ln();
+        let under = (0.005f64).ln();
+        assert!((q_error(over, t) - 2.0).abs() < 1e-9);
+        assert!((q_error(under, t) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn q_error_at_least_one() {
+        for (p, t) in [(0.0, 0.0), (-1.0, 2.0), (5.0, 4.9)] {
+            assert!(q_error(p, t) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        // q-errors are exp(0)=1, exp(1)=e, exp(2)=e^2, exp(3)=e^3.
+        let t = [0.0, 0.0, 0.0, 0.0];
+        let p = [0.0, 1.0, 2.0, 3.0];
+        let q50 = q_error_quantile(&p, &t, 0.5).unwrap();
+        assert!((q50 - 1.0f64.exp()).abs() < 1e-9);
+        let q100 = q_error_quantile(&p, &t, 1.0).unwrap();
+        assert!((q100 - 3.0f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_validates_inputs() {
+        assert!(q_error_quantile(&[], &[], 0.95).is_err());
+        assert!(q_error_quantile(&[0.0], &[0.0], 0.0).is_err());
+        assert!(q_error_quantile(&[0.0], &[0.0, 1.0], 0.5).is_err());
+    }
+}

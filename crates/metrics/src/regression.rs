@@ -1,0 +1,94 @@
+use crate::pred::{check_lengths, MetricError};
+
+/// Mean squared error.
+///
+/// # Errors
+///
+/// Returns [`MetricError`] if lengths disagree or the input is empty.
+pub fn mse(pred: &[f64], y: &[f64]) -> Result<f64, MetricError> {
+    check_lengths(pred.len(), y.len())?;
+    if y.is_empty() {
+        return Err(MetricError::Degenerate("no rows".into()));
+    }
+    let total: f64 = pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum();
+    Ok(total / y.len() as f64)
+}
+
+/// Mean absolute error.
+///
+/// # Errors
+///
+/// Returns [`MetricError`] if lengths disagree or the input is empty.
+pub fn mae(pred: &[f64], y: &[f64]) -> Result<f64, MetricError> {
+    check_lengths(pred.len(), y.len())?;
+    if y.is_empty() {
+        return Err(MetricError::Degenerate("no rows".into()));
+    }
+    let total: f64 = pred.iter().zip(y).map(|(p, t)| (p - t).abs()).sum();
+    Ok(total / y.len() as f64)
+}
+
+/// Coefficient of determination (r2). At most 1; can be arbitrarily
+/// negative for predictions worse than the label mean.
+///
+/// # Errors
+///
+/// Returns [`MetricError`] if lengths disagree, the input is empty, or the
+/// labels are constant (zero variance makes r2 undefined).
+pub fn r2(pred: &[f64], y: &[f64]) -> Result<f64, MetricError> {
+    check_lengths(pred.len(), y.len())?;
+    if y.is_empty() {
+        return Err(MetricError::Degenerate("no rows".into()));
+    }
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let ss_tot: f64 = y.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        return Err(MetricError::Degenerate(
+            "constant labels make r2 undefined".into(),
+        ));
+    }
+    let ss_res: f64 = pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum();
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_perfect_is_zero() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        assert!((mse(&[0.0, 0.0], &[1.0, 3.0]).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        assert!((mae(&[0.0, 0.0], &[1.0, -3.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_perfect_is_one() {
+        assert!((r2(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_mean_predictor_is_zero() {
+        let y = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r2(&p, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_can_be_negative() {
+        assert!(r2(&[10.0, -10.0], &[1.0, 2.0]).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn r2_constant_labels_is_error() {
+        assert!(r2(&[1.0, 2.0], &[5.0, 5.0]).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+use serde::{Deserialize, Serialize};
+
+/// The two anchor scores of the AutoML-benchmark calibration used in the
+/// paper's Figures 5, 6, 8 and Table 9: the score of a constant
+/// class-prior (or label-mean) predictor maps to 0 and the score of a
+/// tuned random forest maps to 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleAnchors {
+    /// Raw score of the constant baseline predictor (maps to 0).
+    pub baseline: f64,
+    /// Raw score of the tuned random forest (maps to 1).
+    pub reference: f64,
+}
+
+impl ScaleAnchors {
+    /// Creates anchors; callers obtain the raw scores by evaluating the two
+    /// anchor models on the test fold.
+    pub fn new(baseline: f64, reference: f64) -> Self {
+        ScaleAnchors {
+            baseline,
+            reference,
+        }
+    }
+}
+
+/// Calibrates a raw score to the benchmark's scaled score:
+/// `(score - baseline) / (reference - baseline)`.
+///
+/// If the reference fails to beat the baseline (degenerate task — e.g.
+/// the tuned forest is overconfident under log-loss), the raw difference
+/// from the baseline is returned so that better-than-baseline still reads
+/// as positive; dividing by a non-positive denominator would flip signs.
+pub fn scaled_score(raw: f64, anchors: ScaleAnchors) -> f64 {
+    let denom = anchors.reference - anchors.baseline;
+    if denom <= 1e-12 {
+        raw - anchors.baseline
+    } else {
+        (raw - anchors.baseline) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_map_to_zero_and_one() {
+        let a = ScaleAnchors::new(0.5, 0.9);
+        assert!(scaled_score(0.5, a).abs() < 1e-12);
+        assert!((scaled_score(0.9, a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn above_reference_exceeds_one() {
+        let a = ScaleAnchors::new(0.5, 0.9);
+        assert!(scaled_score(0.95, a) > 1.0);
+    }
+
+    #[test]
+    fn degenerate_anchors_fall_back() {
+        let a = ScaleAnchors::new(0.7, 0.7);
+        assert!((scaled_score(0.8, a) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_anchors_do_not_flip_signs() {
+        // Reference below baseline: beating the baseline must still read
+        // positive.
+        let a = ScaleAnchors::new(0.5, 0.2);
+        assert!(scaled_score(0.6, a) > 0.0);
+        assert!(scaled_score(0.4, a) < 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of metric identities.
+
+use flaml_metrics::{
+    accuracy, log_loss, mae, mse, q_error, q_error_quantile, r2, roc_auc, scaled_score,
+    ScaleAnchors,
+};
+use proptest::prelude::*;
+
+fn scores_and_labels() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (2usize..100).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0.0f64..1.0, n),
+            proptest::collection::vec(0u8..2, n),
+        )
+            .prop_filter("both classes", |(_, y)| y.contains(&0) && y.contains(&1))
+            .prop_map(|(s, y)| (s, y.into_iter().map(f64::from).collect()))
+    })
+}
+
+proptest! {
+    #[test]
+    fn auc_is_a_probability((scores, y) in scores_and_labels()) {
+        let auc = roc_auc(&scores, &y).unwrap();
+        prop_assert!((0.0..=1.0).contains(&auc), "auc {}", auc);
+    }
+
+    #[test]
+    fn auc_score_negation_symmetry((scores, y) in scores_and_labels()) {
+        let a = roc_auc(&scores, &y).unwrap();
+        let neg: Vec<f64> = scores.iter().map(|s| -s).collect();
+        let b = roc_auc(&neg, &y).unwrap();
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_invariant_to_monotone_transform((scores, y) in scores_and_labels()) {
+        let a = roc_auc(&scores, &y).unwrap();
+        let squashed: Vec<f64> = scores.iter().map(|s| s.powi(3) * 7.0 - 2.0).collect();
+        let b = roc_auc(&squashed, &y).unwrap();
+        prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+    }
+
+    #[test]
+    fn log_loss_nonnegative((probs, y) in scores_and_labels()) {
+        let flat: Vec<f64> = probs.iter().flat_map(|&p| [1.0 - p, p]).collect();
+        let ll = log_loss(2, &flat, &y).unwrap();
+        prop_assert!(ll >= 0.0);
+        prop_assert!(ll.is_finite());
+    }
+
+    #[test]
+    fn accuracy_is_a_fraction((scores, y) in scores_and_labels()) {
+        let labels: Vec<f64> = scores.iter().map(|&s| f64::from(s > 0.5)).collect();
+        let acc = accuracy(&labels, &y).unwrap();
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn mse_mae_nonnegative_and_zero_iff_equal(v in proptest::collection::vec(-100f64..100.0, 1..50)) {
+        prop_assert_eq!(mse(&v, &v).unwrap(), 0.0);
+        prop_assert_eq!(mae(&v, &v).unwrap(), 0.0);
+        let shifted: Vec<f64> = v.iter().map(|x| x + 1.0).collect();
+        prop_assert!(mse(&shifted, &v).unwrap() > 0.0);
+        prop_assert!(mae(&shifted, &v).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn r2_at_most_one(
+        pred in proptest::collection::vec(-100f64..100.0, 3..50),
+    ) {
+        let y: Vec<f64> = (0..pred.len()).map(|i| i as f64).collect();
+        let v = r2(&pred, &y).unwrap();
+        prop_assert!(v <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn q_error_at_least_one(a in -20f64..20.0, b in -20f64..20.0) {
+        prop_assert!(q_error(a, b) >= 1.0 - 1e-12);
+        // Symmetry.
+        prop_assert!((q_error(a, b) - q_error(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn q_error_quantile_monotone_in_q(
+        pred in proptest::collection::vec(-5f64..5.0, 4..40),
+    ) {
+        let truth: Vec<f64> = vec![0.0; pred.len()];
+        let q50 = q_error_quantile(&pred, &truth, 0.5).unwrap();
+        let q95 = q_error_quantile(&pred, &truth, 0.95).unwrap();
+        prop_assert!(q95 >= q50 - 1e-12);
+    }
+
+    #[test]
+    fn scaled_score_is_affine(raw in -5f64..5.0, base in -1f64..1.0, delta in 0.01f64..2.0) {
+        let anchors = ScaleAnchors::new(base, base + delta);
+        let s = scaled_score(raw, anchors);
+        // Exact anchors.
+        prop_assert!(scaled_score(base, anchors).abs() < 1e-9);
+        prop_assert!((scaled_score(base + delta, anchors) - 1.0).abs() < 1e-9);
+        // Monotone.
+        prop_assert!(scaled_score(raw + 0.1, anchors) > s);
+    }
+}

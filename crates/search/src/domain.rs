@@ -1,0 +1,452 @@
+//! Typed hyperparameter domains and the unit-hypercube encoding.
+//!
+//! FLOW² and the other optimizers work on `[0, 1]^d`; [`SearchSpace`]
+//! translates between that space and natural hyperparameter values,
+//! applying log scaling where a domain spans orders of magnitude (tree
+//! counts, leaf counts, regularization strengths — cf. Table 5).
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// The domain of one hyperparameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Domain {
+    /// A real-valued parameter in `[lo, hi]`; `log` selects log-uniform
+    /// scaling (requires `lo > 0`).
+    Float {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+        /// Log-uniform scaling.
+        log: bool,
+    },
+    /// An integer parameter in `[lo, hi]`; `log` selects log-uniform
+    /// scaling (requires `lo > 0`).
+    Int {
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+        /// Log-uniform scaling.
+        log: bool,
+    },
+    /// A categorical parameter with `n` unordered choices, stored as the
+    /// choice index.
+    Categorical {
+        /// Number of choices.
+        n: usize,
+    },
+}
+
+impl Domain {
+    /// Linear float domain.
+    pub fn float(lo: f64, hi: f64) -> Domain {
+        Domain::Float { lo, hi, log: false }
+    }
+
+    /// Log-uniform float domain (`lo` must be positive).
+    pub fn log_float(lo: f64, hi: f64) -> Domain {
+        Domain::Float { lo, hi, log: true }
+    }
+
+    /// Linear integer domain.
+    pub fn int(lo: i64, hi: i64) -> Domain {
+        Domain::Int { lo, hi, log: false }
+    }
+
+    /// Log-uniform integer domain (`lo` must be positive).
+    pub fn log_int(lo: i64, hi: i64) -> Domain {
+        Domain::Int { lo, hi, log: true }
+    }
+
+    /// Categorical domain with `n` choices.
+    pub fn categorical(n: usize) -> Domain {
+        Domain::Categorical { n }
+    }
+
+    fn validate(&self) -> Result<(), SpaceError> {
+        match *self {
+            Domain::Float { lo, hi, log } => {
+                if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+                    return Err(SpaceError::BadDomain(format!("float [{lo}, {hi}]")));
+                }
+                if log && lo <= 0.0 {
+                    return Err(SpaceError::BadDomain(format!(
+                        "log float needs lo > 0, got {lo}"
+                    )));
+                }
+            }
+            Domain::Int { lo, hi, log } => {
+                if lo >= hi {
+                    return Err(SpaceError::BadDomain(format!("int [{lo}, {hi}]")));
+                }
+                if log && lo <= 0 {
+                    return Err(SpaceError::BadDomain(format!(
+                        "log int needs lo > 0, got {lo}"
+                    )));
+                }
+            }
+            Domain::Categorical { n } => {
+                if n < 2 {
+                    return Err(SpaceError::BadDomain(format!("categorical with {n} < 2")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Maps a natural value into `[0, 1]`.
+    pub fn encode(&self, v: f64) -> f64 {
+        let u = match *self {
+            Domain::Float { lo, hi, log } => {
+                if log {
+                    (v.ln() - lo.ln()) / (hi.ln() - lo.ln())
+                } else {
+                    (v - lo) / (hi - lo)
+                }
+            }
+            Domain::Int { lo, hi, log } => {
+                let (lo, hi) = (lo as f64, hi as f64);
+                if log {
+                    (v.ln() - lo.ln()) / (hi.ln() - lo.ln())
+                } else {
+                    (v - lo) / (hi - lo)
+                }
+            }
+            Domain::Categorical { n } => (v + 0.5) / n as f64,
+        };
+        u.clamp(0.0, 1.0)
+    }
+
+    /// Maps a unit-cube coordinate back to a natural value (rounding for
+    /// integer domains, index-snapping for categoricals).
+    pub fn decode(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        match *self {
+            Domain::Float { lo, hi, log } => {
+                if log {
+                    (lo.ln() + u * (hi.ln() - lo.ln())).exp().clamp(lo, hi)
+                } else {
+                    lo + u * (hi - lo)
+                }
+            }
+            Domain::Int { lo, hi, log } => {
+                let (lof, hif) = (lo as f64, hi as f64);
+                let raw = if log {
+                    (lof.ln() + u * (hif.ln() - lof.ln())).exp()
+                } else {
+                    lof + u * (hif - lof)
+                };
+                raw.round().clamp(lof, hif)
+            }
+            Domain::Categorical { n } => {
+                let idx = (u * n as f64).floor().min(n as f64 - 1.0).max(0.0);
+                idx
+            }
+        }
+    }
+}
+
+/// A named hyperparameter with its domain and a low-cost initial value
+/// (the bold entries of Table 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamDef {
+    /// Parameter name.
+    pub name: String,
+    /// Value domain.
+    pub domain: Domain,
+    /// Initial value in natural units.
+    pub init: f64,
+}
+
+impl ParamDef {
+    /// Creates a parameter definition.
+    pub fn new(name: impl Into<String>, domain: Domain, init: f64) -> ParamDef {
+        ParamDef {
+            name: name.into(),
+            domain,
+            init,
+        }
+    }
+}
+
+/// Error from constructing or using a [`SearchSpace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceError {
+    /// The space has no parameters.
+    Empty,
+    /// A domain is malformed (bounds inverted, log of non-positive, …).
+    BadDomain(String),
+    /// Two parameters share a name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::Empty => write!(f, "search space has no parameters"),
+            SpaceError::BadDomain(d) => write!(f, "malformed domain: {d}"),
+            SpaceError::DuplicateName(n) => write!(f, "duplicate parameter name: {n}"),
+        }
+    }
+}
+
+impl Error for SpaceError {}
+
+/// An ordered collection of hyperparameter definitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    params: Vec<ParamDef>,
+}
+
+/// Natural-unit hyperparameter values, ordered as the space's parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    values: Vec<f64>,
+}
+
+impl Config {
+    /// The raw values in parameter order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Looks up a value by parameter name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a parameter of `space` or the config length
+    /// does not match the space.
+    pub fn get(&self, space: &SearchSpace, name: &str) -> f64 {
+        let idx = space
+            .index_of(name)
+            .unwrap_or_else(|| panic!("unknown parameter {name}"));
+        self.values[idx]
+    }
+
+    /// Renders the config as `name=value` pairs for logs and reports.
+    pub fn render(&self, space: &SearchSpace) -> String {
+        space
+            .params()
+            .iter()
+            .zip(&self.values)
+            .map(|(p, v)| {
+                if matches!(p.domain, Domain::Int { .. } | Domain::Categorical { .. }) {
+                    format!("{}={}", p.name, *v as i64)
+                } else {
+                    format!("{}={:.4}", p.name, v)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+impl From<Vec<f64>> for Config {
+    fn from(values: Vec<f64>) -> Self {
+        Config { values }
+    }
+}
+
+impl SearchSpace {
+    /// Creates a search space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError`] if empty, a domain is malformed, or names
+    /// repeat.
+    pub fn new(params: Vec<ParamDef>) -> Result<SearchSpace, SpaceError> {
+        if params.is_empty() {
+            return Err(SpaceError::Empty);
+        }
+        for p in &params {
+            p.domain.validate()?;
+        }
+        for (i, p) in params.iter().enumerate() {
+            if params[..i].iter().any(|q| q.name == p.name) {
+                return Err(SpaceError::DuplicateName(p.name.clone()));
+            }
+        }
+        Ok(SearchSpace { params })
+    }
+
+    /// The parameter definitions.
+    pub fn params(&self) -> &[ParamDef] {
+        &self.params
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Index of a parameter by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// The low-cost initial configuration (Table 5 bold values).
+    pub fn init_config(&self) -> Config {
+        Config {
+            values: self.params.iter().map(|p| p.init).collect(),
+        }
+    }
+
+    /// Encodes a natural-unit config into the unit hypercube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config length differs from the space dimension.
+    pub fn encode(&self, config: &Config) -> Vec<f64> {
+        assert_eq!(config.values.len(), self.dim(), "config/space mismatch");
+        self.params
+            .iter()
+            .zip(&config.values)
+            .map(|(p, &v)| p.domain.encode(v))
+            .collect()
+    }
+
+    /// Decodes a unit-hypercube point into a natural-unit config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point length differs from the space dimension.
+    pub fn decode(&self, point: &[f64]) -> Config {
+        assert_eq!(point.len(), self.dim(), "point/space mismatch");
+        Config {
+            values: self
+                .params
+                .iter()
+                .zip(point)
+                .map(|(p, &u)| p.domain.decode(u))
+                .collect(),
+        }
+    }
+
+    /// A uniformly random unit-cube point.
+    pub fn random_point(&self, rng: &mut impl rand::Rng) -> Vec<f64> {
+        (0..self.dim()).map(|_| rng.gen::<f64>()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![
+            ParamDef::new("trees", Domain::log_int(4, 32768), 4.0),
+            ParamDef::new("lr", Domain::log_float(0.01, 1.0), 0.1),
+            ParamDef::new("sub", Domain::float(0.6, 1.0), 1.0),
+            ParamDef::new("crit", Domain::categorical(2), 0.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trip_floats() {
+        let s = space();
+        for v in [0.6, 0.73, 0.9999, 1.0] {
+            let u = s.params()[2].domain.encode(v);
+            let back = s.params()[2].domain.decode(u);
+            assert!((back - v).abs() < 1e-12, "{v} -> {u} -> {back}");
+        }
+    }
+
+    #[test]
+    fn log_int_round_trips() {
+        let d = Domain::log_int(4, 32768);
+        for v in [4.0, 7.0, 100.0, 5000.0, 32768.0] {
+            let back = d.decode(d.encode(v));
+            assert_eq!(back, v, "log int {v}");
+        }
+    }
+
+    #[test]
+    fn categorical_snaps_to_indices() {
+        let d = Domain::categorical(3);
+        assert_eq!(d.decode(0.0), 0.0);
+        assert_eq!(d.decode(0.34), 1.0);
+        assert_eq!(d.decode(0.99), 2.0);
+        assert_eq!(d.decode(1.0), 2.0);
+        for idx in 0..3 {
+            assert_eq!(d.decode(d.encode(idx as f64)), idx as f64);
+        }
+    }
+
+    #[test]
+    fn decode_clamps_out_of_range() {
+        let d = Domain::float(2.0, 3.0);
+        assert_eq!(d.decode(-0.5), 2.0);
+        assert_eq!(d.decode(1.5), 3.0);
+    }
+
+    #[test]
+    fn init_config_matches_definitions() {
+        let s = space();
+        let c = s.init_config();
+        assert_eq!(c.get(&s, "trees"), 4.0);
+        assert_eq!(c.get(&s, "lr"), 0.1);
+    }
+
+    #[test]
+    fn validation_rejects_malformed() {
+        assert!(SearchSpace::new(vec![]).is_err());
+        assert!(SearchSpace::new(vec![ParamDef::new(
+            "x",
+            Domain::float(1.0, 1.0),
+            1.0
+        )])
+        .is_err());
+        assert!(SearchSpace::new(vec![ParamDef::new(
+            "x",
+            Domain::log_float(0.0, 1.0),
+            0.5
+        )])
+        .is_err());
+        assert!(SearchSpace::new(vec![ParamDef::new(
+            "x",
+            Domain::categorical(1),
+            0.0
+        )])
+        .is_err());
+        assert!(SearchSpace::new(vec![
+            ParamDef::new("x", Domain::float(0.0, 1.0), 0.5),
+            ParamDef::new("x", Domain::float(0.0, 1.0), 0.5),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn log_scaling_spreads_small_values() {
+        // In a log domain, the unit-space midpoint is the geometric mean.
+        let d = Domain::log_float(0.01, 1.0);
+        let mid = d.decode(0.5);
+        assert!((mid - 0.1).abs() < 1e-9, "geometric mean 0.1, got {mid}");
+    }
+
+    #[test]
+    fn random_point_in_unit_cube() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let p = s.random_point(&mut rng);
+            assert_eq!(p.len(), 4);
+            assert!(p.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        }
+    }
+
+    #[test]
+    fn render_formats_ints_and_floats() {
+        let s = space();
+        let c = s.init_config();
+        let r = c.render(&s);
+        assert!(r.contains("trees=4"));
+        assert!(r.contains("lr=0.1000"));
+        assert!(r.contains("crit=0"));
+    }
+}

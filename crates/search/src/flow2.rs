@@ -1,0 +1,411 @@
+//! FLOW² — the randomized direct-search hyperparameter optimizer of Wu et
+//! al. (2020), used by FLAML's hyperparameter-and-sample-size proposer.
+//!
+//! Per iteration the optimizer probes `x + δ·u` for a uniformly random
+//! direction `u` on the unit sphere; if the error does not improve it
+//! probes the opposite direction `x − δ·u`. The step size starts at
+//! `0.1·√d` in the unit cube (the released FLAML implementation's scaling
+//! of the paper's `√d`) and shrinks by an adaptive reduction ratio — the
+//! ratio of total iterations to the iteration that found the current best,
+//! both counted since the last restart — whenever the number of
+//! consecutive no-improvement iterations exceeds `2^min(d,9)−1`. When the
+//! step size reaches its lower bound the thread is *converged* and the
+//! caller restarts it from a random point (the paper performs adaptation
+//! and restarts only once the full sample size is reached).
+
+use crate::domain::SearchSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, StandardNormal};
+
+/// Sequential ask/tell FLOW² optimizer over one search space.
+#[derive(Debug, Clone)]
+pub struct Flow2 {
+    space: SearchSpace,
+    rng: StdRng,
+    best_point: Vec<f64>,
+    best_err: f64,
+    step: f64,
+    step_init: f64,
+    step_lb: f64,
+    no_improve: u64,
+    no_improve_threshold: u64,
+    /// Direction of the outstanding forward probe, replayed backwards if
+    /// the forward probe fails.
+    pending_backward: Option<Vec<f64>>,
+    outstanding: Option<Vec<f64>>,
+    iters_since_restart: u64,
+    best_iter_since_restart: u64,
+    adaptation: bool,
+    n_restarts: u64,
+    evaluated_init: bool,
+}
+
+impl Flow2 {
+    /// Creates an optimizer starting from the space's low-cost initial
+    /// configuration.
+    pub fn new(space: SearchSpace, seed: u64) -> Flow2 {
+        let d = space.dim();
+        let init = space.encode(&space.init_config());
+        let step_init = 0.1 * (d as f64).sqrt();
+        // The smallest move that can change an integer/categorical
+        // coordinate bounds the useful resolution.
+        let step_lb = (0.1 / d as f64).max(1e-4);
+        Flow2 {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            best_point: init,
+            best_err: f64::INFINITY,
+            step: step_init,
+            step_init,
+            step_lb,
+            no_improve: 0,
+            no_improve_threshold: 1 << (d.min(9) as u64).saturating_sub(1).max(1),
+            pending_backward: None,
+            outstanding: None,
+            iters_since_restart: 0,
+            best_iter_since_restart: 0,
+            adaptation: false,
+            n_restarts: 0,
+            evaluated_init: false,
+        }
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Enables or disables step-size adaptation and convergence detection.
+    /// FLAML enables them only once the full sample size is reached.
+    pub fn set_adaptation(&mut self, on: bool) {
+        self.adaptation = on;
+    }
+
+    /// Whether the current thread converged (step size hit its bound).
+    /// The caller decides when to [`Flow2::restart`].
+    pub fn converged(&self) -> bool {
+        self.step <= self.step_lb
+    }
+
+    /// Number of restarts performed so far.
+    pub fn n_restarts(&self) -> u64 {
+        self.n_restarts
+    }
+
+    /// The incumbent unit-cube point.
+    pub fn best_point(&self) -> Vec<f64> {
+        self.best_point.clone()
+    }
+
+    /// The incumbent error (`INFINITY` before the first [`Flow2::tell`]).
+    pub fn best_err(&self) -> f64 {
+        self.best_err
+    }
+
+    /// Current step size (unit-cube scale).
+    pub fn step_size(&self) -> f64 {
+        self.step
+    }
+
+    /// Rebases the incumbent error without moving the incumbent point.
+    ///
+    /// FLAML calls this when the sample size grows: the incumbent config
+    /// is re-scored on the larger sample and future comparisons happen
+    /// against that score. A no-op before the first evaluation.
+    pub fn set_best_err(&mut self, err: f64) {
+        if self.evaluated_init {
+            self.best_err = err;
+        }
+    }
+
+    /// Proposes the next unit-cube point to evaluate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous proposal has not been [`Flow2::tell`]-ed.
+    pub fn ask(&mut self) -> Vec<f64> {
+        assert!(
+            self.outstanding.is_none(),
+            "ask() called with an un-told outstanding proposal"
+        );
+        let point = if !self.evaluated_init {
+            self.best_point.clone()
+        } else if let Some(dir) = &self.pending_backward {
+            let dir = dir.clone();
+            self.move_along(&dir, -1.0)
+        } else {
+            let dir = self.random_direction();
+            let p = self.move_along(&dir, 1.0);
+            self.pending_backward = Some(dir);
+            p
+        };
+        self.outstanding = Some(point.clone());
+        point
+    }
+
+    /// Reports the error of the last [`Flow2::ask`] proposal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no outstanding proposal.
+    pub fn tell(&mut self, err: f64) {
+        let point = self
+            .outstanding
+            .take()
+            .expect("tell() called without an outstanding proposal");
+        if !self.evaluated_init {
+            self.evaluated_init = true;
+            self.best_err = err;
+            self.iters_since_restart += 1;
+            self.pending_backward = None;
+            return;
+        }
+        self.iters_since_restart += 1;
+        let was_backward = self.pending_backward.is_some() && {
+            // `ask` clears pending_backward only on the *next* forward
+            // proposal, so distinguish by checking whether the outstanding
+            // point is the backward probe of the pending direction.
+            let dir = self.pending_backward.as_ref().expect("pending");
+            let backward = self.move_along(dir, -1.0);
+            points_close(&point, &backward)
+        };
+        if err < self.best_err {
+            self.best_err = err;
+            self.best_point = point;
+            self.best_iter_since_restart = self.iters_since_restart;
+            self.no_improve = 0;
+            self.pending_backward = None;
+            return;
+        }
+        if was_backward {
+            // Both directions failed: one full no-improvement iteration.
+            self.pending_backward = None;
+            self.no_improve += 1;
+            if self.adaptation && self.no_improve > self.no_improve_threshold {
+                let ratio = (self.iters_since_restart as f64
+                    / self.best_iter_since_restart.max(1) as f64)
+                    .max(1.1);
+                self.step /= ratio;
+                self.no_improve = 0;
+            }
+        }
+        // A failed forward probe keeps pending_backward set, so the next
+        // ask() tries the opposite direction.
+    }
+
+    /// Restarts the thread from a uniformly random point with the initial
+    /// step size. The caller typically also resets its sample size.
+    pub fn restart(&mut self) {
+        let p = self.space.random_point(&mut self.rng);
+        self.best_point = p;
+        self.best_err = f64::INFINITY;
+        self.step = self.step_init;
+        self.no_improve = 0;
+        self.pending_backward = None;
+        self.outstanding = None;
+        self.iters_since_restart = 0;
+        self.best_iter_since_restart = 0;
+        self.n_restarts += 1;
+        self.evaluated_init = false;
+    }
+
+    fn random_direction(&mut self) -> Vec<f64> {
+        let d = self.space.dim();
+        loop {
+            let v: Vec<f64> = (0..d)
+                .map(|_| <StandardNormal as Distribution<f64>>::sample(&StandardNormal, &mut self.rng))
+                .collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 1e-12 {
+                return v.into_iter().map(|x| x / norm).collect();
+            }
+        }
+    }
+
+    fn move_along(&self, dir: &[f64], sign: f64) -> Vec<f64> {
+        self.best_point
+            .iter()
+            .zip(dir)
+            .map(|(&x, &u)| (x + sign * self.step * u).clamp(0.0, 1.0))
+            .collect()
+    }
+}
+
+fn points_close(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{Domain, ParamDef};
+
+    fn square_space() -> SearchSpace {
+        SearchSpace::new(vec![
+            ParamDef::new("x", Domain::float(-5.0, 5.0), -4.0),
+            ParamDef::new("y", Domain::float(-5.0, 5.0), -4.0),
+        ])
+        .unwrap()
+    }
+
+    fn sphere_loss(space: &SearchSpace, point: &[f64]) -> f64 {
+        let c = space.decode(point);
+        let x = c.get(space, "x");
+        let y = c.get(space, "y");
+        (x - 1.0).powi(2) + (y - 2.0).powi(2)
+    }
+
+    #[test]
+    fn first_proposal_is_the_init_config() {
+        let space = square_space();
+        let mut opt = Flow2::new(space.clone(), 0);
+        let p = opt.ask();
+        let c = space.decode(&p);
+        assert_eq!(c.get(&space, "x"), -4.0);
+        assert_eq!(c.get(&space, "y"), -4.0);
+    }
+
+    #[test]
+    fn optimizes_a_convex_function() {
+        let space = square_space();
+        let mut opt = Flow2::new(space.clone(), 3);
+        for _ in 0..300 {
+            let p = opt.ask();
+            let err = sphere_loss(&space, &p);
+            opt.tell(err);
+        }
+        assert!(
+            opt.best_err() < 0.5,
+            "best error {} after 300 evals",
+            opt.best_err()
+        );
+    }
+
+    #[test]
+    fn error_is_monotone_nonincreasing() {
+        let space = square_space();
+        let mut opt = Flow2::new(space.clone(), 5);
+        let mut last = f64::INFINITY;
+        for _ in 0..100 {
+            let p = opt.ask();
+            opt.tell(sphere_loss(&space, &p));
+            assert!(opt.best_err() <= last + 1e-12);
+            last = opt.best_err();
+        }
+    }
+
+    #[test]
+    fn backward_probe_follows_failed_forward() {
+        let space = square_space();
+        let mut opt = Flow2::new(space.clone(), 1);
+        // Evaluate init.
+        let p0 = opt.ask();
+        opt.tell(sphere_loss(&space, &p0));
+        let base = opt.best_point();
+        let forward = opt.ask();
+        opt.tell(f64::INFINITY); // force failure
+        let backward = opt.ask();
+        for i in 0..2 {
+            let df = forward[i] - base[i];
+            let db = backward[i] - base[i];
+            // Backward is the reflection of forward (modulo clamping).
+            assert!(
+                (df + db).abs() < 1e-9 || forward[i] == 0.0 || forward[i] == 1.0
+                    || backward[i] == 0.0 || backward[i] == 1.0,
+                "dim {i}: forward {df}, backward {db}"
+            );
+        }
+        opt.tell(f64::INFINITY);
+    }
+
+    #[test]
+    fn step_shrinks_only_with_adaptation_enabled() {
+        let space = square_space();
+        let mut opt = Flow2::new(space.clone(), 2);
+        let s0 = opt.step_size();
+        // Never improves: constant loss.
+        let p = opt.ask();
+        opt.tell(0.0);
+        let _ = p;
+        for _ in 0..200 {
+            let _ = opt.ask();
+            opt.tell(1.0);
+        }
+        assert_eq!(opt.step_size(), s0, "no adaptation while disabled");
+        opt.set_adaptation(true);
+        for _ in 0..200 {
+            let _ = opt.ask();
+            opt.tell(1.0);
+        }
+        assert!(opt.step_size() < s0, "step must shrink after stagnation");
+    }
+
+    #[test]
+    fn converges_and_restarts() {
+        let space = square_space();
+        let mut opt = Flow2::new(space.clone(), 4);
+        opt.set_adaptation(true);
+        let p = opt.ask();
+        opt.tell(sphere_loss(&space, &p));
+        let mut iters = 0;
+        while !opt.converged() && iters < 20_000 {
+            let _ = opt.ask();
+            opt.tell(1.0);
+            iters += 1;
+        }
+        assert!(opt.converged(), "should converge under stagnation");
+        let best_before = opt.best_point();
+        opt.restart();
+        assert_eq!(opt.n_restarts(), 1);
+        assert!(!opt.converged());
+        assert!(opt.best_err().is_infinite());
+        assert_ne!(opt.best_point(), best_before);
+    }
+
+    #[test]
+    fn proposals_stay_in_unit_cube() {
+        let space = square_space();
+        let mut opt = Flow2::new(space.clone(), 6);
+        for i in 0..200 {
+            let p = opt.ask();
+            assert!(
+                p.iter().all(|&u| (0.0..=1.0).contains(&u)),
+                "iter {i}: {p:?}"
+            );
+            opt.tell(sphere_loss(&space, &p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "un-told outstanding")]
+    fn double_ask_panics() {
+        let mut opt = Flow2::new(square_space(), 0);
+        let _ = opt.ask();
+        let _ = opt.ask();
+    }
+
+    #[test]
+    #[should_panic(expected = "without an outstanding")]
+    fn tell_without_ask_panics() {
+        let mut opt = Flow2::new(square_space(), 0);
+        opt.tell(1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = square_space();
+        let run = |seed| {
+            let mut opt = Flow2::new(space.clone(), seed);
+            let mut pts = Vec::new();
+            for _ in 0..20 {
+                let p = opt.ask();
+                pts.push(p.clone());
+                opt.tell(sphere_loss(&space, &p));
+            }
+            pts
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

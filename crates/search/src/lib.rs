@@ -1,0 +1,51 @@
+//! Hyperparameter-search machinery for the FLAML reproduction.
+//!
+//! * [`SearchSpace`] / [`Domain`] — typed hyperparameter domains (linear or
+//!   log-scaled floats and integers, categoricals) with a reversible
+//!   encoding into the unit hypercube, where all optimizers operate.
+//! * [`Flow2`] — the randomized direct-search method of Wu et al. (2020)
+//!   that FLAML's Step 2 uses: start from a low-cost initial point, probe a
+//!   random direction and its opposite, adapt the step size, restart when
+//!   converged.
+//! * [`Tpe`] — a tree-structured-Parzen-estimator surrogate (good/bad
+//!   kernel density models) used by the BOHB baseline.
+//! * [`Hyperband`] — the bandit-based fidelity scheduler of Li et al.
+//!   (2017); combined with [`Tpe`] it reproduces HpBandSter/BOHB, the
+//!   baseline sharing FLAML's search space in the paper.
+//! * [`RandomSearch`] — uniform sampling, used by baseline AutoML systems
+//!   and the tuned-random-forest score calibration.
+//!
+//! # Example
+//!
+//! ```
+//! use flaml_search::{Domain, Flow2, ParamDef, SearchSpace};
+//!
+//! let space = SearchSpace::new(vec![
+//!     ParamDef::new("x", Domain::float(-5.0, 5.0), 0.0),
+//!     ParamDef::new("y", Domain::float(-5.0, 5.0), 0.0),
+//! ]).unwrap();
+//! let mut opt = Flow2::new(space.clone(), 7);
+//! for _ in 0..100 {
+//!     let point = opt.ask();
+//!     let cfg = space.decode(&point);
+//!     let (x, y) = (cfg.get(&space, "x"), cfg.get(&space, "y"));
+//!     let err = (x - 1.0).powi(2) + (y + 2.0).powi(2);
+//!     opt.tell(err);
+//! }
+//! let best = space.decode(&opt.best_point());
+//! assert!((best.get(&space, "x") - 1.0).abs() < 1.5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod domain;
+mod flow2;
+mod hyperband;
+mod random;
+mod tpe;
+
+pub use domain::{Config, Domain, ParamDef, SearchSpace, SpaceError};
+pub use flow2::Flow2;
+pub use hyperband::{Hyperband, Job, JobSource};
+pub use random::RandomSearch;
+pub use tpe::Tpe;

@@ -1,0 +1,127 @@
+//! Uniform random search over a [`SearchSpace`].
+
+use crate::domain::SearchSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Uniform random sampler with incumbent tracking, used by the
+/// random-search AutoML baseline and the tuned-random-forest calibration.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    space: SearchSpace,
+    rng: StdRng,
+    best_point: Option<Vec<f64>>,
+    best_err: f64,
+    outstanding: Option<Vec<f64>>,
+}
+
+impl RandomSearch {
+    /// Creates a sampler.
+    pub fn new(space: SearchSpace, seed: u64) -> RandomSearch {
+        RandomSearch {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            best_point: None,
+            best_err: f64::INFINITY,
+            outstanding: None,
+        }
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Proposes the next point: the initial configuration first (cheap
+    /// anchor, like FLAML), then uniform samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous proposal has not been told.
+    pub fn ask(&mut self) -> Vec<f64> {
+        assert!(self.outstanding.is_none(), "un-told outstanding proposal");
+        let p = if self.best_point.is_none() && self.best_err.is_infinite() {
+            self.space.encode(&self.space.init_config())
+        } else {
+            self.space.random_point(&mut self.rng)
+        };
+        self.outstanding = Some(p.clone());
+        p
+    }
+
+    /// Reports the error of the last proposal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no outstanding proposal.
+    pub fn tell(&mut self, err: f64) {
+        let p = self.outstanding.take().expect("no outstanding proposal");
+        if err < self.best_err {
+            self.best_err = err;
+            self.best_point = Some(p);
+        } else if self.best_point.is_none() {
+            // Remember that the init config was evaluated even if its
+            // error is infinite, so ask() moves on to random samples.
+            self.best_err = err;
+            self.best_point = Some(p);
+        }
+    }
+
+    /// Incumbent point, if any trial completed.
+    pub fn best_point(&self) -> Option<&[f64]> {
+        self.best_point.as_deref()
+    }
+
+    /// Incumbent error.
+    pub fn best_err(&self) -> f64 {
+        self.best_err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{Domain, ParamDef};
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![ParamDef::new("x", Domain::float(0.0, 10.0), 5.0)]).unwrap()
+    }
+
+    #[test]
+    fn first_ask_is_init() {
+        let s = space();
+        let mut rs = RandomSearch::new(s.clone(), 0);
+        let p = rs.ask();
+        assert_eq!(s.decode(&p).get(&s, "x"), 5.0);
+    }
+
+    #[test]
+    fn tracks_incumbent() {
+        let s = space();
+        let mut rs = RandomSearch::new(s.clone(), 0);
+        for _ in 0..50 {
+            let p = rs.ask();
+            let x = s.decode(&p).get(&s, "x");
+            rs.tell((x - 7.0).abs());
+        }
+        let best = s.decode(rs.best_point().unwrap()).get(&s, "x");
+        assert!((best - 7.0).abs() < 1.0, "best x = {best}");
+        assert!(rs.best_err() < 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = space();
+        let run = |seed| {
+            let mut rs = RandomSearch::new(s.clone(), seed);
+            (0..10)
+                .map(|_| {
+                    let p = rs.ask();
+                    rs.tell(1.0);
+                    p
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

@@ -1,0 +1,287 @@
+//! A tree-structured Parzen estimator (TPE) surrogate, the model component
+//! of the BOHB baseline (HpBandSter in the paper's comparison).
+//!
+//! Observations are split into a *good* set (lowest `gamma` fraction by
+//! error) and a *bad* set; each coordinate gets a one-dimensional Gaussian
+//! KDE per set (categorical coordinates get smoothed histograms).
+//! Candidates are sampled from the good model and ranked by the density
+//! ratio `l(x)/g(x)`, the BOHB acquisition.
+
+use crate::domain::{Domain, SearchSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, StandardNormal};
+
+/// TPE optimizer with an ask/tell interface.
+#[derive(Debug, Clone)]
+pub struct Tpe {
+    space: SearchSpace,
+    rng: StdRng,
+    /// `(unit point, error)` observations.
+    observations: Vec<(Vec<f64>, f64)>,
+    gamma: f64,
+    n_candidates: usize,
+    min_observations: usize,
+    outstanding: Option<Vec<f64>>,
+    best_point: Option<Vec<f64>>,
+    best_err: f64,
+}
+
+impl Tpe {
+    /// Creates a TPE optimizer with BOHB-like defaults
+    /// (`gamma = 0.15`, 24 candidates, model after `dim + 2` points).
+    pub fn new(space: SearchSpace, seed: u64) -> Tpe {
+        let min_observations = space.dim() + 2;
+        Tpe {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            observations: Vec::new(),
+            gamma: 0.15,
+            n_candidates: 24,
+            min_observations,
+            outstanding: None,
+            best_point: None,
+            best_err: f64::INFINITY,
+        }
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Number of recorded observations.
+    pub fn n_observations(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Incumbent point, if any.
+    pub fn best_point(&self) -> Option<&[f64]> {
+        self.best_point.as_deref()
+    }
+
+    /// Incumbent error.
+    pub fn best_err(&self) -> f64 {
+        self.best_err
+    }
+
+    /// Proposes the next unit-cube point: random while observations are
+    /// scarce, the TPE acquisition afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous proposal has not been told.
+    pub fn ask(&mut self) -> Vec<f64> {
+        assert!(self.outstanding.is_none(), "un-told outstanding proposal");
+        let p = if self.observations.len() < self.min_observations {
+            self.space.random_point(&mut self.rng)
+        } else {
+            self.acquire()
+        };
+        self.outstanding = Some(p.clone());
+        p
+    }
+
+    /// Reports the error of the last proposal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no outstanding proposal.
+    pub fn tell(&mut self, err: f64) {
+        let p = self.outstanding.take().expect("no outstanding proposal");
+        self.record(p, err);
+    }
+
+    /// Records an externally evaluated observation (used by BOHB to feed
+    /// full-fidelity results back into the model).
+    pub fn record(&mut self, point: Vec<f64>, err: f64) {
+        if err < self.best_err {
+            self.best_err = err;
+            self.best_point = Some(point.clone());
+        }
+        self.observations.push((point, err));
+    }
+
+    fn acquire(&mut self) -> Vec<f64> {
+        let mut order: Vec<usize> = (0..self.observations.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.observations[a]
+                .1
+                .partial_cmp(&self.observations[b].1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let n_good = ((self.observations.len() as f64 * self.gamma).ceil() as usize)
+            .clamp(2, self.observations.len().saturating_sub(1).max(2));
+        let good: Vec<Vec<f64>> = order[..n_good]
+            .iter()
+            .map(|&i| self.observations[i].0.clone())
+            .collect();
+        let bad: Vec<Vec<f64>> = order[n_good..]
+            .iter()
+            .map(|&i| self.observations[i].0.clone())
+            .collect();
+        let d = self.space.dim();
+
+        let mut best_cand: Option<(Vec<f64>, f64)> = None;
+        for _ in 0..self.n_candidates {
+            // Sample each coordinate from the good model.
+            let mut cand = vec![0.0; d];
+            for (j, c) in cand.iter_mut().enumerate() {
+                *c = self.sample_coord(&good, j);
+            }
+            let score = self.log_density(&good, &cand) - self.log_density(&bad, &cand);
+            if best_cand.as_ref().is_none_or(|(_, s)| score > *s) {
+                best_cand = Some((cand, score));
+            }
+        }
+        best_cand.expect("candidates generated").0
+    }
+
+    /// Samples coordinate `j` from the KDE over `points`.
+    fn sample_coord(&mut self, points: &[Vec<f64>], j: usize) -> f64 {
+        match self.space.params()[j].domain {
+            Domain::Categorical { n } => {
+                // Smoothed histogram over decoded category indices.
+                let mut weights = vec![1.0; n];
+                for p in points {
+                    let idx = (p[j] * n as f64).floor().min(n as f64 - 1.0) as usize;
+                    weights[idx] += 1.0;
+                }
+                let total: f64 = weights.iter().sum();
+                let mut r = self.rng.gen::<f64>() * total;
+                for (idx, w) in weights.iter().enumerate() {
+                    if r < *w {
+                        return (idx as f64 + 0.5) / n as f64;
+                    }
+                    r -= w;
+                }
+                (n as f64 - 0.5) / n as f64
+            }
+            _ => {
+                let center = points[self.rng.gen_range(0..points.len())][j];
+                let bw = bandwidth(points, j);
+                let z: f64 = StandardNormal.sample(&mut self.rng);
+                (center + z * bw).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    fn log_density(&self, points: &[Vec<f64>], x: &[f64]) -> f64 {
+        let mut total = 0.0;
+        for (j, param) in self.space.params().iter().enumerate() {
+            let lj = match param.domain {
+                Domain::Categorical { n } => {
+                    let mut weights = vec![1.0; n];
+                    for p in points {
+                        let idx = (p[j] * n as f64).floor().min(n as f64 - 1.0) as usize;
+                        weights[idx] += 1.0;
+                    }
+                    let total_w: f64 = weights.iter().sum();
+                    let idx = (x[j] * n as f64).floor().min(n as f64 - 1.0) as usize;
+                    (weights[idx] / total_w).ln()
+                }
+                _ => {
+                    let bw = bandwidth(points, j);
+                    let mut density = 0.0;
+                    for p in points {
+                        let z = (x[j] - p[j]) / bw;
+                        density += (-0.5 * z * z).exp();
+                    }
+                    (density / (points.len() as f64 * bw) + 1e-300).ln()
+                }
+            };
+            total += lj;
+        }
+        total
+    }
+}
+
+/// Scott's-rule bandwidth over one coordinate, floored for stability.
+fn bandwidth(points: &[Vec<f64>], j: usize) -> f64 {
+    let n = points.len() as f64;
+    let mean = points.iter().map(|p| p[j]).sum::<f64>() / n;
+    let var = points.iter().map(|p| (p[j] - mean) * (p[j] - mean)).sum::<f64>() / n;
+    (1.06 * var.sqrt() * n.powf(-0.2)).max(0.03)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::ParamDef;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![
+            ParamDef::new("x", Domain::float(0.0, 1.0), 0.5),
+            ParamDef::new("c", Domain::categorical(3), 0.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn warms_up_with_random_samples() {
+        let mut tpe = Tpe::new(space(), 0);
+        for _ in 0..tpe.min_observations {
+            let p = tpe.ask();
+            assert!(p.iter().all(|&u| (0.0..=1.0).contains(&u)));
+            tpe.tell(1.0);
+        }
+        assert_eq!(tpe.n_observations(), tpe.min_observations);
+    }
+
+    #[test]
+    fn concentrates_near_the_optimum() {
+        let s = space();
+        let mut tpe = Tpe::new(s.clone(), 1);
+        // Optimum: x = 0.8, category 2.
+        for _ in 0..120 {
+            let p = tpe.ask();
+            let c = s.decode(&p);
+            let err =
+                (c.get(&s, "x") - 0.8).abs() + f64::from(c.get(&s, "c") as i64 != 2) * 0.5;
+            tpe.tell(err);
+        }
+        let best = s.decode(tpe.best_point().unwrap());
+        assert!(
+            (best.get(&s, "x") - 0.8).abs() < 0.1,
+            "best x = {}",
+            best.get(&s, "x")
+        );
+        assert_eq!(best.get(&s, "c") as i64, 2);
+        // The model should now propose near the optimum most of the time.
+        let mut near = 0;
+        for _ in 0..20 {
+            let p = tpe.ask();
+            let c = s.decode(&p);
+            if (c.get(&s, "x") - 0.8).abs() < 0.25 {
+                near += 1;
+            }
+            tpe.tell(1.0);
+        }
+        assert!(near >= 12, "only {near}/20 proposals near optimum");
+    }
+
+    #[test]
+    fn record_feeds_external_results() {
+        let s = space();
+        let mut tpe = Tpe::new(s.clone(), 2);
+        tpe.record(vec![0.5, 0.5], 0.25);
+        assert_eq!(tpe.n_observations(), 1);
+        assert_eq!(tpe.best_err(), 0.25);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = space();
+        let run = |seed| {
+            let mut tpe = Tpe::new(s.clone(), seed);
+            (0..30)
+                .map(|i| {
+                    let p = tpe.ask();
+                    tpe.tell(i as f64 * 0.01);
+                    p
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

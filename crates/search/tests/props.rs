@@ -1,0 +1,113 @@
+//! Property-based tests of the search machinery: domain encodings,
+//! FLOW² invariants, TPE and Hyperband behaviour under arbitrary inputs.
+
+use flaml_search::{Domain, Flow2, Hyperband, ParamDef, RandomSearch, SearchSpace, Tpe};
+use proptest::prelude::*;
+
+fn arb_domain() -> impl Strategy<Value = Domain> {
+    prop_oneof![
+        (-1e3f64..1e3, 0.001f64..1e3).prop_map(|(lo, w)| Domain::float(lo, lo + w)),
+        (1e-6f64..1e3, 1.1f64..1e4).prop_map(|(lo, f)| Domain::log_float(lo, lo * f)),
+        (-1000i64..1000, 1i64..1000).prop_map(|(lo, w)| Domain::int(lo, lo + w)),
+        (1i64..1000, 2i64..100).prop_map(|(lo, f)| Domain::log_int(lo, lo * f)),
+        (2usize..12).prop_map(Domain::categorical),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn decode_always_lands_in_domain(domain in arb_domain(), u in -0.5f64..1.5) {
+        let v = domain.decode(u);
+        match domain {
+            Domain::Float { lo, hi, .. } => prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9),
+            Domain::Int { lo, hi, .. } => {
+                prop_assert!(v.fract() == 0.0);
+                prop_assert!(v >= lo as f64 && v <= hi as f64);
+            }
+            Domain::Categorical { n } => {
+                prop_assert!(v.fract() == 0.0);
+                prop_assert!(v >= 0.0 && v < n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_is_idempotent(domain in arb_domain(), u in 0.0f64..1.0) {
+        // decode -> encode -> decode must be a fixed point.
+        let v1 = domain.decode(u);
+        let v2 = domain.decode(domain.encode(v1));
+        match domain {
+            Domain::Float { .. } => prop_assert!((v1 - v2).abs() <= 1e-6 * (1.0 + v1.abs())),
+            _ => prop_assert_eq!(v1, v2),
+        }
+    }
+
+    #[test]
+    fn flow2_never_leaves_unit_cube(seed in 0u64..500, iters in 1usize..60) {
+        let space = SearchSpace::new(vec![
+            ParamDef::new("a", Domain::float(0.0, 1.0), 0.2),
+            ParamDef::new("b", Domain::log_float(0.01, 10.0), 0.1),
+            ParamDef::new("c", Domain::int(1, 100), 1.0),
+        ]).unwrap();
+        let mut opt = Flow2::new(space, seed);
+        for i in 0..iters {
+            let p = opt.ask();
+            prop_assert!(p.iter().all(|&u| (0.0..=1.0).contains(&u)), "iter {}: {:?}", i, p);
+            opt.tell((i as f64 * 0.37).sin().abs());
+        }
+    }
+
+    #[test]
+    fn flow2_best_err_is_running_min(seed in 0u64..200, errs in proptest::collection::vec(0.0f64..10.0, 2..50)) {
+        let space = SearchSpace::new(vec![ParamDef::new("x", Domain::float(0.0, 1.0), 0.5)]).unwrap();
+        let mut opt = Flow2::new(space, seed);
+        let mut min_seen = f64::INFINITY;
+        for &e in &errs {
+            let _ = opt.ask();
+            opt.tell(e);
+            min_seen = min_seen.min(e);
+            prop_assert_eq!(opt.best_err(), min_seen);
+        }
+    }
+
+    #[test]
+    fn random_search_incumbent_matches_min(seed in 0u64..200, errs in proptest::collection::vec(0.0f64..10.0, 1..40)) {
+        let space = SearchSpace::new(vec![ParamDef::new("x", Domain::float(0.0, 1.0), 0.5)]).unwrap();
+        let mut rs = RandomSearch::new(space, seed);
+        for &e in &errs {
+            let _ = rs.ask();
+            rs.tell(e);
+        }
+        let min = errs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(rs.best_err(), min);
+    }
+
+    #[test]
+    fn tpe_proposals_stay_in_cube(seed in 0u64..100, n in 5usize..40) {
+        let space = SearchSpace::new(vec![
+            ParamDef::new("x", Domain::float(0.0, 1.0), 0.5),
+            ParamDef::new("c", Domain::categorical(4), 0.0),
+        ]).unwrap();
+        let mut tpe = Tpe::new(space, seed);
+        for i in 0..n {
+            let p = tpe.ask();
+            prop_assert!(p.iter().all(|&u| (0.0..=1.0).contains(&u)));
+            tpe.tell((i % 7) as f64 * 0.1);
+        }
+    }
+
+    #[test]
+    fn hyperband_fidelities_are_geometric(eta in 2usize..5, r_min in 0.01f64..0.9) {
+        let mut hb = Hyperband::new(eta, r_min);
+        for i in 0..60u64 {
+            let job = hb.next_job();
+            prop_assert!(job.fidelity > 0.0 && job.fidelity <= 1.0 + 1e-12);
+            // Fidelity must be eta^-k for some integer k (within fp error).
+            let k = (-(job.fidelity.ln()) / (eta as f64).ln()).round();
+            let expected = (eta as f64).powf(-k);
+            prop_assert!((job.fidelity - expected).abs() < 1e-9,
+                "fidelity {} not a power of 1/{}", job.fidelity, eta);
+            hb.report(&job, vec![i as f64], (i % 11) as f64);
+        }
+    }
+}

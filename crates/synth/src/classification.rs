@@ -1,0 +1,291 @@
+//! Classification dataset generators.
+//!
+//! Each generator returns a [`Dataset`] with controlled difficulty; the
+//! [`ClassSpec`] options add noise features, categorical features, missing
+//! values and class imbalance, mirroring the heterogeneity of the paper's
+//! OpenML tasks (Tables 6–7).
+
+use flaml_data::{Dataset, FeatureKind, Task};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// Common options for classification generators.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassSpec {
+    /// Number of rows.
+    pub n: usize,
+    /// Pure-noise numeric features appended to the informative ones.
+    pub noise_features: usize,
+    /// Categorical features appended (weakly informative).
+    pub categorical_features: usize,
+    /// Fraction of feature cells set to `NaN`.
+    pub missing_rate: f64,
+    /// Label noise: fraction of labels flipped.
+    pub label_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClassSpec {
+    fn default() -> Self {
+        ClassSpec {
+            n: 1000,
+            noise_features: 2,
+            categorical_features: 0,
+            missing_rate: 0.0,
+            label_noise: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+fn finish(
+    name: &str,
+    task: Task,
+    mut columns: Vec<Vec<f64>>,
+    mut y: Vec<f64>,
+    spec: &ClassSpec,
+    rng: &mut StdRng,
+) -> Dataset {
+    let n = y.len();
+    for _ in 0..spec.noise_features {
+        columns.push((0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect());
+    }
+    let mut kinds = vec![FeatureKind::Numeric; columns.len()];
+    let n_classes = task.n_classes().unwrap_or(2);
+    for c in 0..spec.categorical_features {
+        let cardinality = 3 + (c % 4) * 2;
+        // Weakly label-correlated categories.
+        let col: Vec<f64> = y
+            .iter()
+            .map(|&label| {
+                if rng.gen::<f64>() < 0.4 {
+                    ((label as usize + c) % cardinality) as f64
+                } else {
+                    rng.gen_range(0..cardinality) as f64
+                }
+            })
+            .collect();
+        columns.push(col);
+        kinds.push(FeatureKind::Categorical { cardinality });
+    }
+    if spec.missing_rate > 0.0 {
+        for col in &mut columns {
+            for v in col.iter_mut() {
+                if rng.gen::<f64>() < spec.missing_rate {
+                    *v = f64::NAN;
+                }
+            }
+        }
+    }
+    if spec.label_noise > 0.0 {
+        for label in &mut y {
+            if rng.gen::<f64>() < spec.label_noise {
+                *label = rng.gen_range(0..n_classes) as f64;
+            }
+        }
+    }
+    Dataset::with_kinds(name, task, columns, kinds, y).expect("generator output is consistent")
+}
+
+/// Gaussian blobs: `k` classes at random centers with overlap controlled
+/// by `spread` (larger = harder). Centers sit on the unit sphere, so the
+/// class separation is independent of the dimensionality and `spread` is
+/// directly the noise-to-separation ratio (`~0.3` easy, `~1.0` hard).
+pub fn blobs(k: usize, d: usize, spread: f64, spec: ClassSpec) -> Dataset {
+    assert!(k >= 2 && d >= 1);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let unit = Normal::new(0.0, 1.0).expect("valid");
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| {
+            let v: Vec<f64> = (0..d).map(|_| unit.sample(&mut rng)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            v.into_iter().map(|x| x / norm).collect()
+        })
+        .collect();
+    let normal = Normal::new(0.0, spread).expect("valid spread");
+    let mut columns = vec![Vec::with_capacity(spec.n); d];
+    let mut y = Vec::with_capacity(spec.n);
+    for i in 0..spec.n {
+        let c = i % k;
+        for (j, col) in columns.iter_mut().enumerate() {
+            col.push(centers[c][j] + normal.sample(&mut rng));
+        }
+        y.push(c as f64);
+    }
+    let task = if k == 2 { Task::Binary } else { Task::MultiClass(k) };
+    finish("blobs", task, columns, y, &spec, &mut rng)
+}
+
+/// 2-D checkerboard with `cells x cells` tiles — a non-linear boundary
+/// that trees handle well and linear models cannot.
+pub fn checkerboard(cells: usize, spec: ClassSpec) -> Dataset {
+    assert!(cells >= 2);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut x0 = Vec::with_capacity(spec.n);
+    let mut x1 = Vec::with_capacity(spec.n);
+    let mut y = Vec::with_capacity(spec.n);
+    for _ in 0..spec.n {
+        let a = rng.gen::<f64>() * cells as f64;
+        let b = rng.gen::<f64>() * cells as f64;
+        x0.push(a);
+        x1.push(b);
+        y.push(((a.floor() as i64 + b.floor() as i64) % 2) as f64);
+    }
+    finish("checkerboard", Task::Binary, vec![x0, x1], y, &spec, &mut rng)
+}
+
+/// Rotated noisy hyperplane in `d` dimensions — nearly linearly separable,
+/// the regime where logistic regression shines.
+pub fn hyperplane(d: usize, margin_noise: f64, spec: ClassSpec) -> Dataset {
+    assert!(d >= 1);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let w: Vec<f64> = (0..d).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+    let mut columns = vec![Vec::with_capacity(spec.n); d];
+    let mut y = Vec::with_capacity(spec.n);
+    let normal = Normal::new(0.0, margin_noise.max(1e-9)).expect("valid noise");
+    for _ in 0..spec.n {
+        let x: Vec<f64> = (0..d).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+        let margin: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+        for (j, col) in columns.iter_mut().enumerate() {
+            col.push(x[j]);
+        }
+        y.push(f64::from(margin + normal.sample(&mut rng) > 0.0));
+    }
+    finish("hyperplane", Task::Binary, columns, y, &spec, &mut rng)
+}
+
+/// Concentric rings: class = ring index by distance from the origin.
+pub fn rings(k: usize, spec: ClassSpec) -> Dataset {
+    assert!(k >= 2);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut x0 = Vec::with_capacity(spec.n);
+    let mut x1 = Vec::with_capacity(spec.n);
+    let mut y = Vec::with_capacity(spec.n);
+    for i in 0..spec.n {
+        let c = i % k;
+        let radius = (c as f64 + 1.0) + rng.gen::<f64>() * 0.6 - 0.3;
+        let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+        x0.push(radius * angle.cos());
+        x1.push(radius * angle.sin());
+        y.push(c as f64);
+    }
+    let task = if k == 2 { Task::Binary } else { Task::MultiClass(k) };
+    finish("rings", task, vec![x0, x1], y, &spec, &mut rng)
+}
+
+/// Heavily imbalanced binary task: the minority class occupies a small
+/// pocket of feature space and `minority_fraction` of the rows.
+pub fn imbalanced(minority_fraction: f64, spec: ClassSpec) -> Dataset {
+    assert!(minority_fraction > 0.0 && minority_fraction < 0.5);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut x0 = Vec::with_capacity(spec.n);
+    let mut x1 = Vec::with_capacity(spec.n);
+    let mut y = Vec::with_capacity(spec.n);
+    for _ in 0..spec.n {
+        if rng.gen::<f64>() < minority_fraction {
+            x0.push(3.0 + rng.gen::<f64>());
+            x1.push(3.0 + rng.gen::<f64>());
+            y.push(1.0);
+        } else {
+            x0.push(rng.gen::<f64>() * 4.0);
+            x1.push(rng.gen::<f64>() * 4.0);
+            y.push(0.0);
+        }
+    }
+    finish("imbalanced", Task::Binary, vec![x0, x1], y, &spec, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_shape_and_balance() {
+        let d = blobs(3, 4, 1.0, ClassSpec { n: 300, ..ClassSpec::default() });
+        assert_eq!(d.n_rows(), 300);
+        assert_eq!(d.n_features(), 4 + 2);
+        assert_eq!(d.task(), Task::MultiClass(3));
+        let priors = d.class_priors().unwrap();
+        for p in priors {
+            assert!((p - 1.0 / 3.0).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn binary_blobs_use_binary_task() {
+        let d = blobs(2, 2, 0.5, ClassSpec::default());
+        assert_eq!(d.task(), Task::Binary);
+    }
+
+    #[test]
+    fn categorical_features_flagged() {
+        let spec = ClassSpec {
+            n: 200,
+            categorical_features: 3,
+            ..ClassSpec::default()
+        };
+        let d = checkerboard(4, spec);
+        let cats = d
+            .feature_kinds()
+            .iter()
+            .filter(|k| matches!(k, FeatureKind::Categorical { .. }))
+            .count();
+        assert_eq!(cats, 3);
+    }
+
+    #[test]
+    fn missing_rate_injects_nans() {
+        let spec = ClassSpec {
+            n: 500,
+            missing_rate: 0.2,
+            ..ClassSpec::default()
+        };
+        let d = hyperplane(5, 0.01, spec);
+        let total: usize = (0..d.n_features())
+            .map(|j| d.column(j).iter().filter(|v| v.is_nan()).count())
+            .sum();
+        let cells = d.n_rows() * d.n_features();
+        let rate = total as f64 / cells as f64;
+        assert!((rate - 0.2).abs() < 0.05, "missing rate {rate}");
+    }
+
+    #[test]
+    fn imbalanced_has_minority_pocket() {
+        let d = imbalanced(0.05, ClassSpec { n: 2000, ..ClassSpec::default() });
+        let p = d.class_priors().unwrap();
+        assert!((p[1] - 0.05).abs() < 0.03, "minority {:.3}", p[1]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rings(3, ClassSpec { seed: 5, ..ClassSpec::default() });
+        let b = rings(3, ClassSpec { seed: 5, ..ClassSpec::default() });
+        assert_eq!(a.column(0), b.column(0));
+        let c = rings(3, ClassSpec { seed: 6, ..ClassSpec::default() });
+        assert_ne!(a.column(0), c.column(0));
+    }
+
+    #[test]
+    fn label_noise_flips_labels() {
+        let clean = hyperplane(3, 1e-6, ClassSpec { n: 1000, seed: 1, ..ClassSpec::default() });
+        let noisy = hyperplane(
+            3,
+            1e-6,
+            ClassSpec {
+                n: 1000,
+                seed: 1,
+                label_noise: 0.3,
+                ..ClassSpec::default()
+            },
+        );
+        let diff = clean
+            .target()
+            .iter()
+            .zip(noisy.target())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(diff > 50, "only {diff} labels differ");
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic benchmark workloads for the FLAML reproduction.
+//!
+//! The paper evaluates on 39 OpenML classification tasks and 14 PMLB
+//! regression tasks, which are not available offline. This crate generates
+//! synthetic suites spanning the same axes the evaluation exercises —
+//! dataset scale (`#instances x #features` over several orders of
+//! magnitude), task type, difficulty, class imbalance, categorical
+//! features and missing values — plus the selectivity-estimation workload
+//! of Section 5.3 (multi-dimensional data distributions, range queries and
+//! exact selectivity labels, scored by q-error).
+//!
+//! # Example
+//!
+//! ```
+//! use flaml_synth::{binary_suite, SuiteScale};
+//!
+//! let datasets = binary_suite(SuiteScale::Small);
+//! assert!(datasets.len() >= 8);
+//! for d in &datasets {
+//!     assert!(d.n_rows() >= 300);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod classification;
+mod regression;
+mod selectivity;
+mod suite;
+
+pub use classification::{blobs, checkerboard, hyperplane, imbalanced, rings, ClassSpec};
+pub use regression::{friedman1, friedman2, friedman3, multiplicative, piecewise, plane};
+pub use selectivity::{
+    selectivity_dataset, selectivity_suite, selectivity_suite_scaled, SelectivityWorkload,
+    TableDistribution,
+};
+pub use suite::{binary_suite, multiclass_suite, regression_suite, SuiteScale};

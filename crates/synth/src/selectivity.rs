@@ -1,0 +1,313 @@
+//! The selectivity-estimation workload of the paper's Section 5.3.
+//!
+//! Dutt et al. train lightweight regression models that map a range
+//! predicate (per-dimension `[lo, hi]` bounds) to the predicate's
+//! selectivity on a table, evaluated by q-error. The paper's tables
+//! (Forest, Power, Higgs, Weather, TPC-H) are proprietary or large
+//! downloads, so this module generates distribution-matched synthetic
+//! tables: what drives q-error difficulty is dimensionality and the
+//! correlation/skew structure of the data, which each
+//! [`TableDistribution`] mimics.
+//!
+//! Models are trained on `ln(selectivity)`; q-error in log space is
+//! `exp(|prediction − truth|)` (see [`flaml_metrics::q_error`]).
+
+use flaml_data::{Dataset, Task};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// Families of table-data distributions, mirroring the datasets of
+/// Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableDistribution {
+    /// Clustered Gaussian mixture ("Forest"-like: terrain patches).
+    Forest,
+    /// Strongly correlated dimensions with heavy tails ("Power"-like:
+    /// household electricity readings).
+    Power,
+    /// Nearly independent unimodal dimensions ("Higgs"-like: detector
+    /// features).
+    Higgs,
+    /// Periodic structure plus trend ("Weather"-like: seasonal readings).
+    Weather,
+    /// Skewed, near-discrete values ("TPCH"-like: generated business
+    /// data).
+    Tpch,
+}
+
+impl TableDistribution {
+    /// Short name used in dataset labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TableDistribution::Forest => "Forest",
+            TableDistribution::Power => "Power",
+            TableDistribution::Higgs => "Higgs",
+            TableDistribution::Weather => "Weather",
+            TableDistribution::Tpch => "TPCH",
+        }
+    }
+
+    /// Samples `n` points in `[0, 1]^k`.
+    fn sample_points(&self, n: usize, k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+        let mut points = vec![vec![0.0; k]; n];
+        match self {
+            TableDistribution::Forest => {
+                let n_clusters = 8;
+                let centers: Vec<Vec<f64>> = (0..n_clusters)
+                    .map(|_| (0..k).map(|_| rng.gen::<f64>()).collect())
+                    .collect();
+                let normal = Normal::new(0.0, 0.07).expect("valid");
+                for p in &mut points {
+                    let c = rng.gen_range(0..n_clusters);
+                    for (j, v) in p.iter_mut().enumerate() {
+                        *v = (centers[c][j] + normal.sample(rng)).clamp(0.0, 1.0);
+                    }
+                }
+            }
+            TableDistribution::Power => {
+                // One latent heavy-tailed factor drives all dimensions.
+                let normal = Normal::new(0.0, 0.08).expect("valid");
+                for p in &mut points {
+                    let latent = rng.gen::<f64>().powf(2.5);
+                    for v in p.iter_mut() {
+                        *v = (latent + normal.sample(rng)).clamp(0.0, 1.0);
+                    }
+                }
+            }
+            TableDistribution::Higgs => {
+                let normal = Normal::new(0.5, 0.18).expect("valid");
+                for p in &mut points {
+                    for v in p.iter_mut() {
+                        let x: f64 = normal.sample(rng);
+                        *v = x.clamp(0.0, 1.0);
+                    }
+                }
+            }
+            TableDistribution::Weather => {
+                for p in &mut points {
+                    let t = rng.gen::<f64>();
+                    for (j, v) in p.iter_mut().enumerate() {
+                        let phase = j as f64 * 0.9;
+                        let seasonal = 0.3 * (t * std::f64::consts::TAU * 2.0 + phase).sin();
+                        *v = (0.5 + seasonal + 0.15 * (rng.gen::<f64>() - 0.5) + 0.2 * (t - 0.5))
+                            .clamp(0.0, 1.0);
+                    }
+                }
+            }
+            TableDistribution::Tpch => {
+                for p in &mut points {
+                    for v in p.iter_mut() {
+                        // Zipf-ish over 20 near-discrete values with jitter.
+                        let rank = (1.0 / (rng.gen::<f64>() * 0.95 + 0.05)).min(20.0);
+                        *v = ((rank / 20.0) + 0.01 * rng.gen::<f64>()).clamp(0.0, 1.0);
+                    }
+                }
+            }
+        }
+        points
+    }
+}
+
+/// A selectivity-estimation workload: training and test query datasets
+/// over one synthetic table.
+#[derive(Debug, Clone)]
+pub struct SelectivityWorkload {
+    /// Workload name, e.g. `4D-Forest1`.
+    pub name: String,
+    /// Training queries: features are `[lo_j, hi_j]` per dimension, target
+    /// is `ln(selectivity)`.
+    pub train: Dataset,
+    /// Held-out test queries in the same encoding.
+    pub test: Dataset,
+}
+
+/// Generates one selectivity workload.
+///
+/// `n_points` table rows in `dims` dimensions are drawn from `dist`;
+/// `n_train`/`n_test` range queries are labelled with their exact
+/// selectivity, floored at `1/n_points` (the convention of Dutt et al. so
+/// q-error stays finite).
+pub fn selectivity_dataset(
+    name: &str,
+    dist: TableDistribution,
+    dims: usize,
+    n_points: usize,
+    n_train: usize,
+    n_test: usize,
+    seed: u64,
+) -> SelectivityWorkload {
+    assert!(dims >= 1 && n_points >= 10);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = dist.sample_points(n_points, dims, &mut rng);
+    let floor = 1.0 / n_points as f64;
+
+    let make = |count: usize, rng: &mut StdRng| -> Dataset {
+        let mut columns = vec![Vec::with_capacity(count); dims * 2];
+        let mut y = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Center the query on a random data point so that queries hit
+            // populated regions (as real workloads do).
+            let center = &points[rng.gen_range(0..points.len())];
+            let mut lo = vec![0.0; dims];
+            let mut hi = vec![1.0; dims];
+            for j in 0..dims {
+                if rng.gen::<f64>() < 0.2 {
+                    // Unconstrained dimension (open-sided predicate).
+                    continue;
+                }
+                // Log-uniform width concentrates difficulty at small
+                // selectivities, like range predicates in practice.
+                let half_width = 0.5 * 10f64.powf(rng.gen::<f64>() * 2.0 - 2.0);
+                lo[j] = (center[j] - half_width).max(0.0);
+                hi[j] = (center[j] + half_width).min(1.0);
+            }
+            let hits = points
+                .iter()
+                .filter(|p| (0..dims).all(|j| p[j] >= lo[j] && p[j] <= hi[j]))
+                .count();
+            let sel = (hits as f64 / n_points as f64).max(floor);
+            for j in 0..dims {
+                columns[2 * j].push(lo[j]);
+                columns[2 * j + 1].push(hi[j]);
+            }
+            y.push(sel.ln());
+        }
+        Dataset::new(name, Task::Regression, columns, y).expect("consistent")
+    };
+
+    let train = make(n_train, &mut rng);
+    let test = make(n_test, &mut rng);
+    SelectivityWorkload {
+        name: name.to_string(),
+        train,
+        test,
+    }
+}
+
+/// The ten workloads of the paper's Table 4, at a laptop-friendly scale.
+pub fn selectivity_suite(seed: u64) -> Vec<SelectivityWorkload> {
+    selectivity_suite_scaled(seed, 20_000, 2_000, 500)
+}
+
+/// Like [`selectivity_suite`] with explicit table and query counts
+/// (smaller values keep tests fast).
+pub fn selectivity_suite_scaled(
+    seed: u64,
+    n_points: usize,
+    n_train: usize,
+    n_test: usize,
+) -> Vec<SelectivityWorkload> {
+    use TableDistribution::*;
+    let specs: [(&str, TableDistribution, usize); 10] = [
+        ("2D-Forest", Forest, 2),
+        ("2D-Power", Power, 2),
+        ("2D-TPCH", Tpch, 2),
+        ("4D-Forest1", Forest, 4),
+        ("4D-Forest2", Forest, 4),
+        ("4D-Power", Power, 4),
+        ("7D-Higgs", Higgs, 7),
+        ("7D-Power", Power, 7),
+        ("7D-Weather", Weather, 7),
+        ("10D-Forest", Forest, 10),
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, (name, dist, dims))| {
+            selectivity_dataset(
+                name,
+                *dist,
+                *dims,
+                n_points,
+                n_train,
+                n_test,
+                seed.wrapping_add(i as u64 * 1000 + 7),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shapes() {
+        let w = selectivity_dataset("2D-Forest", TableDistribution::Forest, 2, 2000, 300, 100, 0);
+        assert_eq!(w.train.n_rows(), 300);
+        assert_eq!(w.test.n_rows(), 100);
+        assert_eq!(w.train.n_features(), 4, "lo/hi per dimension");
+        assert_eq!(w.train.task(), Task::Regression);
+    }
+
+    #[test]
+    fn selectivities_are_valid_log_probabilities() {
+        let w = selectivity_dataset("t", TableDistribution::Power, 3, 1000, 200, 50, 1);
+        for &ln_sel in w.train.target() {
+            let sel = ln_sel.exp();
+            assert!(sel >= 1.0 / 1000.0 - 1e-12 && sel <= 1.0 + 1e-12, "{sel}");
+        }
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        let w = selectivity_dataset("t", TableDistribution::Higgs, 4, 500, 100, 20, 2);
+        for i in 0..w.train.n_rows() {
+            for j in 0..4 {
+                let lo = w.train.value(i, 2 * j);
+                let hi = w.train.value(i, 2 * j + 1);
+                assert!(lo <= hi, "row {i} dim {j}: [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_recomputed_selectivity_floor() {
+        // The floor keeps every query answerable: exp(min label) = 1/n.
+        let n = 500;
+        let w = selectivity_dataset("t", TableDistribution::Tpch, 2, n, 300, 10, 3);
+        let min = w
+            .train
+            .target()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!(min >= (1.0 / n as f64).ln() - 1e-9);
+    }
+
+    #[test]
+    fn suite_covers_table4() {
+        let suite = selectivity_suite_scaled(0, 1000, 50, 20);
+        assert_eq!(suite.len(), 10);
+        let names: Vec<&str> = suite.iter().map(|w| w.name.as_str()).collect();
+        assert!(names.contains(&"2D-Forest"));
+        assert!(names.contains(&"10D-Forest"));
+        assert_eq!(suite[3].train.n_features(), 8);
+    }
+
+    #[test]
+    fn higher_dims_have_harder_small_selectivities() {
+        // Sanity: 7D queries over independent-ish data reach smaller
+        // selectivities than 2D (more constrained dimensions).
+        let w2 = selectivity_dataset("2d", TableDistribution::Higgs, 2, 3000, 400, 10, 4);
+        let w7 = selectivity_dataset("7d", TableDistribution::Higgs, 7, 3000, 400, 10, 4);
+        let mean = |d: &Dataset| d.target().iter().sum::<f64>() / d.n_rows() as f64;
+        assert!(mean(&w7.train) < mean(&w2.train));
+    }
+
+    #[test]
+    fn distributions_differ() {
+        let mut rng_a = StdRng::seed_from_u64(0);
+        let mut rng_b = StdRng::seed_from_u64(0);
+        let forest = TableDistribution::Forest.sample_points(500, 2, &mut rng_a);
+        let higgs = TableDistribution::Higgs.sample_points(500, 2, &mut rng_b);
+        // Forest is clustered: its per-dimension variance differs from the
+        // unimodal Higgs distribution.
+        let var = |pts: &[Vec<f64>]| {
+            let m = pts.iter().map(|p| p[0]).sum::<f64>() / pts.len() as f64;
+            pts.iter().map(|p| (p[0] - m) * (p[0] - m)).sum::<f64>() / pts.len() as f64
+        };
+        assert!((var(&forest) - var(&higgs)).abs() > 1e-3);
+    }
+}

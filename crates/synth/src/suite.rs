@@ -1,0 +1,202 @@
+//! Named dataset suites mirroring the structure of the paper's benchmark
+//! (Tables 6–8): groups of binary, multi-class and regression tasks
+//! ordered by size, with heterogeneous difficulty, categorical features
+//! and missing values.
+
+use crate::classification::{blobs, checkerboard, hyperplane, imbalanced, rings, ClassSpec};
+use crate::regression::{friedman1, friedman2, friedman3, multiplicative, piecewise, plane};
+use flaml_data::Dataset;
+
+/// Scale of the suite: `Small` for tests and smoke runs, `Full` for the
+/// experiment harness (about 100x smaller than the paper's datasets, to
+/// match the scaled time budgets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// Hundreds of rows per dataset.
+    Small,
+    /// Thousands to tens of thousands of rows per dataset.
+    Full,
+}
+
+impl SuiteScale {
+    fn scale(&self, n: usize) -> usize {
+        match self {
+            SuiteScale::Small => (n / 20).max(300),
+            SuiteScale::Full => n,
+        }
+    }
+}
+
+fn spec(n: usize, seed: u64) -> ClassSpec {
+    ClassSpec {
+        n,
+        seed,
+        ..ClassSpec::default()
+    }
+}
+
+/// Binary classification suite (ordered by size, like Figure 5a).
+pub fn binary_suite(scale: SuiteScale) -> Vec<Dataset> {
+    let s = |n| scale.scale(n);
+    vec![
+        hyperplane(4, 0.05, spec(s(748), 100)).renamed("blood-like"),
+        blobs(2, 8, 0.6, spec(s(1000), 101)).renamed("credit-like"),
+        checkerboard(
+            3,
+            ClassSpec {
+                label_noise: 0.05,
+                ..spec(s(2100), 102)
+            },
+        )
+        .renamed("kc1-like"),
+        hyperplane(
+            20,
+            0.2,
+            ClassSpec {
+                categorical_features: 3,
+                ..spec(s(3200), 103)
+            },
+        )
+        .renamed("kr-vs-kp-like"),
+        rings(2, spec(s(5400), 104)).renamed("phoneme-like"),
+        blobs(
+            2,
+            15,
+            0.8,
+            ClassSpec {
+                missing_rate: 0.05,
+                ..spec(s(5200), 105)
+            },
+        )
+        .renamed("sylvine-like"),
+        checkerboard(5, spec(s(9000), 106)).renamed("nomao-like"),
+        imbalanced(0.06, spec(s(32_000), 107)).renamed("amazon-like"),
+        hyperplane(
+            16,
+            0.4,
+            ClassSpec {
+                categorical_features: 4,
+                missing_rate: 0.03,
+                ..spec(s(45_000), 108)
+            },
+        )
+        .renamed("bank-like"),
+        blobs(2, 28, 0.9, spec(s(50_000), 109)).renamed("higgs-like"),
+        checkerboard(
+            6,
+            ClassSpec {
+                label_noise: 0.1,
+                ..spec(s(60_000), 110)
+            },
+        )
+        .renamed("miniboone-like"),
+        blobs(2, 7, 1.1, spec(s(80_000), 111)).renamed("airlines-like"),
+    ]
+}
+
+/// Multi-class suite (like Figure 5b).
+pub fn multiclass_suite(scale: SuiteScale) -> Vec<Dataset> {
+    let s = |n| scale.scale(n);
+    vec![
+        blobs(
+            4,
+            6,
+            0.5,
+            ClassSpec {
+                categorical_features: 2,
+                ..spec(s(1728), 200)
+            },
+        )
+        .renamed("car-like"),
+        rings(3, spec(s(2000), 201)).renamed("mfeat-like"),
+        blobs(7, 19, 0.6, spec(s(2310), 202)).renamed("segment-like"),
+        rings(4, spec(s(4800), 203)).renamed("vehicle-like"),
+        blobs(
+            10,
+            12,
+            0.8,
+            ClassSpec {
+                missing_rate: 0.02,
+                ..spec(s(10_000), 204)
+            },
+        )
+        .renamed("helena-like"),
+        blobs(5, 30, 0.9, spec(s(40_000), 205)).renamed("jannis-like"),
+        blobs(3, 6, 0.45, spec(s(44_000), 206)).renamed("jungle-like"),
+        blobs(7, 9, 0.5, spec(s(58_000), 207)).renamed("shuttle-like"),
+    ]
+}
+
+/// Regression suite (like Figure 5c).
+pub fn regression_suite(scale: SuiteScale) -> Vec<Dataset> {
+    let s = |n| scale.scale(n);
+    vec![
+        friedman3(s(15_000), 0.1, 300).renamed("pol-like"),
+        friedman1(s(17_500), 9, 1.0, 301).renamed("echomonths-like"),
+        multiplicative(s(20_600), 8, 0.3, 302).renamed("houses-like"),
+        piecewise(s(22_800), 8, 0.5, 303).renamed("house8L-like"),
+        friedman2(s(31_000), 5.0, 304).renamed("lowbwt-like"),
+        plane(s(40_700), 10, 1.0, 305).renamed("2dplanes-like"),
+        friedman1(s(40_700), 10, 2.0, 306).renamed("fried-like"),
+        piecewise(s(100_000), 11, 1.0, 307).renamed("pharynx-like"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flaml_data::Task;
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(binary_suite(SuiteScale::Small).len(), 12);
+        assert_eq!(multiclass_suite(SuiteScale::Small).len(), 8);
+        assert_eq!(regression_suite(SuiteScale::Small).len(), 8);
+    }
+
+    #[test]
+    fn small_scale_caps_rows() {
+        for d in binary_suite(SuiteScale::Small) {
+            assert!(d.n_rows() <= 4000, "{} has {} rows", d.name(), d.n_rows());
+            assert!(d.n_rows() >= 300);
+        }
+    }
+
+    #[test]
+    fn full_scale_orders_by_size() {
+        let suite = binary_suite(SuiteScale::Full);
+        assert!(suite.last().unwrap().n_rows() > suite[0].n_rows());
+        assert_eq!(suite.last().unwrap().n_rows(), 80_000);
+    }
+
+    #[test]
+    fn tasks_match_groups() {
+        for d in binary_suite(SuiteScale::Small) {
+            assert_eq!(d.task(), Task::Binary, "{}", d.name());
+        }
+        for d in multiclass_suite(SuiteScale::Small) {
+            assert!(
+                matches!(d.task(), Task::MultiClass(_)),
+                "{}",
+                d.name()
+            );
+        }
+        for d in regression_suite(SuiteScale::Small) {
+            assert_eq!(d.task(), Task::Regression, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = binary_suite(SuiteScale::Small)
+            .iter()
+            .chain(multiclass_suite(SuiteScale::Small).iter())
+            .chain(regression_suite(SuiteScale::Small).iter())
+            .map(|d| d.name().to_string())
+            .collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

@@ -1,0 +1,51 @@
+//! Anytime behaviour: watch FLAML move from cheap trials on small samples
+//! to expensive trials on the full data (the dynamics of Figure 1 and
+//! Table 3), and inspect the per-learner ECI snapshots driving it.
+//!
+//! ```text
+//! cargo run --release --example anytime
+//! ```
+
+use flaml::AutoMl;
+use flaml_synth::{binary_suite, SuiteScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = binary_suite(SuiteScale::Small)
+        .into_iter()
+        .find(|d| d.name() == "higgs-like")
+        .expect("suite contains higgs-like");
+    println!(
+        "dataset {}: {} rows x {} features",
+        data.name(),
+        data.n_rows(),
+        data.n_features()
+    );
+
+    let result = AutoMl::new()
+        .time_budget(3.0)
+        .sample_size_init(200)
+        .seed(0)
+        .fit(&data)?;
+
+    println!("\ntime    learner      sample  cost    best-error  (improving trials)");
+    for t in result.trials.iter().filter(|t| t.improved_global) {
+        println!(
+            "{:6.2}s {:12} {:6}  {:6.3}s {:.4}",
+            t.total_time, t.learner, t.sample_size, t.cost, t.best_error_so_far
+        );
+    }
+
+    // The ECI snapshot after the last trial: the priorities FLAML ended
+    // up assigning to each learner.
+    if let Some(last) = result.trials.last() {
+        println!("\nfinal ECI per learner (lower = higher priority):");
+        for (learner, eci) in &last.eci_snapshot {
+            println!("  {learner:12} {eci:10.3}");
+        }
+    }
+    println!(
+        "\nwinner: {} with {}",
+        result.best_learner, result.best_config_rendered
+    );
+    Ok(())
+}

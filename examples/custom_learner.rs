@@ -1,0 +1,174 @@
+//! The paper's `add_learner` API: registering a user-defined learner that
+//! FLAML searches exactly like the builtins — ECI prioritization, FLOW²
+//! over its declared space, and the sample-size schedule all apply.
+//!
+//! The custom learner here is a k-nearest-centroid classifier with one
+//! searched hyperparameter (the number of centroids per class).
+//!
+//! ```text
+//! cargo run --release --example custom_learner
+//! ```
+
+use flaml::{AutoMl, CustomLearner, LearnerKind};
+use flaml_data::Dataset;
+use flaml_learners::{DynModel, FitError, FittedModel};
+use flaml_metrics::Pred;
+use flaml_search::{Config, Domain, ParamDef, SearchSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Nearest-centroid classifier: each class is summarized by `k` centroids
+/// found by a few rounds of Lloyd's algorithm; prediction is a softmax
+/// over negative distances to the nearest centroid of each class.
+#[derive(Debug)]
+struct NearestCentroids;
+
+#[derive(Debug)]
+struct CentroidModel {
+    /// Per class: centroid coordinate vectors.
+    centroids: Vec<Vec<Vec<f64>>>,
+}
+
+impl DynModel for CentroidModel {
+    fn predict_dyn(&self, data: &Dataset) -> Pred {
+        let n = data.n_rows();
+        let d = data.n_features();
+        let k = self.centroids.len();
+        let mut p = vec![0.0; n * k];
+        for i in 0..n {
+            let row: Vec<f64> = (0..d).map(|j| data.value(i, j)).collect();
+            let mut weights = vec![0.0; k];
+            for (c, class_centroids) in self.centroids.iter().enumerate() {
+                let best = class_centroids
+                    .iter()
+                    .map(|cent| {
+                        cent.iter()
+                            .zip(&row)
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum::<f64>()
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                weights[c] = (-best).exp().max(1e-12);
+            }
+            let total: f64 = weights.iter().sum();
+            for c in 0..k {
+                p[i * k + c] = weights[c] / total;
+            }
+        }
+        Pred::Probs { n_classes: k, p }
+    }
+}
+
+impl CustomLearner for NearestCentroids {
+    fn name(&self) -> &str {
+        "centroids"
+    }
+
+    fn space(&self, _n_rows: usize) -> SearchSpace {
+        SearchSpace::new(vec![ParamDef::new(
+            "k_per_class",
+            Domain::log_int(1, 32),
+            1.0,
+        )])
+        .expect("valid space")
+    }
+
+    fn cost_constant(&self) -> f64 {
+        1.2
+    }
+
+    fn fit(
+        &self,
+        data: &Dataset,
+        config: &Config,
+        space: &SearchSpace,
+        seed: u64,
+        _budget: Option<Duration>,
+    ) -> Result<FittedModel, FitError> {
+        let Some(n_classes) = data.task().n_classes() else {
+            return Err(FitError::BadData("centroids is classification-only".into()));
+        };
+        let k = config.get(space, "k_per_class") as usize;
+        let d = data.n_features();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut centroids = Vec::with_capacity(n_classes);
+        for c in 0..n_classes {
+            let rows: Vec<usize> = (0..data.n_rows())
+                .filter(|&i| data.target()[i] as usize == c)
+                .collect();
+            if rows.is_empty() {
+                return Err(FitError::BadData(format!("class {c} absent")));
+            }
+            // Initialize on random class members, then 5 Lloyd rounds.
+            let mut cents: Vec<Vec<f64>> = (0..k.min(rows.len()))
+                .map(|_| {
+                    let r = rows[rng.gen_range(0..rows.len())];
+                    (0..d).map(|j| data.value(r, j)).collect()
+                })
+                .collect();
+            for _ in 0..5 {
+                let mut sums = vec![vec![0.0; d]; cents.len()];
+                let mut counts = vec![0usize; cents.len()];
+                for &r in &rows {
+                    let row: Vec<f64> = (0..d).map(|j| data.value(r, j)).collect();
+                    let nearest = cents
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| {
+                            let da: f64 =
+                                a.1.iter().zip(&row).map(|(x, y)| (x - y) * (x - y)).sum();
+                            let db: f64 =
+                                b.1.iter().zip(&row).map(|(x, y)| (x - y) * (x - y)).sum();
+                            da.partial_cmp(&db).expect("finite distances")
+                        })
+                        .map(|(i, _)| i)
+                        .expect("non-empty centroids");
+                    for j in 0..d {
+                        sums[nearest][j] += row[j];
+                    }
+                    counts[nearest] += 1;
+                }
+                for (cent, (sum, count)) in cents.iter_mut().zip(sums.iter().zip(&counts)) {
+                    if *count > 0 {
+                        for j in 0..d {
+                            cent[j] = sum[j] / *count as f64;
+                        }
+                    }
+                }
+            }
+            centroids.push(cents);
+        }
+        Ok(FittedModel::Custom(Arc::new(CentroidModel { centroids })))
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Ring-shaped classes: centroids with enough k can tile the rings.
+    let data = flaml_synth::rings(
+        3,
+        flaml_synth::ClassSpec {
+            n: 3000,
+            seed: 11,
+            ..flaml_synth::ClassSpec::default()
+        },
+    );
+
+    let result = AutoMl::new()
+        .time_budget(2.0)
+        .estimators([LearnerKind::Lr]) // weak builtin on rings
+        .add_learner(Arc::new(NearestCentroids))
+        .seed(0)
+        .fit(&data)?;
+
+    println!("winner      : {}", result.best_learner);
+    println!("best config : {}", result.best_config_rendered);
+    println!("validation  : {} = {:.4}", result.metric, -result.best_error);
+    let tried_custom = result.trials.iter().filter(|t| t.learner == "centroids").count();
+    println!(
+        "custom learner trials: {tried_custom} of {}",
+        result.trials.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: the scikit-learn-style `fit` of the paper's Section 3 on a
+//! synthetic binary-classification task.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use flaml::{AutoMl, LearnerKind};
+use flaml_data::{Dataset, Task};
+use flaml_metrics::Metric;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A noisy non-linear task: y = 1 inside a disc, with label noise.
+    let n = 4000;
+    let mut rng = StdRng::seed_from_u64(7);
+    let x0: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+    let x1: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            let inside = x0[i] * x0[i] + x1[i] * x1[i] < 0.5;
+            let flip = rng.gen::<f64>() < 0.05;
+            f64::from(inside != flip)
+        })
+        .collect();
+    let data = Dataset::new("disc", Task::Binary, vec![x0, x1], y)?;
+
+    // Split off a test set the search never sees.
+    let shuffled = data.shuffled(0);
+    let train = shuffled.prefix(3200);
+    let test = shuffled.select(&(3200..n).collect::<Vec<_>>());
+
+    // `fit` with a 2-second budget — everything else is automatic:
+    // resampling strategy, learner choice, hyperparameters, sample size.
+    let result = AutoMl::new().time_budget(2.0).seed(42).fit(&train)?;
+
+    println!("best learner : {}", result.best_learner);
+    println!("best config  : {}", result.best_config_rendered);
+    println!("validation   : {} = {:.4}", result.metric, 1.0 - result.best_error);
+    println!("strategy     : {}", result.strategy);
+    println!("trials run   : {}", result.trials.len());
+
+    let pred = result.model.predict(&test);
+    let auc = Metric::RocAuc.score(&pred, test.target())?;
+    let acc = Metric::Accuracy.score(&pred, test.target())?;
+    println!("test auc     : {auc:.4}");
+    println!("test accuracy: {acc:.4}");
+
+    // The estimator list is just as easy to restrict (paper Section 3):
+    let gbm_only = AutoMl::new()
+        .time_budget(1.0)
+        .estimators([LearnerKind::LightGbm, LearnerKind::XgBoost])
+        .seed(42)
+        .fit(&train)?;
+    println!(
+        "gbm-only run : {} ({:.4})",
+        gbm_only.best_learner,
+        1.0 - gbm_only.best_error
+    );
+    Ok(())
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Merges per-group fig5 result files into bench_results/fig5.json so
+fig6_boxplot and table9_smaller_budget can consume one file.
+
+Usage: python3 scripts/merge_fig5.py
+"""
+import json
+import os
+
+parts = []
+for group in ("binary", "multiclass", "regression"):
+    path = f"bench_results/fig5_{group}.json"
+    if os.path.exists(path):
+        with open(path) as f:
+            parts.extend(json.load(f))
+    else:
+        print(f"warning: {path} missing")
+
+with open("bench_results/fig5.json", "w") as f:
+    json.dump(parts, f, indent=2)
+print(f"merged {len(parts)} results into bench_results/fig5.json")

@@ -1,0 +1,4 @@
+#!/bin/bash
+set -x
+cargo run -q -p flaml-bench --bin fig5_scores -- --full --per-group 3 --budgets 0.3,1.2,5 --rf-budget 2 --group multiclass > experiments_raw/fig5_multiclass.txt 2> experiments_raw/fig5_multiclass.log
+echo "rc=$?" >> experiments_raw/fig5_multiclass.log

@@ -1,0 +1,3 @@
+#!/bin/bash
+cargo run -q -p flaml-bench --bin fig5_scores -- --full --per-group 3 --budgets 0.3,1.2,5 --rf-budget 2 --group regression > experiments_raw/fig5_regression.txt 2> experiments_raw/fig5_regression.log
+echo "rc=$?" >> experiments_raw/fig5_regression.log

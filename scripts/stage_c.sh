@@ -1,0 +1,6 @@
+#!/bin/bash
+python3 scripts/merge_fig5.py
+cargo run -q -p flaml-bench --bin fig6_boxplot > experiments_raw/fig6.txt 2>/dev/null
+cargo run -q -p flaml-bench --bin table9_smaller_budget > experiments_raw/table9.txt 2>/dev/null
+cargo run -q -p flaml-bench --bin fig8_ablation_all -- --budgets 0.3,1,3 > experiments_raw/fig8.txt 2> experiments_raw/fig8.log
+echo "stage_c rc=$?" >> experiments_raw/fig8.log

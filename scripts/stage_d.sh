@@ -1,0 +1,4 @@
+#!/bin/bash
+cargo run -q -p flaml-bench --bin fig7_ablation -- --budget 5 --seeds 2 > experiments_raw/fig7.txt 2>/dev/null
+cargo run -q -p flaml-bench --bin table4_selectivity -- --budget 4 > experiments_raw/table4.txt 2>/dev/null
+echo "stage_d done" > experiments_raw/stage_d.done

@@ -1,0 +1,6 @@
+#!/bin/bash
+cargo run -q -p flaml-bench --bin fig1_anytime -- --full --budget 8 > experiments_raw/fig1.txt 2>/dev/null
+cargo run -q -p flaml-bench --bin fig4_eci -- --full --budget 8 > experiments_raw/fig4.txt 2>/dev/null
+cargo run -q -p flaml-bench --bin table3_case_study -- --full --budget 8 > experiments_raw/table3.txt 2>/dev/null
+cargo run -q -p flaml-bench --bin table5_space > experiments_raw/table5.txt 2>/dev/null
+echo "stage_e done" > experiments_raw/stage_e.done

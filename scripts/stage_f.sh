@@ -1,0 +1,4 @@
+#!/bin/bash
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | tail -5
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | grep -c "test result: ok"
+echo "stage_f done" > experiments_raw/stage_f.done

@@ -1,0 +1,2 @@
+//! Facade: re-exports the full flaml-rs API.
+pub use flaml_core::*;
