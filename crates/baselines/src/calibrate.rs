@@ -4,8 +4,8 @@
 //! random forest maps to score 1.
 
 use flaml_core::{
-    fit_learner, run_trial, AutoMlError, BudgetClock, LearnerKind, ResampleRule, TimeSource,
-    TrialInfo,
+    fit_learner, run_trial, AutoMlError, BudgetClock, ExecPool, LearnerKind, ResampleRule,
+    TimeSource, TrialInfo,
 };
 use flaml_data::{Dataset, Task};
 use flaml_learners::FittedModel;
@@ -88,6 +88,7 @@ pub fn tuned_random_forest(
             metric,
             seed.wrapping_add(iter as u64),
             deadline,
+            &ExecPool::sequential(),
         );
         let measured = t0.elapsed().as_secs_f64();
         clock.charge(
@@ -102,7 +103,10 @@ pub fn tuned_random_forest(
         );
         sampler.tell(outcome.error);
         if outcome.error.is_finite()
-            && best.as_ref().map(|(_, e)| outcome.error < *e).unwrap_or(true)
+            && best
+                .as_ref()
+                .map(|(_, e)| outcome.error < *e)
+                .unwrap_or(true)
         {
             best = Some((config, outcome.error));
         }
@@ -176,8 +180,7 @@ mod tests {
     #[test]
     fn constant_predictor_regression_is_mean() {
         let y = vec![1.0, 2.0, 3.0];
-        let train =
-            Dataset::new("r", Task::Regression, vec![vec![0.0, 1.0, 2.0]], y).unwrap();
+        let train = Dataset::new("r", Task::Regression, vec![vec![0.0, 1.0, 2.0]], y).unwrap();
         let pred = constant_predictor(&train, 2);
         assert_eq!(pred.values().unwrap(), &[2.0, 2.0]);
     }

@@ -4,8 +4,8 @@
 
 use crate::joint::JointSpace;
 use flaml_core::{
-    fit_learner, run_trial, AutoMlError, AutoMlResult, BudgetClock, LearnerKind, ResampleRule,
-    ResampleStrategy, TimeSource, TrialInfo, TrialMode, TrialRecord,
+    fit_learner, run_trial, AutoMlError, AutoMlResult, BudgetClock, ExecPool, LearnerKind,
+    ResampleRule, ResampleStrategy, TimeSource, TrialInfo, TrialMode, TrialRecord,
 };
 use flaml_data::Dataset;
 use flaml_metrics::Metric;
@@ -64,6 +64,9 @@ pub struct BaselineSettings {
     pub max_trials: Option<usize>,
     /// Wall or virtual budget accounting.
     pub time_source: TimeSource,
+    /// Worker count of the trial-execution pool (CV folds evaluate
+    /// concurrently; 1 = the sequential fold loop).
+    pub workers: usize,
 }
 
 impl Default for BaselineSettings {
@@ -77,6 +80,7 @@ impl Default for BaselineSettings {
             resample_rule: ResampleRule::default(),
             max_trials: None,
             time_source: TimeSource::Wall,
+            workers: 1,
         }
     }
 }
@@ -84,8 +88,14 @@ impl Default for BaselineSettings {
 enum Proposer {
     Random(RandomSearch),
     Bo(Tpe),
-    Bohb { tpe: Tpe, hb: Hyperband },
-    Hyperband { sampler: RandomSearch, hb: Hyperband },
+    Bohb {
+        tpe: Tpe,
+        hb: Hyperband,
+    },
+    Hyperband {
+        sampler: RandomSearch,
+        hb: Hyperband,
+    },
 }
 
 /// Runs a baseline AutoML system on `data` and returns a result in the
@@ -110,20 +120,19 @@ pub fn run_baseline(
     let shuffled = data.shuffled(settings.seed);
     let n = shuffled.n_rows();
     let d = shuffled.n_features();
-    let strategy = settings
-        .resample_rule
-        .choose(n, d, settings.time_budget);
+    let strategy = settings.resample_rule.choose(n, d, settings.time_budget);
     let joint = JointSpace::new(&settings.estimators, n);
     let r_min = (settings.sample_size_min.min(n) as f64 / n as f64).clamp(1e-6, 1.0);
 
     // Per-baseline seed offsets keep the proposal streams of different
     // systems independent even when the caller passes one seed.
-    let seed = settings.seed ^ match kind {
-        BaselineKind::RandomSearch => 0x52414e44,
-        BaselineKind::Bo => 0x424f,
-        BaselineKind::Bohb => 0x424f4842,
-        BaselineKind::Hyperband => 0x48422121,
-    };
+    let seed = settings.seed
+        ^ match kind {
+            BaselineKind::RandomSearch => 0x52414e44,
+            BaselineKind::Bo => 0x424f,
+            BaselineKind::Bohb => 0x424f4842,
+            BaselineKind::Hyperband => 0x48422121,
+        };
     let mut proposer = match kind {
         BaselineKind::RandomSearch => {
             Proposer::Random(RandomSearch::new(joint.space().clone(), seed))
@@ -139,6 +148,7 @@ pub fn run_baseline(
         },
     };
 
+    let pool = ExecPool::new(settings.workers.max(1));
     let mut trials: Vec<TrialRecord> = Vec::new();
     let mut best: Option<(LearnerKind, Config, SearchSpace, f64)> = None;
     let mut best_model = None;
@@ -163,9 +173,7 @@ pub fn run_baseline(
                 let s = ((job.fidelity * n as f64).round() as usize).clamp(1, n);
                 match &job.source {
                     JobSource::Fresh => (tpe.ask(), s, TrialMode::Search, Some(job)),
-                    JobSource::Promoted(cfg) => {
-                        (cfg.clone(), s, TrialMode::SampleUp, Some(job))
-                    }
+                    JobSource::Promoted(cfg) => (cfg.clone(), s, TrialMode::SampleUp, Some(job)),
                 }
             }
             Proposer::Hyperband { sampler, hb } => {
@@ -173,9 +181,7 @@ pub fn run_baseline(
                 let s = ((job.fidelity * n as f64).round() as usize).clamp(1, n);
                 match &job.source {
                     JobSource::Fresh => (sampler.ask(), s, TrialMode::Search, Some(job)),
-                    JobSource::Promoted(cfg) => {
-                        (cfg.clone(), s, TrialMode::SampleUp, Some(job))
-                    }
+                    JobSource::Promoted(cfg) => (cfg.clone(), s, TrialMode::SampleUp, Some(job)),
                 }
             }
         };
@@ -199,6 +205,7 @@ pub fn run_baseline(
             metric,
             settings.seed.wrapping_add(iter as u64),
             deadline,
+            &pool,
         );
         let measured = t0.elapsed().as_secs_f64();
         let info = TrialInfo {
@@ -233,7 +240,10 @@ pub fn run_baseline(
         }
 
         let improved_global = outcome.error.is_finite()
-            && best.as_ref().map(|(_, _, _, e)| outcome.error < *e).unwrap_or(true);
+            && best
+                .as_ref()
+                .map(|(_, _, _, e)| outcome.error < *e)
+                .unwrap_or(true);
         if improved_global {
             best = Some((learner, config.clone(), subspace.clone(), outcome.error));
             best_model = outcome.model;
@@ -249,35 +259,45 @@ pub fn run_baseline(
             total_time: clock.elapsed(),
             mode,
             improved_global,
-            best_error_so_far: best.as_ref().map(|(_, _, _, e)| *e).unwrap_or(f64::INFINITY),
+            best_error_so_far: best
+                .as_ref()
+                .map(|(_, _, _, e)| *e)
+                .unwrap_or(f64::INFINITY),
             eci_snapshot: Vec::new(),
+            timed_out: outcome.timed_out,
+            panicked: outcome.panicked,
         });
     }
 
     let Some((best_learner, best_config, best_space, best_error)) = best else {
         return Err(AutoMlError::NoViableModel);
     };
-    let refit_budget = if clock.is_wall() {
-        Some(Duration::from_secs_f64(
-            (settings.time_budget - clock.elapsed())
-                .max(0.1)
-                .min(settings.time_budget),
-        ))
+    // Same clamp as FLAML's controller: the refit gets the time actually
+    // left, never a budget gift; an exhausted budget reuses the trial's
+    // model when one exists.
+    let remaining = if clock.is_wall() {
+        Some((settings.time_budget - clock.elapsed()).max(0.0))
     } else {
         None
     };
-    let model = match fit_learner(
-        best_learner,
-        &shuffled,
-        &best_config,
-        &best_space,
-        settings.seed,
-        refit_budget,
-    ) {
-        Ok(m) => m,
-        Err(e) => match best_model {
-            Some(m) => m,
-            None => return Err(AutoMlError::RefitFailed(e)),
+    let out_of_budget = remaining.map(|r| r <= 0.0).unwrap_or(false);
+    let refit_budget =
+        remaining.map(|r| Duration::from_secs_f64(r.max(0.05).min(settings.time_budget)));
+    let model = match (out_of_budget, best_model) {
+        (true, Some(m)) => m,
+        (_, best_model) => match fit_learner(
+            best_learner,
+            &shuffled,
+            &best_config,
+            &best_space,
+            settings.seed,
+            refit_budget,
+        ) {
+            Ok(m) => m,
+            Err(e) => match best_model {
+                Some(m) => m,
+                None => return Err(AutoMlError::RefitFailed(e)),
+            },
         },
     };
 

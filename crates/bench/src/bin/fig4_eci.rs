@@ -33,7 +33,9 @@ fn main() {
     let mut rows = Vec::new();
     for t in &result.trials {
         let name = t.learner.clone();
-        let entry = best_per_learner.entry(name.clone()).or_insert(f64::INFINITY);
+        let entry = best_per_learner
+            .entry(name.clone())
+            .or_insert(f64::INFINITY);
         if t.error < *entry {
             *entry = t.error;
         }

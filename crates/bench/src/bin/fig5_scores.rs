@@ -8,11 +8,17 @@
 //! cargo run -p flaml-bench --release --bin fig5_scores -- \
 //!     --budgets 0.5,2,8 --per-group 2        # quick subset (default)
 //! cargo run -p flaml-bench --release --bin fig5_scores -- --full
+//! cargo run -p flaml-bench --release --bin fig5_scores -- \
+//!     --virtual --jobs 8                     # parallel cells, same scores
 //! ```
+//!
+//! `--jobs N` farms independent grid cells to N pool workers; under
+//! `--virtual` (deterministic virtual-clock accounting) the scores are
+//! identical at any job count, just faster on multi-core.
 
 use flaml_bench::grid::{default_groups, save_results};
 use flaml_bench::{render_table, run_grid, Args, GridSpec, Method};
-use flaml_core::TimeSource;
+use flaml_core::{default_virtual_cost, TimeSource};
 use flaml_synth::SuiteScale;
 
 fn main() {
@@ -29,7 +35,11 @@ fn main() {
             format!("bench_results/fig5_{group_filter}.json")
         },
     );
-    let scale = if full { SuiteScale::Full } else { SuiteScale::Small };
+    let scale = if full {
+        SuiteScale::Full
+    } else {
+        SuiteScale::Small
+    };
 
     let mut groups = default_groups(scale, per_group);
     if group_filter != "all" {
@@ -41,14 +51,25 @@ fn main() {
         methods: Method::COMPARATIVE.to_vec(),
         seed: args.u64("seed", 0),
         sample_init: args.usize("sample-init", 500),
-        time_source: TimeSource::Wall,
+        time_source: if args.flag("virtual") {
+            TimeSource::Virtual(default_virtual_cost)
+        } else {
+            TimeSource::Wall
+        },
         rf_budget: args.f64("rf-budget", 2.0),
         max_trials: None,
+        jobs: args.usize("jobs", 1),
         ..GridSpec::default()
     };
     let results = run_grid(&groups, &spec);
     save_results(&out_path, &results).expect("write results json");
-    eprintln!("[fig5] wrote {} results to {out_path}", results.len());
+    let (timeouts, panics) = results
+        .iter()
+        .fold((0, 0), |(t, p), r| (t + r.n_timeouts, p + r.n_panics));
+    eprintln!(
+        "[fig5] wrote {} results to {out_path} ({timeouts} trial timeouts, {panics} panics)",
+        results.len()
+    );
 
     // One table per (group, budget): rows = datasets, cols = methods.
     let methods: Vec<&str> = Method::COMPARATIVE.iter().map(|m| m.name()).collect();

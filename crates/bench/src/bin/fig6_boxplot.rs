@@ -30,6 +30,7 @@ fn main() {
                 seed: args.u64("seed", 0),
                 time_source: TimeSource::Wall,
                 rf_budget: args.f64("rf-budget", 2.0),
+                jobs: args.usize("jobs", 1),
                 ..GridSpec::default()
             };
             let groups = default_groups(SuiteScale::Small, args.usize("per-group", 2));
@@ -62,7 +63,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["budget", "baseline", "n", "min [q1 | median | q3] max"], &rows)
+        render_table(
+            &["budget", "baseline", "n", "min [q1 | median | q3] max"],
+            &rows
+        )
     );
 
     println!("\n== Smaller FLAML budget: FLAML at b_i vs baseline at b_(i+1) ==");
@@ -83,6 +87,9 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["budgets", "baseline", "n", "min [q1 | median | q3] max"], &rows)
+        render_table(
+            &["budgets", "baseline", "n", "min [q1 | median | q3] max"],
+            &rows
+        )
     );
 }

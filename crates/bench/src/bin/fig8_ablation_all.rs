@@ -15,7 +15,11 @@ fn main() {
     let args = Args::parse();
     let full = args.flag("full");
     let budgets = args.f64_list("budgets", &[0.5, 2.0, 8.0]);
-    let scale = if full { SuiteScale::Full } else { SuiteScale::Small };
+    let scale = if full {
+        SuiteScale::Full
+    } else {
+        SuiteScale::Small
+    };
     let per_group = args.usize("per-group", if full { usize::MAX } else { 2 });
 
     let spec = GridSpec {
@@ -25,6 +29,7 @@ fn main() {
         sample_init: args.usize("sample-init", 500),
         time_source: TimeSource::Wall,
         rf_budget: args.f64("rf-budget", 2.0),
+        jobs: args.usize("jobs", 1),
         ..GridSpec::default()
     };
     let groups = default_groups(scale, per_group);
@@ -54,7 +59,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["budget", "variant", "n", "min [q1 | median | q3] max", "flaml >= variant"],
+            &[
+                "budget",
+                "variant",
+                "n",
+                "min [q1 | median | q3] max",
+                "flaml >= variant"
+            ],
             &rows
         )
     );

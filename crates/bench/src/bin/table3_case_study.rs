@@ -33,7 +33,10 @@ fn print_trace(title: &str, result: &AutoMlResult, only_improvements: bool) {
         .collect();
     println!(
         "{}",
-        render_table(&["iter", "time_s", "learner", "config", "error", "cost_s"], &rows)
+        render_table(
+            &["iter", "time_s", "learner", "config", "error", "cost_s"],
+            &rows
+        )
     );
 }
 
@@ -56,7 +59,11 @@ fn main() {
         data.name(),
         data.n_rows(),
         data.n_features(),
-        if all { "" } else { " (improving trials only; --all-trials for everything)" }
+        if all {
+            ""
+        } else {
+            " (improving trials only; --all-trials for everything)"
+        }
     );
 
     let flaml = Method::Flaml

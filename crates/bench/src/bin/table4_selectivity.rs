@@ -51,9 +51,7 @@ fn main() {
         flaml_synth::selectivity_suite(seed)
     };
 
-    println!(
-        "95th-percentile q-error, budget {budget}s per method (Manual = XGBoost 16x16):\n"
-    );
+    println!("95th-percentile q-error, budget {budget}s per method (Manual = XGBoost 16x16):\n");
     let mut rows = Vec::new();
     for w in &suite {
         eprintln!("[table4] {} ...", w.name);
@@ -126,7 +124,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "FLAML", "BO (auto-sk.)", "Random (TPOT)", "Manual"],
+            &[
+                "dataset",
+                "FLAML",
+                "BO (auto-sk.)",
+                "Random (TPOT)",
+                "Manual"
+            ],
             &rows
         )
     );

@@ -39,6 +39,9 @@ fn main() {
     println!("Default search space for S = {rows} training instances:\n");
     println!(
         "{}",
-        render_table(&["learner", "hyperparameter", "type", "range", "init"], &out)
+        render_table(
+            &["learner", "hyperparameter", "type", "range", "init"],
+            &out
+        )
     );
 }

@@ -10,8 +10,8 @@
 //! ```
 
 use flaml_bench::grid::{default_groups, load_results, save_results};
-use flaml_bench::{paired_scores, percent_better_or_equal, render_table, Args, GridSpec, Method};
 use flaml_bench::run_grid;
+use flaml_bench::{paired_scores, percent_better_or_equal, render_table, Args, GridSpec, Method};
 use flaml_core::TimeSource;
 use flaml_synth::SuiteScale;
 
@@ -29,6 +29,7 @@ fn main() {
                 seed: args.u64("seed", 0),
                 time_source: TimeSource::Wall,
                 rf_budget: args.f64("rf-budget", 2.0),
+                jobs: args.usize("jobs", 1),
                 ..GridSpec::default()
             };
             let groups = default_groups(SuiteScale::Small, args.usize("per-group", 2));
@@ -65,8 +66,5 @@ fn main() {
     println!(
         "% of tasks where FLAML with the SMALLER budget is better or equal (tolerance {tolerance}):\n"
     );
-    println!(
-        "{}",
-        render_table(&["comparison", &h0, &h1, &h2], &rows)
-    );
+    println!("{}", render_table(&["comparison", &h0, &h1, &h2], &rows));
 }

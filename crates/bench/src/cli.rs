@@ -15,11 +15,11 @@ impl Args {
     /// token is a key/value pair; a `--key` followed by another `--key`
     /// (or nothing) is a flag.
     pub fn parse() -> Args {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_tokens(std::env::args().skip(1))
     }
 
     /// Parses an explicit token stream (testable).
-    pub fn from_iter(tokens: impl IntoIterator<Item = String>) -> Args {
+    pub fn from_tokens(tokens: impl IntoIterator<Item = String>) -> Args {
         let tokens: Vec<String> = tokens.into_iter().collect();
         let mut args = Args::default();
         let mut i = 0;
@@ -81,10 +81,7 @@ impl Args {
     pub fn f64_list(&self, key: &str, default: &[f64]) -> Vec<f64> {
         match self.values.get(key) {
             None => default.to_vec(),
-            Some(v) => v
-                .split(',')
-                .filter_map(|t| t.trim().parse().ok())
-                .collect(),
+            Some(v) => v.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
         }
     }
 }
@@ -94,7 +91,7 @@ mod tests {
     use super::*;
 
     fn args(s: &str) -> Args {
-        Args::from_iter(s.split_whitespace().map(String::from))
+        Args::from_tokens(s.split_whitespace().map(String::from))
     }
 
     #[test]

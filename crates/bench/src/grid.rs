@@ -2,12 +2,19 @@
 //! Figures 5, 6, 8 and Table 9: run every method on every dataset at every
 //! budget, evaluate on a held-out test split, and calibrate to the
 //! benchmark's scaled score.
+//!
+//! With [`GridSpec::jobs`] > 1 the independent (dataset, budget, method)
+//! cells execute concurrently on a [`flaml_exec::ExecPool`]; results come
+//! back in submission order, so the results vector is identical at any
+//! job count (stderr progress lines may interleave).
 
-use crate::run::{evaluate_scaled, holdout_split, Method};
+use crate::report::TelemetryCollector;
+use crate::run::{evaluate_scaled, holdout_split, Method, RunConfig};
 use flaml_baselines::calibration_anchors;
-use flaml_core::TimeSource;
+use flaml_core::{ExecPool, TimeSource};
 use flaml_data::Dataset;
-use flaml_metrics::Metric;
+use flaml_exec::Job;
+use flaml_metrics::{Metric, ScaleAnchors};
 use serde::{Deserialize, Serialize};
 
 /// One grid cell's outcome.
@@ -29,6 +36,12 @@ pub struct GridResult {
     pub n_trials: usize,
     /// Best learner the method selected.
     pub best_learner: String,
+    /// Trials that ran past their cooperative deadline.
+    #[serde(default)]
+    pub n_timeouts: usize,
+    /// Trials whose learner panicked (absorbed as failed trials).
+    #[serde(default)]
+    pub n_panics: usize,
 }
 
 /// Grid configuration.
@@ -50,6 +63,8 @@ pub struct GridSpec {
     pub rf_budget: f64,
     /// Optional per-run trial cap (keeps smoke runs fast).
     pub max_trials: Option<usize>,
+    /// Grid cells to execute concurrently (1 = sequential).
+    pub jobs: usize,
 }
 
 impl Default for GridSpec {
@@ -63,91 +78,163 @@ impl Default for GridSpec {
             time_source: TimeSource::Wall,
             rf_budget: 2.0,
             max_trials: None,
+            jobs: 1,
         }
     }
 }
 
+/// A dataset prepared for its grid cells: the shared split and the
+/// shared calibration anchors.
+struct Prepared {
+    train: Dataset,
+    test: Dataset,
+    metric: Metric,
+    anchors: ScaleAnchors,
+}
+
 /// Runs the grid over `(group, datasets)` pairs, printing one progress
 /// line per cell to stderr.
+///
+/// [`GridSpec::jobs`] independent cells run concurrently; the results
+/// vector is in cell submission order (dataset, then budget, then
+/// method) regardless of the job count.
 pub fn run_grid(groups: &[(&str, Vec<Dataset>)], spec: &GridSpec) -> Vec<GridResult> {
-    let mut out = Vec::new();
-    for (group, datasets) in groups {
-        for data in datasets {
-            let (train, test) = holdout_split(data, spec.test_ratio, spec.seed);
-            let metric = Metric::default_for(data.task());
-            // One calibration per dataset, shared across methods/budgets.
-            let anchors = match calibration_anchors(
-                &train,
-                &test,
-                metric,
-                spec.rf_budget,
-                spec.seed,
-                spec.time_source,
-                spec.max_trials,
-            ) {
-                Ok(a) => a,
-                Err(e) => {
-                    eprintln!("[grid] {}: calibration failed: {e}", data.name());
-                    continue;
+    let pool = ExecPool::new(spec.jobs.max(1));
+
+    // Stage 1: one train/test split and one calibration per dataset,
+    // shared across all of its (budget, method) cells. Datasets are
+    // independent, so preparation itself runs on the pool.
+    let flat: Vec<(&str, &Dataset)> = groups
+        .iter()
+        .flat_map(|(g, ds)| ds.iter().map(move |d| (*g, d)))
+        .collect();
+    let prep_jobs: Vec<Job<'_, Option<Prepared>>> = flat
+        .iter()
+        .map(|&(_, data)| {
+            Job::new(move |_ctx| {
+                let (train, test) = holdout_split(data, spec.test_ratio, spec.seed);
+                let metric = Metric::default_for(data.task());
+                match calibration_anchors(
+                    &train,
+                    &test,
+                    metric,
+                    spec.rf_budget,
+                    spec.seed,
+                    spec.time_source,
+                    spec.max_trials,
+                ) {
+                    Ok(anchors) => Some(Prepared {
+                        train,
+                        test,
+                        metric,
+                        anchors,
+                    }),
+                    Err(e) => {
+                        eprintln!("[grid] {}: calibration failed: {e}", data.name());
+                        None
+                    }
                 }
-            };
+            })
+            .label(data.name())
+        })
+        .collect();
+    let prepared: Vec<Option<Prepared>> = pool
+        .run_batch(prep_jobs, None)
+        .into_iter()
+        .map(|r| r.status.into_value().flatten())
+        .collect();
+
+    // Stage 2: every (dataset, budget, method) cell is an independent
+    // pool job. Submission order fixes the output order.
+    let mut cells: Vec<(usize, f64, Method)> = Vec::new();
+    for (i, prep) in prepared.iter().enumerate() {
+        if prep.is_some() {
             for &budget in &spec.budgets {
                 for &method in &spec.methods {
-                    let result = match method.run(
-                        &train,
-                        budget,
-                        spec.seed,
-                        spec.sample_init,
-                        spec.time_source,
-                        spec.max_trials,
-                    ) {
-                        Ok(r) => r,
-                        Err(e) => {
-                            eprintln!(
-                                "[grid] {} / {} @ {budget}s failed: {e}",
-                                data.name(),
-                                method
-                            );
-                            continue;
-                        }
-                    };
-                    let (raw, scaled) = match evaluate_scaled(
-                        &result,
-                        &train,
-                        &test,
-                        metric,
-                        Some(anchors),
-                        spec.rf_budget,
-                        spec.seed,
-                        spec.time_source,
-                    ) {
-                        Ok(v) => v,
-                        Err(e) => {
-                            eprintln!("[grid] {} eval failed: {e}", data.name());
-                            continue;
-                        }
-                    };
-                    eprintln!(
-                        "[grid] {group}/{} {} @ {budget}s: scaled {scaled:.3} ({} trials)",
-                        data.name(),
-                        method,
-                        result.trials.len()
-                    );
-                    out.push(GridResult {
-                        dataset: data.name().to_string(),
-                        group: group.to_string(),
-                        method: method.name().to_string(),
-                        budget,
-                        raw_score: raw,
-                        scaled_score: scaled,
-                        n_trials: result.trials.len(),
-                        best_learner: result.best_learner.clone(),
-                    });
+                    cells.push((i, budget, method));
                 }
             }
         }
     }
-    out
+    let flat_ref = &flat;
+    let prepared_ref = &prepared;
+    let cell_jobs: Vec<Job<'_, Option<GridResult>>> = cells
+        .iter()
+        .map(|&(i, budget, method)| {
+            Job::new(move |_ctx| {
+                let (group, data) = flat_ref[i];
+                let prep = prepared_ref[i]
+                    .as_ref()
+                    .expect("only prepared cells queued");
+                let collector = TelemetryCollector::new();
+                let result = match method.run_with(
+                    &prep.train,
+                    &RunConfig {
+                        budget_secs: budget,
+                        seed: spec.seed,
+                        sample_init: spec.sample_init,
+                        time_source: spec.time_source,
+                        max_trials: spec.max_trials,
+                        workers: 1,
+                        event_sink: Some(collector.sink()),
+                    },
+                ) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("[grid] {} / {method} @ {budget}s failed: {e}", data.name());
+                        return None;
+                    }
+                };
+                let telemetry = collector.finish();
+                let (raw, scaled) = match evaluate_scaled(
+                    &result,
+                    &prep.train,
+                    &prep.test,
+                    prep.metric,
+                    Some(prep.anchors),
+                    spec.rf_budget,
+                    spec.seed,
+                    spec.time_source,
+                ) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("[grid] {} eval failed: {e}", data.name());
+                        return None;
+                    }
+                };
+                eprintln!(
+                    "[grid] {group}/{} {method} @ {budget}s: scaled {scaled:.3} ({} trials)",
+                    data.name(),
+                    result.trials.len()
+                );
+                // The baseline drivers don't emit events; fall back to the
+                // flags their trial records carry.
+                let n_timeouts = telemetry
+                    .timed_out
+                    .max(result.trials.iter().filter(|t| t.timed_out).count());
+                let n_panics = telemetry
+                    .panicked
+                    .max(result.trials.iter().filter(|t| t.panicked).count());
+                Some(GridResult {
+                    dataset: data.name().to_string(),
+                    group: group.to_string(),
+                    method: method.name().to_string(),
+                    budget,
+                    raw_score: raw,
+                    scaled_score: scaled,
+                    n_trials: result.trials.len(),
+                    best_learner: result.best_learner.clone(),
+                    n_timeouts,
+                    n_panics,
+                })
+            })
+            .label(format!("{}/{method}@{budget}", flat_ref[i].1.name()))
+        })
+        .collect();
+    pool.run_batch(cell_jobs, None)
+        .into_iter()
+        .filter_map(|r| r.status.into_value().flatten())
+        .collect()
 }
 
 /// Serializes grid results to a JSON file (pretty-printed, stable order).
@@ -191,7 +278,10 @@ pub fn default_groups(
             .collect();
         picked.dedup();
         let mut v: Vec<Option<Dataset>> = v.into_iter().map(Some).collect();
-        picked.into_iter().map(|i| v[i].take().expect("unique index")).collect()
+        picked
+            .into_iter()
+            .map(|i| v[i].take().expect("unique index"))
+            .collect()
     };
     vec![
         ("binary", take(flaml_synth::binary_suite(scale))),
@@ -213,7 +303,9 @@ pub fn paired_scores(
     let find = |method: &str, budget: f64, dataset: &str| -> Option<f64> {
         results
             .iter()
-            .find(|r| r.method == method && (r.budget - budget).abs() < 1e-9 && r.dataset == dataset)
+            .find(|r| {
+                r.method == method && (r.budget - budget).abs() < 1e-9 && r.dataset == dataset
+            })
             .map(|r| r.scaled_score)
     };
     let mut datasets: Vec<&str> = results.iter().map(|r| r.dataset.as_str()).collect();
@@ -258,6 +350,38 @@ mod tests {
     }
 
     #[test]
+    fn parallel_grid_matches_sequential() {
+        let datasets = vec![binary_suite(SuiteScale::Small)[0].clone()];
+        let spec = GridSpec {
+            budgets: vec![0.2, 0.4],
+            methods: vec![Method::Flaml, Method::Random],
+            time_source: TimeSource::Virtual(default_virtual_cost),
+            rf_budget: 0.3,
+            max_trials: Some(5),
+            sample_init: 100,
+            ..GridSpec::default()
+        };
+        let groups = [("binary", datasets)];
+        let sequential = run_grid(&groups, &spec);
+        let parallel = run_grid(
+            &groups,
+            &GridSpec {
+                jobs: 4,
+                ..spec.clone()
+            },
+        );
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.dataset, p.dataset);
+            assert_eq!(s.method, p.method);
+            assert_eq!(s.budget, p.budget);
+            // Virtual clock: identical cells must score identically.
+            assert_eq!(s.scaled_score.to_bits(), p.scaled_score.to_bits());
+            assert_eq!(s.n_trials, p.n_trials);
+        }
+    }
+
+    #[test]
     fn paired_scores_align_by_dataset() {
         let results = vec![
             GridResult {
@@ -269,6 +393,8 @@ mod tests {
                 scaled_score: 1.1,
                 n_trials: 5,
                 best_learner: "lightgbm".into(),
+                n_timeouts: 0,
+                n_panics: 0,
             },
             GridResult {
                 dataset: "a".into(),
@@ -279,6 +405,8 @@ mod tests {
                 scaled_score: 0.7,
                 n_trials: 5,
                 best_learner: "xgboost".into(),
+                n_timeouts: 0,
+                n_panics: 0,
             },
             GridResult {
                 dataset: "b".into(),
@@ -289,6 +417,8 @@ mod tests {
                 scaled_score: 0.4,
                 n_trials: 5,
                 best_learner: "rf".into(),
+                n_timeouts: 0,
+                n_panics: 0,
             },
         ];
         let (xs, ys) = paired_scores(&results, ("flaml", 1.0), ("bohb", 1.0));

@@ -30,5 +30,5 @@ pub mod run;
 
 pub use cli::Args;
 pub use grid::{paired_scores, run_grid, GridResult, GridSpec};
-pub use report::{box_stats, percent_better_or_equal, render_table, BoxStats};
-pub use run::{evaluate_scaled, holdout_split, Method};
+pub use report::{box_stats, percent_better_or_equal, render_table, BoxStats, TelemetryCollector};
+pub use run::{evaluate_scaled, holdout_split, Method, RunConfig};

@@ -3,7 +3,7 @@
 
 use flaml_baselines::{calibration_anchors, run_baseline, BaselineKind, BaselineSettings};
 use flaml_core::{
-    AutoMl, AutoMlError, AutoMlResult, LearnerSelection, ResampleChoice, TimeSource,
+    AutoMl, AutoMlError, AutoMlResult, EventSink, LearnerSelection, ResampleChoice, TimeSource,
 };
 use flaml_data::Dataset;
 use flaml_metrics::{scaled_score, Metric, ScaleAnchors};
@@ -30,6 +30,19 @@ pub enum Method {
 }
 
 impl Method {
+    /// Every method the harness knows, in display order. The single
+    /// source of truth for [`Method::parse`].
+    pub const ALL: [Method; 8] = [
+        Method::Flaml,
+        Method::FlamlRoundRobin,
+        Method::FlamlFullData,
+        Method::FlamlCv,
+        Method::Bohb,
+        Method::Bo,
+        Method::Random,
+        Method::Hyperband,
+    ];
+
     /// All methods of the comparative study (Figure 5).
     pub const COMPARATIVE: [Method; 5] = [
         Method::Flaml,
@@ -63,18 +76,7 @@ impl Method {
 
     /// Parses a method name (as printed by [`Method::name`]).
     pub fn parse(s: &str) -> Option<Method> {
-        [
-            Method::Flaml,
-            Method::FlamlRoundRobin,
-            Method::FlamlFullData,
-            Method::FlamlCv,
-            Method::Bohb,
-            Method::Bo,
-            Method::Random,
-            Method::Hyperband,
-        ]
-        .into_iter()
-        .find(|m| m.name() == s)
+        Method::ALL.into_iter().find(|m| m.name() == s)
     }
 
     /// Runs the method on `train` under `budget_secs`.
@@ -94,15 +96,45 @@ impl Method {
         time_source: TimeSource,
         max_trials: Option<usize>,
     ) -> Result<AutoMlResult, AutoMlError> {
+        self.run_with(
+            train,
+            &RunConfig {
+                budget_secs,
+                seed,
+                sample_init,
+                time_source,
+                max_trials,
+                workers: 1,
+                event_sink: None,
+            },
+        )
+    }
+
+    /// Like [`Method::run`], with the execution knobs of the `flaml-exec`
+    /// runtime: a worker count for the trial-execution pool and an
+    /// optional trial-event sink.
+    ///
+    /// The event sink is honored by the FLAML methods (whose controller
+    /// emits per-trial events); the baseline drivers record timeout and
+    /// panic flags in their trial records instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AutoMlError`] from the underlying system.
+    pub fn run_with(&self, train: &Dataset, cfg: &RunConfig) -> Result<AutoMlResult, AutoMlError> {
         match self {
             Method::Flaml | Method::FlamlRoundRobin | Method::FlamlFullData | Method::FlamlCv => {
                 let mut automl = AutoMl::new()
-                    .time_budget(budget_secs)
-                    .seed(seed)
-                    .sample_size_init(sample_init)
-                    .time_source(time_source);
-                if let Some(cap) = max_trials {
+                    .time_budget(cfg.budget_secs)
+                    .seed(cfg.seed)
+                    .sample_size_init(cfg.sample_init)
+                    .time_source(cfg.time_source)
+                    .workers(cfg.workers);
+                if let Some(cap) = cfg.max_trials {
                     automl = automl.max_trials(cap);
+                }
+                if let Some(sink) = &cfg.event_sink {
+                    automl = automl.event_sink(sink.clone());
                 }
                 automl = match self {
                     Method::FlamlRoundRobin => {
@@ -122,17 +154,37 @@ impl Method {
                     _ => BaselineKind::Hyperband,
                 };
                 let settings = BaselineSettings {
-                    time_budget: budget_secs,
-                    seed,
-                    sample_size_min: sample_init,
-                    time_source,
-                    max_trials,
+                    time_budget: cfg.budget_secs,
+                    seed: cfg.seed,
+                    sample_size_min: cfg.sample_init,
+                    time_source: cfg.time_source,
+                    max_trials: cfg.max_trials,
+                    workers: cfg.workers,
                     ..BaselineSettings::default()
                 };
                 run_baseline(kind, train, &settings)
             }
         }
     }
+}
+
+/// Execution knobs shared by every method (see [`Method::run_with`]).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Time budget in (wall or virtual) seconds.
+    pub budget_secs: f64,
+    /// Random seed.
+    pub seed: u64,
+    /// FLAML's initial sample size / the bandit baselines' fidelity floor.
+    pub sample_init: usize,
+    /// Wall or virtual budget accounting.
+    pub time_source: TimeSource,
+    /// Optional trial cap.
+    pub max_trials: Option<usize>,
+    /// Worker count of the trial-execution pool (1 = sequential).
+    pub workers: usize,
+    /// Optional subscriber for per-trial telemetry events.
+    pub event_sink: Option<EventSink>,
 }
 
 impl std::fmt::Display for Method {
@@ -162,6 +214,7 @@ pub fn holdout_split(data: &Dataset, test_ratio: f64, seed: u64) -> (Dataset, Da
 /// # Errors
 ///
 /// Propagates anchor-tuning failures.
+#[allow(clippy::too_many_arguments)]
 pub fn evaluate_scaled(
     result: &AutoMlResult,
     train: &Dataset,
@@ -200,10 +253,17 @@ mod tests {
 
     #[test]
     fn names_round_trip() {
-        for m in Method::COMPARATIVE.iter().chain(Method::ABLATIONS.iter()) {
-            assert_eq!(Method::parse(m.name()), Some(*m));
+        for m in Method::ALL {
+            assert_eq!(Method::parse(m.name()), Some(m));
         }
         assert_eq!(Method::parse("nope"), None);
+    }
+
+    #[test]
+    fn all_covers_comparative_and_ablations() {
+        for m in Method::COMPARATIVE.iter().chain(Method::ABLATIONS.iter()) {
+            assert!(Method::ALL.contains(m), "{m} missing from ALL");
+        }
     }
 
     #[test]

@@ -96,6 +96,12 @@ pub struct TrialRecord {
     pub best_error_so_far: f64,
     /// ECI of every learner after this trial (empty under round-robin).
     pub eci_snapshot: Vec<(String, f64)>,
+    /// Whether a fit of this trial ran past its cooperative deadline.
+    #[serde(default)]
+    pub timed_out: bool,
+    /// Whether a fit of this trial panicked (absorbed as a failure).
+    #[serde(default)]
+    pub panicked: bool,
 }
 
 /// Error from [`AutoMl::fit`].
@@ -162,6 +168,8 @@ pub struct AutoMl {
     pub(crate) sample_growth: f64,
     pub(crate) ensemble: bool,
     pub(crate) custom_learners: Vec<std::sync::Arc<dyn CustomLearner>>,
+    pub(crate) workers: usize,
+    pub(crate) event_sink: Option<flaml_exec::EventSink>,
 }
 
 impl Default for AutoMl {
@@ -184,6 +192,8 @@ impl Default for AutoMl {
             sample_growth: 2.0,
             ensemble: false,
             custom_learners: Vec::new(),
+            workers: 1,
+            event_sink: None,
         }
     }
 }
@@ -275,7 +285,10 @@ impl AutoMl {
     pub(crate) fn roster(&self) -> Vec<Estimator> {
         let mut out: Vec<Estimator> = Vec::new();
         for &k in &self.estimators {
-            if !out.iter().any(|e| matches!(e, Estimator::Builtin(b) if *b == k)) {
+            if !out
+                .iter()
+                .any(|e| matches!(e, Estimator::Builtin(b) if *b == k))
+            {
                 out.push(Estimator::Builtin(k));
             }
         }
@@ -283,6 +296,27 @@ impl AutoMl {
             out.push(Estimator::Custom(c.clone()));
         }
         out
+    }
+
+    /// Sets the worker count of the trial-execution pool (default 1 =
+    /// fully sequential, the paper's setting). With more workers,
+    /// cross-validation folds evaluate concurrently; under round-robin
+    /// learner selection the controller additionally pre-executes
+    /// upcoming trials speculatively on idle workers, committing their
+    /// results in submission order — so a virtual-clock run produces the
+    /// same trial trace at any worker count.
+    pub fn workers(mut self, workers: usize) -> AutoMl {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Subscribes a [`flaml_exec::EventSink`] to this run's trial
+    /// telemetry: one `Started` event per trial plus a terminal
+    /// `Finished` / `TimedOut` / `Panicked` event carrying learner,
+    /// config, sample size, error and charged cost.
+    pub fn event_sink(mut self, sink: flaml_exec::EventSink) -> AutoMl {
+        self.event_sink = Some(sink);
+        self
     }
 
     /// Enables stacked-ensemble post-processing (paper appendix): the best

@@ -7,21 +7,42 @@
 //! error and cost back into ECI and FLOW². Step-size adaptation and
 //! restarts are enabled only at the full sample size; a restart resets the
 //! learner's sample size to the initial value.
+//!
+//! # Parallel execution
+//!
+//! Trials execute on a [`flaml_exec::ExecPool`] sized by
+//! [`AutoMl::workers`]. With one worker (the default) everything runs
+//! inline and the trace is identical to the historical sequential
+//! controller. With more workers the parallelism goes to one of two
+//! places:
+//!
+//! - **ECI selection** (FLAML proper): the next trial depends on the
+//!   previous trial's outcome, so trials stay sequential and the workers
+//!   evaluate CV folds concurrently inside each trial.
+//! - **Round-robin selection** (the paper's ablation): consecutive
+//!   trials touch *different* learners, whose proposals are independent,
+//!   so the controller *speculatively* pre-executes the next up-to-`w`
+//!   trials on idle workers and commits their results strictly in
+//!   submission order. Under a virtual clock the committed trace is
+//!   byte-identical at any worker count; speculative trials that a
+//!   sequential run would never have started (budget already exhausted
+//!   at commit time) are discarded, never fed back.
 
 use crate::automl::{
     AutoMl, AutoMlError, AutoMlResult, LearnerSelection, ResampleChoice, TrialMode, TrialRecord,
 };
-use crate::ensemble::{build_stacked, MemberSpec};
 use crate::clock::{BudgetClock, TrialInfo};
 use crate::custom::Estimator;
 use crate::eci::{sample_by_inverse_eci, EciState};
-use crate::resample::{run_trial, ResampleStrategy};
+use crate::ensemble::{build_stacked, MemberSpec};
+use crate::resample::{run_trial, ResampleStrategy, TrialOutcome};
 use flaml_data::Dataset;
+use flaml_exec::{EventSink, ExecPool, Job, JobStatus, TrialEvent, TrialEventKind};
 use flaml_metrics::Metric;
 use flaml_search::{Config, Flow2};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 struct LearnerState {
     kind: Estimator,
@@ -29,6 +50,32 @@ struct LearnerState {
     flow2: Flow2,
     eci: EciState,
     sample_size: usize,
+}
+
+/// One proposed-but-not-yet-committed trial.
+struct Proposal {
+    /// Learner index into `states`.
+    li: usize,
+    /// 1-based trial number this proposal will commit as.
+    trial_no: usize,
+    mode: TrialMode,
+    trial_s: usize,
+    config: Config,
+    seed: u64,
+    /// Pure function of (learner, config): usable even when the trial
+    /// itself panicked before reporting.
+    cost_factor: f64,
+    expected_fits: usize,
+}
+
+/// Builds a trial event carrying a proposal's identity.
+fn proposal_event(kind: TrialEventKind, p: &Proposal, learner: &str, config: &str) -> TrialEvent {
+    let mut ev = TrialEvent::new(kind);
+    ev.job_id = p.trial_no as u64;
+    ev.learner = learner.to_string();
+    ev.config = config.to_string();
+    ev.sample_size = p.trial_s;
+    ev
 }
 
 pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, AutoMlError> {
@@ -65,8 +112,7 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
         .enumerate()
         .map(|(idx, kind)| {
             let space = kind.space(n);
-            let mut flow2 =
-                Flow2::new(space.clone(), settings.seed ^ (0x1111 * (idx as u64 + 1)));
+            let mut flow2 = Flow2::new(space.clone(), settings.seed ^ (0x1111 * (idx as u64 + 1)));
             flow2.set_adaptation(init_s >= n);
             LearnerState {
                 kind: kind.clone(),
@@ -92,12 +138,30 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
         .map(|(i, _)| i)
         .expect("non-empty estimators");
 
+    let workers = settings.workers.max(1);
+    // Speculation only helps (and is only sound) when consecutive trials
+    // are guaranteed to touch different learners: round-robin with at
+    // least two learners. Otherwise the workers accelerate CV folds
+    // inside each trial instead.
+    let speculative = workers > 1
+        && settings.learner_selection == LearnerSelection::RoundRobin
+        && states.len() > 1;
+    let trial_pool = ExecPool::new(if speculative { workers } else { 1 });
+    let fold_pool = ExecPool::new(if speculative { 1 } else { workers });
+    let sink: Option<&EventSink> = settings.event_sink.as_ref();
+
     let mut rng = StdRng::seed_from_u64(settings.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut trials: Vec<TrialRecord> = Vec::new();
-    let mut best: Option<(usize, Config, f64, Option<flaml_learners::FittedModel>, usize)> = None;
+    let mut best: Option<(
+        usize,
+        Config,
+        f64,
+        Option<flaml_learners::FittedModel>,
+        usize,
+    )> = None;
     let mut iter = 0usize;
 
-    loop {
+    'search: loop {
         if let Some(cap) = settings.max_trials {
             if iter >= cap {
                 break;
@@ -107,161 +171,289 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
             break;
         }
 
-        // Step 1: learner choice.
-        let li = if iter == 0 {
-            // The paper first runs the fastest learner to calibrate the
-            // base trial cost.
-            fastest
+        // Steps 1 + 2: propose a batch of trials. Batch size is 1 unless
+        // speculating; the first trial always runs alone (it calibrates
+        // the base cost of every untried learner).
+        let mut batch = if speculative && iter > 0 {
+            workers.min(states.len())
         } else {
-            match settings.learner_selection {
-                LearnerSelection::RoundRobin => iter % states.len(),
-                LearnerSelection::Eci => {
-                    let global_best = best
-                        .as_ref()
-                        .map(|(_, _, e, _, _)| *e)
-                        .unwrap_or(f64::INFINITY);
-                    let ecis: Vec<f64> = states
-                        .iter()
-                        .map(|s| s.eci.eci(global_best, settings.sample_growth))
-                        .collect();
-                    sample_by_inverse_eci(&ecis, rng.gen::<f64>())
-                }
-            }
+            1
         };
-
-        // Step 2: hyperparameters and sample size.
-        let (mode, trial_s, point) = {
-            let st = &mut states[li];
-            let grow_sample = st.eci.tried()
-                && st.sample_size < n
-                && st.eci.eci1() >= st.eci.eci2(settings.sample_growth);
-            if grow_sample {
-                let s_new = ((st.sample_size as f64 * settings.sample_growth) as usize).min(n);
-                (TrialMode::SampleUp, s_new, st.flow2.best_point())
+        if let Some(cap) = settings.max_trials {
+            batch = batch.min(cap - iter);
+        }
+        let mut proposals: Vec<Proposal> = Vec::with_capacity(batch);
+        for b in 0..batch {
+            let it = iter + b;
+            // Step 1: learner choice.
+            let li = if it == 0 {
+                // The paper first runs the fastest learner to calibrate
+                // the base trial cost.
+                fastest
             } else {
-                (TrialMode::Search, st.sample_size, st.flow2.ask())
+                match settings.learner_selection {
+                    LearnerSelection::RoundRobin => it % states.len(),
+                    LearnerSelection::Eci => {
+                        let global_best = best
+                            .as_ref()
+                            .map(|(_, _, e, _, _)| *e)
+                            .unwrap_or(f64::INFINITY);
+                        let ecis: Vec<f64> = states
+                            .iter()
+                            .map(|s| s.eci.eci(global_best, settings.sample_growth))
+                            .collect();
+                        sample_by_inverse_eci(&ecis, rng.gen::<f64>())
+                    }
+                }
+            };
+            if proposals.iter().any(|p| p.li == li) {
+                // A proposal for this learner is already in flight; its
+                // feedback must land before the learner proposes again.
+                break;
             }
-        };
-        let config = states[li].space.decode(&point);
+            // Step 2: hyperparameters and sample size.
+            let (mode, trial_s, point) = {
+                let st = &mut states[li];
+                let grow_sample = st.eci.tried()
+                    && st.sample_size < n
+                    && st.eci.eci1() >= st.eci.eci2(settings.sample_growth);
+                if grow_sample {
+                    let s_new = ((st.sample_size as f64 * settings.sample_growth) as usize).min(n);
+                    (TrialMode::SampleUp, s_new, st.flow2.best_point())
+                } else {
+                    (TrialMode::Search, st.sample_size, st.flow2.ask())
+                }
+            };
+            let st = &states[li];
+            let config = st.space.decode(&point);
+            let cost_factor = st.kind.cost_factor(&config, &st.space);
+            proposals.push(Proposal {
+                li,
+                trial_no: it + 1,
+                mode,
+                trial_s,
+                config,
+                seed: settings.seed.wrapping_add(it as u64),
+                cost_factor,
+                expected_fits: strategy.fits_per_trial(),
+            });
+        }
 
-        // Step 3: run the trial and observe error and cost.
+        // Step 3: run the batch and observe errors and costs.
         let deadline = if clock.is_wall() {
             let remaining = settings.time_budget - clock.elapsed();
             Some(Duration::from_secs_f64(remaining.max(0.05)))
         } else {
             None
         };
-        let t0 = Instant::now();
-        let outcome = run_trial(
-            &shuffled,
-            &states[li].kind,
-            &config,
-            &states[li].space,
-            trial_s,
-            strategy,
-            metric,
-            settings.seed.wrapping_add(iter as u64),
-            deadline,
-        );
-        let measured = t0.elapsed().as_secs_f64();
-        let info = TrialInfo {
-            learner_cost_constant: states[li].kind.cost_constant(),
-            sample_size: trial_s,
-            n_features: d,
-            cost_factor: outcome.cost_factor,
-            n_fits: outcome.n_fits.max(1),
-        };
-        let cost = clock.charge(&info, measured);
-
-        // Feedback into the proposers.
-        {
-            let st = &mut states[li];
-            match mode {
-                TrialMode::Search => {
-                    st.flow2.tell(outcome.error);
-                    st.eci.on_trial(cost, outcome.error);
-                }
-                TrialMode::SampleUp => {
-                    st.sample_size = trial_s;
-                    st.flow2.set_best_err(outcome.error);
-                    let improved = st.eci.on_trial(cost, outcome.error);
-                    if !improved && outcome.error.is_finite() {
-                        // Errors are only comparable at the same sample
-                        // size: rebase the learner's incumbent error. A
-                        // failed (infinite) trial must not poison it, or
-                        // the learner would never be selected again
-                        // (Property 3, FairChance).
-                        st.eci.rebase_err(outcome.error);
-                    }
-                    if st.sample_size >= n {
-                        st.flow2.set_adaptation(true);
-                    }
-                }
-            }
-            // Restart a converged thread (full sample size only).
-            if st.sample_size >= n && st.flow2.converged() {
-                st.flow2.restart();
-                if settings.sampling {
-                    st.sample_size = settings.sample_size_init.min(n);
-                    st.flow2.set_adaptation(st.sample_size >= n);
-                }
+        if let Some(sink) = sink {
+            for p in &proposals {
+                let st = &states[p.li];
+                sink.emit(proposal_event(
+                    TrialEventKind::Started,
+                    p,
+                    &st.kind.name(),
+                    &p.config.render(&st.space),
+                ));
             }
         }
-
-        // Calibrate untried learners' ECI after the very first trial.
-        if iter == 0 {
-            for (i, st) in states.iter_mut().enumerate() {
-                if i != li {
-                    st.eci
-                        .set_untried_estimate(cost * st.kind.cost_constant());
-                }
-            }
-        }
-
-        // Global best bookkeeping.
-        let improved_global = outcome.error.is_finite()
-            && best
-                .as_ref()
-                .map(|(_, _, e, _, _)| outcome.error < *e)
-                .unwrap_or(true);
-        if improved_global {
-            best = Some((li, config.clone(), outcome.error, outcome.model, trial_s));
-        }
-
-        iter += 1;
-        let eci_snapshot = if settings.learner_selection == LearnerSelection::Eci {
-            let global_best = best
-                .as_ref()
-                .map(|(_, _, e, _, _)| *e)
-                .unwrap_or(f64::INFINITY);
-            states
-                .iter()
-                .map(|s| {
-                    (
-                        s.kind.name(),
-                        s.eci.eci(global_best, settings.sample_growth),
+        let shuffled_ref = &shuffled;
+        let states_ref = &states;
+        let fold_pool_ref = &fold_pool;
+        let jobs: Vec<Job<'_, TrialOutcome>> = proposals
+            .iter()
+            .map(|p| {
+                let st = &states_ref[p.li];
+                Job::new(move |_ctx| {
+                    run_trial(
+                        shuffled_ref,
+                        &st.kind,
+                        &p.config,
+                        &st.space,
+                        p.trial_s,
+                        strategy,
+                        metric,
+                        p.seed,
+                        deadline,
+                        fold_pool_ref,
                     )
                 })
-                .collect()
-        } else {
-            Vec::new()
-        };
-        trials.push(TrialRecord {
-            iter,
-            learner: states[li].kind.name(),
-            config: config.render(&states[li].space),
-            sample_size: trial_s,
-            error: outcome.error,
-            cost,
-            total_time: clock.elapsed(),
-            mode,
-            improved_global,
-            best_error_so_far: best
-                .as_ref()
-                .map(|(_, _, e, _, _)| *e)
-                .unwrap_or(f64::INFINITY),
-            eci_snapshot,
-        });
+                .deadline(deadline)
+            })
+            .collect();
+        let results = trial_pool.run_batch(jobs, None);
+
+        // Commit strictly in submission order; feedback, budget charging
+        // and stopping decisions all happen here, exactly as the
+        // sequential controller interleaved them.
+        let mut discarding = false;
+        for (b, result) in results.into_iter().enumerate() {
+            let p = &proposals[b];
+            // The sequential controller re-checks the budget before every
+            // trial after the first; a speculative result whose turn
+            // arrives past the budget must be dropped, not fed back.
+            if !discarding && b > 0 && clock.elapsed() >= settings.time_budget {
+                discarding = true;
+            }
+            if discarding {
+                if let Some(sink) = sink {
+                    let st = &states[p.li];
+                    let mut ev = proposal_event(
+                        TrialEventKind::Finished,
+                        p,
+                        &st.kind.name(),
+                        &p.config.render(&st.space),
+                    );
+                    ev.wall_secs = Some(result.wall_secs);
+                    ev.message = Some("speculative trial discarded: budget exhausted".to_string());
+                    sink.emit(ev);
+                }
+                continue;
+            }
+
+            let measured = result.wall_secs;
+            let trial_timed_out = result.status.timed_out();
+            let outcome = match result.status {
+                JobStatus::Finished(o) | JobStatus::TimedOut(o) => {
+                    let mut o = o;
+                    o.timed_out |= trial_timed_out;
+                    o
+                }
+                JobStatus::Panicked(msg) => TrialOutcome {
+                    error: f64::INFINITY,
+                    model: None,
+                    n_fits: p.expected_fits,
+                    cost_factor: p.cost_factor,
+                    panicked: true,
+                    timed_out: false,
+                    panic_message: Some(msg),
+                },
+            };
+            let info = TrialInfo {
+                learner_cost_constant: states[p.li].kind.cost_constant(),
+                sample_size: p.trial_s,
+                n_features: d,
+                cost_factor: outcome.cost_factor,
+                n_fits: outcome.n_fits.max(1),
+            };
+            let cost = clock.charge(&info, measured);
+
+            // Feedback into the proposers.
+            {
+                let st = &mut states[p.li];
+                match p.mode {
+                    TrialMode::Search => {
+                        st.flow2.tell(outcome.error);
+                        st.eci.on_trial(cost, outcome.error);
+                    }
+                    TrialMode::SampleUp => {
+                        st.sample_size = p.trial_s;
+                        st.flow2.set_best_err(outcome.error);
+                        let improved = st.eci.on_trial(cost, outcome.error);
+                        if !improved && outcome.error.is_finite() {
+                            // Errors are only comparable at the same sample
+                            // size: rebase the learner's incumbent error. A
+                            // failed (infinite) trial must not poison it, or
+                            // the learner would never be selected again
+                            // (Property 3, FairChance).
+                            st.eci.rebase_err(outcome.error);
+                        }
+                        if st.sample_size >= n {
+                            st.flow2.set_adaptation(true);
+                        }
+                    }
+                }
+                // Restart a converged thread (full sample size only).
+                if st.sample_size >= n && st.flow2.converged() {
+                    st.flow2.restart();
+                    if settings.sampling {
+                        st.sample_size = settings.sample_size_init.min(n);
+                        st.flow2.set_adaptation(st.sample_size >= n);
+                    }
+                }
+            }
+
+            // Calibrate untried learners' ECI after the very first trial.
+            if iter == 0 {
+                for (i, st) in states.iter_mut().enumerate() {
+                    if i != p.li {
+                        st.eci.set_untried_estimate(cost * st.kind.cost_constant());
+                    }
+                }
+            }
+
+            // Global best bookkeeping.
+            let improved_global = outcome.error.is_finite()
+                && best
+                    .as_ref()
+                    .map(|(_, _, e, _, _)| outcome.error < *e)
+                    .unwrap_or(true);
+            if improved_global {
+                best = Some((
+                    p.li,
+                    p.config.clone(),
+                    outcome.error,
+                    outcome.model,
+                    p.trial_s,
+                ));
+            }
+
+            iter += 1;
+            let eci_snapshot = if settings.learner_selection == LearnerSelection::Eci {
+                let global_best = best
+                    .as_ref()
+                    .map(|(_, _, e, _, _)| *e)
+                    .unwrap_or(f64::INFINITY);
+                states
+                    .iter()
+                    .map(|s| {
+                        (
+                            s.kind.name(),
+                            s.eci.eci(global_best, settings.sample_growth),
+                        )
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let rendered = p.config.render(&states[p.li].space);
+            if let Some(sink) = sink {
+                let kind = if outcome.panicked {
+                    TrialEventKind::Panicked
+                } else if outcome.timed_out {
+                    TrialEventKind::TimedOut
+                } else {
+                    TrialEventKind::Finished
+                };
+                let mut ev = proposal_event(kind, p, &states[p.li].kind.name(), &rendered);
+                ev.error = Some(outcome.error);
+                ev.cost = Some(cost);
+                ev.wall_secs = Some(measured);
+                ev.message = outcome.panic_message.clone();
+                sink.emit(ev);
+            }
+            trials.push(TrialRecord {
+                iter,
+                learner: states[p.li].kind.name(),
+                config: rendered,
+                sample_size: p.trial_s,
+                error: outcome.error,
+                cost,
+                total_time: clock.elapsed(),
+                mode: p.mode,
+                improved_global,
+                best_error_so_far: best
+                    .as_ref()
+                    .map(|(_, _, e, _, _)| *e)
+                    .unwrap_or(f64::INFINITY),
+                eci_snapshot,
+                timed_out: outcome.timed_out,
+                panicked: outcome.panicked,
+            });
+        }
+        if discarding {
+            break 'search;
+        }
     }
 
     let Some((best_li, best_config, best_error, trial_model, _best_s)) = best else {
@@ -272,25 +464,37 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
 
     // Final model: retrain the best configuration on the full training
     // data (CV trials defer training; holdout trials trained on 90% of a
-    // sample). Fall back to the trial's model if the refit fails.
-    let refit_budget = if clock.is_wall() {
-        let remaining = settings.time_budget - clock.elapsed();
-        Some(Duration::from_secs_f64(remaining.max(0.1).min(settings.time_budget)))
+    // sample). The refit budget is the time actually left — an exhausted
+    // budget must not grant the refit extra time. Fall back to the
+    // trial's model when nothing remains (or the refit fails); only when
+    // there is no trial model either (CV defers its models) does the
+    // refit get a minimal grace budget, since returning no model at all
+    // would turn a finished search into an error.
+    let remaining = if clock.is_wall() {
+        Some((settings.time_budget - clock.elapsed()).max(0.0))
     } else {
         None
     };
-    let model = match best_kind.fit(
-        &shuffled,
-        &best_config,
-        best_space,
-        settings.seed,
-        refit_budget,
-    ) {
-        Ok(m) => m,
-        Err(e) => match trial_model {
-            Some(m) => m,
-            None => return Err(AutoMlError::RefitFailed(e)),
-        },
+    let out_of_budget = remaining.map(|r| r <= 0.0).unwrap_or(false);
+    let refit_budget =
+        remaining.map(|r| Duration::from_secs_f64(r.max(0.05).min(settings.time_budget)));
+    let model = match (out_of_budget, trial_model) {
+        (true, Some(m)) => m,
+        (_, trial_model) => {
+            match best_kind.fit(
+                &shuffled,
+                &best_config,
+                best_space,
+                settings.seed,
+                refit_budget,
+            ) {
+                Ok(m) => m,
+                Err(e) => match trial_model {
+                    Some(m) => m,
+                    None => return Err(AutoMlError::RefitFailed(e)),
+                },
+            }
+        }
     };
 
     // Optional stacked-ensemble post-processing (paper appendix).
@@ -321,4 +525,3 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
         metric,
     })
 }
-

@@ -143,7 +143,9 @@ impl Estimator {
         budget: Option<Duration>,
     ) -> Result<FittedModel, FitError> {
         match self {
-            Estimator::Builtin(k) => crate::learner::fit_learner(*k, data, config, space, seed, budget),
+            Estimator::Builtin(k) => {
+                crate::learner::fit_learner(*k, data, config, space, seed, budget)
+            }
             Estimator::Custom(c) => c.fit(data, config, space, seed, budget),
         }
     }

@@ -150,7 +150,7 @@ impl EciState {
             return base;
         }
         let gap = self.best_err - global_best;
-        if !(gap > 0.0) || !global_best.is_finite() {
+        if gap <= 0.0 || gap.is_nan() || !global_best.is_finite() {
             // This learner holds the best error: case (a).
             return base;
         }
@@ -211,10 +211,10 @@ mod tests {
         e.on_trial(1.0, 0.5); // update 1: K1 = 1
         e.on_trial(1.0, 0.6); // no update: K0 = 2
         e.on_trial(1.0, 0.7); // no update: K0 = 3
-        // K0 - K1 = 2, K1 - K2 = 1 => ECI1 = 2.
+                              // K0 - K1 = 2, K1 - K2 = 1 => ECI1 = 2.
         assert_eq!(e.eci1(), 2.0);
         e.on_trial(1.0, 0.4); // update 2: K2 = 1, K1 = 4
-        // K0 - K1 = 0, K1 - K2 = 3 => ECI1 = 3.
+                              // K0 - K1 = 0, K1 - K2 = 3 => ECI1 = 3.
         assert_eq!(e.eci1(), 3.0);
     }
 
@@ -242,7 +242,7 @@ mod tests {
         let mut slow = EciState::new(1.0);
         slow.on_trial(1.0, 0.5); // update: K1 = 1
         slow.on_trial(1.0, 0.45); // update: K2 = 1, K1 = 2, δ = 0.05
-        // Global best is far below: the gap term dominates.
+                                  // Global best is far below: the gap term dominates.
         let eci = slow.eci(0.10, 2.0);
         // gap = 0.35, τ = K0 − K2 = 1 => cost = 0.35 * 1 / 0.05 = 7.
         assert!((eci - 7.0).abs() < 1e-9, "eci = {eci}");

@@ -56,7 +56,10 @@ pub fn build_stacked(
         let train = shuffled.select(&fold.train);
         let mut models = Vec::with_capacity(specs.len());
         for spec in &specs {
-            let m = spec.kind.fit(&train, &spec.config, &spec.space, seed, budget).ok()?;
+            let m = spec
+                .kind
+                .fit(&train, &spec.config, &spec.space, seed, budget)
+                .ok()?;
             models.push(m);
         }
         oof_members.push(models);
@@ -68,7 +71,11 @@ pub fn build_stacked(
     let probe = meta_features(
         &oof_members[0],
         &shuffled.select(&fold_idx[0].valid),
-        fold_idx[0].valid.iter().map(|&i| shuffled.target()[i]).collect(),
+        fold_idx[0]
+            .valid
+            .iter()
+            .map(|&i| shuffled.target()[i])
+            .collect(),
     );
     let n_meta = probe.n_features();
     let mut columns = vec![vec![0.0f64; n]; n_meta];
@@ -81,8 +88,8 @@ pub fn build_stacked(
             fold.valid.iter().map(|&i| shuffled.target()[i]).collect(),
         );
         for (local, &global) in fold.valid.iter().enumerate() {
-            for c in 0..n_meta {
-                columns[c][global] = feats.value(local, c);
+            for (c, column) in columns.iter_mut().enumerate() {
+                column[global] = feats.value(local, c);
             }
             target[global] = shuffled.target()[global];
         }
@@ -93,7 +100,10 @@ pub fn build_stacked(
     // Retrain members on the full data for the deployable ensemble.
     let mut members = Vec::with_capacity(specs.len());
     for spec in &specs {
-        let m = spec.kind.fit(shuffled, &spec.config, &spec.space, seed, budget).ok()?;
+        let m = spec
+            .kind
+            .fit(shuffled, &spec.config, &spec.space, seed, budget)
+            .ok()?;
         members.push(m);
     }
     Some(StackedModel::new(members, meta, shuffled.task()).into())

@@ -59,3 +59,7 @@ pub use ensemble::{build_stacked, MemberSpec};
 pub use learner::{config_cost_factor, fit_learner};
 pub use resample::{run_trial, ResampleRule, ResampleStrategy, TrialOutcome};
 pub use spaces::LearnerKind;
+
+// Re-export the execution runtime so downstream crates can size pools and
+// subscribe to trial telemetry without depending on flaml-exec directly.
+pub use flaml_exec::{event_channel, EventSink, ExecPool, Telemetry, TrialEvent, TrialEventKind};

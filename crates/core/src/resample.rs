@@ -6,13 +6,23 @@
 //! training set has fewer than 100K instances *and* `#instances x
 //! #features / budget` is below 10M per hour; otherwise use holdout with
 //! ratio 0.1.
+//!
+//! Evaluation runs on a [`flaml_exec::ExecPool`]: the k folds of a CV
+//! trial execute as independent pool jobs (concurrently when the pool
+//! has more than one worker), every model fit is panic-isolated (a
+//! panicking learner becomes a failed trial, not a dead process), and
+//! deadlines are enforced cooperatively through the job context. A
+//! single-worker pool evaluates folds inline in fold order, reproducing
+//! the sequential fold loop bit-for-bit.
 
 use crate::custom::Estimator;
 use flaml_data::{stratified_kfold, train_test_split, Dataset};
+use flaml_exec::{ExecPool, Job, JobStatus};
 use flaml_learners::FittedModel;
 use flaml_metrics::Metric;
 use flaml_search::{Config, SearchSpace};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 /// The resampling strategy used to assess each trial.
@@ -28,6 +38,16 @@ pub enum ResampleStrategy {
         /// Fraction of rows held out for validation.
         ratio: f64,
     },
+}
+
+impl ResampleStrategy {
+    /// Number of model fits one trial performs under this strategy.
+    pub fn fits_per_trial(&self) -> usize {
+        match self {
+            ResampleStrategy::Cv { folds } => *folds,
+            ResampleStrategy::Holdout { .. } => 1,
+        }
+    }
 }
 
 impl std::fmt::Display for ResampleStrategy {
@@ -93,14 +113,49 @@ pub struct TrialOutcome {
     pub n_fits: usize,
     /// Virtual-cost complexity factor of the evaluated configuration.
     pub cost_factor: f64,
+    /// Whether any fit of this trial panicked (the panic was absorbed
+    /// and the fold counted as failed).
+    pub panicked: bool,
+    /// Whether any fit of this trial ran past its cooperative deadline.
+    pub timed_out: bool,
+    /// The panic message, when `panicked` is set.
+    pub panic_message: Option<String>,
+}
+
+impl TrialOutcome {
+    /// A trial that failed before any model fit.
+    fn aborted(cost_factor: f64) -> TrialOutcome {
+        TrialOutcome {
+            error: f64::INFINITY,
+            model: None,
+            n_fits: 0,
+            cost_factor,
+            panicked: false,
+            timed_out: false,
+            panic_message: None,
+        }
+    }
+}
+
+/// One fold's evaluation inside a CV trial.
+enum FoldEval {
+    /// The fold trained and scored (the loss may still be infinite).
+    Scored(f64),
+    /// The learner returned a fit error.
+    FitFailed,
+    /// An earlier fold already failed; this fold was skipped.
+    Skipped,
 }
 
 /// Evaluates `config` for `kind` on the first `sample_size` rows of the
-/// (pre-shuffled) dataset under `strategy`, scoring with `metric`.
+/// (pre-shuffled) dataset under `strategy`, scoring with `metric`. Model
+/// fits are dispatched as jobs on `pool`: CV folds run concurrently when
+/// the pool has more than one worker, and a `pool` with one worker
+/// reproduces the sequential fold loop exactly.
 ///
-/// Failures (unfittable subsample, degenerate metric) surface as
-/// `error = INFINITY` rather than an `Err`, because a failed trial is a
-/// legitimate observation for the search.
+/// Failures (unfittable subsample, degenerate metric, a panicking
+/// learner) surface as `error = INFINITY` rather than an `Err`, because
+/// a failed trial is a legitimate observation for the search.
 #[allow(clippy::too_many_arguments)]
 pub fn run_trial(
     shuffled: &Dataset,
@@ -112,70 +167,121 @@ pub fn run_trial(
     metric: Metric,
     seed: u64,
     deadline: Option<Duration>,
+    pool: &ExecPool,
 ) -> TrialOutcome {
     let sample = shuffled.prefix(sample_size);
     let cost_factor = kind.cost_factor(config, space);
     match strategy {
         ResampleStrategy::Holdout { ratio } => {
             let Ok(fold) = train_test_split(sample.n_rows(), ratio) else {
-                return TrialOutcome {
-                    error: f64::INFINITY,
-                    model: None,
-                    n_fits: 0,
-                    cost_factor,
-                };
+                return TrialOutcome::aborted(cost_factor);
             };
-            let train = sample.select(&fold.train);
-            let valid = sample.select(&fold.valid);
-            let error = match kind.fit(&train, config, space, seed, deadline) {
-                Ok(model) => {
-                    let err = metric
-                        .loss(&model.predict(&valid), valid.target())
-                        .unwrap_or(f64::INFINITY);
-                    return TrialOutcome {
-                        error: err,
-                        model: Some(model),
-                        n_fits: 1,
-                        cost_factor,
-                    };
-                }
-                Err(_) => f64::INFINITY,
-            };
-            TrialOutcome {
-                error,
-                model: None,
-                n_fits: 1,
-                cost_factor,
-            }
-        }
-        ResampleStrategy::Cv { folds } => {
-            let Ok(folds_idx) = stratified_kfold(&sample, folds) else {
-                return TrialOutcome {
-                    error: f64::INFINITY,
-                    model: None,
-                    n_fits: 0,
-                    cost_factor,
-                };
-            };
-            let mut total = 0.0;
-            let mut n_ok = 0usize;
-            let n_fits = folds_idx.len();
-            // Split any deadline evenly across folds so CV cannot overrun.
-            let per_fold = deadline.map(|d| d / n_fits as u32);
-            for fold in &folds_idx {
+            let sample = &sample;
+            let job = Job::new(move |ctx: &flaml_exec::JobCtx| {
                 let train = sample.select(&fold.train);
                 let valid = sample.select(&fold.valid);
-                match kind.fit(&train, config, space, seed, per_fold) {
+                match kind.fit(&train, config, space, seed, ctx.remaining()) {
                     Ok(model) => {
                         let err = metric
                             .loss(&model.predict(&valid), valid.target())
                             .unwrap_or(f64::INFINITY);
+                        (err, Some(model))
+                    }
+                    Err(_) => (f64::INFINITY, None),
+                }
+            })
+            .deadline(deadline);
+            let result = pool
+                .run_batch(vec![job], None)
+                .pop()
+                .expect("one job in, one result out");
+            let timed_out = result.status.timed_out();
+            match result.status {
+                JobStatus::Finished((error, model)) | JobStatus::TimedOut((error, model)) => {
+                    TrialOutcome {
+                        error,
+                        model,
+                        n_fits: 1,
+                        cost_factor,
+                        panicked: false,
+                        timed_out,
+                        panic_message: None,
+                    }
+                }
+                JobStatus::Panicked(msg) => TrialOutcome {
+                    error: f64::INFINITY,
+                    model: None,
+                    n_fits: 1,
+                    cost_factor,
+                    panicked: true,
+                    timed_out: false,
+                    panic_message: Some(msg),
+                },
+            }
+        }
+        ResampleStrategy::Cv { folds } => {
+            let Ok(folds_idx) = stratified_kfold(&sample, folds) else {
+                return TrialOutcome::aborted(cost_factor);
+            };
+            let n_fits = folds_idx.len();
+            // Split any deadline evenly across folds so CV cannot overrun
+            // even when folds run one after another.
+            let per_fold = deadline.map(|d| d / n_fits as u32);
+            // Once one fold's fit fails the trial error is infinite
+            // regardless of the other folds; later folds short-circuit.
+            // With one worker this reproduces the sequential loop's early
+            // break exactly.
+            let aborted = AtomicBool::new(false);
+            let sample = &sample;
+            let aborted_ref = &aborted;
+            let jobs: Vec<Job<'_, FoldEval>> = folds_idx
+                .iter()
+                .map(|fold| {
+                    Job::new(move |ctx: &flaml_exec::JobCtx| {
+                        if aborted_ref.load(Ordering::SeqCst) {
+                            return FoldEval::Skipped;
+                        }
+                        let train = sample.select(&fold.train);
+                        let valid = sample.select(&fold.valid);
+                        match kind.fit(&train, config, space, seed, ctx.remaining()) {
+                            Ok(model) => {
+                                let err = metric
+                                    .loss(&model.predict(&valid), valid.target())
+                                    .unwrap_or(f64::INFINITY);
+                                FoldEval::Scored(err)
+                            }
+                            Err(_) => {
+                                aborted_ref.store(true, Ordering::SeqCst);
+                                FoldEval::FitFailed
+                            }
+                        }
+                    })
+                    .deadline(per_fold)
+                })
+                .collect();
+            let results = pool.run_batch(jobs, None);
+
+            // Aggregate in fold (= submission) order so the floating-point
+            // sum is identical to the sequential loop's.
+            let mut total = 0.0;
+            let mut n_ok = 0usize;
+            let mut panicked = false;
+            let mut timed_out = false;
+            let mut panic_message = None;
+            for result in results {
+                if result.status.timed_out() {
+                    timed_out = true;
+                }
+                match result.status {
+                    JobStatus::Finished(FoldEval::Scored(err))
+                    | JobStatus::TimedOut(FoldEval::Scored(err)) => {
                         total += err;
                         n_ok += 1;
                     }
-                    Err(_) => {
-                        total = f64::INFINITY;
-                        break;
+                    JobStatus::Finished(_) | JobStatus::TimedOut(_) => {}
+                    JobStatus::Panicked(msg) => {
+                        panicked = true;
+                        panic_message.get_or_insert(msg);
                     }
                 }
             }
@@ -189,6 +295,9 @@ pub fn run_trial(
                 model: None,
                 n_fits,
                 cost_factor,
+                panicked,
+                timed_out,
+                panic_message,
             }
         }
     }
@@ -201,7 +310,11 @@ mod tests {
 
     fn data(n: usize, d: usize) -> Dataset {
         let cols: Vec<Vec<f64>> = (0..d)
-            .map(|j| (0..n).map(|i| ((i * (j + 3)) % 17) as f64 + i as f64 / n as f64).collect())
+            .map(|j| {
+                (0..n)
+                    .map(|i| ((i * (j + 3)) % 17) as f64 + i as f64 / n as f64)
+                    .collect()
+            })
             .collect();
         let y: Vec<f64> = (0..n).map(|i| f64::from(i % 2 == 0)).collect();
         Dataset::new("d", Task::Binary, cols, y).unwrap()
@@ -251,10 +364,13 @@ mod tests {
             Metric::RocAuc,
             0,
             None,
+            &ExecPool::sequential(),
         );
         assert!(out.error.is_finite());
         assert!(out.model.is_some());
         assert_eq!(out.n_fits, 1);
+        assert!(!out.panicked);
+        assert!(!out.timed_out);
     }
 
     #[test]
@@ -272,10 +388,42 @@ mod tests {
             Metric::RocAuc,
             0,
             None,
+            &ExecPool::sequential(),
         );
         assert!(out.error.is_finite());
         assert!(out.model.is_none(), "cv defers the final model");
         assert_eq!(out.n_fits, 5);
+    }
+
+    #[test]
+    fn cv_trial_is_identical_across_worker_counts() {
+        let d = data(300, 4).shuffled(1);
+        let kind = Estimator::Builtin(crate::LearnerKind::LightGbm);
+        let space = kind.space(300);
+        let run = |workers: usize| {
+            run_trial(
+                &d,
+                &kind,
+                &space.init_config(),
+                &space,
+                300,
+                ResampleStrategy::Cv { folds: 5 },
+                Metric::RocAuc,
+                7,
+                None,
+                &ExecPool::new(workers),
+            )
+        };
+        let seq = run(1);
+        for workers in [2, 4, 8] {
+            let par = run(workers);
+            assert_eq!(
+                seq.error.to_bits(),
+                par.error.to_bits(),
+                "workers={workers}"
+            );
+            assert_eq!(seq.n_fits, par.n_fits);
+        }
     }
 
     #[test]
@@ -293,6 +441,7 @@ mod tests {
             Metric::RocAuc,
             0,
             None,
+            &ExecPool::sequential(),
         );
         assert!(out.error.is_finite());
     }
@@ -316,7 +465,65 @@ mod tests {
             Metric::RocAuc,
             0,
             None,
+            &ExecPool::sequential(),
         );
         assert!(out.error.is_infinite());
+        assert!(!out.panicked);
+    }
+
+    #[test]
+    fn panicking_learner_becomes_failed_trial() {
+        use crate::custom::CustomLearner;
+        use flaml_search::{Domain, ParamDef};
+        use std::sync::Arc;
+
+        #[derive(Debug)]
+        struct Bomb;
+        impl CustomLearner for Bomb {
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn space(&self, _n: usize) -> SearchSpace {
+                SearchSpace::new(vec![ParamDef::new("x", Domain::float(0.0, 1.0), 0.5)])
+                    .expect("valid space")
+            }
+            fn fit(
+                &self,
+                _data: &Dataset,
+                _config: &Config,
+                _space: &SearchSpace,
+                _seed: u64,
+                _budget: Option<Duration>,
+            ) -> Result<FittedModel, flaml_learners::FitError> {
+                panic!("bomb learner always panics");
+            }
+        }
+
+        let d = data(120, 2).shuffled(0);
+        let kind = Estimator::Custom(Arc::new(Bomb));
+        let space = kind.space(120);
+        for strategy in [
+            ResampleStrategy::Holdout { ratio: 0.1 },
+            ResampleStrategy::Cv { folds: 3 },
+        ] {
+            let out = run_trial(
+                &d,
+                &kind,
+                &space.init_config(),
+                &space,
+                120,
+                strategy,
+                Metric::RocAuc,
+                0,
+                None,
+                &ExecPool::sequential(),
+            );
+            assert!(out.error.is_infinite(), "{strategy}");
+            assert!(out.panicked, "{strategy}");
+            assert!(
+                out.panic_message.as_deref().unwrap_or("").contains("bomb"),
+                "{strategy}"
+            );
+        }
     }
 }

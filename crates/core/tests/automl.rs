@@ -333,8 +333,12 @@ fn custom_learner_participates_in_the_search() {
             "tiny_lr"
         }
         fn space(&self, _n: usize) -> SearchSpace {
-            SearchSpace::new(vec![ParamDef::new("c", Domain::log_float(0.01, 100.0), 1.0)])
-                .expect("valid")
+            SearchSpace::new(vec![ParamDef::new(
+                "c",
+                Domain::log_float(0.01, 100.0),
+                1.0,
+            )])
+            .expect("valid")
         }
         fn cost_constant(&self) -> f64 {
             1.5
@@ -369,13 +373,17 @@ fn custom_learner_participates_in_the_search() {
         .seed(41)
         .fit(&data)
         .unwrap();
-    let custom_trials = result.trials.iter().filter(|t| t.learner == "tiny_lr").count();
+    let custom_trials = result
+        .trials
+        .iter()
+        .filter(|t| t.learner == "tiny_lr")
+        .count();
     assert!(custom_trials > 0, "custom learner never tried");
     // ECI snapshots must include the custom learner.
-    assert!(result.trials.iter().all(|t| t
-        .eci_snapshot
+    assert!(result
+        .trials
         .iter()
-        .any(|(name, _)| name == "tiny_lr")));
+        .all(|t| t.eci_snapshot.iter().any(|(name, _)| name == "tiny_lr")));
 }
 
 #[test]

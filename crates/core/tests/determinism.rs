@@ -1,0 +1,116 @@
+//! Determinism contract of the flaml-exec runtime integration: under a
+//! virtual clock, the committed trial trace is a pure function of
+//! (dataset, settings, seed) — independent of worker count, speculative
+//! execution, and fold-level parallelism.
+
+use flaml_core::{
+    default_virtual_cost, AutoMl, LearnerKind, LearnerSelection, ResampleChoice, TimeSource,
+    TrialRecord,
+};
+use flaml_data::{Dataset, Task};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn binary_dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x0: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    let x1: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| f64::from(x0[i] * 1.5 + (x1[i] - 0.4).powi(2) * 3.0 > 0.9))
+        .collect();
+    Dataset::new("det", Task::Binary, vec![x0, x1], y).unwrap()
+}
+
+fn base(workers: usize) -> AutoMl {
+    AutoMl::new()
+        .time_source(TimeSource::Virtual(default_virtual_cost))
+        .sample_size_init(100)
+        .time_budget(1.0)
+        .max_trials(24)
+        .estimators([LearnerKind::LightGbm, LearnerKind::Rf, LearnerKind::Lr])
+        .seed(7)
+        .workers(workers)
+}
+
+/// Serializes a trace so comparison is byte-exact (every field, including
+/// the float bit patterns rendered by serde).
+fn trace(trials: &[TrialRecord]) -> String {
+    serde_json::to_string(trials).expect("trial records serialize")
+}
+
+#[test]
+fn same_seed_virtual_runs_produce_identical_traces() {
+    let data = binary_dataset(700, 1);
+    let a = base(1).fit(&data).unwrap();
+    let b = base(1).fit(&data).unwrap();
+    assert_eq!(trace(&a.trials), trace(&b.trials));
+    assert_eq!(a.best_error.to_bits(), b.best_error.to_bits());
+    assert_eq!(a.best_config_rendered, b.best_config_rendered);
+}
+
+#[test]
+fn eci_mode_trace_is_worker_count_invariant() {
+    // ECI selection keeps trials sequential; the workers parallelize CV
+    // folds inside each trial. Fold-order aggregation makes the fold sum
+    // bit-exact, so the whole trace must match.
+    let data = binary_dataset(600, 2);
+    let seq = base(1)
+        .resample(ResampleChoice::AlwaysCv)
+        .fit(&data)
+        .unwrap();
+    for workers in [2, 4] {
+        let par = base(workers)
+            .resample(ResampleChoice::AlwaysCv)
+            .fit(&data)
+            .unwrap();
+        assert_eq!(trace(&seq.trials), trace(&par.trials), "workers={workers}");
+        assert_eq!(seq.best_error.to_bits(), par.best_error.to_bits());
+    }
+}
+
+#[test]
+fn speculative_round_robin_matches_sequential_trace() {
+    // Round-robin enables speculation: workers pre-execute upcoming
+    // trials, results commit in submission order. Under the virtual
+    // clock a workers=1 run must be byte-identical to any worker count.
+    // A generous virtual budget so many rounds run whatever configs the
+    // search happens to propose; max_trials still caps the run.
+    let data = binary_dataset(800, 3);
+    let seq = base(1)
+        .learner_selection(LearnerSelection::RoundRobin)
+        .time_budget(6.0)
+        .fit(&data)
+        .unwrap();
+    assert!(
+        seq.trials.len() > 6,
+        "need several rounds to exercise speculation, got {}",
+        seq.trials.len()
+    );
+    for workers in [2, 4, 8] {
+        let par = base(workers)
+            .learner_selection(LearnerSelection::RoundRobin)
+            .time_budget(6.0)
+            .fit(&data)
+            .unwrap();
+        assert_eq!(trace(&seq.trials), trace(&par.trials), "workers={workers}");
+        assert_eq!(seq.best_learner, par.best_learner);
+        assert_eq!(seq.best_error.to_bits(), par.best_error.to_bits());
+    }
+}
+
+#[test]
+fn speculative_holdout_also_matches() {
+    // Same contract when trials are holdout-evaluated (the model is
+    // trained inside the trial rather than deferred).
+    let data = binary_dataset(500, 4);
+    let run = |workers: usize| {
+        base(workers)
+            .learner_selection(LearnerSelection::RoundRobin)
+            .resample(ResampleChoice::AlwaysHoldout)
+            .fit(&data)
+            .unwrap()
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert_eq!(trace(&seq.trials), trace(&par.trials));
+}

@@ -346,8 +346,8 @@ mod tests {
 
     #[test]
     fn new_validates_labels() {
-        let err = Dataset::new("bad", Task::Binary, vec![vec![1.0, 2.0]], vec![0.0, 2.0])
-            .unwrap_err();
+        let err =
+            Dataset::new("bad", Task::Binary, vec![vec![1.0, 2.0]], vec![0.0, 2.0]).unwrap_err();
         assert!(matches!(err, DataError::BadLabel { row: 1, .. }));
     }
 

@@ -114,7 +114,10 @@ pub fn stratified_kfold(data: &Dataset, k: usize) -> Result<Vec<Fold>, DataError
         }
     }
     // A fold with an empty side can occur for degenerate k; reject it.
-    if folds.iter().any(|f| f.train.is_empty() || f.valid.is_empty()) {
+    if folds
+        .iter()
+        .any(|f| f.train.is_empty() || f.valid.is_empty())
+    {
         return Err(DataError::BadSplit(format!(
             "stratified {k}-fold on {n} rows produced an empty fold"
         )));
@@ -177,11 +180,7 @@ mod tests {
         let d = Dataset::new("s", Task::Binary, vec![col], y).unwrap();
         let folds = stratified_kfold(&d, 5).unwrap();
         for f in &folds {
-            let pos = f
-                .valid
-                .iter()
-                .filter(|&&i| d.target()[i] == 1.0)
-                .count();
+            let pos = f.valid.iter().filter(|&&i| d.target()[i] == 1.0).count();
             assert_eq!(pos, 4, "each fold sees 4 of the 20 positives");
         }
     }

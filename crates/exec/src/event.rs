@@ -1,0 +1,206 @@
+//! Trial telemetry: structured events emitted as trials start and end,
+//! and an aggregator that turns an event stream into counts.
+//!
+//! Events flow over a standard mpsc channel. The [`EventSink`] end is
+//! cheap to clone and safe to share across pool workers; sends to a
+//! dropped receiver are silently discarded so telemetry can never fail a
+//! run.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+
+/// What happened to a trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialEventKind {
+    /// The trial began executing.
+    Started,
+    /// The trial completed within its deadline.
+    Finished,
+    /// The trial completed, but past its cooperative deadline.
+    TimedOut,
+    /// The trial panicked (and was converted into a failed trial).
+    Panicked,
+}
+
+impl TrialEventKind {
+    /// Stable lowercase name (used in logs and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrialEventKind::Started => "started",
+            TrialEventKind::Finished => "finished",
+            TrialEventKind::TimedOut => "timed-out",
+            TrialEventKind::Panicked => "panicked",
+        }
+    }
+}
+
+/// One structured trial event.
+#[derive(Debug, Clone)]
+pub struct TrialEvent {
+    /// Event kind.
+    pub kind: TrialEventKind,
+    /// Job/trial id (submission index within its run).
+    pub job_id: u64,
+    /// Free-form label (e.g. `"dataset/method"`).
+    pub label: String,
+    /// Learner evaluated, if known.
+    pub learner: String,
+    /// Rendered configuration, if known.
+    pub config: String,
+    /// Training sample size, if known.
+    pub sample_size: usize,
+    /// Observed validation error (terminal events only).
+    pub error: Option<f64>,
+    /// Charged cost in budget seconds (terminal events only).
+    pub cost: Option<f64>,
+    /// Measured wall seconds (terminal events only).
+    pub wall_secs: Option<f64>,
+    /// Panic or diagnostic message, if any.
+    pub message: Option<String>,
+}
+
+impl TrialEvent {
+    /// A bare event of `kind` with empty metadata.
+    pub fn new(kind: TrialEventKind) -> TrialEvent {
+        TrialEvent {
+            kind,
+            job_id: 0,
+            label: String::new(),
+            learner: String::new(),
+            config: String::new(),
+            sample_size: 0,
+            error: None,
+            cost: None,
+            wall_secs: None,
+            message: None,
+        }
+    }
+}
+
+/// The sending end of a trial-event channel.
+#[derive(Debug, Clone)]
+pub struct EventSink {
+    tx: mpsc::Sender<TrialEvent>,
+}
+
+impl EventSink {
+    /// Emits an event. Errors (receiver dropped) are ignored: telemetry
+    /// is strictly best-effort and must never affect the run.
+    pub fn emit(&self, event: TrialEvent) {
+        let _ = self.tx.send(event);
+    }
+}
+
+/// Creates a trial-event channel: a cloneable sink plus its receiver.
+pub fn event_channel() -> (EventSink, mpsc::Receiver<TrialEvent>) {
+    let (tx, rx) = mpsc::channel();
+    (EventSink { tx }, rx)
+}
+
+/// Per-learner event counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LearnerCounts {
+    /// Trials finished within deadline.
+    pub finished: usize,
+    /// Trials past their cooperative deadline.
+    pub timed_out: usize,
+    /// Trials that panicked.
+    pub panicked: usize,
+}
+
+/// Aggregated counts over a trial-event stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
+    /// `Started` events seen.
+    pub started: usize,
+    /// `Finished` events seen.
+    pub finished: usize,
+    /// `TimedOut` events seen.
+    pub timed_out: usize,
+    /// `Panicked` events seen.
+    pub panicked: usize,
+    /// Terminal-event counts keyed by learner name (unnamed trials group
+    /// under the empty string).
+    pub by_learner: BTreeMap<String, LearnerCounts>,
+}
+
+impl Telemetry {
+    /// An empty aggregate.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Folds one event in.
+    pub fn record(&mut self, event: &TrialEvent) {
+        if event.kind == TrialEventKind::Started {
+            self.started += 1;
+            return;
+        }
+        let slot = self.by_learner.entry(event.learner.clone()).or_default();
+        match event.kind {
+            TrialEventKind::Started => unreachable!("handled above"),
+            TrialEventKind::Finished => {
+                self.finished += 1;
+                slot.finished += 1;
+            }
+            TrialEventKind::TimedOut => {
+                self.timed_out += 1;
+                slot.timed_out += 1;
+            }
+            TrialEventKind::Panicked => {
+                self.panicked += 1;
+                slot.panicked += 1;
+            }
+        }
+    }
+
+    /// Drains every event currently buffered in `rx` (non-blocking) and
+    /// folds them in. Returns `self` for chaining.
+    pub fn drain(mut self, rx: &mpsc::Receiver<TrialEvent>) -> Telemetry {
+        while let Ok(ev) = rx.try_recv() {
+            self.record(&ev);
+        }
+        self
+    }
+
+    /// Total terminal events (finished + timed out + panicked).
+    pub fn total_terminal(&self) -> usize {
+        self.finished + self.timed_out + self.panicked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_survives_dropped_receiver() {
+        let (sink, rx) = event_channel();
+        drop(rx);
+        sink.emit(TrialEvent::new(TrialEventKind::Started));
+    }
+
+    #[test]
+    fn telemetry_counts_by_kind_and_learner() {
+        let (sink, rx) = event_channel();
+        let mut ev = TrialEvent::new(TrialEventKind::Started);
+        ev.learner = "gbm".into();
+        sink.emit(ev.clone());
+        ev.kind = TrialEventKind::Finished;
+        sink.emit(ev.clone());
+        ev.kind = TrialEventKind::Panicked;
+        sink.emit(ev.clone());
+        ev.kind = TrialEventKind::TimedOut;
+        ev.learner = "lr".into();
+        sink.emit(ev);
+        let t = Telemetry::new().drain(&rx);
+        assert_eq!(t.started, 1);
+        assert_eq!(t.finished, 1);
+        assert_eq!(t.panicked, 1);
+        assert_eq!(t.timed_out, 1);
+        assert_eq!(t.total_terminal(), 3);
+        assert_eq!(t.by_learner["gbm"].finished, 1);
+        assert_eq!(t.by_learner["gbm"].panicked, 1);
+        assert_eq!(t.by_learner["lr"].timed_out, 1);
+    }
+}

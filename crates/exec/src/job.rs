@@ -1,0 +1,206 @@
+//! Jobs: the unit of work the pool executes.
+//!
+//! A [`Job`] is a one-shot closure plus metadata describing the trial it
+//! stands for. The closure receives a [`JobCtx`] exposing the job's
+//! *cooperative* deadline: the runtime never kills a running job, it asks
+//! the job (and the learners underneath, which already accept a training
+//! budget) to stop on its own. A job that returns after its deadline is
+//! reported as timed out; a job that panics is caught and reported as
+//! panicked, so one bad trial cannot take down the process.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Metadata describing the trial behind a job, carried through to
+/// [`JobResult`]s and [`crate::TrialEvent`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobMeta {
+    /// Submission index within a batch (set by the pool).
+    pub id: u64,
+    /// Free-form label (e.g. `"dataset/method @ budget"`).
+    pub label: String,
+    /// Learner name, when the job evaluates a learner.
+    pub learner: String,
+    /// Rendered configuration, when applicable.
+    pub config: String,
+    /// Training sample size, when applicable.
+    pub sample_size: usize,
+}
+
+/// The execution context handed to a running job.
+#[derive(Debug)]
+pub struct JobCtx {
+    start: Instant,
+    deadline: Option<Duration>,
+}
+
+impl JobCtx {
+    pub(crate) fn begin(deadline: Option<Duration>) -> JobCtx {
+        JobCtx {
+            start: Instant::now(),
+            deadline,
+        }
+    }
+
+    /// Time since the job started executing.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The job's total cooperative deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Time left before the deadline (saturating at zero); `None` when
+    /// the job has no deadline.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_sub(self.start.elapsed()))
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        match self.deadline {
+            Some(d) => self.start.elapsed() > d,
+            None => false,
+        }
+    }
+}
+
+/// A unit of work: metadata, an optional cooperative deadline, and the
+/// closure to run. The `'env` lifetime lets jobs borrow from the caller's
+/// stack (datasets, search spaces) because the pool runs them on scoped
+/// threads.
+pub struct Job<'env, T> {
+    /// Trial metadata (echoed in results and events).
+    pub meta: JobMeta,
+    /// Cooperative deadline for the whole job.
+    pub deadline: Option<Duration>,
+    body: Box<dyn FnOnce(&JobCtx) -> T + Send + 'env>,
+}
+
+impl<'env, T> Job<'env, T> {
+    /// Wraps a closure into a job with empty metadata and no deadline.
+    pub fn new(body: impl FnOnce(&JobCtx) -> T + Send + 'env) -> Job<'env, T> {
+        Job {
+            meta: JobMeta::default(),
+            deadline: None,
+            body: Box::new(body),
+        }
+    }
+
+    /// Sets the display label.
+    #[must_use]
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.meta.label = label.into();
+        self
+    }
+
+    /// Replaces the whole metadata block.
+    #[must_use]
+    pub fn meta(mut self, meta: JobMeta) -> Self {
+        self.meta = meta;
+        self
+    }
+
+    /// Sets the cooperative deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+}
+
+impl<T> std::fmt::Debug for Job<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("meta", &self.meta)
+            .field("deadline", &self.deadline)
+            .finish_non_exhaustive()
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus<T> {
+    /// Returned within its deadline.
+    Finished(T),
+    /// Returned, but after its cooperative deadline had passed.
+    TimedOut(T),
+    /// Panicked; the payload is the panic message. The worker survives.
+    Panicked(String),
+}
+
+impl<T> JobStatus<T> {
+    /// The produced value, if the job did not panic.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            JobStatus::Finished(v) | JobStatus::TimedOut(v) => Some(v),
+            JobStatus::Panicked(_) => None,
+        }
+    }
+
+    /// Consumes the status into the produced value, if any.
+    pub fn into_value(self) -> Option<T> {
+        match self {
+            JobStatus::Finished(v) | JobStatus::TimedOut(v) => Some(v),
+            JobStatus::Panicked(_) => None,
+        }
+    }
+
+    /// Whether the job completed past its deadline.
+    pub fn timed_out(&self) -> bool {
+        matches!(self, JobStatus::TimedOut(_))
+    }
+
+    /// Whether the job panicked.
+    pub fn panicked(&self) -> bool {
+        matches!(self, JobStatus::Panicked(_))
+    }
+}
+
+/// One executed job: its metadata, how it ended, and its wall time.
+#[derive(Debug)]
+pub struct JobResult<T> {
+    /// The job's metadata (with `id` set to the submission index).
+    pub meta: JobMeta,
+    /// Terminal status.
+    pub status: JobStatus<T>,
+    /// Measured wall-clock seconds the job ran for.
+    pub wall_secs: f64,
+}
+
+/// Renders a caught panic payload as a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one job to completion on the current thread: starts the deadline
+/// clock, catches panics, and classifies the outcome.
+pub(crate) fn execute<T>(job: Job<'_, T>) -> JobResult<T> {
+    let Job {
+        meta,
+        deadline,
+        body,
+    } = job;
+    let ctx = JobCtx::begin(deadline);
+    let outcome = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+    let wall_secs = ctx.elapsed().as_secs_f64();
+    let status = match outcome {
+        Ok(v) if ctx.expired() => JobStatus::TimedOut(v),
+        Ok(v) => JobStatus::Finished(v),
+        Err(payload) => JobStatus::Panicked(panic_message(payload)),
+    };
+    JobResult {
+        meta,
+        status,
+        wall_secs,
+    }
+}

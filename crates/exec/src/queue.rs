@@ -1,0 +1,104 @@
+//! Injectable job queues: the scheduling policy of the pool.
+//!
+//! The pool stores submitted jobs in slots and pushes their *tickets*
+//! (submission indices) through a [`JobQueue`]. Workers pop tickets; the
+//! queue's ordering is therefore the dispatch order. Results are always
+//! returned in submission order regardless of the queue, so the policy
+//! affects wall-clock behaviour only — never the shape of the output.
+
+use std::collections::VecDeque;
+
+/// Orders pending job tickets for dispatch.
+pub trait JobQueue: Send {
+    /// Enqueues a ticket.
+    fn push(&mut self, ticket: usize);
+    /// Dequeues the next ticket to run, or `None` when empty.
+    fn pop(&mut self) -> Option<usize>;
+    /// Number of pending tickets.
+    fn len(&self) -> usize;
+    /// Whether the queue is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// First-in first-out dispatch: jobs start in submission order. The
+/// default, and the policy under which a single-worker pool reproduces
+/// the sequential trace exactly.
+#[derive(Debug, Default)]
+pub struct FifoQueue(VecDeque<usize>);
+
+impl FifoQueue {
+    /// An empty FIFO queue.
+    pub fn new() -> FifoQueue {
+        FifoQueue::default()
+    }
+}
+
+impl JobQueue for FifoQueue {
+    fn push(&mut self, ticket: usize) {
+        self.0.push_back(ticket);
+    }
+    fn pop(&mut self) -> Option<usize> {
+        self.0.pop_front()
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Last-in first-out dispatch: newest jobs start first. Useful to probe
+/// scheduling-order sensitivity in tests — results still come back in
+/// submission order.
+#[derive(Debug, Default)]
+pub struct LifoQueue(Vec<usize>);
+
+impl LifoQueue {
+    /// An empty LIFO queue.
+    pub fn new() -> LifoQueue {
+        LifoQueue::default()
+    }
+}
+
+impl JobQueue for LifoQueue {
+    fn push(&mut self, ticket: usize) {
+        self.0.push(ticket);
+    }
+    fn pop(&mut self) -> Option<usize> {
+        self.0.pop()
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_orders_by_submission() {
+        let mut q = FifoQueue::new();
+        q.push(0);
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn lifo_orders_newest_first() {
+        let mut q = LifoQueue::new();
+        q.push(0);
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -144,7 +144,17 @@ mod tests {
 
     fn data(cols: Vec<Vec<f64>>) -> Dataset {
         let n = cols[0].len();
-        Dataset::new("t", Task::Regression, cols, vec![0.5; n].iter().enumerate().map(|(i, _)| i as f64).collect()).unwrap()
+        Dataset::new(
+            "t",
+            Task::Regression,
+            cols,
+            vec![0.5; n]
+                .iter()
+                .enumerate()
+                .map(|(i, _)| i as f64)
+                .collect(),
+        )
+        .unwrap()
     }
 
     #[test]

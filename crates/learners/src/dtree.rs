@@ -124,10 +124,10 @@ impl DecisionTree {
             return;
         };
         let col = data.column(feature as usize);
-        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
-            rows.into_iter().partition(|&r| goes_left(col[r], threshold));
-        if left_rows.len() < params.min_samples_leaf || right_rows.len() < params.min_samples_leaf
-        {
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+            .into_iter()
+            .partition(|&r| goes_left(col[r], threshold));
+        if left_rows.len() < params.min_samples_leaf || right_rows.len() < params.min_samples_leaf {
             return;
         }
         let left_id = self.nodes.len() as u32;
@@ -194,7 +194,7 @@ impl DecisionTree {
                 let total = (ln + rn) as f64;
                 let weighted = (ln as f64 * li + rn as f64 * ri) / total;
                 let gain = parent_impurity - weighted;
-                if gain > 1e-12 && best.map_or(true, |(_, _, g)| gain > g) {
+                if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((j, t, gain));
                 }
             }
@@ -282,7 +282,10 @@ fn impurity(data: &Dataset, rows: &[usize], criterion: SplitCriterion, n_classes
         SplitCriterion::Variance => {
             let n = rows.len() as f64;
             let mean = rows.iter().map(|&r| y[r]).sum::<f64>() / n;
-            rows.iter().map(|&r| (y[r] - mean) * (y[r] - mean)).sum::<f64>() / n
+            rows.iter()
+                .map(|&r| (y[r] - mean) * (y[r] - mean))
+                .sum::<f64>()
+                / n
         }
         SplitCriterion::Gini | SplitCriterion::Entropy => {
             let mut counts = vec![0usize; n_classes];
@@ -424,7 +427,7 @@ fn random_threshold(col: &[f64], rows: &[usize], rng: &mut StdRng) -> Option<f64
             hi = hi.max(v);
         }
     }
-    if !(lo < hi) {
+    if lo >= hi {
         return None;
     }
     // Uniform in (lo, hi): values equal to hi go right, so the split is
@@ -502,7 +505,10 @@ mod tests {
     #[test]
     fn regression_variance_split() {
         let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        let y: Vec<f64> = x.iter().map(|&v| if v < 50.0 { 1.0 } else { 9.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if v < 50.0 { 1.0 } else { 9.0 })
+            .collect();
         let d = Dataset::new("r", Task::Regression, vec![x], y).unwrap();
         let rows: Vec<usize> = (0..100).collect();
         let mut rng = StdRng::seed_from_u64(0);

@@ -358,22 +358,21 @@ impl Gbdt {
 
         // Early-stopping holdout: every 10th row (the controller shuffles
         // data, so a stride is a random sample).
-        let (train_rows, valid_rows): (Vec<u32>, Vec<u32>) = if params.early_stop_rounds.is_some()
-            && n >= 20
-        {
-            let mut tr = Vec::with_capacity(n - n / 10);
-            let mut va = Vec::with_capacity(n / 10);
-            for i in 0..n {
-                if i % 10 == 9 {
-                    va.push(i as u32);
-                } else {
-                    tr.push(i as u32);
+        let (train_rows, valid_rows): (Vec<u32>, Vec<u32>) =
+            if params.early_stop_rounds.is_some() && n >= 20 {
+                let mut tr = Vec::with_capacity(n - n / 10);
+                let mut va = Vec::with_capacity(n / 10);
+                for i in 0..n {
+                    if i % 10 == 9 {
+                        va.push(i as u32);
+                    } else {
+                        tr.push(i as u32);
+                    }
                 }
-            }
-            (tr, va)
-        } else {
-            ((0..n as u32).collect(), Vec::new())
-        };
+                (tr, va)
+            } else {
+                ((0..n as u32).collect(), Vec::new())
+            };
 
         let init_scores = init_scores(data, &train_rows)?;
         let mut scores = vec![0.0; n * n_groups];
@@ -639,10 +638,10 @@ fn best_split(
         let mut lg = 0.0;
         let mut lh = 0.0;
         let mut ln = 0u32;
-        for t in 0..n_bins - 1 {
-            lg += hist[t].g;
-            lh += hist[t].h;
-            ln += hist[t].n;
+        for (t, h) in hist.iter().enumerate().take(n_bins - 1) {
+            lg += h.g;
+            lh += h.h;
+            ln += h.n;
             if ln == 0 {
                 continue;
             }
@@ -657,7 +656,7 @@ fn best_split(
             let gain = leaf_objective(lg, lh, params.reg_alpha, params.reg_lambda)
                 + leaf_objective(rg, rh, params.reg_alpha, params.reg_lambda)
                 - parent_obj;
-            if gain > 1e-12 && best.map_or(true, |b| gain > b.gain) {
+            if gain > 1e-12 && best.is_none_or(|b| gain > b.gain) {
                 best = Some(Split {
                     feature: j,
                     threshold: t as u32,
@@ -701,8 +700,8 @@ fn build_tree(
 
     let g_sum: f64 = rows.iter().map(|&r| grad[r as usize]).sum();
     let h_sum: f64 = rows.iter().map(|&r| hess[r as usize]).sum();
-    let root_value = params.learning_rate
-        * leaf_weight(g_sum, h_sum, params.reg_alpha, params.reg_lambda);
+    let root_value =
+        params.learning_rate * leaf_weight(g_sum, h_sum, params.reg_alpha, params.reg_lambda);
     let mut tree = Tree::leaf(root_value);
     let root_task = NodeTask {
         node: 0,
@@ -713,9 +712,36 @@ fn build_tree(
     };
 
     match params.growth {
-        Growth::LeafWise => grow_leaf_wise(binned, grad, hess, params, rng, &tree_features, &mut tree, root_task),
-        Growth::DepthWise => grow_depth_wise(binned, grad, hess, params, rng, &tree_features, &mut tree, root_task),
-        Growth::Oblivious => grow_oblivious(binned, grad, hess, params, rng, &tree_features, &mut tree, root_task),
+        Growth::LeafWise => grow_leaf_wise(
+            binned,
+            grad,
+            hess,
+            params,
+            rng,
+            &tree_features,
+            &mut tree,
+            root_task,
+        ),
+        Growth::DepthWise => grow_depth_wise(
+            binned,
+            grad,
+            hess,
+            params,
+            rng,
+            &tree_features,
+            &mut tree,
+            root_task,
+        ),
+        Growth::Oblivious => grow_oblivious(
+            binned,
+            grad,
+            hess,
+            params,
+            rng,
+            &tree_features,
+            &mut tree,
+            root_task,
+        ),
     }
     tree
 }
@@ -820,7 +846,14 @@ fn grow_leaf_wise(
             if child.rows.len() >= 2 {
                 let feats = sample_features(tree_features, params.colsample_bylevel, rng);
                 if let Some(s) = best_split(
-                    binned, &child.rows, grad, hess, &feats, child.g_sum, child.h_sum, params,
+                    binned,
+                    &child.rows,
+                    grad,
+                    hess,
+                    &feats,
+                    child.g_sum,
+                    child.h_sum,
+                    params,
                 ) {
                     candidates.push((child, s));
                 }
@@ -933,7 +966,7 @@ fn grow_oblivious(
                 }
             }
             for (t, (&g, &valid)) in gains.iter().zip(&any_valid).enumerate() {
-                if valid && g > 1e-12 && best_total.map_or(true, |(_, _, b)| g > b) {
+                if valid && g > 1e-12 && best_total.is_none_or(|(_, _, b)| g > b) {
                     best_total = Some((j, t as u32, g));
                 }
             }
@@ -1083,8 +1116,12 @@ mod tests {
             0,
         )
         .unwrap();
-        let l_small = Metric::LogLoss.loss(&small.predict(&d), d.target()).unwrap();
-        let l_large = Metric::LogLoss.loss(&large.predict(&d), d.target()).unwrap();
+        let l_small = Metric::LogLoss
+            .loss(&small.predict(&d), d.target())
+            .unwrap();
+        let l_large = Metric::LogLoss
+            .loss(&large.predict(&d), d.target())
+            .unwrap();
         assert!(
             l_large < l_small,
             "64-leaf trees ({l_large}) must beat stumps ({l_small}) on train"
@@ -1262,8 +1299,7 @@ mod tests {
             max_leaves: 64,
             ..GbdtParams::default()
         };
-        let m =
-            Gbdt::fit_bounded(&d, &params, 0, Some(Duration::from_millis(50))).unwrap();
+        let m = Gbdt::fit_bounded(&d, &params, 0, Some(Duration::from_millis(50))).unwrap();
         assert!(m.n_rounds() < 100_000);
         assert!(m.n_rounds() >= 1);
     }
@@ -1277,7 +1313,15 @@ mod tests {
         let x1: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
         let y: Vec<f64> = x0.iter().map(|&v| f64::from(v > 0.5)).collect();
         let d = Dataset::new("imp", Task::Binary, vec![x0, x1], y).unwrap();
-        let m = Gbdt::fit(&d, &GbdtParams { n_trees: 20, ..GbdtParams::default() }, 0).unwrap();
+        let m = Gbdt::fit(
+            &d,
+            &GbdtParams {
+                n_trees: 20,
+                ..GbdtParams::default()
+            },
+            0,
+        )
+        .unwrap();
         let imp = m.feature_importance();
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(imp[0] > 0.8, "signal feature importance {imp:?}");

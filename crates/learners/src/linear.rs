@@ -82,7 +82,7 @@ impl Linear {
         _seed: u64,
         budget: Option<Duration>,
     ) -> Result<LinearModel, FitError> {
-        if !(params.c > 0.0) {
+        if params.c <= 0.0 || params.c.is_nan() {
             return Err(FitError::bad_param("c", params.c, "must be > 0"));
         }
         if params.max_iter == 0 {
@@ -100,8 +100,7 @@ impl Linear {
                 let y = data.target();
                 let y_mean = y.iter().sum::<f64>() / n as f64;
                 let y_std = {
-                    let var = y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>()
-                        / n as f64;
+                    let var = y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n as f64;
                     var.sqrt().max(1e-12)
                 };
                 let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
@@ -228,7 +227,10 @@ fn build_encodings(data: &Dataset) -> Vec<Encoding> {
                 let col = data.column(j);
                 let finite: Vec<f64> = col.iter().copied().filter(|v| !v.is_nan()).collect();
                 if finite.is_empty() {
-                    Encoding::Numeric { mean: 0.0, std: 1.0 }
+                    Encoding::Numeric {
+                        mean: 0.0,
+                        std: 1.0,
+                    }
                 } else {
                     let mean = finite.iter().sum::<f64>() / finite.len() as f64;
                     let var = finite.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
@@ -376,10 +378,10 @@ fn ridge_solve(x: &Design, y: &[f64], lambda: f64) -> Result<Vec<f64>, FitError>
     let n = x.n_rows;
     let mut a = vec![0.0; d * d];
     let mut b = vec![0.0; d];
-    for i in 0..n {
+    for (i, &yi) in y.iter().enumerate().take(n) {
         let row = x.row(i);
         for p in 0..d {
-            b[p] += row[p] * y[i];
+            b[p] += row[p] * yi;
             for q in 0..=p {
                 a[p * d + q] += row[p] * row[q];
             }
@@ -491,7 +493,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let x0: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
         let x1: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
-        let y: Vec<f64> = x0.iter().zip(&x1).map(|(&a, &b)| 3.0 * a - 2.0 * b + 1.0).collect();
+        let y: Vec<f64> = x0
+            .iter()
+            .zip(&x1)
+            .map(|(&a, &b)| 3.0 * a - 2.0 * b + 1.0)
+            .collect();
         let d = Dataset::new("rr", Task::Regression, vec![x0, x1], y).unwrap();
         let m = Linear::fit(
             &d,

@@ -8,7 +8,7 @@
 //! model container and the feature plumbing; the AutoML layer assembles
 //! it from the best configuration of each searched learner.
 
-use crate::linear::{Linear, LinearParams, LinearModel};
+use crate::linear::{Linear, LinearModel, LinearParams};
 use crate::{FitError, FittedModel};
 use flaml_data::{Dataset, Task};
 use flaml_metrics::Pred;
@@ -30,11 +30,7 @@ pub struct StackedModel {
 ///
 /// Panics if `members` is empty or a member produces the wrong prediction
 /// kind for the task.
-pub fn meta_features(
-    members: &[FittedModel],
-    data: &Dataset,
-    target: Vec<f64>,
-) -> Dataset {
+pub fn meta_features(members: &[FittedModel], data: &Dataset, target: Vec<f64>) -> Dataset {
     assert!(!members.is_empty(), "stacking needs at least one member");
     let n = data.n_rows();
     let mut columns: Vec<Vec<f64>> = Vec::new();
@@ -117,7 +113,7 @@ pub fn fit_meta(oof: &Dataset, seed: u64) -> Result<LinearModel, FitError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Gbdt, GbdtParams, Forest, ForestParams};
+    use crate::{Forest, ForestParams, Gbdt, GbdtParams};
     use flaml_metrics::Metric;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -128,7 +124,11 @@ mod tests {
         let x1: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
         let y: Vec<f64> = (0..n)
             .map(|i| {
-                let p = if (x0[i] - 0.5) * (x1[i] - 0.5) > 0.0 { 0.9 } else { 0.1 };
+                let p = if (x0[i] - 0.5) * (x1[i] - 0.5) > 0.0 {
+                    0.9
+                } else {
+                    0.1
+                };
                 f64::from(rng.gen::<f64>() < p)
             })
             .collect();
@@ -137,12 +137,26 @@ mod tests {
 
     fn members_for(data: &Dataset) -> Vec<FittedModel> {
         vec![
-            Gbdt::fit(data, &GbdtParams { n_trees: 20, ..GbdtParams::default() }, 0)
-                .unwrap()
-                .into(),
-            Forest::fit(data, &ForestParams { n_trees: 10, ..ForestParams::default() }, 0)
-                .unwrap()
-                .into(),
+            Gbdt::fit(
+                data,
+                &GbdtParams {
+                    n_trees: 20,
+                    ..GbdtParams::default()
+                },
+                0,
+            )
+            .unwrap()
+            .into(),
+            Forest::fit(
+                data,
+                &ForestParams {
+                    n_trees: 10,
+                    ..ForestParams::default()
+                },
+                0,
+            )
+            .unwrap()
+            .into(),
         ]
     }
 
@@ -178,7 +192,11 @@ mod tests {
         let members = members_for(&data);
         let worst_loss = members
             .iter()
-            .map(|m| Metric::RocAuc.loss(&m.predict(&data), data.target()).unwrap())
+            .map(|m| {
+                Metric::RocAuc
+                    .loss(&m.predict(&data), data.target())
+                    .unwrap()
+            })
             .fold(0.0, f64::max);
         let oof = meta_features(&members, &data, data.target().to_vec());
         let meta = fit_meta(&oof, 0).unwrap();
@@ -199,17 +217,33 @@ mod tests {
         let y: Vec<f64> = x.iter().map(|v| (v * 8.0).sin() + v * 2.0).collect();
         let data = Dataset::new("reg", Task::Regression, vec![x], y).unwrap();
         let members: Vec<FittedModel> = vec![
-            Gbdt::fit(&data, &GbdtParams { n_trees: 30, ..GbdtParams::default() }, 0)
-                .unwrap()
-                .into(),
-            Forest::fit(&data, &ForestParams { n_trees: 10, ..ForestParams::default() }, 0)
-                .unwrap()
-                .into(),
+            Gbdt::fit(
+                &data,
+                &GbdtParams {
+                    n_trees: 30,
+                    ..GbdtParams::default()
+                },
+                0,
+            )
+            .unwrap()
+            .into(),
+            Forest::fit(
+                &data,
+                &ForestParams {
+                    n_trees: 10,
+                    ..ForestParams::default()
+                },
+                0,
+            )
+            .unwrap()
+            .into(),
         ];
         let oof = meta_features(&members, &data, data.target().to_vec());
         let meta = fit_meta(&oof, 0).unwrap();
         let stacked = StackedModel::new(members, meta, data.task());
-        let loss = Metric::R2.loss(&stacked.predict(&data), data.target()).unwrap();
+        let loss = Metric::R2
+            .loss(&stacked.predict(&data), data.target())
+            .unwrap();
         assert!(loss < 0.05, "1 - r2 = {loss}");
     }
 

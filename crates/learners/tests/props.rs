@@ -2,9 +2,7 @@
 //! normalization, and prediction-bound guarantees under arbitrary data.
 
 use flaml_data::{Dataset, Task};
-use flaml_learners::{
-    BinMapper, Forest, ForestParams, Gbdt, GbdtParams, Linear, LinearParams,
-};
+use flaml_learners::{BinMapper, Forest, ForestParams, Gbdt, GbdtParams, Linear, LinearParams};
 use proptest::prelude::*;
 
 fn arb_binary_dataset() -> impl Strategy<Value = Dataset> {
@@ -33,9 +31,7 @@ fn arb_regression_dataset() -> impl Strategy<Value = Dataset> {
             proptest::collection::vec(-100f64..100.0, n),
             proptest::collection::vec(-50f64..50.0, n),
         )
-            .prop_map(|(c0, y)| {
-                Dataset::new("p", Task::Regression, vec![c0], y).unwrap()
-            })
+            .prop_map(|(c0, y)| Dataset::new("p", Task::Regression, vec![c0], y).unwrap())
     })
 }
 

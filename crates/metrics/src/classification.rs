@@ -17,7 +17,11 @@ pub fn roc_auc(scores: &[f64], y: &[f64]) -> Result<f64, MetricError> {
     }
     // Rank scores (1-based), averaging ranks over ties.
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut rank_sum_pos = 0.0;
     let mut i = 0;
     while i < idx.len() {

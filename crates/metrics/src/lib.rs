@@ -135,7 +135,10 @@ mod tests {
 
     #[test]
     fn defaults_match_paper() {
-        assert_eq!(Metric::default_for(flaml_data::Task::Binary), Metric::RocAuc);
+        assert_eq!(
+            Metric::default_for(flaml_data::Task::Binary),
+            Metric::RocAuc
+        );
         assert_eq!(
             Metric::default_for(flaml_data::Task::MultiClass(5)),
             Metric::LogLoss

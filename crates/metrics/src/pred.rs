@@ -105,9 +105,7 @@ impl Pred {
     /// non-binary probabilities.
     pub fn positive_scores(&self) -> Result<Vec<f64>, MetricError> {
         match self {
-            Pred::Probs { n_classes: 2, p } => {
-                Ok(p.chunks_exact(2).map(|row| row[1]).collect())
-            }
+            Pred::Probs { n_classes: 2, p } => Ok(p.chunks_exact(2).map(|row| row[1]).collect()),
             _ => Err(MetricError::KindMismatch("binary class probabilities")),
         }
     }

@@ -69,7 +69,7 @@ impl Domain {
     fn validate(&self) -> Result<(), SpaceError> {
         match *self {
             Domain::Float { lo, hi, log } => {
-                if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+                if !lo.is_finite() || !hi.is_finite() || lo >= hi {
                     return Err(SpaceError::BadDomain(format!("float [{lo}, {hi}]")));
                 }
                 if log && lo <= 0.0 {
@@ -141,10 +141,7 @@ impl Domain {
                 };
                 raw.round().clamp(lof, hif)
             }
-            Domain::Categorical { n } => {
-                let idx = (u * n as f64).floor().min(n as f64 - 1.0).max(0.0);
-                idx
-            }
+            Domain::Categorical { n } => (u * n as f64).floor().min(n as f64 - 1.0).max(0.0),
         }
     }
 }
@@ -396,24 +393,11 @@ mod tests {
     #[test]
     fn validation_rejects_malformed() {
         assert!(SearchSpace::new(vec![]).is_err());
-        assert!(SearchSpace::new(vec![ParamDef::new(
-            "x",
-            Domain::float(1.0, 1.0),
-            1.0
-        )])
-        .is_err());
-        assert!(SearchSpace::new(vec![ParamDef::new(
-            "x",
-            Domain::log_float(0.0, 1.0),
-            0.5
-        )])
-        .is_err());
-        assert!(SearchSpace::new(vec![ParamDef::new(
-            "x",
-            Domain::categorical(1),
-            0.0
-        )])
-        .is_err());
+        assert!(SearchSpace::new(vec![ParamDef::new("x", Domain::float(1.0, 1.0), 1.0)]).is_err());
+        assert!(
+            SearchSpace::new(vec![ParamDef::new("x", Domain::log_float(0.0, 1.0), 0.5)]).is_err()
+        );
+        assert!(SearchSpace::new(vec![ParamDef::new("x", Domain::categorical(1), 0.0)]).is_err());
         assert!(SearchSpace::new(vec![
             ParamDef::new("x", Domain::float(0.0, 1.0), 0.5),
             ParamDef::new("x", Domain::float(0.0, 1.0), 0.5),

@@ -214,7 +214,9 @@ impl Flow2 {
         let d = self.space.dim();
         loop {
             let v: Vec<f64> = (0..d)
-                .map(|_| <StandardNormal as Distribution<f64>>::sample(&StandardNormal, &mut self.rng))
+                .map(|_| {
+                    <StandardNormal as Distribution<f64>>::sample(&StandardNormal, &mut self.rng)
+                })
                 .collect();
             let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
             if norm > 1e-12 {
@@ -311,8 +313,11 @@ mod tests {
             let db = backward[i] - base[i];
             // Backward is the reflection of forward (modulo clamping).
             assert!(
-                (df + db).abs() < 1e-9 || forward[i] == 0.0 || forward[i] == 1.0
-                    || backward[i] == 0.0 || backward[i] == 1.0,
+                (df + db).abs() < 1e-9
+                    || forward[i] == 0.0
+                    || forward[i] == 1.0
+                    || backward[i] == 0.0
+                    || backward[i] == 1.0,
                 "dim {i}: forward {df}, backward {db}"
             );
         }

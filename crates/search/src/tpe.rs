@@ -200,7 +200,11 @@ impl Tpe {
 fn bandwidth(points: &[Vec<f64>], j: usize) -> f64 {
     let n = points.len() as f64;
     let mean = points.iter().map(|p| p[j]).sum::<f64>() / n;
-    let var = points.iter().map(|p| (p[j] - mean) * (p[j] - mean)).sum::<f64>() / n;
+    let var = points
+        .iter()
+        .map(|p| (p[j] - mean) * (p[j] - mean))
+        .sum::<f64>()
+        / n;
     (1.06 * var.sqrt() * n.powf(-0.2)).max(0.03)
 }
 
@@ -236,8 +240,7 @@ mod tests {
         for _ in 0..120 {
             let p = tpe.ask();
             let c = s.decode(&p);
-            let err =
-                (c.get(&s, "x") - 0.8).abs() + f64::from(c.get(&s, "c") as i64 != 2) * 0.5;
+            let err = (c.get(&s, "x") - 0.8).abs() + f64::from(c.get(&s, "c") as i64 != 2) * 0.5;
             tpe.tell(err);
         }
         let best = s.decode(tpe.best_point().unwrap());

@@ -114,7 +114,11 @@ pub fn blobs(k: usize, d: usize, spread: f64, spec: ClassSpec) -> Dataset {
         }
         y.push(c as f64);
     }
-    let task = if k == 2 { Task::Binary } else { Task::MultiClass(k) };
+    let task = if k == 2 {
+        Task::Binary
+    } else {
+        Task::MultiClass(k)
+    };
     finish("blobs", task, columns, y, &spec, &mut rng)
 }
 
@@ -133,7 +137,14 @@ pub fn checkerboard(cells: usize, spec: ClassSpec) -> Dataset {
         x1.push(b);
         y.push(((a.floor() as i64 + b.floor() as i64) % 2) as f64);
     }
-    finish("checkerboard", Task::Binary, vec![x0, x1], y, &spec, &mut rng)
+    finish(
+        "checkerboard",
+        Task::Binary,
+        vec![x0, x1],
+        y,
+        &spec,
+        &mut rng,
+    )
 }
 
 /// Rotated noisy hyperplane in `d` dimensions — nearly linearly separable,
@@ -171,7 +182,11 @@ pub fn rings(k: usize, spec: ClassSpec) -> Dataset {
         x1.push(radius * angle.sin());
         y.push(c as f64);
     }
-    let task = if k == 2 { Task::Binary } else { Task::MultiClass(k) };
+    let task = if k == 2 {
+        Task::Binary
+    } else {
+        Task::MultiClass(k)
+    };
     finish("rings", task, vec![x0, x1], y, &spec, &mut rng)
 }
 
@@ -203,7 +218,15 @@ mod tests {
 
     #[test]
     fn blobs_shape_and_balance() {
-        let d = blobs(3, 4, 1.0, ClassSpec { n: 300, ..ClassSpec::default() });
+        let d = blobs(
+            3,
+            4,
+            1.0,
+            ClassSpec {
+                n: 300,
+                ..ClassSpec::default()
+            },
+        );
         assert_eq!(d.n_rows(), 300);
         assert_eq!(d.n_features(), 4 + 2);
         assert_eq!(d.task(), Task::MultiClass(3));
@@ -253,23 +276,55 @@ mod tests {
 
     #[test]
     fn imbalanced_has_minority_pocket() {
-        let d = imbalanced(0.05, ClassSpec { n: 2000, ..ClassSpec::default() });
+        let d = imbalanced(
+            0.05,
+            ClassSpec {
+                n: 2000,
+                ..ClassSpec::default()
+            },
+        );
         let p = d.class_priors().unwrap();
         assert!((p[1] - 0.05).abs() < 0.03, "minority {:.3}", p[1]);
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let a = rings(3, ClassSpec { seed: 5, ..ClassSpec::default() });
-        let b = rings(3, ClassSpec { seed: 5, ..ClassSpec::default() });
+        let a = rings(
+            3,
+            ClassSpec {
+                seed: 5,
+                ..ClassSpec::default()
+            },
+        );
+        let b = rings(
+            3,
+            ClassSpec {
+                seed: 5,
+                ..ClassSpec::default()
+            },
+        );
         assert_eq!(a.column(0), b.column(0));
-        let c = rings(3, ClassSpec { seed: 6, ..ClassSpec::default() });
+        let c = rings(
+            3,
+            ClassSpec {
+                seed: 6,
+                ..ClassSpec::default()
+            },
+        );
         assert_ne!(a.column(0), c.column(0));
     }
 
     #[test]
     fn label_noise_flips_labels() {
-        let clean = hyperplane(3, 1e-6, ClassSpec { n: 1000, seed: 1, ..ClassSpec::default() });
+        let clean = hyperplane(
+            3,
+            1e-6,
+            ClassSpec {
+                n: 1000,
+                seed: 1,
+                ..ClassSpec::default()
+            },
+        );
         let noisy = hyperplane(
             3,
             1e-6,

@@ -181,7 +181,13 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(friedman1(100, 5, 1.0, 7).target(), friedman1(100, 5, 1.0, 7).target());
-        assert_ne!(friedman1(100, 5, 1.0, 7).target(), friedman1(100, 5, 1.0, 8).target());
+        assert_eq!(
+            friedman1(100, 5, 1.0, 7).target(),
+            friedman1(100, 5, 1.0, 7).target()
+        );
+        assert_ne!(
+            friedman1(100, 5, 1.0, 7).target(),
+            friedman1(100, 5, 1.0, 8).target()
+        );
     }
 }

@@ -246,7 +246,7 @@ mod tests {
         let w = selectivity_dataset("t", TableDistribution::Power, 3, 1000, 200, 50, 1);
         for &ln_sel in w.train.target() {
             let sel = ln_sel.exp();
-            assert!(sel >= 1.0 / 1000.0 - 1e-12 && sel <= 1.0 + 1e-12, "{sel}");
+            assert!((1.0 / 1000.0 - 1e-12..=1.0 + 1e-12).contains(&sel), "{sel}");
         }
     }
 

@@ -175,11 +175,7 @@ mod tests {
             assert_eq!(d.task(), Task::Binary, "{}", d.name());
         }
         for d in multiclass_suite(SuiteScale::Small) {
-            assert!(
-                matches!(d.task(), Task::MultiClass(_)),
-                "{}",
-                d.name()
-            );
+            assert!(matches!(d.task(), Task::MultiClass(_)), "{}", d.name());
         }
         for d in regression_suite(SuiteScale::Small) {
             assert_eq!(d.task(), Task::Regression, "{}", d.name());

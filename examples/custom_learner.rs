@@ -164,8 +164,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("winner      : {}", result.best_learner);
     println!("best config : {}", result.best_config_rendered);
-    println!("validation  : {} = {:.4}", result.metric, -result.best_error);
-    let tried_custom = result.trials.iter().filter(|t| t.learner == "centroids").count();
+    println!(
+        "validation  : {} = {:.4}",
+        result.metric, -result.best_error
+    );
+    let tried_custom = result
+        .trials
+        .iter()
+        .filter(|t| t.learner == "centroids")
+        .count();
     println!(
         "custom learner trials: {tried_custom} of {}",
         result.trials.len()

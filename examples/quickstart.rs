@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("best learner : {}", result.best_learner);
     println!("best config  : {}", result.best_config_rendered);
-    println!("validation   : {} = {:.4}", result.metric, 1.0 - result.best_error);
+    println!(
+        "validation   : {} = {:.4}",
+        result.metric,
+        1.0 - result.best_error
+    );
     println!("strategy     : {}", result.strategy);
     println!("trials run   : {}", result.trials.len());
 

@@ -52,7 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     values[space.index_of("leaf_num").expect("param exists")] = 16.0;
     values[space.index_of("learning_rate").expect("param exists")] = 0.3;
     values[space.index_of("min_child_weight").expect("param exists")] = 1.0;
-    let manual = fit_learner(kind, &workload.train, &Config::from(values), &space, 0, None)?;
+    let manual = fit_learner(
+        kind,
+        &workload.train,
+        &Config::from(values),
+        &space,
+        0,
+        None,
+    )?;
     let pred = manual.predict(&workload.test);
     let manual_q = q_error_quantile(pred.values()?, workload.test.target(), 0.95)?;
     println!("Manual : xgboost 16 trees x 16 leaves -> 95th-pct q-error {manual_q:.2}");

@@ -4,7 +4,9 @@
 use flaml::{default_virtual_cost, AutoMl, LearnerKind, TimeSource};
 use flaml_baselines::{calibration_anchors, run_baseline, BaselineKind, BaselineSettings};
 use flaml_metrics::{scaled_score, Metric};
-use flaml_synth::{binary_suite, regression_suite, selectivity_dataset, SuiteScale, TableDistribution};
+use flaml_synth::{
+    binary_suite, regression_suite, selectivity_dataset, SuiteScale, TableDistribution,
+};
 
 fn virtual_source() -> TimeSource {
     TimeSource::Virtual(default_virtual_cost)
@@ -13,10 +15,9 @@ fn virtual_source() -> TimeSource {
 #[test]
 fn facade_reexports_the_core_api() {
     // Compiles = passes: the facade exposes the public API surface.
-    let _ = AutoMl::new().time_budget(1.0).estimators([
-        LearnerKind::LightGbm,
-        LearnerKind::XgBoost,
-    ]);
+    let _ = AutoMl::new()
+        .time_budget(1.0)
+        .estimators([LearnerKind::LightGbm, LearnerKind::XgBoost]);
 }
 
 #[test]
@@ -92,12 +93,9 @@ fn selectivity_pipeline_end_to_end() {
         .fit(&w.train)
         .expect("flaml on selectivity");
     let pred = result.model.predict(&w.test);
-    let q = flaml_metrics::q_error_quantile(
-        pred.values().expect("regression"),
-        w.test.target(),
-        0.95,
-    )
-    .expect("q-error");
+    let q =
+        flaml_metrics::q_error_quantile(pred.values().expect("regression"), w.test.target(), 0.95)
+            .expect("q-error");
     assert!(q >= 1.0);
     assert!(q.is_finite());
     // A sane model should land far below the worst case exp(|ln floor|).
@@ -126,7 +124,10 @@ fn ablations_produce_distinct_traces() {
         .resample(ResampleChoice::AlwaysCv)
         .fit(data)
         .expect("cv");
-    assert!(fulldata.trials.iter().all(|t| t.sample_size == data.n_rows()));
+    assert!(fulldata
+        .trials
+        .iter()
+        .all(|t| t.sample_size == data.n_rows()));
     assert!(flaml.trials.iter().any(|t| t.sample_size < data.n_rows()));
     assert!(rr.trials.iter().all(|t| t.eci_snapshot.is_empty()));
     assert!(matches!(cv.strategy, flaml::ResampleStrategy::Cv { .. }));
