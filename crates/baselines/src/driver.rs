@@ -195,7 +195,7 @@ pub fn run_baseline(
             None
         };
         let t0 = Instant::now();
-        let outcome = run_trial(
+        let mut outcome = run_trial(
             &shuffled,
             &estimator,
             &config,
@@ -246,7 +246,7 @@ pub fn run_baseline(
                 .unwrap_or(true);
         if improved_global {
             best = Some((learner, config.clone(), subspace.clone(), outcome.error));
-            best_model = outcome.model;
+            best_model = outcome.model.take();
         }
         iter += 1;
         trials.push(TrialRecord {
@@ -264,8 +264,10 @@ pub fn run_baseline(
                 .map(|(_, _, _, e)| *e)
                 .unwrap_or(f64::INFINITY),
             eci_snapshot: Vec::new(),
-            timed_out: outcome.timed_out,
-            panicked: outcome.panicked,
+            timed_out: outcome.timed_out(),
+            panicked: outcome.panicked(),
+            status: outcome.status,
+            n_retries: 0,
         });
     }
 
@@ -313,6 +315,8 @@ pub fn run_baseline(
             ResampleStrategy::Holdout { ratio } => ResampleStrategy::Holdout { ratio },
         },
         metric,
+        n_retries: 0,
+        n_quarantined: 0,
     })
 }
 

@@ -59,15 +59,22 @@ fn main() {
         rf_budget: args.f64("rf-budget", 2.0),
         max_trials: None,
         jobs: args.usize("jobs", 1),
+        chaos: args.chaos(),
         ..GridSpec::default()
     };
     let results = run_grid(&groups, &spec);
     save_results(&out_path, &results).expect("write results json");
-    let (timeouts, panics) = results
-        .iter()
-        .fold((0, 0), |(t, p), r| (t + r.n_timeouts, p + r.n_panics));
+    let (timeouts, panics, retries, quarantines) = results.iter().fold((0, 0, 0, 0), |acc, r| {
+        (
+            acc.0 + r.n_timeouts,
+            acc.1 + r.n_panics,
+            acc.2 + r.n_retries,
+            acc.3 + r.n_quarantined,
+        )
+    });
     eprintln!(
-        "[fig5] wrote {} results to {out_path} ({timeouts} trial timeouts, {panics} panics)",
+        "[fig5] wrote {} results to {out_path} ({timeouts} trial timeouts, {panics} panics, \
+         {retries} retries, {quarantines} quarantines)",
         results.len()
     );
 

@@ -30,6 +30,7 @@ fn main() {
         time_source: TimeSource::Wall,
         rf_budget: args.f64("rf-budget", 2.0),
         jobs: args.usize("jobs", 1),
+        chaos: args.chaos(),
         ..GridSpec::default()
     };
     let groups = default_groups(scale, per_group);

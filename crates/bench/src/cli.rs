@@ -84,6 +84,20 @@ impl Args {
             Some(v) => v.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
         }
     }
+
+    /// The `--chaos seed:rate` fault-injection spec, if present and
+    /// well-formed (e.g. `--chaos 7:0.25`). A malformed spec aborts with
+    /// an error message rather than silently running without faults.
+    pub fn chaos(&self) -> Option<flaml_core::FaultPlan> {
+        let spec = self.values.get("chaos")?;
+        match flaml_core::FaultPlan::parse(spec) {
+            Some(plan) => Some(plan),
+            None => {
+                eprintln!("invalid --chaos spec {spec:?}: expected seed:rate with rate in [0, 1]");
+                std::process::exit(2);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,12 @@ pub struct GridResult {
     /// Trials whose learner panicked (absorbed as failed trials).
     #[serde(default)]
     pub n_panics: usize,
+    /// Retries spent on transient failures across all trials.
+    #[serde(default)]
+    pub n_retries: usize,
+    /// Learner quarantine episodes during the run.
+    #[serde(default)]
+    pub n_quarantined: usize,
 }
 
 /// Grid configuration.
@@ -65,6 +71,9 @@ pub struct GridSpec {
     pub max_trials: Option<usize>,
     /// Grid cells to execute concurrently (1 = sequential).
     pub jobs: usize,
+    /// Optional deterministic fault injection (`--chaos seed:rate`),
+    /// applied to the FLAML methods' trial execution.
+    pub chaos: Option<flaml_core::FaultPlan>,
 }
 
 impl Default for GridSpec {
@@ -79,6 +88,7 @@ impl Default for GridSpec {
             rf_budget: 2.0,
             max_trials: None,
             jobs: 1,
+            chaos: None,
         }
     }
 }
@@ -177,6 +187,7 @@ pub fn run_grid(groups: &[(&str, Vec<Dataset>)], spec: &GridSpec) -> Vec<GridRes
                         max_trials: spec.max_trials,
                         workers: 1,
                         event_sink: Some(collector.sink()),
+                        fault_plan: spec.chaos,
                     },
                 ) {
                     Ok(r) => r,
@@ -215,6 +226,8 @@ pub fn run_grid(groups: &[(&str, Vec<Dataset>)], spec: &GridSpec) -> Vec<GridRes
                 let n_panics = telemetry
                     .panicked
                     .max(result.trials.iter().filter(|t| t.panicked).count());
+                let n_retries = telemetry.retried.max(result.n_retries);
+                let n_quarantined = telemetry.quarantined.max(result.n_quarantined);
                 Some(GridResult {
                     dataset: data.name().to_string(),
                     group: group.to_string(),
@@ -226,6 +239,8 @@ pub fn run_grid(groups: &[(&str, Vec<Dataset>)], spec: &GridSpec) -> Vec<GridRes
                     best_learner: result.best_learner.clone(),
                     n_timeouts,
                     n_panics,
+                    n_retries,
+                    n_quarantined,
                 })
             })
             .label(format!("{}/{method}@{budget}", flat_ref[i].1.name()))
@@ -395,6 +410,8 @@ mod tests {
                 best_learner: "lightgbm".into(),
                 n_timeouts: 0,
                 n_panics: 0,
+                n_retries: 0,
+                n_quarantined: 0,
             },
             GridResult {
                 dataset: "a".into(),
@@ -407,6 +424,8 @@ mod tests {
                 best_learner: "xgboost".into(),
                 n_timeouts: 0,
                 n_panics: 0,
+                n_retries: 0,
+                n_quarantined: 0,
             },
             GridResult {
                 dataset: "b".into(),
@@ -419,6 +438,8 @@ mod tests {
                 best_learner: "rf".into(),
                 n_timeouts: 0,
                 n_panics: 0,
+                n_retries: 0,
+                n_quarantined: 0,
             },
         ];
         let (xs, ys) = paired_scores(&results, ("flaml", 1.0), ("bohb", 1.0));

@@ -3,7 +3,8 @@
 
 use flaml_baselines::{calibration_anchors, run_baseline, BaselineKind, BaselineSettings};
 use flaml_core::{
-    AutoMl, AutoMlError, AutoMlResult, EventSink, LearnerSelection, ResampleChoice, TimeSource,
+    AutoMl, AutoMlError, AutoMlResult, EventSink, FaultPlan, LearnerSelection, ResampleChoice,
+    TimeSource,
 };
 use flaml_data::Dataset;
 use flaml_metrics::{scaled_score, Metric, ScaleAnchors};
@@ -106,6 +107,7 @@ impl Method {
                 max_trials,
                 workers: 1,
                 event_sink: None,
+                fault_plan: None,
             },
         )
     }
@@ -135,6 +137,9 @@ impl Method {
                 }
                 if let Some(sink) = &cfg.event_sink {
                     automl = automl.event_sink(sink.clone());
+                }
+                if let Some(plan) = cfg.fault_plan {
+                    automl = automl.fault_plan(plan);
                 }
                 automl = match self {
                     Method::FlamlRoundRobin => {
@@ -185,6 +190,9 @@ pub struct RunConfig {
     pub workers: usize,
     /// Optional subscriber for per-trial telemetry events.
     pub event_sink: Option<EventSink>,
+    /// Optional deterministic fault-injection plan (`--chaos seed:rate`).
+    /// Honored by the FLAML methods; baselines run unfaulted.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl std::fmt::Display for Method {

@@ -31,9 +31,10 @@
 use crate::clock::TimeSource;
 use crate::controller;
 use crate::custom::{CustomLearner, Estimator};
-use crate::resample::{ResampleRule, ResampleStrategy};
+use crate::resample::{ResampleRule, ResampleStrategy, TrialStatus};
 use crate::spaces::LearnerKind;
 use flaml_data::Dataset;
+use flaml_exec::FaultPlan;
 use flaml_learners::FittedModel;
 use flaml_metrics::Metric;
 use flaml_search::Config;
@@ -102,6 +103,13 @@ pub struct TrialRecord {
     /// Whether a fit of this trial panicked (absorbed as a failure).
     #[serde(default)]
     pub panicked: bool,
+    /// How the trial's final attempt ended.
+    #[serde(default)]
+    pub status: TrialStatus,
+    /// Number of retries this trial consumed (0 = succeeded or gave up
+    /// on the first attempt).
+    #[serde(default)]
+    pub n_retries: usize,
 }
 
 /// Error from [`AutoMl::fit`].
@@ -114,6 +122,22 @@ pub enum AutoMlError {
     NoViableModel,
     /// The final refit of the best configuration failed.
     RefitFailed(flaml_learners::FitError),
+    /// The dataset has too few rows to split into train and validation.
+    TooFewRows {
+        /// Rows present.
+        rows: usize,
+        /// Minimum rows required.
+        needed: usize,
+    },
+    /// A classification target with fewer than two classes present —
+    /// nothing to discriminate, so every trial would fail.
+    DegenerateTarget {
+        /// Distinct classes actually present in the target.
+        classes_present: usize,
+    },
+    /// Every feature column is degenerate (constant or all-NaN), so no
+    /// model can learn anything after dropping them.
+    NoUsableFeatures,
 }
 
 impl fmt::Display for AutoMlError {
@@ -124,6 +148,16 @@ impl fmt::Display for AutoMlError {
                 write!(f, "no trial produced a finite validation error")
             }
             AutoMlError::RefitFailed(e) => write!(f, "refit of best config failed: {e}"),
+            AutoMlError::TooFewRows { rows, needed } => {
+                write!(f, "dataset has {rows} rows; at least {needed} are required")
+            }
+            AutoMlError::DegenerateTarget { classes_present } => write!(
+                f,
+                "classification target has {classes_present} distinct class(es); at least 2 are required"
+            ),
+            AutoMlError::NoUsableFeatures => {
+                write!(f, "every feature column is constant or all-NaN")
+            }
         }
     }
 }
@@ -149,6 +183,12 @@ pub struct AutoMlResult {
     pub strategy: ResampleStrategy,
     /// The metric optimized.
     pub metric: Metric,
+    /// Total retries spent across all trials.
+    pub n_retries: usize,
+    /// Number of quarantine episodes (a learner entering quarantine;
+    /// the same learner can contribute more than once if it recovers
+    /// and relapses).
+    pub n_quarantined: usize,
 }
 
 /// Builder-style AutoML entry point (the library's `fit()`).
@@ -170,6 +210,10 @@ pub struct AutoMl {
     pub(crate) custom_learners: Vec<std::sync::Arc<dyn CustomLearner>>,
     pub(crate) workers: usize,
     pub(crate) event_sink: Option<flaml_exec::EventSink>,
+    pub(crate) max_retries: usize,
+    pub(crate) quarantine_after: usize,
+    pub(crate) quarantine_probe_every: usize,
+    pub(crate) fault_plan: Option<FaultPlan>,
 }
 
 impl Default for AutoMl {
@@ -194,6 +238,10 @@ impl Default for AutoMl {
             custom_learners: Vec::new(),
             workers: 1,
             event_sink: None,
+            max_retries: 1,
+            quarantine_after: 3,
+            quarantine_probe_every: 8,
+            fault_plan: None,
         }
     }
 }
@@ -319,6 +367,40 @@ impl AutoMl {
         self
     }
 
+    /// Caps the number of retries a trial may spend on *transient*
+    /// failures (panics, non-finite losses). Retries are charged to the
+    /// trial's own budget; deterministic failures and timeouts are never
+    /// retried. Default: 1.
+    pub fn max_retries(mut self, n: usize) -> AutoMl {
+        self.max_retries = n;
+        self
+    }
+
+    /// Quarantines a learner after this many *consecutive* failed trials
+    /// (non-finite final error). A quarantined learner is skipped by the
+    /// ECI proposer until its next scheduled probe; a successful probe
+    /// lifts the quarantine. `0` disables quarantining. Default: 3.
+    pub fn quarantine_after(mut self, n: usize) -> AutoMl {
+        self.quarantine_after = n;
+        self
+    }
+
+    /// Sets how many iterations a quarantined learner sits out before it
+    /// is offered one probe trial. Default: 8.
+    pub fn quarantine_probe_every(mut self, n: usize) -> AutoMl {
+        self.quarantine_probe_every = n.max(1);
+        self
+    }
+
+    /// Injects deterministic faults (panics, slowdowns, poisoned losses)
+    /// into trial execution — chaos testing for the failure policy. The
+    /// plan is a pure function of `(seed, trial, attempt)`, so injected
+    /// faults are identical at any worker count.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> AutoMl {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Enables stacked-ensemble post-processing (paper appendix): the best
     /// configuration of each learner becomes a member, a linear
     /// meta-learner is trained on out-of-fold predictions, and the
@@ -333,8 +415,11 @@ impl AutoMl {
     ///
     /// # Errors
     ///
-    /// Returns [`AutoMlError`] if the estimator list is empty, no trial
-    /// succeeded, or the final refit failed.
+    /// Returns [`AutoMlError`] if the estimator list is empty, the
+    /// dataset is degenerate (fewer than 2 rows, a single-class
+    /// classification target, or no usable feature after dropping
+    /// constant/all-NaN columns), no trial succeeded, or the final refit
+    /// failed.
     pub fn fit(&self, data: &Dataset) -> Result<AutoMlResult, AutoMlError> {
         controller::run(data, self)
     }

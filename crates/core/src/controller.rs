@@ -35,9 +35,11 @@ use crate::clock::{BudgetClock, TrialInfo};
 use crate::custom::Estimator;
 use crate::eci::{sample_by_inverse_eci, EciState};
 use crate::ensemble::{build_stacked, MemberSpec};
-use crate::resample::{run_trial, ResampleStrategy, TrialOutcome};
+use crate::resample::{run_trial, ResampleStrategy, TrialOutcome, TrialStatus};
 use flaml_data::Dataset;
-use flaml_exec::{EventSink, ExecPool, Job, JobStatus, TrialEvent, TrialEventKind};
+use flaml_exec::{
+    EventSink, ExecPool, FaultPlan, Job, JobResult, JobStatus, TrialEvent, TrialEventKind,
+};
 use flaml_metrics::Metric;
 use flaml_search::{Config, Flow2};
 use rand::rngs::StdRng;
@@ -50,6 +52,14 @@ struct LearnerState {
     flow2: Flow2,
     eci: EciState,
     sample_size: usize,
+    /// Consecutive trials of this learner that ended with a non-finite
+    /// final error (any status other than a usable value).
+    consecutive_failures: usize,
+    /// Whether the learner is currently quarantined: the ECI proposer
+    /// skips it until the probe iteration arrives.
+    quarantined: bool,
+    /// Iteration at which a quarantined learner gets its next probe.
+    probe_at: usize,
 }
 
 /// One proposed-but-not-yet-committed trial.
@@ -78,6 +88,55 @@ fn proposal_event(kind: TrialEventKind, p: &Proposal, learner: &str, config: &st
     ev
 }
 
+/// Turns one attempt's raw [`JobResult`] into a committed
+/// [`TrialOutcome`]: folds the job-level status (pool timeout, pool-level
+/// panic) into the trial status, applies the fault plan's poison for this
+/// attempt, and sanitizes any non-finite loss so nothing downstream
+/// (FLOW², ECI, the global best) can ever observe a `NaN`.
+fn commit_outcome(
+    result: JobResult<TrialOutcome>,
+    p: &Proposal,
+    fault_plan: Option<FaultPlan>,
+    attempt: u32,
+) -> (TrialOutcome, f64) {
+    let measured = result.wall_secs;
+    let trial_timed_out = result.status.timed_out();
+    let mut outcome = match result.status {
+        JobStatus::Finished(o) | JobStatus::TimedOut(o) => {
+            let mut o = o;
+            if trial_timed_out && o.status == TrialStatus::Ok {
+                o.status = TrialStatus::TimedOut;
+            }
+            o
+        }
+        JobStatus::Panicked(msg) => TrialOutcome {
+            error: f64::INFINITY,
+            model: None,
+            n_fits: p.expected_fits,
+            cost_factor: p.cost_factor,
+            status: TrialStatus::Panicked,
+            message: Some(msg),
+        },
+    };
+    if let Some(plan) = fault_plan {
+        if let Some(bad) = plan.poison(p.trial_no as u64, attempt) {
+            outcome.error = bad;
+            outcome.model = None;
+            outcome.status = TrialStatus::NonFiniteLoss;
+            outcome.message = Some(format!(
+                "injected fault: poisoned loss ({bad}) on attempt {attempt}"
+            ));
+        }
+    }
+    if outcome.error.is_nan() {
+        outcome.error = f64::INFINITY;
+        if outcome.status == TrialStatus::Ok || outcome.status == TrialStatus::TimedOut {
+            outcome.status = TrialStatus::NonFiniteLoss;
+        }
+    }
+    (outcome, measured)
+}
+
 pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, AutoMlError> {
     let roster = settings.roster();
     if roster.is_empty() {
@@ -87,6 +146,45 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
         .metric
         .unwrap_or_else(|| Metric::default_for(data.task()));
     let mut clock = BudgetClock::new(settings.time_source);
+    let sink: Option<&EventSink> = settings.event_sink.as_ref();
+
+    // Up-front input validation: fail fast with a typed error on datasets
+    // no trial could ever learn from, and degrade gracefully on ones that
+    // are salvageable (constant / all-NaN feature columns are dropped,
+    // with a telemetry event recording which).
+    if data.n_rows() < 2 {
+        return Err(AutoMlError::TooFewRows {
+            rows: data.n_rows(),
+            needed: 2,
+        });
+    }
+    if let Some(classes) = data.distinct_labels() {
+        if classes < 2 {
+            return Err(AutoMlError::DegenerateTarget {
+                classes_present: classes,
+            });
+        }
+    }
+    let dropped = data.degenerate_columns();
+    let cleaned: Dataset;
+    let data: &Dataset = if dropped.is_empty() {
+        data
+    } else {
+        cleaned = data
+            .drop_columns(&dropped)
+            .map_err(|_| AutoMlError::NoUsableFeatures)?;
+        if let Some(sink) = sink {
+            let mut ev = TrialEvent::new(TrialEventKind::Sanitized);
+            ev.message = Some(format!(
+                "dropped {} degenerate feature column(s): {:?}",
+                dropped.len(),
+                dropped
+            ));
+            sink.emit(ev);
+        }
+        &cleaned
+    };
+
     let shuffled = data.shuffled(settings.seed);
     let n = shuffled.n_rows();
     let d = shuffled.n_features();
@@ -122,6 +220,9 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 // trial measures the base cost.
                 eci: EciState::new(kind.cost_constant()),
                 sample_size: init_s,
+                consecutive_failures: 0,
+                quarantined: false,
+                probe_at: 0,
             }
         })
         .collect();
@@ -132,8 +233,7 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
         .min_by(|a, b| {
             a.1.kind
                 .cost_constant()
-                .partial_cmp(&b.1.kind.cost_constant())
-                .expect("cost constants are finite")
+                .total_cmp(&b.1.kind.cost_constant())
         })
         .map(|(i, _)| i)
         .expect("non-empty estimators");
@@ -148,10 +248,11 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
         && states.len() > 1;
     let trial_pool = ExecPool::new(if speculative { workers } else { 1 });
     let fold_pool = ExecPool::new(if speculative { 1 } else { workers });
-    let sink: Option<&EventSink> = settings.event_sink.as_ref();
 
     let mut rng = StdRng::seed_from_u64(settings.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut trials: Vec<TrialRecord> = Vec::new();
+    let mut n_retries_total = 0usize;
+    let mut n_quarantined = 0usize;
     let mut best: Option<(
         usize,
         Config,
@@ -192,17 +293,28 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 fastest
             } else {
                 match settings.learner_selection {
+                    // Round-robin ignores quarantine so the speculative
+                    // trace stays invariant across worker counts.
                     LearnerSelection::RoundRobin => it % states.len(),
                     LearnerSelection::Eci => {
                         let global_best = best
                             .as_ref()
                             .map(|(_, _, e, _, _)| *e)
                             .unwrap_or(f64::INFINITY);
-                        let ecis: Vec<f64> = states
-                            .iter()
-                            .map(|s| s.eci.eci(global_best, settings.sample_growth))
+                        // Quarantined learners sit out until their probe
+                        // iteration; if everything is quarantined, fall
+                        // back to the full roster (FairChance must hold).
+                        let mut eligible: Vec<usize> = (0..states.len())
+                            .filter(|&i| !states[i].quarantined || it >= states[i].probe_at)
                             .collect();
-                        sample_by_inverse_eci(&ecis, rng.gen::<f64>())
+                        if eligible.is_empty() {
+                            eligible = (0..states.len()).collect();
+                        }
+                        let ecis: Vec<f64> = eligible
+                            .iter()
+                            .map(|&i| states[i].eci.eci(global_best, settings.sample_growth))
+                            .collect();
+                        eligible[sample_by_inverse_eci(&ecis, rng.gen::<f64>())]
                     }
                 }
             };
@@ -264,7 +376,7 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
             .iter()
             .map(|p| {
                 let st = &states_ref[p.li];
-                Job::new(move |_ctx| {
+                let job = Job::new(move |_ctx| {
                     run_trial(
                         shuffled_ref,
                         &st.kind,
@@ -278,7 +390,11 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                         fold_pool_ref,
                     )
                 })
-                .deadline(deadline)
+                .deadline(deadline);
+                match settings.fault_plan {
+                    Some(plan) => plan.instrument(job, p.trial_no as u64, 0),
+                    None => job,
+                }
             })
             .collect();
         let results = trial_pool.run_batch(jobs, None);
@@ -311,32 +427,92 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 continue;
             }
 
-            let measured = result.wall_secs;
-            let trial_timed_out = result.status.timed_out();
-            let outcome = match result.status {
-                JobStatus::Finished(o) | JobStatus::TimedOut(o) => {
-                    let mut o = o;
-                    o.timed_out |= trial_timed_out;
-                    o
+            let (mut outcome, mut measured) = commit_outcome(result, p, settings.fault_plan, 0);
+            let mut cost = {
+                let info = TrialInfo {
+                    learner_cost_constant: states[p.li].kind.cost_constant(),
+                    sample_size: p.trial_s,
+                    n_features: d,
+                    cost_factor: outcome.cost_factor,
+                    n_fits: outcome.n_fits.max(1),
+                };
+                clock.charge(&info, measured)
+            };
+
+            // Transient failures (panics, non-finite losses) get retried
+            // on the trial's own budget: every attempt is charged like a
+            // fresh evaluation, the fault plan re-rolls per attempt, and
+            // deterministic failures / timeouts are never retried. The
+            // retry runs inline as a single-job batch, so it is
+            // panic-isolated and identical in sequential and speculative
+            // modes.
+            let mut attempt: u32 = 0;
+            let mut n_retries_trial = 0usize;
+            while outcome.status.transient()
+                && n_retries_trial < settings.max_retries
+                && clock.elapsed() < settings.time_budget
+            {
+                attempt += 1;
+                n_retries_trial += 1;
+                if let Some(sink) = sink {
+                    let st = &states[p.li];
+                    let mut ev = proposal_event(
+                        TrialEventKind::Retried,
+                        p,
+                        &st.kind.name(),
+                        &p.config.render(&st.space),
+                    );
+                    ev.message = Some(format!("retry {n_retries_trial} after {}", outcome.status));
+                    sink.emit(ev);
                 }
-                JobStatus::Panicked(msg) => TrialOutcome {
-                    error: f64::INFINITY,
-                    model: None,
-                    n_fits: p.expected_fits,
-                    cost_factor: p.cost_factor,
-                    panicked: true,
-                    timed_out: false,
-                    panic_message: Some(msg),
-                },
-            };
-            let info = TrialInfo {
-                learner_cost_constant: states[p.li].kind.cost_constant(),
-                sample_size: p.trial_s,
-                n_features: d,
-                cost_factor: outcome.cost_factor,
-                n_fits: outcome.n_fits.max(1),
-            };
-            let cost = clock.charge(&info, measured);
+                let retry_deadline = if clock.is_wall() {
+                    let remaining = settings.time_budget - clock.elapsed();
+                    Some(Duration::from_secs_f64(remaining.max(0.05)))
+                } else {
+                    None
+                };
+                // Vary the seed per attempt so a genuinely flaky fit gets
+                // a different draw, not a replay of the same failure.
+                let retry_seed = p
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64));
+                let st = &states[p.li];
+                let job = Job::new(move |_ctx| {
+                    run_trial(
+                        shuffled_ref,
+                        &st.kind,
+                        &p.config,
+                        &st.space,
+                        p.trial_s,
+                        strategy,
+                        metric,
+                        retry_seed,
+                        retry_deadline,
+                        fold_pool_ref,
+                    )
+                })
+                .deadline(retry_deadline);
+                let job = match settings.fault_plan {
+                    Some(plan) => plan.instrument(job, p.trial_no as u64, attempt),
+                    None => job,
+                };
+                let retry_result = trial_pool
+                    .run_batch(vec![job], None)
+                    .pop()
+                    .expect("one job in, one result out");
+                let (o, m) = commit_outcome(retry_result, p, settings.fault_plan, attempt);
+                let info = TrialInfo {
+                    learner_cost_constant: states[p.li].kind.cost_constant(),
+                    sample_size: p.trial_s,
+                    n_features: d,
+                    cost_factor: o.cost_factor,
+                    n_fits: o.n_fits.max(1),
+                };
+                cost += clock.charge(&info, m);
+                measured += m;
+                outcome = o;
+            }
+            n_retries_total += n_retries_trial;
 
             // Feedback into the proposers.
             {
@@ -393,12 +569,60 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                     p.li,
                     p.config.clone(),
                     outcome.error,
-                    outcome.model,
+                    outcome.model.take(),
                     p.trial_s,
                 ));
             }
 
             iter += 1;
+
+            // Per-learner failure budget: consecutive non-finite trials
+            // quarantine a learner (the ECI proposer skips it until its
+            // next probe); any usable value lifts the quarantine. The
+            // bookkeeping runs in every mode so traces stay deterministic,
+            // but only ECI selection consults it.
+            {
+                let st = &mut states[p.li];
+                if outcome.error.is_finite() {
+                    st.consecutive_failures = 0;
+                    if st.quarantined {
+                        st.quarantined = false;
+                        if let Some(sink) = sink {
+                            let mut ev = proposal_event(
+                                TrialEventKind::Unquarantined,
+                                p,
+                                &st.kind.name(),
+                                "",
+                            );
+                            ev.message =
+                                Some("probe trial succeeded; quarantine lifted".to_string());
+                            sink.emit(ev);
+                        }
+                    }
+                } else {
+                    st.consecutive_failures += 1;
+                    if st.quarantined {
+                        // Failed probe: back to the bench until the next.
+                        st.probe_at = iter + settings.quarantine_probe_every;
+                    } else if settings.quarantine_after > 0
+                        && st.consecutive_failures >= settings.quarantine_after
+                    {
+                        st.quarantined = true;
+                        st.probe_at = iter + settings.quarantine_probe_every;
+                        n_quarantined += 1;
+                        if let Some(sink) = sink {
+                            let mut ev =
+                                proposal_event(TrialEventKind::Quarantined, p, &st.kind.name(), "");
+                            ev.message = Some(format!(
+                                "quarantined after {} consecutive failures; probe at trial {}",
+                                st.consecutive_failures, st.probe_at
+                            ));
+                            sink.emit(ev);
+                        }
+                    }
+                }
+            }
+
             let eci_snapshot = if settings.learner_selection == LearnerSelection::Eci {
                 let global_best = best
                     .as_ref()
@@ -418,18 +642,16 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
             };
             let rendered = p.config.render(&states[p.li].space);
             if let Some(sink) = sink {
-                let kind = if outcome.panicked {
-                    TrialEventKind::Panicked
-                } else if outcome.timed_out {
-                    TrialEventKind::TimedOut
-                } else {
-                    TrialEventKind::Finished
+                let kind = match outcome.status {
+                    TrialStatus::Panicked => TrialEventKind::Panicked,
+                    TrialStatus::TimedOut => TrialEventKind::TimedOut,
+                    _ => TrialEventKind::Finished,
                 };
                 let mut ev = proposal_event(kind, p, &states[p.li].kind.name(), &rendered);
                 ev.error = Some(outcome.error);
                 ev.cost = Some(cost);
                 ev.wall_secs = Some(measured);
-                ev.message = outcome.panic_message.clone();
+                ev.message = outcome.message.clone();
                 sink.emit(ev);
             }
             trials.push(TrialRecord {
@@ -447,8 +669,10 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                     .map(|(_, _, e, _, _)| *e)
                     .unwrap_or(f64::INFINITY),
                 eci_snapshot,
-                timed_out: outcome.timed_out,
-                panicked: outcome.panicked,
+                timed_out: outcome.timed_out(),
+                panicked: outcome.panicked(),
+                status: outcome.status,
+                n_retries: n_retries_trial,
             });
         }
         if discarding {
@@ -523,5 +747,7 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
         trials,
         strategy,
         metric,
+        n_retries: n_retries_total,
+        n_quarantined,
     })
 }

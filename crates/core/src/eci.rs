@@ -70,6 +70,9 @@ impl EciState {
     /// validation error. Returns `true` if the learner's best error
     /// improved.
     pub fn on_trial(&mut self, cost: f64, err: f64) -> bool {
+        // A NaN error would compare false against every incumbent and
+        // then leak through rebase; map it to the failure sentinel.
+        let err = if err.is_nan() { f64::INFINITY } else { err };
         let cost = cost.max(1e-9);
         self.k0 += cost;
         self.n_trials += 1;
@@ -92,7 +95,7 @@ impl EciState {
     /// Overrides the learner's best error (used when the sample size grows
     /// and the incumbent config is re-scored on the larger sample).
     pub fn rebase_err(&mut self, err: f64) {
-        self.best_err = err;
+        self.best_err = if err.is_nan() { f64::INFINITY } else { err };
     }
 
     /// Whether this learner has been tried.

@@ -40,7 +40,7 @@ pub fn build_stacked(
     budget: Option<Duration>,
 ) -> Option<FittedModel> {
     specs.retain(|s| s.error.is_finite());
-    specs.sort_by(|a, b| a.error.partial_cmp(&b.error).expect("finite errors"));
+    specs.sort_by(|a, b| a.error.total_cmp(&b.error));
     specs.truncate(max_members.max(2));
     if specs.len() < 2 {
         return None;

@@ -57,9 +57,12 @@ pub use custom::{CustomLearner, Estimator};
 pub use eci::{sample_by_inverse_eci, EciState};
 pub use ensemble::{build_stacked, MemberSpec};
 pub use learner::{config_cost_factor, fit_learner};
-pub use resample::{run_trial, ResampleRule, ResampleStrategy, TrialOutcome};
+pub use resample::{run_trial, ResampleRule, ResampleStrategy, TrialOutcome, TrialStatus};
 pub use spaces::LearnerKind;
 
 // Re-export the execution runtime so downstream crates can size pools and
 // subscribe to trial telemetry without depending on flaml-exec directly.
-pub use flaml_exec::{event_channel, EventSink, ExecPool, Telemetry, TrialEvent, TrialEventKind};
+pub use flaml_exec::{
+    event_channel, EventSink, ExecPool, FaultPlan, InjectedFault, Telemetry, TrialEvent,
+    TrialEventKind,
+};

@@ -100,11 +100,60 @@ impl ResampleRule {
     }
 }
 
+/// How a trial ended: the typed outcome the controller's failure policy
+/// dispatches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TrialStatus {
+    /// The trial produced a usable validation error within its deadline.
+    #[default]
+    Ok,
+    /// The trial failed deterministically: an unfittable subsample, a fit
+    /// error, or a degenerate metric. Retrying would fail identically.
+    Failed,
+    /// Some fit ran past its cooperative deadline (the value, if any, is
+    /// still usable — the budget was simply overrun).
+    TimedOut,
+    /// A fit panicked; the panic was absorbed and the trial failed.
+    Panicked,
+    /// The trial scored, but the loss came back `NaN` — sanitized to
+    /// `INFINITY` before it can reach any incumbent.
+    NonFiniteLoss,
+}
+
+impl TrialStatus {
+    /// Stable lowercase name (used in logs and telemetry messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrialStatus::Ok => "ok",
+            TrialStatus::Failed => "failed",
+            TrialStatus::TimedOut => "timed-out",
+            TrialStatus::Panicked => "panicked",
+            TrialStatus::NonFiniteLoss => "non-finite-loss",
+        }
+    }
+
+    /// Whether the failure is *transient* — worth retrying. Panics and
+    /// non-finite losses can come from flaky environments (or injected
+    /// faults keyed by attempt); deterministic failures and timeouts
+    /// would only burn budget on an identical re-run.
+    pub fn transient(&self) -> bool {
+        matches!(self, TrialStatus::Panicked | TrialStatus::NonFiniteLoss)
+    }
+}
+
+impl std::fmt::Display for TrialStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The observable result of one trial.
 #[derive(Debug)]
 pub struct TrialOutcome {
     /// Validation error (the metric's loss; `INFINITY` if the trial
-    /// failed, e.g. a single-class subsample).
+    /// failed, e.g. a single-class subsample). Never `NaN`: a `NaN` loss
+    /// is sanitized to `INFINITY` and flagged
+    /// [`TrialStatus::NonFiniteLoss`].
     pub error: f64,
     /// The model trained during the trial (holdout only; CV trials defer
     /// training the final model).
@@ -113,13 +162,10 @@ pub struct TrialOutcome {
     pub n_fits: usize,
     /// Virtual-cost complexity factor of the evaluated configuration.
     pub cost_factor: f64,
-    /// Whether any fit of this trial panicked (the panic was absorbed
-    /// and the fold counted as failed).
-    pub panicked: bool,
-    /// Whether any fit of this trial ran past its cooperative deadline.
-    pub timed_out: bool,
-    /// The panic message, when `panicked` is set.
-    pub panic_message: Option<String>,
+    /// How the trial ended.
+    pub status: TrialStatus,
+    /// Panic or diagnostic message, if any.
+    pub message: Option<String>,
 }
 
 impl TrialOutcome {
@@ -130,10 +176,19 @@ impl TrialOutcome {
             model: None,
             n_fits: 0,
             cost_factor,
-            panicked: false,
-            timed_out: false,
-            panic_message: None,
+            status: TrialStatus::Failed,
+            message: None,
         }
+    }
+
+    /// Whether any fit of this trial panicked.
+    pub fn panicked(&self) -> bool {
+        self.status == TrialStatus::Panicked
+    }
+
+    /// Whether this trial ran past its cooperative deadline.
+    pub fn timed_out(&self) -> bool {
+        self.status == TrialStatus::TimedOut
     }
 }
 
@@ -182,12 +237,15 @@ pub fn run_trial(
                 let valid = sample.select(&fold.valid);
                 match kind.fit(&train, config, space, seed, ctx.remaining()) {
                     Ok(model) => {
+                        // Keep the raw loss (possibly NaN) so the commit
+                        // path can distinguish a non-finite loss from a
+                        // deterministic fit failure.
                         let err = metric
                             .loss(&model.predict(&valid), valid.target())
                             .unwrap_or(f64::INFINITY);
-                        (err, Some(model))
+                        (FoldEval::Scored(err), Some(model))
                     }
-                    Err(_) => (f64::INFINITY, None),
+                    Err(_) => (FoldEval::FitFailed, None),
                 }
             })
             .deadline(deadline);
@@ -197,15 +255,35 @@ pub fn run_trial(
                 .expect("one job in, one result out");
             let timed_out = result.status.timed_out();
             match result.status {
-                JobStatus::Finished((error, model)) | JobStatus::TimedOut((error, model)) => {
-                    TrialOutcome {
-                        error,
-                        model,
-                        n_fits: 1,
-                        cost_factor,
-                        panicked: false,
-                        timed_out,
-                        panic_message: None,
+                JobStatus::Finished((eval, model)) | JobStatus::TimedOut((eval, model)) => {
+                    match eval {
+                        FoldEval::Scored(err) => {
+                            let (error, status) = if err.is_nan() {
+                                (f64::INFINITY, TrialStatus::NonFiniteLoss)
+                            } else if err.is_infinite() {
+                                (err, TrialStatus::Failed)
+                            } else if timed_out {
+                                (err, TrialStatus::TimedOut)
+                            } else {
+                                (err, TrialStatus::Ok)
+                            };
+                            TrialOutcome {
+                                error,
+                                model,
+                                n_fits: 1,
+                                cost_factor,
+                                status,
+                                message: None,
+                            }
+                        }
+                        FoldEval::FitFailed | FoldEval::Skipped => TrialOutcome {
+                            error: f64::INFINITY,
+                            model: None,
+                            n_fits: 1,
+                            cost_factor,
+                            status: TrialStatus::Failed,
+                            message: None,
+                        },
                     }
                 }
                 JobStatus::Panicked(msg) => TrialOutcome {
@@ -213,9 +291,8 @@ pub fn run_trial(
                     model: None,
                     n_fits: 1,
                     cost_factor,
-                    panicked: true,
-                    timed_out: false,
-                    panic_message: Some(msg),
+                    status: TrialStatus::Panicked,
+                    message: Some(msg),
                 },
             }
         }
@@ -265,9 +342,10 @@ pub fn run_trial(
             // sum is identical to the sequential loop's.
             let mut total = 0.0;
             let mut n_ok = 0usize;
+            let mut saw_nan = false;
             let mut panicked = false;
             let mut timed_out = false;
-            let mut panic_message = None;
+            let mut message = None;
             for result in results {
                 if result.status.timed_out() {
                     timed_out = true;
@@ -275,13 +353,17 @@ pub fn run_trial(
                 match result.status {
                     JobStatus::Finished(FoldEval::Scored(err))
                     | JobStatus::TimedOut(FoldEval::Scored(err)) => {
-                        total += err;
-                        n_ok += 1;
+                        if err.is_nan() {
+                            saw_nan = true;
+                        } else {
+                            total += err;
+                            n_ok += 1;
+                        }
                     }
                     JobStatus::Finished(_) | JobStatus::TimedOut(_) => {}
                     JobStatus::Panicked(msg) => {
                         panicked = true;
-                        panic_message.get_or_insert(msg);
+                        message.get_or_insert(msg);
                     }
                 }
             }
@@ -290,14 +372,24 @@ pub fn run_trial(
             } else {
                 f64::INFINITY
             };
+            let status = if panicked {
+                TrialStatus::Panicked
+            } else if saw_nan {
+                TrialStatus::NonFiniteLoss
+            } else if !error.is_finite() {
+                TrialStatus::Failed
+            } else if timed_out {
+                TrialStatus::TimedOut
+            } else {
+                TrialStatus::Ok
+            };
             TrialOutcome {
                 error,
                 model: None,
                 n_fits,
                 cost_factor,
-                panicked,
-                timed_out,
-                panic_message,
+                status,
+                message,
             }
         }
     }
@@ -369,8 +461,7 @@ mod tests {
         assert!(out.error.is_finite());
         assert!(out.model.is_some());
         assert_eq!(out.n_fits, 1);
-        assert!(!out.panicked);
-        assert!(!out.timed_out);
+        assert_eq!(out.status, TrialStatus::Ok);
     }
 
     #[test]
@@ -468,7 +559,8 @@ mod tests {
             &ExecPool::sequential(),
         );
         assert!(out.error.is_infinite());
-        assert!(!out.panicked);
+        assert!(!out.panicked());
+        assert_eq!(out.status, TrialStatus::Failed);
     }
 
     #[test]
@@ -519,9 +611,10 @@ mod tests {
                 &ExecPool::sequential(),
             );
             assert!(out.error.is_infinite(), "{strategy}");
-            assert!(out.panicked, "{strategy}");
+            assert_eq!(out.status, TrialStatus::Panicked, "{strategy}");
+            assert!(out.status.transient(), "{strategy}");
             assert!(
-                out.panic_message.as_deref().unwrap_or("").contains("bomb"),
+                out.message.as_deref().unwrap_or("").contains("bomb"),
                 "{strategy}"
             );
         }

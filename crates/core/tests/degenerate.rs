@@ -1,0 +1,173 @@
+//! Degenerate-input contract: `AutoMl::run` must never panic on a
+//! pathological dataset. Unsalvageable shapes (single-class targets, a
+//! single row, nothing but constant features) return a typed
+//! [`AutoMlError`]; salvageable ones (constant or all-NaN columns next to
+//! informative ones) are cleaned up and searched normally, with a
+//! `Sanitized` telemetry event recording the dropped columns.
+//!
+//! Written as deterministic sweeps rather than randomized property tests
+//! so every shape runs on every CI invocation.
+
+use flaml_core::{
+    default_virtual_cost, event_channel, AutoMl, AutoMlError, LearnerKind, Telemetry, TimeSource,
+};
+use flaml_data::{Dataset, Task};
+
+fn quick(seed: u64) -> AutoMl {
+    AutoMl::new()
+        .time_source(TimeSource::Virtual(default_virtual_cost))
+        .sample_size_init(50)
+        .time_budget(0.5)
+        .max_trials(6)
+        .estimators([LearnerKind::LightGbm, LearnerKind::Lr])
+        .seed(seed)
+}
+
+/// A learnable column: class-correlated with a deterministic wiggle.
+fn informative(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let y: Vec<f64> = (0..n).map(|i| f64::from(i % 2 == 0)).collect();
+    let x: Vec<f64> = (0..n)
+        .map(|i| y[i] * 2.0 + ((i * 7) % 13) as f64 * 0.05)
+        .collect();
+    (x, y)
+}
+
+#[test]
+fn single_class_labels_return_degenerate_target() {
+    let n = 80;
+    let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    for class in [0.0, 1.0] {
+        let d = Dataset::new("one-class", Task::Binary, vec![x.clone()], vec![class; n]).unwrap();
+        match quick(0).fit(&d) {
+            Err(AutoMlError::DegenerateTarget { classes_present }) => {
+                assert_eq!(classes_present, 1)
+            }
+            other => panic!("expected DegenerateTarget, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn single_class_multiclass_labels_return_degenerate_target() {
+    let n = 60;
+    let x: Vec<f64> = (0..n).map(|i| (i % 9) as f64).collect();
+    let d = Dataset::new("mc", Task::MultiClass(4), vec![x], vec![2.0; n]).unwrap();
+    match quick(1).fit(&d) {
+        Err(AutoMlError::DegenerateTarget { classes_present }) => assert_eq!(classes_present, 1),
+        other => panic!("expected DegenerateTarget, got {other:?}"),
+    }
+}
+
+#[test]
+fn single_row_returns_too_few_rows() {
+    let d = Dataset::new("tiny", Task::Regression, vec![vec![1.0]], vec![3.0]).unwrap();
+    match quick(2).fit(&d) {
+        Err(AutoMlError::TooFewRows { rows, needed }) => {
+            assert_eq!(rows, 1);
+            assert_eq!(needed, 2);
+        }
+        other => panic!("expected TooFewRows, got {other:?}"),
+    }
+}
+
+#[test]
+fn constant_and_nan_columns_are_dropped_and_search_proceeds() {
+    let n = 200;
+    let (x, y) = informative(n);
+    for junk in [vec![5.0; n], vec![f64::NAN; n]] {
+        let d = Dataset::new(
+            "junky",
+            Task::Binary,
+            vec![junk.clone(), x.clone()],
+            y.clone(),
+        )
+        .unwrap();
+        let (sink, rx) = event_channel();
+        let result = quick(3)
+            .event_sink(sink)
+            .fit(&d)
+            .expect("informative column remains; the search must run");
+        assert!(result.best_error.is_finite());
+        let mut telemetry = Telemetry::default();
+        for ev in rx.try_iter() {
+            telemetry.record(&ev);
+        }
+        assert_eq!(telemetry.sanitized, 1, "one cleanup event per run");
+    }
+}
+
+#[test]
+fn all_degenerate_features_return_no_usable_features() {
+    let n = 100;
+    let y: Vec<f64> = (0..n).map(|i| f64::from(i % 2 == 0)).collect();
+    let d = Dataset::new(
+        "hopeless",
+        Task::Binary,
+        vec![vec![1.0; n], vec![f64::NAN; n]],
+        y,
+    )
+    .unwrap();
+    match quick(4).fit(&d) {
+        Err(AutoMlError::NoUsableFeatures) => {}
+        other => panic!("expected NoUsableFeatures, got {other:?}"),
+    }
+}
+
+#[test]
+fn degenerate_shape_sweep_never_panics() {
+    // Every pathological shape either fits or returns a typed error —
+    // a panic anywhere in the stack fails this test.
+    let n = 40;
+    let (x, y) = informative(n);
+    let shapes: Vec<Dataset> = vec![
+        // Two rows only.
+        Dataset::new(
+            "two-rows",
+            Task::Binary,
+            vec![vec![0.0, 1.0]],
+            vec![0.0, 1.0],
+        )
+        .unwrap(),
+        // Constant column beside a near-constant one.
+        Dataset::new(
+            "near-constant",
+            Task::Binary,
+            vec![vec![2.0; n], {
+                let mut c = vec![0.5; n];
+                c[0] = 0.6;
+                c
+            }],
+            y.clone(),
+        )
+        .unwrap(),
+        // NaN-speckled informative column (not fully degenerate).
+        Dataset::new(
+            "nan-speckled",
+            Task::Binary,
+            vec![x
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| if i % 5 == 0 { f64::NAN } else { v })
+                .collect()],
+            y.clone(),
+        )
+        .unwrap(),
+        // Regression with a constant target (valid, if unhelpful).
+        Dataset::new(
+            "flat-target",
+            Task::Regression,
+            vec![x.clone()],
+            vec![1.0; n],
+        )
+        .unwrap(),
+    ];
+    for (i, d) in shapes.iter().enumerate() {
+        match quick(5 + i as u64).fit(d) {
+            Ok(result) => assert!(!result.best_error.is_nan(), "{}", d.name()),
+            Err(e) => {
+                // Typed failure is acceptable; a panic is not.
+                let _ = format!("{e}");
+            }
+        }
+    }
+}

@@ -315,6 +315,70 @@ impl Dataset {
     pub fn size_product(&self) -> u64 {
         self.n_rows() as u64 * self.n_features() as u64
     }
+
+    /// Number of distinct label values present (for classification; the
+    /// count of classes that actually occur, which can be smaller than
+    /// the task's nominal class count). `None` for regression.
+    pub fn distinct_labels(&self) -> Option<usize> {
+        let k = self.task.n_classes()?;
+        let mut seen = vec![false; k];
+        for &y in &self.target {
+            seen[y as usize] = true;
+        }
+        Some(seen.into_iter().filter(|&s| s).count())
+    }
+
+    /// Indices of feature columns that carry no signal: columns whose
+    /// non-NaN values are all equal (constant) or that contain no non-NaN
+    /// value at all. Such columns cannot inform any split or coefficient,
+    /// and an all-NaN column can push imputation-free learners into
+    /// producing NaN losses.
+    pub fn degenerate_columns(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, col)| {
+                let mut first = None;
+                for &v in col.iter() {
+                    if v.is_nan() {
+                        continue;
+                    }
+                    match first {
+                        None => first = Some(v),
+                        Some(f) if v != f => return false,
+                        Some(_) => {}
+                    }
+                }
+                true
+            })
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// A copy of the dataset without the feature columns in `drop`
+    /// (indices into `0..n_features`, duplicates and any order allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::NoFeatures`] if every column would be
+    /// dropped, so a sanitization pass can never produce a featureless
+    /// dataset.
+    pub fn drop_columns(&self, drop: &[usize]) -> Result<Dataset, DataError> {
+        let dropped: std::collections::BTreeSet<usize> = drop.iter().copied().collect();
+        let keep: Vec<usize> = (0..self.n_features())
+            .filter(|j| !dropped.contains(j))
+            .collect();
+        if keep.is_empty() {
+            return Err(DataError::NoFeatures);
+        }
+        Ok(Dataset {
+            name: self.name.clone(),
+            task: self.task,
+            columns: keep.iter().map(|&j| self.columns[j].clone()).collect(),
+            kinds: keep.iter().map(|&j| self.kinds[j]).collect(),
+            target: self.target.clone(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -452,5 +516,51 @@ mod tests {
     #[test]
     fn size_product_matches() {
         assert_eq!(toy(7, Task::Regression).size_product(), 14);
+    }
+
+    #[test]
+    fn distinct_labels_counts_present_classes() {
+        let d = Dataset::new(
+            "one-class",
+            Task::Binary,
+            vec![vec![1.0, 2.0, 3.0]],
+            vec![1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        assert_eq!(d.distinct_labels(), Some(1));
+        assert_eq!(toy(10, Task::Binary).distinct_labels(), Some(2));
+        assert_eq!(toy(10, Task::Regression).distinct_labels(), None);
+    }
+
+    #[test]
+    fn degenerate_columns_finds_constant_and_all_nan() {
+        let d = Dataset::new(
+            "deg",
+            Task::Regression,
+            vec![
+                vec![1.0, 2.0, 3.0],                // informative
+                vec![5.0, 5.0, 5.0],                // constant
+                vec![f64::NAN, f64::NAN, f64::NAN], // all missing
+                vec![7.0, f64::NAN, 7.0],           // constant modulo NaN
+            ],
+            vec![0.0, 1.0, 2.0],
+        )
+        .unwrap();
+        assert_eq!(d.degenerate_columns(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn drop_columns_keeps_the_rest_aligned() {
+        let d = toy(5, Task::Binary);
+        let kept = d.drop_columns(&[0]).unwrap();
+        assert_eq!(kept.n_features(), 1);
+        assert_eq!(kept.column(0), d.column(1));
+        assert_eq!(kept.target(), d.target());
+    }
+
+    #[test]
+    fn drop_all_columns_is_an_error() {
+        let d = toy(5, Task::Binary);
+        assert_eq!(d.drop_columns(&[0, 1]).unwrap_err(), DataError::NoFeatures);
     }
 }

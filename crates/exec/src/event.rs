@@ -20,6 +20,17 @@ pub enum TrialEventKind {
     TimedOut,
     /// The trial panicked (and was converted into a failed trial).
     Panicked,
+    /// A transient trial failure is being retried (one event per retry
+    /// attempt, before the attempt runs).
+    Retried,
+    /// A learner was quarantined after consecutive failures; the ECI
+    /// proposer stops proposing it until a probe succeeds.
+    Quarantined,
+    /// A quarantined learner's probe succeeded; it rejoins the roster.
+    Unquarantined,
+    /// The input data was sanitized before the search (e.g. constant or
+    /// all-NaN feature columns dropped); details in the message.
+    Sanitized,
 }
 
 impl TrialEventKind {
@@ -30,6 +41,10 @@ impl TrialEventKind {
             TrialEventKind::Finished => "finished",
             TrialEventKind::TimedOut => "timed-out",
             TrialEventKind::Panicked => "panicked",
+            TrialEventKind::Retried => "retried",
+            TrialEventKind::Quarantined => "quarantined",
+            TrialEventKind::Unquarantined => "unquarantined",
+            TrialEventKind::Sanitized => "sanitized",
         }
     }
 }
@@ -106,6 +121,10 @@ pub struct LearnerCounts {
     pub timed_out: usize,
     /// Trials that panicked.
     pub panicked: usize,
+    /// Retry attempts charged to this learner's trials.
+    pub retried: usize,
+    /// Times this learner was quarantined.
+    pub quarantined: usize,
 }
 
 /// Aggregated counts over a trial-event stream.
@@ -119,7 +138,15 @@ pub struct Telemetry {
     pub timed_out: usize,
     /// `Panicked` events seen.
     pub panicked: usize,
-    /// Terminal-event counts keyed by learner name (unnamed trials group
+    /// `Retried` events seen (retry attempts across all trials).
+    pub retried: usize,
+    /// `Quarantined` events seen.
+    pub quarantined: usize,
+    /// `Unquarantined` events seen.
+    pub unquarantined: usize,
+    /// `Sanitized` events seen (input-data cleanups before the search).
+    pub sanitized: usize,
+    /// Per-learner counts keyed by learner name (unnamed trials group
     /// under the empty string).
     pub by_learner: BTreeMap<String, LearnerCounts>,
 }
@@ -132,24 +159,43 @@ impl Telemetry {
 
     /// Folds one event in.
     pub fn record(&mut self, event: &TrialEvent) {
-        if event.kind == TrialEventKind::Started {
-            self.started += 1;
-            return;
-        }
-        let slot = self.by_learner.entry(event.learner.clone()).or_default();
         match event.kind {
-            TrialEventKind::Started => unreachable!("handled above"),
-            TrialEventKind::Finished => {
-                self.finished += 1;
-                slot.finished += 1;
+            TrialEventKind::Started => {
+                self.started += 1;
             }
-            TrialEventKind::TimedOut => {
-                self.timed_out += 1;
-                slot.timed_out += 1;
+            TrialEventKind::Unquarantined => {
+                self.unquarantined += 1;
             }
-            TrialEventKind::Panicked => {
-                self.panicked += 1;
-                slot.panicked += 1;
+            TrialEventKind::Sanitized => {
+                self.sanitized += 1;
+            }
+            _ => {
+                let slot = self.by_learner.entry(event.learner.clone()).or_default();
+                match event.kind {
+                    TrialEventKind::Finished => {
+                        self.finished += 1;
+                        slot.finished += 1;
+                    }
+                    TrialEventKind::TimedOut => {
+                        self.timed_out += 1;
+                        slot.timed_out += 1;
+                    }
+                    TrialEventKind::Panicked => {
+                        self.panicked += 1;
+                        slot.panicked += 1;
+                    }
+                    TrialEventKind::Retried => {
+                        self.retried += 1;
+                        slot.retried += 1;
+                    }
+                    TrialEventKind::Quarantined => {
+                        self.quarantined += 1;
+                        slot.quarantined += 1;
+                    }
+                    TrialEventKind::Started
+                    | TrialEventKind::Unquarantined
+                    | TrialEventKind::Sanitized => unreachable!("handled above"),
+                }
             }
         }
     }
@@ -202,5 +248,28 @@ mod tests {
         assert_eq!(t.by_learner["gbm"].finished, 1);
         assert_eq!(t.by_learner["gbm"].panicked, 1);
         assert_eq!(t.by_learner["lr"].timed_out, 1);
+    }
+
+    #[test]
+    fn telemetry_counts_robustness_events() {
+        let (sink, rx) = event_channel();
+        let mut ev = TrialEvent::new(TrialEventKind::Retried);
+        ev.learner = "gbm".into();
+        sink.emit(ev.clone());
+        sink.emit(ev.clone());
+        ev.kind = TrialEventKind::Quarantined;
+        sink.emit(ev.clone());
+        ev.kind = TrialEventKind::Unquarantined;
+        sink.emit(ev.clone());
+        ev.kind = TrialEventKind::Sanitized;
+        sink.emit(ev);
+        let t = Telemetry::new().drain(&rx);
+        assert_eq!(t.retried, 2);
+        assert_eq!(t.quarantined, 1);
+        assert_eq!(t.unquarantined, 1);
+        assert_eq!(t.sanitized, 1);
+        assert_eq!(t.total_terminal(), 0, "robustness events are not terminal");
+        assert_eq!(t.by_learner["gbm"].retried, 2);
+        assert_eq!(t.by_learner["gbm"].quarantined, 1);
     }
 }

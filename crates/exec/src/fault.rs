@@ -1,0 +1,287 @@
+//! Deterministic fault injection: a seeded [`FaultPlan`] that wraps any
+//! [`Job`] and injects panics, artificial slowdowns past the deadline, and
+//! poisoned (NaN/Inf) results at configurable per-trial probabilities.
+//!
+//! The plan is a *pure function* of `(seed, trial, attempt)`: whether a
+//! given trial is faulted never depends on worker count, scheduling, or
+//! wall time, so a chaos run under a virtual clock produces the same
+//! committed trace at any parallelism — the property the controller's
+//! failure policy is tested against. Keying on the attempt number means a
+//! retry of a faulted trial re-rolls the dice, so transient faults can
+//! clear on retry exactly like real flaky trials.
+
+use crate::job::{Job, JobCtx};
+use std::time::Duration;
+
+/// A fault the plan injects into one trial attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The job body panics before doing any work.
+    Panic,
+    /// The job runs normally, then stalls until its cooperative deadline
+    /// has passed (a token 1 ms stall when the job has no deadline).
+    Slowdown,
+    /// The job's reported loss is replaced by a non-finite value (`NaN`
+    /// or `INFINITY`). Injected by the *caller* via
+    /// [`FaultPlan::poison`], because the poisoned value lives in the
+    /// job's typed result, not in the generic execution layer.
+    Poison,
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// Build one with [`FaultPlan::new`] plus the rate setters, or
+/// [`FaultPlan::uniform`] / [`FaultPlan::parse`] for the bench grid's
+/// `--chaos seed:rate` form. Apply it to a job with
+/// [`FaultPlan::instrument`] (panics and slowdowns) and to the job's
+/// reported loss with [`FaultPlan::poison`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    panic_rate: f64,
+    slowdown_rate: f64,
+    poison_rate: f64,
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix, the standard choice
+/// for turning structured integers into uniform hashes.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and all fault rates at zero.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            panic_rate: 0.0,
+            slowdown_rate: 0.0,
+            poison_rate: 0.0,
+        }
+    }
+
+    /// A plan injecting faults at `rate` total probability per attempt,
+    /// split evenly across panics, slowdowns, and poisoned results (the
+    /// `--chaos seed:rate` semantics).
+    pub fn uniform(seed: u64, rate: f64) -> FaultPlan {
+        let each = (rate.clamp(0.0, 1.0)) / 3.0;
+        FaultPlan {
+            seed,
+            panic_rate: each,
+            slowdown_rate: each,
+            poison_rate: each,
+        }
+    }
+
+    /// Parses the bench grid's `seed:rate` form (e.g. `"7:0.25"`).
+    pub fn parse(s: &str) -> Option<FaultPlan> {
+        let (seed, rate) = s.split_once(':')?;
+        let seed: u64 = seed.trim().parse().ok()?;
+        let rate: f64 = rate.trim().parse().ok()?;
+        if !(0.0..=1.0).contains(&rate) {
+            return None;
+        }
+        Some(FaultPlan::uniform(seed, rate))
+    }
+
+    /// Sets the per-attempt panic probability.
+    #[must_use]
+    pub fn panics(mut self, rate: f64) -> FaultPlan {
+        self.panic_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-attempt slowdown probability.
+    #[must_use]
+    pub fn slowdowns(mut self, rate: f64) -> FaultPlan {
+        self.slowdown_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-attempt poisoned-result probability.
+    #[must_use]
+    pub fn poisons(mut self, rate: f64) -> FaultPlan {
+        self.poison_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Total per-attempt fault probability.
+    pub fn total_rate(&self) -> f64 {
+        (self.panic_rate + self.slowdown_rate + self.poison_rate).min(1.0)
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Decides the fault (if any) for attempt `attempt` of trial `trial`.
+    /// Pure: depends only on the plan and its arguments.
+    pub fn decide(&self, trial: u64, attempt: u32) -> Option<InjectedFault> {
+        let h = mix(self.seed
+            ^ mix(trial.wrapping_mul(0xA24B_AED4_963E_E407))
+            ^ mix((attempt as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25)));
+        // 53 uniform bits -> [0, 1).
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u < self.panic_rate {
+            Some(InjectedFault::Panic)
+        } else if u < self.panic_rate + self.slowdown_rate {
+            Some(InjectedFault::Slowdown)
+        } else if u < self.panic_rate + self.slowdown_rate + self.poison_rate {
+            Some(InjectedFault::Poison)
+        } else {
+            None
+        }
+    }
+
+    /// The poisoned loss for this attempt, when [`FaultPlan::decide`]
+    /// says [`InjectedFault::Poison`]: `NaN` or `INFINITY`, chosen by a
+    /// second deterministic coin so both non-finite shapes are exercised.
+    pub fn poison(&self, trial: u64, attempt: u32) -> Option<f64> {
+        if self.decide(trial, attempt) != Some(InjectedFault::Poison) {
+            return None;
+        }
+        let h = mix(self.seed ^ mix(trial) ^ (attempt as u64) ^ 0x5EED_F00D);
+        Some(if h & 1 == 0 { f64::NAN } else { f64::INFINITY })
+    }
+
+    /// Wraps `job` so that this attempt's panic or slowdown fault (if
+    /// any) fires when the job runs. Poison faults leave the job
+    /// untouched — the caller applies [`FaultPlan::poison`] to the
+    /// reported loss instead. Metadata and deadline are preserved.
+    pub fn instrument<'env, T>(&self, job: Job<'env, T>, trial: u64, attempt: u32) -> Job<'env, T>
+    where
+        T: 'env,
+    {
+        match self.decide(trial, attempt) {
+            Some(InjectedFault::Panic) => {
+                let Job { meta, deadline, .. } = job;
+                Job {
+                    meta,
+                    deadline,
+                    body: Box::new(move |_ctx: &JobCtx| {
+                        panic!("injected fault: panic (trial {trial}, attempt {attempt})")
+                    }),
+                }
+            }
+            Some(InjectedFault::Slowdown) => {
+                let Job {
+                    meta,
+                    deadline,
+                    body,
+                } = job;
+                Job {
+                    meta,
+                    deadline,
+                    body: Box::new(move |ctx: &JobCtx| {
+                        let v = body(ctx);
+                        // Stall just past the cooperative deadline so the
+                        // job is reported TimedOut; without a deadline the
+                        // stall is a token 1 ms (wall time never enters
+                        // virtual-clock accounting, so determinism holds).
+                        let stall = match ctx.remaining() {
+                            Some(rem) => rem + Duration::from_millis(5),
+                            None => Duration::from_millis(1),
+                        };
+                        std::thread::sleep(stall);
+                        v
+                    }),
+                }
+            }
+            Some(InjectedFault::Poison) | None => job,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ExecPool;
+
+    #[test]
+    fn decide_is_deterministic_and_rate_accurate() {
+        let plan = FaultPlan::uniform(42, 0.3);
+        let first: Vec<_> = (0..2000).map(|t| plan.decide(t, 0)).collect();
+        let second: Vec<_> = (0..2000).map(|t| plan.decide(t, 0)).collect();
+        assert_eq!(first, second);
+        let faults = first.iter().filter(|f| f.is_some()).count();
+        // 2000 draws at p = 0.3: expect ~600, allow a generous band.
+        assert!((450..=750).contains(&faults), "{faults}/2000 faults");
+    }
+
+    #[test]
+    fn attempts_reroll_faults() {
+        let plan = FaultPlan::uniform(7, 0.5);
+        let cleared = (0..500u64).any(|t| {
+            plan.decide(t, 0) == Some(InjectedFault::Panic) && plan.decide(t, 1).is_none()
+        });
+        assert!(cleared, "some faulted trial must clear on retry");
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let plan = FaultPlan::new(1);
+        assert!((0..1000u64).all(|t| plan.decide(t, 0).is_none()));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let plan = FaultPlan::parse("7:0.3").expect("valid chaos spec");
+        assert_eq!(plan.seed(), 7);
+        assert!((plan.total_rate() - 0.3).abs() < 1e-12);
+        assert!(FaultPlan::parse("nope").is_none());
+        assert!(FaultPlan::parse("1:1.5").is_none());
+        assert!(FaultPlan::parse("1:-0.1").is_none());
+    }
+
+    #[test]
+    fn poison_values_are_non_finite_and_cover_both_shapes() {
+        let plan = FaultPlan::new(3).poisons(1.0);
+        let mut saw_nan = false;
+        let mut saw_inf = false;
+        for t in 0..64u64 {
+            let v = plan.poison(t, 0).expect("poison rate is 1");
+            assert!(!v.is_finite());
+            saw_nan |= v.is_nan();
+            saw_inf |= v.is_infinite();
+        }
+        assert!(saw_nan && saw_inf, "both NaN and Inf poisons appear");
+    }
+
+    #[test]
+    fn instrumented_panic_is_isolated_by_the_pool() {
+        let plan = FaultPlan::new(0).panics(1.0);
+        let pool = ExecPool::sequential();
+        let job = plan.instrument(Job::new(|_ctx| 42u64), 5, 0);
+        let result = pool.run_batch(vec![job], None).pop().expect("one result");
+        assert!(result.status.panicked());
+    }
+
+    #[test]
+    fn instrumented_slowdown_times_out_short_deadlines() {
+        let plan = FaultPlan::new(0).slowdowns(1.0);
+        let pool = ExecPool::sequential();
+        let job = plan
+            .instrument(
+                Job::new(|_ctx| 1u64).deadline(Some(Duration::from_millis(1))),
+                0,
+                0,
+            )
+            .deadline(Some(Duration::from_millis(1)));
+        let result = pool.run_batch(vec![job], None).pop().expect("one result");
+        assert!(result.status.timed_out());
+        assert_eq!(result.status.into_value(), Some(1));
+    }
+
+    #[test]
+    fn unfaulted_jobs_pass_through() {
+        let plan = FaultPlan::new(0); // all rates zero
+        let pool = ExecPool::sequential();
+        let job = plan.instrument(Job::new(|_ctx| 7u64), 0, 0);
+        let result = pool.run_batch(vec![job], None).pop().expect("one result");
+        assert_eq!(result.status.into_value(), Some(7));
+    }
+}

@@ -77,7 +77,7 @@ pub struct Job<'env, T> {
     pub meta: JobMeta,
     /// Cooperative deadline for the whole job.
     pub deadline: Option<Duration>,
-    body: Box<dyn FnOnce(&JobCtx) -> T + Send + 'env>,
+    pub(crate) body: Box<dyn FnOnce(&JobCtx) -> T + Send + 'env>,
 }
 
 impl<'env, T> Job<'env, T> {

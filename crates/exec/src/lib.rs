@@ -16,7 +16,12 @@
 //! - **deterministic results** — results always return in submission
 //!   order, and a single-worker pool executes inline on the caller's
 //!   thread, so `workers = 1` reproduces a sequential loop exactly. The
-//!   dispatch policy is an injectable [`JobQueue`] (FIFO by default).
+//!   dispatch policy is an injectable [`JobQueue`] (FIFO by default);
+//! - **deterministic fault injection** — a seeded [`FaultPlan`] wraps
+//!   any job with panics, slowdowns past the deadline, or poisoned
+//!   (NaN/Inf) losses at configured per-trial probabilities, purely as a
+//!   function of `(seed, trial, attempt)`, so failure policies can be
+//!   tested under chaos without losing trace determinism.
 //!
 //! Three layers of the workspace sit on top of it: the benchmark grid
 //! farms independent (method × dataset × budget) cells to the pool
@@ -42,11 +47,13 @@
 #![warn(missing_docs)]
 
 mod event;
+mod fault;
 mod job;
 mod pool;
 mod queue;
 
 pub use event::{event_channel, EventSink, LearnerCounts, Telemetry, TrialEvent, TrialEventKind};
+pub use fault::{FaultPlan, InjectedFault};
 pub use job::{Job, JobCtx, JobMeta, JobResult, JobStatus};
 pub use pool::ExecPool;
 pub use queue::{FifoQueue, JobQueue, LifoQueue};

@@ -14,6 +14,7 @@
 //! and restarts only once the full sample size is reached).
 
 use crate::domain::SearchSpace;
+use crate::sanitize_err;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rand_distr::{Distribution, StandardNormal};
@@ -112,10 +113,12 @@ impl Flow2 {
     ///
     /// FLAML calls this when the sample size grows: the incumbent config
     /// is re-scored on the larger sample and future comparisons happen
-    /// against that score. A no-op before the first evaluation.
+    /// against that score. A no-op before the first evaluation. A `NaN`
+    /// is sanitized to `INFINITY` (the failure sentinel), like in
+    /// [`Flow2::tell`].
     pub fn set_best_err(&mut self, err: f64) {
         if self.evaluated_init {
-            self.best_err = err;
+            self.best_err = sanitize_err(err);
         }
     }
 
@@ -144,12 +147,16 @@ impl Flow2 {
         point
     }
 
-    /// Reports the error of the last [`Flow2::ask`] proposal.
+    /// Reports the error of the last [`Flow2::ask`] proposal. A `NaN`
+    /// error is sanitized to `INFINITY` (the failure sentinel) so it can
+    /// never become the incumbent: an incumbent `NaN` would make every
+    /// later `err < best_err` comparison false and freeze the search.
     ///
     /// # Panics
     ///
     /// Panics if there is no outstanding proposal.
     pub fn tell(&mut self, err: f64) {
+        let err = sanitize_err(err);
         let point = self
             .outstanding
             .take()
@@ -412,5 +419,30 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn nan_loss_never_becomes_incumbent() {
+        let space = square_space();
+        let mut opt = Flow2::new(space.clone(), 0);
+        // NaN on the init evaluation: sanitized to the failure sentinel.
+        let _ = opt.ask();
+        opt.tell(f64::NAN);
+        assert!(
+            opt.best_err().is_infinite() && !opt.best_err().is_nan(),
+            "init NaN sanitized to INFINITY, got {}",
+            opt.best_err()
+        );
+        // A later finite loss must still be able to win.
+        let _ = opt.ask();
+        opt.tell(0.5);
+        assert_eq!(opt.best_err(), 0.5);
+        // NaN after a finite incumbent: ignored, incumbent stands.
+        let _ = opt.ask();
+        opt.tell(f64::NAN);
+        assert_eq!(opt.best_err(), 0.5);
+        // set_best_err with NaN (a failed sample-up re-score) sanitizes.
+        opt.set_best_err(f64::NAN);
+        assert!(opt.best_err().is_infinite() && !opt.best_err().is_nan());
     }
 }

@@ -44,6 +44,21 @@ mod hyperband;
 mod random;
 mod tpe;
 
+/// Maps a `NaN` loss to `INFINITY`, the legitimate failure sentinel.
+///
+/// Every optimizer in this crate applies it on observation intake
+/// (`tell` / `record`): a `NaN` would otherwise poison incumbent
+/// comparisons (`err < best` is false both ways) or corrupt the TPE
+/// good/bad split, whereas an infinite loss is simply a trial that can
+/// never win.
+pub fn sanitize_err(err: f64) -> f64 {
+    if err.is_nan() {
+        f64::INFINITY
+    } else {
+        err
+    }
+}
+
 pub use domain::{Config, Domain, ParamDef, SearchSpace, SpaceError};
 pub use flow2::Flow2;
 pub use hyperband::{Hyperband, Job, JobSource};

@@ -1,6 +1,7 @@
 //! Uniform random search over a [`SearchSpace`].
 
 use crate::domain::SearchSpace;
+use crate::sanitize_err;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -49,12 +50,15 @@ impl RandomSearch {
         p
     }
 
-    /// Reports the error of the last proposal.
+    /// Reports the error of the last proposal. A `NaN` error is
+    /// sanitized to `INFINITY` (the failure sentinel) so it can never
+    /// become the incumbent.
     ///
     /// # Panics
     ///
     /// Panics if there is no outstanding proposal.
     pub fn tell(&mut self, err: f64) {
+        let err = sanitize_err(err);
         let p = self.outstanding.take().expect("no outstanding proposal");
         if err < self.best_err {
             self.best_err = err;
@@ -123,5 +127,20 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn nan_loss_never_becomes_incumbent() {
+        let s = space();
+        let mut rs = RandomSearch::new(s.clone(), 0);
+        let _ = rs.ask();
+        rs.tell(f64::NAN);
+        assert!(!rs.best_err().is_nan(), "NaN sanitized on intake");
+        let _ = rs.ask();
+        rs.tell(0.3);
+        assert_eq!(rs.best_err(), 0.3);
+        let _ = rs.ask();
+        rs.tell(f64::NAN);
+        assert_eq!(rs.best_err(), 0.3, "incumbent survives NaN");
     }
 }

@@ -8,6 +8,7 @@
 //! ratio `l(x)/g(x)`, the BOHB acquisition.
 
 use crate::domain::{Domain, SearchSpace};
+use crate::sanitize_err;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, StandardNormal};
@@ -93,8 +94,11 @@ impl Tpe {
     }
 
     /// Records an externally evaluated observation (used by BOHB to feed
-    /// full-fidelity results back into the model).
+    /// full-fidelity results back into the model). A `NaN` error is
+    /// sanitized to `INFINITY`: the good/bad KDE split sorts observations
+    /// by error, and a `NaN` (incomparable) would scramble that order.
     pub fn record(&mut self, point: Vec<f64>, err: f64) {
+        let err = sanitize_err(err);
         if err < self.best_err {
             self.best_err = err;
             self.best_point = Some(point.clone());
@@ -286,5 +290,30 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn nan_observations_are_sanitized() {
+        let s = space();
+        let mut tpe = Tpe::new(s.clone(), 1);
+        // Enough observations to reach the KDE acquisition path, with
+        // NaNs interleaved: they must land in the "bad" tail as
+        // INFINITY, not scramble the good/bad sort.
+        for i in 0..30 {
+            let p = tpe.ask();
+            let err = if i % 3 == 0 {
+                f64::NAN
+            } else {
+                (i as f64) * 0.01
+            };
+            let _ = p;
+            tpe.tell(err);
+        }
+        assert!(!tpe.best_err().is_nan());
+        assert!(tpe.best_err().is_finite());
+        // Acquisition still proposes in-cube points after NaN intake.
+        let p = tpe.ask();
+        assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+        tpe.tell(0.5);
     }
 }
