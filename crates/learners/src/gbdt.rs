@@ -151,6 +151,9 @@ struct Node {
     right: u32,
     leaf_value: f64,
     is_leaf: bool,
+    /// Objective gain of this node's split (0 for leaves); feeds
+    /// gain-weighted feature importance.
+    split_gain: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -168,6 +171,7 @@ impl Tree {
                 right: 0,
                 leaf_value: value,
                 is_leaf: true,
+                split_gain: 0.0,
             }],
         }
     }
@@ -235,14 +239,17 @@ impl GbdtModel {
         self.trees.iter().map(Tree::n_leaves).sum()
     }
 
-    /// Split-count feature importance, normalized to sum to 1 (all zeros
-    /// if no tree ever split).
+    /// Gain-weighted feature importance, normalized to sum to 1 (all
+    /// zeros if no tree ever split). Weighting by objective gain rather
+    /// than split count keeps the tie-break splits of already-pure nodes
+    /// (whose gain is ~0 but positive under L2 regularization) from
+    /// diluting the features that actually reduce the loss.
     pub fn feature_importance(&self) -> Vec<f64> {
         let mut counts = vec![0.0; self.n_features];
         for tree in &self.trees {
             for node in &tree.nodes {
                 if !node.is_leaf {
-                    counts[node.feature as usize] += 1.0;
+                    counts[node.feature as usize] += node.split_gain.max(0.0);
                 }
             }
         }
@@ -771,6 +778,7 @@ fn apply_split(
         right: 0,
         leaf_value: lr * leaf_weight(split.left_g, split.left_h, alpha, lambda),
         is_leaf: true,
+        split_gain: 0.0,
     });
     tree.nodes.push(Node {
         feature: 0,
@@ -779,10 +787,12 @@ fn apply_split(
         right: 0,
         leaf_value: lr * leaf_weight(split.right_g, split.right_h, alpha, lambda),
         is_leaf: true,
+        split_gain: 0.0,
     });
     let parent = &mut tree.nodes[task.node];
     parent.is_leaf = false;
     parent.feature = split.feature;
+    parent.split_gain = split.gain;
     parent.threshold = split.threshold;
     parent.left = left_id;
     parent.right = right_id;
@@ -986,14 +996,21 @@ fn grow_oblivious(
                     lh += hess[r as usize];
                 }
             }
+            let rg = task.g_sum - lg;
+            let rh = task.h_sum - lh;
+            // This leaf's share of the level's total gain (can be
+            // negative for leaves the shared condition fits poorly).
+            let gain = leaf_objective(lg, lh, params.reg_alpha, params.reg_lambda)
+                + leaf_objective(rg, rh, params.reg_alpha, params.reg_lambda)
+                - leaf_objective(task.g_sum, task.h_sum, params.reg_alpha, params.reg_lambda);
             let split = Split {
                 feature,
                 threshold,
-                gain: 0.0,
+                gain,
                 left_g: lg,
                 left_h: lh,
-                right_g: task.g_sum - lg,
-                right_h: task.h_sum - lh,
+                right_g: rg,
+                right_h: rh,
             };
             let (l, r) = apply_split(
                 tree,

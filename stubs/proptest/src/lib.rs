@@ -1,0 +1,391 @@
+//! Offline stand-in for `proptest`: strategies really sample values and
+//! `proptest!` expands to real `#[test]` functions, so property bodies
+//! execute in offline builds too. Unlike real proptest there is no
+//! shrinking and no persisted failure seeds — cases come from a
+//! deterministic per-test RNG (seeded from the test name), so failures
+//! reproduce exactly across runs.
+//!
+//! Only the surface this workspace uses is implemented: range strategies
+//! over the numeric primitives, `collection::vec`, `Just`, tuple
+//! strategies, `prop_map` / `prop_flat_map` / `prop_filter`, `boxed`,
+//! `prop_oneof!`, and the assertion/assumption macros.
+
+/// Cases per property; `#![proptest_config(...)]` is accepted and ignored.
+pub const CASES: usize = 32;
+
+/// SplitMix64, seeded from the test's name: deterministic, distinct
+/// streams per test, and zero dependencies.
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`; returns 0 for `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            ((self.unit() * n as f64) as usize).min(n - 1)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use std::marker::PhantomData;
+
+    /// How many rejections a `prop_filter` tolerates before giving up on
+    /// this case (the driver then just draws a fresh case).
+    const FILTER_RETRIES: usize = 100;
+
+    pub trait Strategy: Sized {
+        type Value;
+
+        /// Draw one value; `None` means a filter rejected every attempt.
+        fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F, T> {
+            Map(self, f, PhantomData)
+        }
+
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(
+            self,
+            f: F,
+        ) -> FlatMap<Self, F, S2> {
+            FlatMap(self, f, PhantomData)
+        }
+
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(self, _reason: &str, f: F) -> Filter<Self, F> {
+            Filter(self, f)
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.sample(rng)))
+        }
+    }
+
+    pub struct Map<S, F, T>(S, F, PhantomData<T>);
+
+    impl<S: Strategy, F: Fn(S::Value) -> T, T> Strategy for Map<S, F, T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            self.0.sample(rng).map(&self.1)
+        }
+    }
+
+    pub struct FlatMap<S, F, S2>(S, F, PhantomData<S2>);
+
+    impl<S: Strategy, F: Fn(S::Value) -> S2, S2: Strategy> Strategy for FlatMap<S, F, S2> {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S2::Value> {
+            let outer = self.0.sample(rng)?;
+            (self.1)(outer).sample(rng)
+        }
+    }
+
+    pub struct Filter<S, F>(S, F);
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            for _ in 0..FILTER_RETRIES {
+                if let Some(v) = self.0.sample(rng) {
+                    if (self.1)(&v) {
+                        return Some(v);
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> Option<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            (self.0)(rng)
+        }
+    }
+
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "Union requires at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            self.0[rng.below(self.0.len())].sample(rng)
+        }
+    }
+
+    pub fn box_strategy<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        s.boxed()
+    }
+
+    /// Numeric types usable as `lo..hi` / `lo..=hi` range strategies.
+    pub trait ArbRange: Copy {
+        /// Uniform draw from `[lo, hi)` given `u` in `[0, 1)`.
+        fn lerp(lo: Self, hi: Self, u: f64) -> Self;
+        /// Uniform draw from `[lo, hi]` given `u` in `[0, 1)`.
+        fn lerp_incl(lo: Self, hi: Self, u: f64) -> Self;
+    }
+
+    macro_rules! arb_range_int {
+        ($($t:ty),*) => {$(
+            impl ArbRange for $t {
+                fn lerp(lo: Self, hi: Self, u: f64) -> Self {
+                    let v = ((lo as f64) + ((hi as f64) - (lo as f64)) * u).floor();
+                    (v.max(lo as f64).min((hi as f64) - 1.0)) as $t
+                }
+
+                fn lerp_incl(lo: Self, hi: Self, u: f64) -> Self {
+                    let v = ((lo as f64) + ((hi as f64) + 1.0 - (lo as f64)) * u).floor();
+                    (v.max(lo as f64).min(hi as f64)) as $t
+                }
+            }
+        )*};
+    }
+
+    arb_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! arb_range_float {
+        ($($t:ty),*) => {$(
+            impl ArbRange for $t {
+                fn lerp(lo: Self, hi: Self, u: f64) -> Self {
+                    ((lo as f64) + ((hi as f64) - (lo as f64)) * u) as $t
+                }
+
+                fn lerp_incl(lo: Self, hi: Self, u: f64) -> Self {
+                    Self::lerp(lo, hi, u)
+                }
+            }
+        )*};
+    }
+
+    arb_range_float!(f32, f64);
+
+    impl<T: ArbRange> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            Some(T::lerp(self.start, self.end, rng.unit()))
+        }
+    }
+
+    impl<T: ArbRange> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            Some(T::lerp_incl(*self.start(), *self.end(), rng.unit()))
+        }
+    }
+
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $idx:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.sample(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy!((A 0)(A 0, B 1)(A 0, B 1, C 2)(A 0, B 1, C 2, D 3)(A 0, B 1, C 2, D 3, E 4));
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Inclusive length bounds for `vec`.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.saturating_sub(1),
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = self.size.hi.saturating_sub(self.size.lo);
+            let len = self.size.lo + rng.below(span + 1);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy, L: Into<SizeRange>>(element: S, len: L) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: len.into(),
+        }
+    }
+}
+
+/// Expands each `fn name(pat in strategy, ...) { body }` into a real
+/// `#[test]` running [`CASES`] deterministic cases. An optional leading
+/// `#![proptest_config(...)]` is accepted and ignored (case count is
+/// fixed here).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($($cfg:tt)*)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __proptest_rng = $crate::TestRng::from_name(stringify!($name));
+            let mut __proptest_ran = 0usize;
+            let mut __proptest_attempts = 0usize;
+            while __proptest_ran < $crate::CASES {
+                __proptest_attempts += 1;
+                assert!(
+                    __proptest_attempts <= $crate::CASES * 50,
+                    "proptest stub: strategies for `{}` rejected too many inputs",
+                    stringify!($name),
+                );
+                $(
+                    let $p = match $crate::strategy::Strategy::sample(
+                        &($s),
+                        &mut __proptest_rng,
+                    ) {
+                        Some(v) => v,
+                        None => continue,
+                    };
+                )+
+                __proptest_ran += 1;
+                $body
+            }
+        }
+        $crate::__proptest_fns! { $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::box_strategy($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)+) => { assert!($($t)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)+) => { assert_eq!($($t)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)+) => { assert_ne!($($t)+) };
+}
+
+/// Skips the current case when the assumption fails; the driver loop
+/// draws a replacement.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

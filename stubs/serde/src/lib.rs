@@ -1,0 +1,292 @@
+//! Offline stand-in for `serde`, implementing only the surface this
+//! workspace uses: `Serialize` / `Deserialize` traits (plus derives from
+//! the companion `serde_derive` stub) over a small JSON-like [`Value`]
+//! model. The companion `serde_json` stub renders and parses that model,
+//! giving real round-trip (de)serialization without the registry crates.
+//!
+//! Deviations from real serde, by design of a stub:
+//! - the traits expose `to_value` / `from_value` directly instead of the
+//!   visitor-based data model;
+//! - non-finite floats round-trip (rendered as `Infinity` / `-Infinity` /
+//!   `NaN` tokens) instead of degrading to `null` — trial records carry
+//!   the `+inf` failure sentinel and must survive a round trip;
+//! - only `#[serde(default)]` among the field attributes has an effect.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value: the intermediate representation both traits target.
+///
+/// Object keys keep insertion order so serialized output is deterministic
+/// (the trace-equality tests compare rendered trial logs byte-for-byte).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All numbers, integral or not; `usize`/`i64` fields in this
+    /// workspace stay far below 2^53 so an `f64` carrier is lossless.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Field lookup in an object value; used by derived `from_value`.
+    pub fn field<'v>(fields: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+        fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// Deserialization error: a human-readable mismatch description.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn expected(what: &str, found: &Value) -> DeError {
+        let found = match found {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Num(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Arr(_) => "an array",
+            Value::Obj(_) => "an object",
+        };
+        DeError(format!("expected {what}, found {found}"))
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> DeError {
+        DeError(format!("missing field `{field}` for {ty}"))
+    }
+
+    pub fn unknown_variant(ty: &str, variant: &str) -> DeError {
+        DeError(format!("unknown variant `{variant}` for {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+macro_rules! num_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value.as_num().ok_or_else(|| DeError::expected("a number", value))?;
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+num_primitives!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("a boolean", value)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::expected("a one-char string", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("a one-char string", value)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("a string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value
+            .as_arr()
+            .ok_or_else(|| DeError::expected("an array", value))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+/// Maps serialize as objects, so keys must be strings (real serde_json
+/// likewise rejects non-string keys at serialization time).
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_obj()
+            .ok_or_else(|| DeError::expected("an object", value))?;
+        fields
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! tuples {
+    ($(($($n:ident $idx:tt),+))*) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($n: Deserialize<'de>),+> Deserialize<'de> for ($($n,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                let items = value.as_arr().ok_or_else(|| DeError::expected("an array", value))?;
+                if items.len() != LEN {
+                    return Err(DeError(format!(
+                        "expected an array of {LEN} elements, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($n::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuples!((A 0)(A 0, B 1)(A 0, B 1, C 2)(A 0, B 1, C 2, D 3));

@@ -1,0 +1,399 @@
+//! Offline stand-in for `serde_derive`: hand-rolled token parsing (no
+//! `syn`/`quote` in an offline build) that generates field-wise
+//! `to_value` / `from_value` impls against the companion `serde` stub's
+//! `Value` model. Supports what this workspace derives on: non-generic
+//! structs with named fields, and enums with unit, named-field, and
+//! tuple variants. `#[serde(default)]` on a field falls back to
+//! `Default::default()` when the field is absent; other `#[serde(...)]`
+//! attributes are accepted and ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+/// Consumes attributes (`# [ ... ]`) at the cursor; reports whether any
+/// of them was `#[serde(default)]`.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut has_default = false;
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        let Some(TokenTree::Group(attr)) = tokens.next() else {
+            panic!("serde stub derive: `#` not followed by an attribute group");
+        };
+        let mut inner = attr.stream().into_iter();
+        if let Some(TokenTree::Ident(name)) = inner.next() {
+            if name.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    has_default |= args
+                        .stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"));
+                }
+            }
+        }
+    }
+    has_default
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Consumes tokens until a comma at angle-bracket depth zero (a field's
+/// type, or an enum discriminant), leaving the cursor after the comma.
+fn skip_to_field_end(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    for token in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let default = skip_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(name)) => {
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde stub derive: expected `:` after field, got {other:?}"),
+                }
+                skip_to_field_end(&mut tokens);
+                fields.push(Field {
+                    name: name.to_string(),
+                    default,
+                });
+            }
+            None => return fields,
+            other => panic!("serde stub derive: unexpected token in fields: {other:?}"),
+        }
+    }
+}
+
+/// Counts the fields of a tuple variant: comma-separated types at
+/// angle-bracket depth zero.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_token = false;
+    for token in stream {
+        saw_token = true;
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    saw_token = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    count + usize::from(saw_token)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        let Some(token) = tokens.next() else {
+            return variants;
+        };
+        let TokenTree::Ident(name) = token else {
+            panic!("serde stub derive: expected variant name, got {token:?}");
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let TokenTree::Group(g) = tokens.next().unwrap() else {
+                    unreachable!()
+                };
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let TokenTree::Group(g) = tokens.next().unwrap() else {
+                    unreachable!()
+                };
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume a discriminant (`= expr`) and/or the separating comma.
+        skip_to_field_end(&mut tokens);
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+}
+
+fn parse_item(input: TokenStream) -> (String, Body) {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        let Some(token) = tokens.next() else {
+            panic!("serde stub derive: no struct or enum found");
+        };
+        let TokenTree::Ident(ident) = token else {
+            continue;
+        };
+        let word = ident.to_string();
+        if word != "struct" && word != "enum" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            panic!("serde stub derive: missing type name");
+        };
+        let body = match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                if word == "struct" {
+                    Body::Struct(parse_named_fields(g.stream()))
+                } else {
+                    Body::Enum(parse_variants(g.stream()))
+                }
+            }
+            other => panic!(
+                "serde stub derive: only non-generic braced structs and enums \
+                 are supported, got {other:?} after `{word} {name}`"
+            ),
+        };
+        return (name.to_string(), body);
+    }
+}
+
+fn struct_to_value(fields: &[Field]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value(&self.{n})),",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Obj(::std::vec![{entries}])")
+}
+
+/// `name: match ...` initializers for a braced literal of `ty` built from
+/// the object entries bound to `fields_var`.
+fn field_inits(ty: &str, fields: &[Field], fields_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fallback = if f.default {
+                "::core::default::Default::default()".to_owned()
+            } else {
+                format!(
+                    "return ::core::result::Result::Err(\
+                     ::serde::DeError::missing_field(\"{ty}\", \"{n}\"))",
+                    n = f.name
+                )
+            };
+            format!(
+                "{n}: match ::serde::Value::field({fields_var}, \"{n}\") {{\
+                   ::core::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\
+                   ::core::option::Option::None => {fallback},\
+                 }},",
+                n = f.name
+            )
+        })
+        .collect()
+}
+
+fn enum_to_value(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!(
+                    "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                ),
+                VariantKind::Named(fields) => {
+                    let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                    let entries: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{n}\"), \
+                                 ::serde::Serialize::to_value({n})),",
+                                n = f.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => ::serde::Value::Obj(::std::vec![\
+                           (::std::string::String::from(\"{vn}\"), \
+                            ::serde::Value::Obj(::std::vec![{entries}]))]),",
+                        binds = binds.join(", ")
+                    )
+                }
+                VariantKind::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                    let payload = if *n == 1 {
+                        "::serde::Serialize::to_value(x0)".to_owned()
+                    } else {
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!("::serde::Value::Arr(::std::vec![{items}])")
+                    };
+                    format!(
+                        "{name}::{vn}({binds}) => ::serde::Value::Obj(::std::vec![\
+                           (::std::string::String::from(\"{vn}\"), {payload})]),",
+                        binds = binds.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{ {arms} }}")
+}
+
+fn enum_from_value(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),",
+                vn = v.name
+            )
+        })
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            let body = match &v.kind {
+                VariantKind::Unit => return None,
+                VariantKind::Named(fields) => {
+                    let inits = field_inits(&format!("{name}::{vn}"), fields, "inner");
+                    format!(
+                        "let inner = payload.as_obj().ok_or_else(|| \
+                           ::serde::DeError::expected(\"an object\", payload))?;\
+                         ::core::result::Result::Ok({name}::{vn} {{ {inits} }})"
+                    )
+                }
+                VariantKind::Tuple(1) => format!(
+                    "::core::result::Result::Ok({name}::{vn}(\
+                       ::serde::Deserialize::from_value(payload)?))"
+                ),
+                VariantKind::Tuple(n) => {
+                    let gets: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = payload.as_arr().ok_or_else(|| \
+                           ::serde::DeError::expected(\"an array\", payload))?;\
+                         if items.len() != {n} {{\
+                           return ::core::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\"expected {n} elements for {name}::{vn}, \
+                                             found {{}}\", items.len())));\
+                         }}\
+                         ::core::result::Result::Ok({name}::{vn}({gets}))",
+                        gets = gets.join(", ")
+                    )
+                }
+            };
+            Some(format!("\"{vn}\" => {{ {body} }},"))
+        })
+        .collect();
+    format!(
+        "match value {{\
+           ::serde::Value::Str(s) => match s.as_str() {{\
+             {unit_arms}\
+             other => ::core::result::Result::Err(\
+               ::serde::DeError::unknown_variant(\"{name}\", other)),\
+           }},\
+           ::serde::Value::Obj(fields) if fields.len() == 1 => {{\
+             let (tag, payload) = &fields[0];\
+             match tag.as_str() {{\
+               {data_arms}\
+               other => ::core::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(\"{name}\", other)),\
+             }}\
+           }},\
+           _ => ::core::result::Result::Err(::serde::DeError::expected(\
+             \"a variant name or single-key object\", value)),\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let ser_body = match &body {
+        Body::Struct(fields) => struct_to_value(fields),
+        Body::Enum(variants) => enum_to_value(&name, variants),
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\
+           fn to_value(&self) -> ::serde::Value {{ {ser_body} }}\
+         }}"
+    );
+    code.parse()
+        .expect("serde stub derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let de_body = match &body {
+        Body::Struct(fields) => {
+            let inits = field_inits(&name, fields, "fields");
+            format!(
+                "let fields = value.as_obj().ok_or_else(|| \
+                   ::serde::DeError::expected(\"an object\", value))?;\
+                 ::core::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Body::Enum(variants) => enum_from_value(&name, variants),
+    };
+    let code = format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\
+           fn from_value(value: &::serde::Value) \
+             -> ::core::result::Result<Self, ::serde::DeError> {{ {de_body} }}\
+         }}"
+    );
+    code.parse()
+        .expect("serde stub derive: generated Deserialize impl failed to parse")
+}
