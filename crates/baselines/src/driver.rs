@@ -253,6 +253,7 @@ pub fn run_baseline(
             iter,
             learner: learner.name().to_string(),
             config: config.render(subspace),
+            config_values: config.values().to_vec(),
             sample_size,
             error: outcome.error,
             cost,

@@ -9,22 +9,16 @@
 //! cargo run -p flaml-bench --release --bin fig1_anytime -- --budget 10
 //! ```
 
-use flaml_bench::{render_table, Args, Method};
-use flaml_core::TimeSource;
-use flaml_synth::{binary_suite, SuiteScale};
+use flaml_bench::{journal_stem, render_table, Args, Method};
+use flaml_synth::binary_suite;
 
 fn main() {
     let args = Args::parse();
+    let exec = args.exec();
     let budget = args.f64("budget", 10.0);
-    let seed = args.u64("seed", 0);
-    let scale = if args.flag("full") {
-        SuiteScale::Full
-    } else {
-        SuiteScale::Small
-    };
     // The paper's case study uses a mid-sized binary task; higgs-like is
     // the closest of the suite.
-    let data = binary_suite(scale)
+    let data = binary_suite(exec.scale())
         .into_iter()
         .find(|d| d.name() == "higgs-like")
         .expect("suite contains higgs-like");
@@ -37,8 +31,11 @@ fn main() {
 
     let mut runs = Vec::new();
     for method in [Method::Flaml, Method::Bohb] {
+        let mut cfg = exec.run_config(budget, 500);
+        cfg.journal =
+            exec.journal_file(&journal_stem(data.name(), method.name(), budget, exec.seed));
         let result = method
-            .run(&data, budget, seed, 500, TimeSource::Wall, None)
+            .run_with(&data, &cfg)
             .unwrap_or_else(|e| panic!("{method} failed: {e}"));
         runs.push((method, result));
     }

@@ -5,28 +5,22 @@
 //! cargo run -p flaml-bench --release --bin fig4_eci -- --budget 10
 //! ```
 
-use flaml_bench::{render_table, Args, Method};
-use flaml_core::TimeSource;
-use flaml_synth::{binary_suite, SuiteScale};
+use flaml_bench::{journal_stem, render_table, Args, Method};
+use flaml_synth::binary_suite;
 use std::collections::BTreeMap;
 
 fn main() {
     let args = Args::parse();
+    let exec = args.exec();
     let budget = args.f64("budget", 10.0);
-    let seed = args.u64("seed", 0);
-    let scale = if args.flag("full") {
-        SuiteScale::Full
-    } else {
-        SuiteScale::Small
-    };
-    let data = binary_suite(scale)
+    let data = binary_suite(exec.scale())
         .into_iter()
         .find(|d| d.name() == "higgs-like")
         .expect("suite contains higgs-like");
 
-    let result = Method::Flaml
-        .run(&data, budget, seed, 500, TimeSource::Wall, None)
-        .expect("flaml runs");
+    let mut cfg = exec.run_config(budget, 500);
+    cfg.journal = exec.journal_file(&journal_stem(data.name(), "flaml", budget, exec.seed));
+    let result = Method::Flaml.run_with(&data, &cfg).expect("flaml runs");
 
     // Best error per learner over time (the figure's top panel).
     let mut best_per_learner: BTreeMap<String, f64> = BTreeMap::new();

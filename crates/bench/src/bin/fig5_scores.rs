@@ -15,15 +15,19 @@
 //! `--jobs N` farms independent grid cells to N pool workers; under
 //! `--virtual` (deterministic virtual-clock accounting) the scores are
 //! identical at any job count, just faster on multi-core.
+//!
+//! `--journal DIR` writes one crash-safe trial journal per FLAML cell;
+//! a later invocation with `--journal DIR --resume` replays the committed
+//! trials and continues (e.g. after a kill, or with a larger
+//! `--max-trials`).
 
 use flaml_bench::grid::{default_groups, save_results};
 use flaml_bench::{render_table, run_grid, Args, GridSpec, Method};
-use flaml_core::{default_virtual_cost, TimeSource};
-use flaml_synth::SuiteScale;
 
 fn main() {
     let args = Args::parse();
-    let full = args.flag("full");
+    let exec = args.exec();
+    let full = exec.full;
     let budgets = args.f64_list("budgets", &[0.5, 2.0, 8.0]);
     let per_group = args.usize("per-group", if full { usize::MAX } else { 2 });
     let group_filter = args.str("group", "all");
@@ -35,13 +39,8 @@ fn main() {
             format!("bench_results/fig5_{group_filter}.json")
         },
     );
-    let scale = if full {
-        SuiteScale::Full
-    } else {
-        SuiteScale::Small
-    };
 
-    let mut groups = default_groups(scale, per_group);
+    let mut groups = default_groups(exec.scale(), per_group);
     if group_filter != "all" {
         groups.retain(|(g, _)| *g == group_filter);
         assert!(!groups.is_empty(), "unknown group {group_filter}");
@@ -49,17 +48,15 @@ fn main() {
     let spec = GridSpec {
         budgets: budgets.clone(),
         methods: Method::COMPARATIVE.to_vec(),
-        seed: args.u64("seed", 0),
+        seed: exec.seed,
         sample_init: args.usize("sample-init", 500),
-        time_source: if args.flag("virtual") {
-            TimeSource::Virtual(default_virtual_cost)
-        } else {
-            TimeSource::Wall
-        },
+        time_source: exec.time_source,
         rf_budget: args.f64("rf-budget", 2.0),
-        max_trials: None,
-        jobs: args.usize("jobs", 1),
-        chaos: args.chaos(),
+        max_trials: exec.max_trials,
+        jobs: exec.jobs,
+        chaos: exec.chaos,
+        journal_dir: exec.journal_dir.clone(),
+        resume: exec.resume,
         ..GridSpec::default()
     };
     let results = run_grid(&groups, &spec);

@@ -11,11 +11,10 @@
 
 use flaml_bench::grid::{default_groups, load_results, save_results};
 use flaml_bench::{box_stats, paired_scores, render_table, run_grid, Args, GridSpec, Method};
-use flaml_core::TimeSource;
-use flaml_synth::SuiteScale;
 
 fn main() {
     let args = Args::parse();
+    let exec = args.exec();
     let path = args.str("from", "bench_results/fig5.json");
     let results = match load_results(&path) {
         Some(r) => {
@@ -27,14 +26,17 @@ fn main() {
             let spec = GridSpec {
                 budgets: args.f64_list("budgets", &[0.5, 2.0, 8.0]),
                 methods: Method::COMPARATIVE.to_vec(),
-                seed: args.u64("seed", 0),
-                time_source: TimeSource::Wall,
+                seed: exec.seed,
+                time_source: exec.time_source,
                 rf_budget: args.f64("rf-budget", 2.0),
-                jobs: args.usize("jobs", 1),
-                chaos: args.chaos(),
+                max_trials: exec.max_trials,
+                jobs: exec.jobs,
+                chaos: exec.chaos,
+                journal_dir: exec.journal_dir.clone(),
+                resume: exec.resume,
                 ..GridSpec::default()
             };
-            let groups = default_groups(SuiteScale::Small, args.usize("per-group", 2));
+            let groups = default_groups(exec.scale(), args.usize("per-group", 2));
             let r = run_grid(&groups, &spec);
             save_results(&path, &r).expect("write results json");
             r

@@ -6,19 +6,15 @@
 //! cargo run -p flaml-bench --release --bin fig7_ablation -- --budget 8 --seeds 3
 //! ```
 
-use flaml_bench::{render_table, Args, Method};
-use flaml_core::TimeSource;
-use flaml_synth::{binary_suite, multiclass_suite, regression_suite, SuiteScale};
+use flaml_bench::{journal_stem, render_table, Args, Method};
+use flaml_synth::{binary_suite, multiclass_suite, regression_suite};
 
 fn main() {
     let args = Args::parse();
+    let exec = args.exec();
     let budget = args.f64("budget", 8.0);
     let n_seeds = args.u64("seeds", 3);
-    let scale = if args.flag("full") {
-        SuiteScale::Full
-    } else {
-        SuiteScale::Small
-    };
+    let scale = exec.scale();
     // The paper uses MiniBooNE (binary), Dionis (multi-class), bng_pbc
     // (regression); these are the suite's counterparts.
     let datasets = vec![
@@ -50,7 +46,11 @@ fn main() {
             // best-so-far error at each checkpoint, per seed
             let mut per_cp: Vec<Vec<f64>> = vec![Vec::new(); checkpoints.len()];
             for seed in 0..n_seeds {
-                let result = match method.run(data, budget, seed, 500, TimeSource::Wall, None) {
+                let mut cfg = exec.run_config(budget, 500);
+                cfg.seed = seed;
+                cfg.journal =
+                    exec.journal_file(&journal_stem(data.name(), method.name(), budget, seed));
+                let result = match method.run_with(data, &cfg) {
                     Ok(r) => r,
                     Err(e) => {
                         eprintln!("[fig7] {method} seed {seed} failed: {e}");

@@ -8,32 +8,29 @@
 
 use flaml_bench::grid::{default_groups, save_results};
 use flaml_bench::{box_stats, paired_scores, render_table, run_grid, Args, GridSpec, Method};
-use flaml_core::TimeSource;
-use flaml_synth::SuiteScale;
 
 fn main() {
     let args = Args::parse();
-    let full = args.flag("full");
+    let exec = args.exec();
+    let full = exec.full;
     let budgets = args.f64_list("budgets", &[0.5, 2.0, 8.0]);
-    let scale = if full {
-        SuiteScale::Full
-    } else {
-        SuiteScale::Small
-    };
     let per_group = args.usize("per-group", if full { usize::MAX } else { 2 });
 
     let spec = GridSpec {
         budgets: budgets.clone(),
         methods: Method::ABLATIONS.to_vec(),
-        seed: args.u64("seed", 0),
+        seed: exec.seed,
         sample_init: args.usize("sample-init", 500),
-        time_source: TimeSource::Wall,
+        time_source: exec.time_source,
         rf_budget: args.f64("rf-budget", 2.0),
-        jobs: args.usize("jobs", 1),
-        chaos: args.chaos(),
+        max_trials: exec.max_trials,
+        jobs: exec.jobs,
+        chaos: exec.chaos,
+        journal_dir: exec.journal_dir.clone(),
+        resume: exec.resume,
         ..GridSpec::default()
     };
-    let groups = default_groups(scale, per_group);
+    let groups = default_groups(exec.scale(), per_group);
     let results = run_grid(&groups, &spec);
     let out_path = args.str("out", "bench_results/fig8.json");
     save_results(&out_path, &results).expect("write results json");

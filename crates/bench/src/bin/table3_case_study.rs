@@ -6,9 +6,9 @@
 //! cargo run -p flaml-bench --release --bin table3_case_study -- --budget 10
 //! ```
 
-use flaml_bench::{render_table, Args, Method};
-use flaml_core::{AutoMlResult, TimeSource};
-use flaml_synth::{binary_suite, SuiteScale};
+use flaml_bench::{journal_stem, render_table, Args, Method};
+use flaml_core::AutoMlResult;
+use flaml_synth::binary_suite;
 
 fn print_trace(title: &str, result: &AutoMlResult, only_improvements: bool) {
     println!("\n== {title} ==");
@@ -42,15 +42,10 @@ fn print_trace(title: &str, result: &AutoMlResult, only_improvements: bool) {
 
 fn main() {
     let args = Args::parse();
+    let exec = args.exec();
     let budget = args.f64("budget", 10.0);
-    let seed = args.u64("seed", 0);
     let all = args.flag("all-trials");
-    let scale = if args.flag("full") {
-        SuiteScale::Full
-    } else {
-        SuiteScale::Small
-    };
-    let data = binary_suite(scale)
+    let data = binary_suite(exec.scale())
         .into_iter()
         .find(|d| d.name() == "higgs-like")
         .expect("suite contains higgs-like");
@@ -66,12 +61,11 @@ fn main() {
         }
     );
 
-    let flaml = Method::Flaml
-        .run(&data, budget, seed, 500, TimeSource::Wall, None)
-        .expect("flaml runs");
-    let bohb = Method::Bohb
-        .run(&data, budget, seed, 500, TimeSource::Wall, None)
-        .expect("bohb runs");
+    let mut cfg = exec.run_config(budget, 500);
+    cfg.journal = exec.journal_file(&journal_stem(data.name(), "flaml", budget, exec.seed));
+    let flaml = Method::Flaml.run_with(&data, &cfg).expect("flaml runs");
+    cfg.journal = exec.journal_file(&journal_stem(data.name(), "bohb", budget, exec.seed));
+    let bohb = Method::Bohb.run_with(&data, &cfg).expect("bohb runs");
 
     print_trace("Config trace: FLAML", &flaml, !all);
     print_trace("Config trace: BOHB (HpBandSter)", &bohb, !all);

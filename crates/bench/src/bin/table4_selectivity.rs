@@ -42,8 +42,9 @@ fn manual_model(train: &Dataset, seed: u64) -> flaml_learners::FittedModel {
 
 fn main() {
     let args = Args::parse();
+    let exec = args.exec();
     let budget = args.f64("budget", 5.0);
-    let seed = args.u64("seed", 0);
+    let seed = exec.seed;
     let quick = args.flag("quick");
     let suite = if quick {
         flaml_synth::selectivity_suite_scaled(seed, 2_000, 300, 100)
@@ -59,11 +60,20 @@ fn main() {
 
         // FLAML, optimizing the q-error quantile directly.
         let t0 = Instant::now();
-        let flaml = AutoMl::new()
+        let mut automl = AutoMl::new()
             .time_budget(budget)
             .metric(Metric::QErrorP95)
-            .seed(seed)
-            .fit(&w.train);
+            .seed(seed);
+        if let Some(path) =
+            exec.journal_file(&flaml_bench::journal_stem(&w.name, "flaml", budget, seed))
+        {
+            automl = if exec.resume && path.exists() {
+                automl.resume_from(path)
+            } else {
+                automl.journal(path)
+            };
+        }
+        let flaml = automl.fit(&w.train);
         match &flaml {
             Ok(r) => row.push(format!(
                 "{:.2} ({:.0}s)",

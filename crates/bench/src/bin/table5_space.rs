@@ -11,6 +11,9 @@ use flaml_search::Domain;
 
 fn main() {
     let args = Args::parse();
+    // Shared flags parse uniformly across binaries; this one runs no
+    // searches, so --journal / --resume have nothing to record.
+    let _ = args.exec();
     let rows = args.usize("rows", 100_000);
     let mut out: Vec<Vec<String>> = Vec::new();
     for kind in LearnerKind::ALL {

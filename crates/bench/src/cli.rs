@@ -1,7 +1,13 @@
 //! Minimal argument parsing shared by the experiment binaries
-//! (`--key value` pairs and `--flag` switches; no external dependencies).
+//! (`--key value` pairs and `--flag` switches; no external dependencies),
+//! plus [`ExecArgs`]: the execution knobs every binary shares —
+//! `--seed`, `--jobs`, `--virtual`, `--chaos`, `--max-trials`,
+//! `--journal DIR` / `--resume`, `--full` — parsed in one place instead
+//! of ten.
 
+use flaml_core::{default_virtual_cost, TimeSource};
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone, Default)]
@@ -72,6 +78,16 @@ impl Args {
             .unwrap_or_else(|| default.to_string())
     }
 
+    /// A string value, if present.
+    pub fn opt_str(&self, key: &str) -> Option<String> {
+        self.values.get(key).cloned()
+    }
+
+    /// An integer value, if present.
+    pub fn opt_usize(&self, key: &str) -> Option<usize> {
+        self.values.get(key).and_then(|v| v.parse().ok())
+    }
+
     /// Whether `--flag` was passed.
     pub fn flag(&self, key: &str) -> bool {
         self.flags.contains(key)
@@ -98,6 +114,108 @@ impl Args {
             }
         }
     }
+
+    /// Parses the execution knobs shared by every experiment binary.
+    /// Aborts with a message when `--resume` is given without
+    /// `--journal` (there is nothing to resume from).
+    pub fn exec(&self) -> ExecArgs {
+        let journal_dir = self.opt_str("journal").map(PathBuf::from);
+        let resume = self.flag("resume");
+        if resume && journal_dir.is_none() {
+            eprintln!("--resume requires --journal DIR (the directory holding the journals)");
+            std::process::exit(2);
+        }
+        ExecArgs {
+            seed: self.u64("seed", 0),
+            jobs: self.usize("jobs", 1),
+            time_source: if self.flag("virtual") {
+                TimeSource::Virtual(default_virtual_cost)
+            } else {
+                TimeSource::Wall
+            },
+            chaos: self.chaos(),
+            max_trials: self.opt_usize("max-trials"),
+            journal_dir,
+            resume,
+            full: self.flag("full"),
+        }
+    }
+}
+
+/// The execution knobs shared by every experiment binary, parsed once by
+/// [`Args::exec`] instead of per-binary:
+///
+/// - `--seed N` — run seed (default 0);
+/// - `--jobs N` — concurrent grid cells / pool workers;
+/// - `--virtual` — deterministic virtual-clock budget accounting;
+/// - `--chaos seed:rate` — deterministic fault injection;
+/// - `--max-trials N` — per-run trial cap (also the "kill at trial N"
+///   knob of the resume smoke test);
+/// - `--journal DIR` — journal every FLAML run to
+///   `DIR/<dataset>_<method>_<budget>s_seed<seed>.jsonl`;
+/// - `--resume` — continue from the journals already in `DIR`;
+/// - `--full` — full-scale dataset suites.
+#[derive(Debug, Clone)]
+pub struct ExecArgs {
+    /// Run seed.
+    pub seed: u64,
+    /// Concurrent grid cells / pool workers.
+    pub jobs: usize,
+    /// Wall or virtual budget accounting (`--virtual`).
+    pub time_source: TimeSource,
+    /// Deterministic fault injection, if requested.
+    pub chaos: Option<flaml_core::FaultPlan>,
+    /// Optional per-run trial cap.
+    pub max_trials: Option<usize>,
+    /// Directory receiving one journal file per FLAML run.
+    pub journal_dir: Option<PathBuf>,
+    /// Whether to resume from journals already in `journal_dir`.
+    pub resume: bool,
+    /// Full-scale dataset suites (`--full`).
+    pub full: bool,
+}
+
+impl ExecArgs {
+    /// The dataset-suite scale implied by `--full`.
+    pub fn scale(&self) -> flaml_synth::SuiteScale {
+        if self.full {
+            flaml_synth::SuiteScale::Full
+        } else {
+            flaml_synth::SuiteScale::Small
+        }
+    }
+
+    /// The journal path for one run, if journaling is enabled:
+    /// `DIR/<stem>.jsonl` (see [`journal_stem`]).
+    pub fn journal_file(&self, stem: &str) -> Option<PathBuf> {
+        self.journal_dir
+            .as_ref()
+            .map(|d| d.join(format!("{stem}.jsonl")))
+    }
+
+    /// A [`RunConfig`] carrying these shared knobs. The journal path is
+    /// per-run, so callers set `journal` themselves (usually via
+    /// [`ExecArgs::journal_file`] + [`journal_stem`]).
+    pub fn run_config(&self, budget_secs: f64, sample_init: usize) -> crate::run::RunConfig {
+        crate::run::RunConfig {
+            budget_secs,
+            seed: self.seed,
+            sample_init,
+            time_source: self.time_source,
+            max_trials: self.max_trials,
+            workers: 1,
+            event_sink: None,
+            fault_plan: self.chaos,
+            journal: None,
+            resume: self.resume,
+        }
+    }
+}
+
+/// The canonical journal file stem for one run:
+/// `<dataset>_<method>_<budget>s_seed<seed>`.
+pub fn journal_stem(dataset: &str, method: &str, budget: f64, seed: u64) -> String {
+    format!("{dataset}_{method}_{budget}s_seed{seed}")
 }
 
 #[cfg(test)]
@@ -123,5 +241,28 @@ mod tests {
         let a = args("--budgets 0.5,2,8");
         assert_eq!(a.f64_list("budgets", &[1.0]), vec![0.5, 2.0, 8.0]);
         assert_eq!(a.f64_list("other", &[1.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn exec_parses_shared_knobs() {
+        let e = args("--seed 3 --jobs 4 --virtual --max-trials 9 --journal logs").exec();
+        assert_eq!(e.seed, 3);
+        assert_eq!(e.jobs, 4);
+        assert!(matches!(e.time_source, TimeSource::Virtual(_)));
+        assert_eq!(e.max_trials, Some(9));
+        assert!(!e.resume);
+        assert_eq!(
+            e.journal_file(&journal_stem("adult-like", "flaml", 0.5, 3)),
+            Some(PathBuf::from("logs/adult-like_flaml_0.5s_seed3.jsonl"))
+        );
+
+        let e = args("--journal logs --resume").exec();
+        assert!(e.resume);
+        assert!(matches!(e.time_source, TimeSource::Wall));
+        assert_eq!(e.max_trials, None);
+        assert_eq!(e.journal_file("x"), Some(PathBuf::from("logs/x.jsonl")));
+
+        let e = args("").exec();
+        assert_eq!(e.journal_file("x"), None);
     }
 }

@@ -74,6 +74,13 @@ pub struct GridSpec {
     /// Optional deterministic fault injection (`--chaos seed:rate`),
     /// applied to the FLAML methods' trial execution.
     pub chaos: Option<flaml_core::FaultPlan>,
+    /// Optional directory receiving one crash-safe trial journal per
+    /// FLAML cell, named `<dataset>_<method>_<budget>s_seed<seed>.jsonl`
+    /// (see [`crate::journal_stem`]).
+    pub journal_dir: Option<std::path::PathBuf>,
+    /// With `journal_dir` set: cells whose journal already exists resume
+    /// from it (replaying committed trials) instead of starting over.
+    pub resume: bool,
 }
 
 impl Default for GridSpec {
@@ -89,6 +96,8 @@ impl Default for GridSpec {
             max_trials: None,
             jobs: 1,
             chaos: None,
+            journal_dir: None,
+            resume: false,
         }
     }
 }
@@ -177,6 +186,12 @@ pub fn run_grid(groups: &[(&str, Vec<Dataset>)], spec: &GridSpec) -> Vec<GridRes
                     .as_ref()
                     .expect("only prepared cells queued");
                 let collector = TelemetryCollector::new();
+                let journal = spec.journal_dir.as_ref().map(|dir| {
+                    dir.join(format!(
+                        "{}.jsonl",
+                        crate::journal_stem(data.name(), method.name(), budget, spec.seed)
+                    ))
+                });
                 let result = match method.run_with(
                     &prep.train,
                     &RunConfig {
@@ -188,6 +203,8 @@ pub fn run_grid(groups: &[(&str, Vec<Dataset>)], spec: &GridSpec) -> Vec<GridRes
                         workers: 1,
                         event_sink: Some(collector.sink()),
                         fault_plan: spec.chaos,
+                        journal,
+                        resume: spec.resume,
                     },
                 ) {
                     Ok(r) => r,

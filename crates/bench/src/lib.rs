@@ -15,6 +15,12 @@
 //! | `fig7_ablation` | Figure 7: ablation error curves |
 //! | `fig8_ablation_all` | Figure 8: ablation score differences |
 //! | `table4_selectivity` | Table 4: selectivity-estimation q-errors |
+//! | `journal_tool` | (no figure) inspect / verify-replay / export-csv on trial journals |
+//!
+//! Every binary accepts the shared execution flags parsed by
+//! [`cli::ExecArgs`] — `--seed`, `--jobs`, `--virtual`, `--chaos`,
+//! `--max-trials`, and `--journal DIR` / `--resume` for crash-safe
+//! journaling and continuation of the FLAML runs.
 //!
 //! The library half provides the shared machinery: a [`Method`] registry
 //! over FLAML, its ablations and the baselines; the comparative-study
@@ -28,7 +34,7 @@ pub mod grid;
 pub mod report;
 pub mod run;
 
-pub use cli::Args;
+pub use cli::{journal_stem, Args, ExecArgs};
 pub use grid::{paired_scores, run_grid, GridResult, GridSpec};
 pub use report::{box_stats, percent_better_or_equal, render_table, BoxStats, TelemetryCollector};
 pub use run::{evaluate_scaled, holdout_split, Method, RunConfig};

@@ -108,6 +108,8 @@ impl Method {
                 workers: 1,
                 event_sink: None,
                 fault_plan: None,
+                journal: None,
+                resume: false,
             },
         )
     }
@@ -140,6 +142,16 @@ impl Method {
                 }
                 if let Some(plan) = cfg.fault_plan {
                     automl = automl.fault_plan(plan);
+                }
+                if let Some(path) = &cfg.journal {
+                    // Resume only continues an existing log; a fresh path
+                    // under --resume (new cell, wiped directory) starts a
+                    // new journal instead of erroring.
+                    automl = if cfg.resume && path.exists() {
+                        automl.resume_from(path)
+                    } else {
+                        automl.journal(path)
+                    };
                 }
                 automl = match self {
                     Method::FlamlRoundRobin => {
@@ -193,6 +205,12 @@ pub struct RunConfig {
     /// Optional deterministic fault-injection plan (`--chaos seed:rate`).
     /// Honored by the FLAML methods; baselines run unfaulted.
     pub fault_plan: Option<FaultPlan>,
+    /// Optional crash-safe trial journal for the run (FLAML methods
+    /// only; the baseline drivers do not emit committed-trial events).
+    pub journal: Option<std::path::PathBuf>,
+    /// With `journal` set: continue from the journal if it already
+    /// exists, instead of starting it over.
+    pub resume: bool,
 }
 
 impl std::fmt::Display for Method {

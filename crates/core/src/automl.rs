@@ -35,12 +35,14 @@ use crate::resample::{ResampleRule, ResampleStrategy, TrialStatus};
 use crate::spaces::LearnerKind;
 use flaml_data::Dataset;
 use flaml_exec::FaultPlan;
+use flaml_journal::JournalError;
 use flaml_learners::FittedModel;
 use flaml_metrics::Metric;
 use flaml_search::Config;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::path::PathBuf;
 
 /// How the learner proposer picks the next learner (Step 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,6 +52,16 @@ pub enum LearnerSelection {
     /// Round-robin over the estimator list (the paper's `roundrobin`
     /// ablation).
     RoundRobin,
+}
+
+impl LearnerSelection {
+    /// Stable lowercase name, as recorded in a trial journal's header.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LearnerSelection::Eci => "eci",
+            LearnerSelection::RoundRobin => "round-robin",
+        }
+    }
 }
 
 /// How the resampling strategy is chosen (Step 0).
@@ -63,6 +75,17 @@ pub enum ResampleChoice {
     AlwaysHoldout,
 }
 
+impl ResampleChoice {
+    /// Stable lowercase name, as recorded in a trial journal's header.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResampleChoice::Auto => "auto",
+            ResampleChoice::AlwaysCv => "cv",
+            ResampleChoice::AlwaysHoldout => "holdout",
+        }
+    }
+}
+
 /// Whether a trial searched a new configuration or grew the sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TrialMode {
@@ -70,6 +93,25 @@ pub enum TrialMode {
     Search,
     /// The incumbent configuration re-evaluated at a doubled sample size.
     SampleUp,
+}
+
+impl TrialMode {
+    /// Stable lowercase name, as recorded in a trial journal.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrialMode::Search => "search",
+            TrialMode::SampleUp => "sample-up",
+        }
+    }
+
+    /// Parses a mode name as produced by [`TrialMode::name`].
+    pub fn parse(name: &str) -> Option<TrialMode> {
+        match name {
+            "search" => Some(TrialMode::Search),
+            "sample-up" => Some(TrialMode::SampleUp),
+            _ => None,
+        }
+    }
 }
 
 /// One completed trial, as recorded in [`AutoMlResult::trials`].
@@ -110,6 +152,11 @@ pub struct TrialRecord {
     /// on the first attempt).
     #[serde(default)]
     pub n_retries: usize,
+    /// The configuration's natural-unit values in parameter order. The
+    /// lossless counterpart of the rendered `config` string (which
+    /// truncates floats for readability).
+    #[serde(default)]
+    pub config_values: Vec<f64>,
 }
 
 /// Error from [`AutoMl::fit`].
@@ -138,6 +185,32 @@ pub enum AutoMlError {
     /// Every feature column is degenerate (constant or all-NaN), so no
     /// model can learn anything after dropping them.
     NoUsableFeatures,
+    /// A trial journal could not be opened (unreadable file, missing or
+    /// corrupt header, unsupported schema version).
+    Journal(JournalError),
+    /// The journal file could not be created or written.
+    JournalIo(std::io::Error),
+    /// The journal was recorded under a different run configuration or
+    /// dataset; resuming or retraining from it would be meaningless.
+    ResumeMismatch {
+        /// Which header field disagreed.
+        field: &'static str,
+        /// The value recorded in the journal.
+        journal: String,
+        /// The value of the run asked to resume.
+        run: String,
+    },
+    /// Replay proposed a different trial than the journal recorded — the
+    /// journal does not belong to this run's deterministic trajectory.
+    ResumeDiverged {
+        /// 1-based trial number at which replay and journal disagreed.
+        trial: usize,
+        /// What disagreed.
+        detail: String,
+    },
+    /// The journal's best trial used a learner this build cannot
+    /// reconstruct by name (e.g. a custom learner).
+    UnknownLearner(String),
 }
 
 impl fmt::Display for AutoMlError {
@@ -158,11 +231,30 @@ impl fmt::Display for AutoMlError {
             AutoMlError::NoUsableFeatures => {
                 write!(f, "every feature column is constant or all-NaN")
             }
+            AutoMlError::Journal(e) => write!(f, "trial journal unusable: {e}"),
+            AutoMlError::JournalIo(e) => write!(f, "trial journal write failed: {e}"),
+            AutoMlError::ResumeMismatch { field, journal, run } => write!(
+                f,
+                "journal does not match this run: {field} is {journal} in the journal but {run} here"
+            ),
+            AutoMlError::ResumeDiverged { trial, detail } => write!(
+                f,
+                "replay diverged from the journal at trial {trial}: {detail}"
+            ),
+            AutoMlError::UnknownLearner(name) => {
+                write!(f, "journaled learner {name:?} is not a builtin learner")
+            }
         }
     }
 }
 
 impl Error for AutoMlError {}
+
+impl From<JournalError> for AutoMlError {
+    fn from(e: JournalError) -> AutoMlError {
+        AutoMlError::Journal(e)
+    }
+}
 
 /// The outcome of an AutoML run.
 #[derive(Debug)]
@@ -191,6 +283,139 @@ pub struct AutoMlResult {
     pub n_quarantined: usize,
 }
 
+/// Serializable summary of an [`AutoMlResult`] (everything except the
+/// model itself).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ResultSummary {
+    best_learner: String,
+    best_config: String,
+    best_config_values: Vec<f64>,
+    best_error: f64,
+    metric: String,
+    strategy: String,
+    n_trials: usize,
+    n_retries: usize,
+    n_quarantined: usize,
+    trials: Vec<TrialRecord>,
+}
+
+/// Serializable best-configuration record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BestConfigSummary {
+    learner: String,
+    config: String,
+    values: Vec<f64>,
+    error: f64,
+}
+
+impl AutoMlResult {
+    /// The best configuration as a compact JSON object:
+    /// `{"learner", "config", "values", "error"}`, where `values` are the
+    /// lossless natural-unit parameter values (in parameter order) and
+    /// `config` is the human-readable rendering.
+    pub fn best_config_json(&self) -> String {
+        serde_json::to_string(&BestConfigSummary {
+            learner: self.best_learner.clone(),
+            config: self.best_config_rendered.clone(),
+            values: self.best_config.values().to_vec(),
+            error: self.best_error,
+        })
+        .expect("summary serialization is infallible")
+    }
+
+    /// The whole result (minus the trained model) as a JSON object:
+    /// best learner/config/error, metric, resampling strategy, failure
+    /// counters, and the full trial trace.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&ResultSummary {
+            best_learner: self.best_learner.clone(),
+            best_config: self.best_config_rendered.clone(),
+            best_config_values: self.best_config.values().to_vec(),
+            best_error: self.best_error,
+            metric: self.metric.name().to_string(),
+            strategy: self.strategy.to_string(),
+            n_trials: self.trials.len(),
+            n_retries: self.n_retries,
+            n_quarantined: self.n_quarantined,
+            trials: self.trials.clone(),
+        })
+        .expect("summary serialization is infallible")
+    }
+}
+
+/// A model rebuilt from a journal by [`retrain_from_log`], without any
+/// searching.
+#[derive(Debug)]
+pub struct Retrained {
+    /// Name of the journaled best learner.
+    pub learner: String,
+    /// The journaled best configuration (natural units).
+    pub config: Config,
+    /// The configuration rendered as `name=value` pairs.
+    pub config_rendered: String,
+    /// The journaled validation loss of that configuration.
+    pub loss: f64,
+    /// The model, retrained exactly as the original run's final refit:
+    /// same learner, configuration, seed, and data preparation.
+    pub model: FittedModel,
+}
+
+/// Rebuilds the best model recorded in the journal at `path` — FLAML's
+/// `retrain_from_log` — without running a single search trial. The
+/// dataset must fingerprint-match the journal's header; the refit then
+/// repeats the original run's final refit (same degenerate-column
+/// cleanup, same seeded shuffle, same learner/configuration/seed), so
+/// its predictions equal the original best model's exactly.
+///
+/// # Errors
+///
+/// Returns [`AutoMlError`] if the journal is unusable, records no
+/// finite-loss trial, was recorded against different data, names a
+/// non-builtin learner, or the refit fails.
+pub fn retrain_from_log(
+    path: impl AsRef<std::path::Path>,
+    data: &Dataset,
+) -> Result<Retrained, AutoMlError> {
+    let journal = flaml_journal::Journal::read(path)?;
+    let best = journal.best_trial().ok_or(AutoMlError::NoViableModel)?;
+    let kind = LearnerKind::parse(&best.learner)
+        .ok_or_else(|| AutoMlError::UnknownLearner(best.learner.clone()))?;
+
+    // Repeat the controller's data preparation bit-for-bit.
+    let dropped = data.degenerate_columns();
+    let cleaned: Dataset;
+    let data: &Dataset = if dropped.is_empty() {
+        data
+    } else {
+        cleaned = data
+            .drop_columns(&dropped)
+            .map_err(|_| AutoMlError::NoUsableFeatures)?;
+        &cleaned
+    };
+    let fingerprint = data.fingerprint();
+    if fingerprint != journal.header.dataset.fingerprint {
+        return Err(AutoMlError::ResumeMismatch {
+            field: "dataset fingerprint",
+            journal: format!("{:#018x}", journal.header.dataset.fingerprint),
+            run: format!("{fingerprint:#018x}"),
+        });
+    }
+
+    let shuffled = data.shuffled(journal.header.seed);
+    let space = kind.space(shuffled.n_rows());
+    let config = Config::from(best.config_values.clone());
+    let model = Estimator::Builtin(kind)
+        .fit(&shuffled, &config, &space, journal.header.seed, None)
+        .map_err(AutoMlError::RefitFailed)?;
+    Ok(Retrained {
+        learner: best.learner.clone(),
+        config_rendered: config.render(&space),
+        config,
+        loss: best.loss,
+        model,
+    })
+}
+
 /// Builder-style AutoML entry point (the library's `fit()`).
 #[derive(Debug, Clone)]
 pub struct AutoMl {
@@ -214,6 +439,9 @@ pub struct AutoMl {
     pub(crate) quarantine_after: usize,
     pub(crate) quarantine_probe_every: usize,
     pub(crate) fault_plan: Option<FaultPlan>,
+    pub(crate) journal_path: Option<PathBuf>,
+    pub(crate) resume: bool,
+    pub(crate) starting_points: Vec<(String, Vec<f64>, f64)>,
 }
 
 impl Default for AutoMl {
@@ -242,6 +470,9 @@ impl Default for AutoMl {
             quarantine_after: 3,
             quarantine_probe_every: 8,
             fault_plan: None,
+            journal_path: None,
+            resume: false,
+            starting_points: Vec::new(),
         }
     }
 }
@@ -398,6 +629,44 @@ impl AutoMl {
     /// faults are identical at any worker count.
     pub fn fault_plan(mut self, plan: FaultPlan) -> AutoMl {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Journals every committed trial to a crash-safe JSONL log at
+    /// `path` (created or truncated at fit time; parent directories are
+    /// created). Each record is fsynced before the search proceeds, so a
+    /// killed run can be continued with [`AutoMl::resume_from`] losing
+    /// at most the trial that was in flight.
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> AutoMl {
+        self.journal_path = Some(path.into());
+        self.resume = false;
+        self
+    }
+
+    /// Resumes an interrupted run from the journal at `path`: every
+    /// committed trial is replayed through the controller (restoring
+    /// FLOW² incumbents, ECI state, quarantine counters, and spent
+    /// budget exactly), then the search continues — and keeps journaling
+    /// — from where the previous process died. The run's settings, seed,
+    /// and dataset must match the journal's header; the time budget and
+    /// trial cap may differ, which is also how a finished run is
+    /// *extended*. Under a virtual clock the continued trace is
+    /// byte-identical to an uninterrupted run.
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> AutoMl {
+        self.journal_path = Some(path.into());
+        self.resume = true;
+        self
+    }
+
+    /// Seeds the search from prior results (warm start): for each
+    /// `(learner, config_values, loss)` triple — typically
+    /// [`flaml_journal::Journal::best_configs`] from an earlier run's
+    /// journal — the named learner's FLOW² thread starts at that
+    /// configuration instead of its default low-cost init, and its ECI
+    /// state is primed with the prior loss. Learners not in the current
+    /// estimator list are ignored.
+    pub fn starting_points(mut self, points: Vec<(String, Vec<f64>, f64)>) -> AutoMl {
+        self.starting_points = points;
         self
     }
 

@@ -35,6 +35,19 @@ pub enum TimeSource {
     Virtual(fn(&TrialInfo) -> f64),
 }
 
+impl TimeSource {
+    /// Stable lowercase name (`"wall"` / `"virtual"`), as recorded in a
+    /// trial journal's header. Distinct virtual cost models are not
+    /// distinguished: replay re-applies *recorded* costs, so only trials
+    /// run after the resume point are charged under the current model.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TimeSource::Wall => "wall",
+            TimeSource::Virtual(_) => "virtual",
+        }
+    }
+}
+
 /// A reasonable default virtual cost model: linear in rows x features x
 /// fits, scaled by model complexity. Only relative magnitudes matter.
 pub fn default_virtual_cost(info: &TrialInfo) -> f64 {
@@ -53,6 +66,10 @@ pub struct BudgetClock {
     source: TimeSource,
     start: Instant,
     virtual_now: f64,
+    /// Budget charged by [`BudgetClock::advance`] on a wall clock —
+    /// time a resumed run's replayed trials already spent in an earlier
+    /// process, which `start.elapsed()` cannot see.
+    wall_offset: f64,
 }
 
 impl BudgetClock {
@@ -62,6 +79,7 @@ impl BudgetClock {
             source,
             start: Instant::now(),
             virtual_now: 0.0,
+            wall_offset: 0.0,
         }
     }
 
@@ -70,11 +88,25 @@ impl BudgetClock {
         matches!(self.source, TimeSource::Wall)
     }
 
-    /// Seconds elapsed since the clock started.
+    /// Seconds elapsed since the clock started (plus any
+    /// [`BudgetClock::advance`]d pre-spent budget).
     pub fn elapsed(&self) -> f64 {
         match self.source {
-            TimeSource::Wall => self.start.elapsed().as_secs_f64(),
+            TimeSource::Wall => self.start.elapsed().as_secs_f64() + self.wall_offset,
             TimeSource::Virtual(_) => self.virtual_now,
+        }
+    }
+
+    /// Advances the clock by an externally recorded cost without charging
+    /// a trial — how journal replay re-applies a previous process's
+    /// spending. On a virtual clock this performs the same `+=` a live
+    /// [`BudgetClock::charge`] would have, so replaying a run's recorded
+    /// per-attempt costs in order reproduces its elapsed time
+    /// bit-for-bit.
+    pub fn advance(&mut self, secs: f64) {
+        match self.source {
+            TimeSource::Wall => self.wall_offset += secs,
+            TimeSource::Virtual(_) => self.virtual_now += secs,
         }
     }
 
@@ -115,6 +147,24 @@ mod tests {
         let c2 = clock.charge(&info(2000), 456.0);
         assert!((clock.elapsed() - (c1 + c2)).abs() < 1e-12);
         assert!((c2 / c1 - 2.0).abs() < 1e-9, "cost linear in sample size");
+    }
+
+    #[test]
+    fn advance_replays_costs_bit_for_bit() {
+        let mut live = BudgetClock::new(TimeSource::Virtual(default_virtual_cost));
+        let costs: Vec<f64> = (1..=5).map(|s| live.charge(&info(s * 700), 0.0)).collect();
+        let mut replay = BudgetClock::new(TimeSource::Virtual(default_virtual_cost));
+        for c in costs {
+            replay.advance(c);
+        }
+        assert_eq!(live.elapsed().to_bits(), replay.elapsed().to_bits());
+    }
+
+    #[test]
+    fn advance_offsets_a_wall_clock() {
+        let mut clock = BudgetClock::new(TimeSource::Wall);
+        clock.advance(10.0);
+        assert!(clock.elapsed() >= 10.0);
     }
 
     #[test]

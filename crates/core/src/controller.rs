@@ -36,14 +36,19 @@ use crate::custom::Estimator;
 use crate::eci::{sample_by_inverse_eci, EciState};
 use crate::ensemble::{build_stacked, MemberSpec};
 use crate::resample::{run_trial, ResampleStrategy, TrialOutcome, TrialStatus};
-use flaml_data::Dataset;
+use flaml_data::{Dataset, Task};
 use flaml_exec::{
     EventSink, ExecPool, FaultPlan, Job, JobResult, JobStatus, TrialEvent, TrialEventKind,
+    TrialMeta,
+};
+use flaml_journal::{
+    DatasetInfo, Journal, JournalHeader, JournalWriter, TrialLine, SCHEMA_VERSION,
 };
 use flaml_metrics::Metric;
 use flaml_search::{Config, Flow2};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 use std::time::Duration;
 
 struct LearnerState {
@@ -137,6 +142,119 @@ fn commit_outcome(
     (outcome, measured)
 }
 
+/// Verifies that a journal's header matches the run asked to resume
+/// from it. The time budget and trial cap are deliberately *not*
+/// compared: passing a larger budget is how an interrupted (or even
+/// finished) run is extended.
+fn verify_resume_header(journal: &JournalHeader, run: &JournalHeader) -> Result<(), AutoMlError> {
+    fn check(field: &'static str, journal: String, run: String) -> Result<(), AutoMlError> {
+        if journal == run {
+            Ok(())
+        } else {
+            Err(AutoMlError::ResumeMismatch {
+                field,
+                journal,
+                run,
+            })
+        }
+    }
+    check("seed", journal.seed.to_string(), run.seed.to_string())?;
+    check(
+        "sample_size_init",
+        journal.sample_size_init.to_string(),
+        run.sample_size_init.to_string(),
+    )?;
+    check(
+        "sampling",
+        journal.sampling.to_string(),
+        run.sampling.to_string(),
+    )?;
+    check(
+        "learner_selection",
+        journal.learner_selection.clone(),
+        run.learner_selection.clone(),
+    )?;
+    check("resample", journal.resample.clone(), run.resample.clone())?;
+    check("metric", journal.metric.clone(), run.metric.clone())?;
+    check(
+        "estimators",
+        format!("{:?}", journal.estimators),
+        format!("{:?}", run.estimators),
+    )?;
+    check(
+        "time_source",
+        journal.time_source.clone(),
+        run.time_source.clone(),
+    )?;
+    check(
+        "dataset task",
+        journal.dataset.task.clone(),
+        run.dataset.task.clone(),
+    )?;
+    check(
+        "dataset fingerprint",
+        format!("{:#018x}", journal.dataset.fingerprint),
+        format!("{:#018x}", run.dataset.fingerprint),
+    )?;
+    Ok(())
+}
+
+/// One divergence check during replay: the re-proposed trial must equal
+/// the journaled one in every identifying respect.
+fn verify_replay_line(line: &TrialLine, p: &Proposal, learner: &str) -> Result<(), AutoMlError> {
+    fn diverged(trial: usize, detail: String) -> AutoMlError {
+        AutoMlError::ResumeDiverged { trial, detail }
+    }
+    if line.iter != p.trial_no {
+        return Err(diverged(
+            p.trial_no,
+            format!(
+                "journal records trial {}, replay proposed {}",
+                line.iter, p.trial_no
+            ),
+        ));
+    }
+    if line.learner != learner {
+        return Err(diverged(
+            p.trial_no,
+            format!(
+                "journal learner {:?}, replay proposed {:?}",
+                line.learner, learner
+            ),
+        ));
+    }
+    if line.mode != p.mode.name() {
+        return Err(diverged(
+            p.trial_no,
+            format!(
+                "journal mode {:?}, replay proposed {:?}",
+                line.mode,
+                p.mode.name()
+            ),
+        ));
+    }
+    if line.sample_size != p.trial_s {
+        return Err(diverged(
+            p.trial_no,
+            format!(
+                "journal sample size {}, replay proposed {}",
+                line.sample_size, p.trial_s
+            ),
+        ));
+    }
+    if line.config_values != p.config.values() {
+        return Err(diverged(
+            p.trial_no,
+            format!(
+                "journal config {:?}, replay proposed {:?}",
+                line.config_values,
+                p.config.values()
+            ),
+        ));
+    }
+    Ok(())
+}
+
 pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, AutoMlError> {
     let roster = settings.roster();
     if roster.is_empty() {
@@ -205,6 +323,59 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
         n
     };
 
+    // Journal setup: on a fresh run, create the log and durably write its
+    // header; on resume, read the old log back (verifying its header
+    // against this run), queue its committed trials for replay, and
+    // reopen it for appending (truncating any torn tail first). The
+    // writer becomes an extra event sink fanned together with the user's.
+    let mut replay: VecDeque<TrialLine> = VecDeque::new();
+    let journal_sink: Option<EventSink> = if let Some(path) = &settings.journal_path {
+        let header = JournalHeader {
+            schema_version: SCHEMA_VERSION,
+            seed: settings.seed,
+            time_budget: settings.time_budget,
+            max_trials: settings.max_trials,
+            sample_size_init: settings.sample_size_init,
+            sampling: settings.sampling,
+            learner_selection: settings.learner_selection.name().to_string(),
+            resample: settings.resample_choice.name().to_string(),
+            metric: metric.name().to_string(),
+            estimators: roster.iter().map(|e| e.name()).collect(),
+            time_source: settings.time_source.name().to_string(),
+            dataset: DatasetInfo {
+                name: data.name().to_string(),
+                task: match data.task() {
+                    Task::Binary => "binary".to_string(),
+                    Task::MultiClass(k) => format!("multiclass{k}"),
+                    Task::Regression => "regression".to_string(),
+                },
+                rows: n,
+                features: d,
+                fingerprint: data.fingerprint(),
+            },
+        };
+        if settings.resume {
+            let journal = Journal::read(path)?;
+            verify_resume_header(&journal.header, &header)?;
+            let writer = JournalWriter::resume(path, journal.committed_bytes)
+                .map_err(AutoMlError::JournalIo)?;
+            replay = journal.trials.into();
+            Some(writer.into_sink())
+        } else {
+            let writer = JournalWriter::create(path, &header).map_err(AutoMlError::JournalIo)?;
+            Some(writer.into_sink())
+        }
+    } else {
+        None
+    };
+    let composed_sink: Option<EventSink> = match (settings.event_sink.clone(), journal_sink) {
+        (Some(user), Some(journal)) => Some(EventSink::fanout(vec![user, journal])),
+        (Some(user), None) => Some(user),
+        (None, Some(journal)) => Some(journal),
+        (None, None) => None,
+    };
+    let sink: Option<&EventSink> = composed_sink.as_ref();
+
     let mut states: Vec<LearnerState> = roster
         .iter()
         .enumerate()
@@ -226,6 +397,19 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
             }
         })
         .collect();
+
+    // Warm start: seed FLOW² threads and ECI priors from prior results
+    // (typically a previous journal's per-learner best configurations).
+    // Applied before any trial, so a resumed run that was originally
+    // warm-started replays identically when given the same points.
+    for (name, values, loss) in &settings.starting_points {
+        if let Some(st) = states.iter_mut().find(|s| s.kind.name() == *name) {
+            let config = Config::from(values.clone());
+            let point = st.space.encode(&config);
+            st.flow2.seed_point(&point);
+            st.eci.set_prior_err(*loss);
+        }
+    }
 
     let fastest = states
         .iter()
@@ -272,10 +456,19 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
             break;
         }
 
+        // While journaled trials remain, the controller *replays* instead
+        // of executing: proposals are generated exactly as live (so every
+        // RNG advances identically), but outcomes and costs come from the
+        // journal. Replay commits one trial at a time and emits no
+        // events — the records are already on disk.
+        let replaying = !replay.is_empty();
+
         // Steps 1 + 2: propose a batch of trials. Batch size is 1 unless
         // speculating; the first trial always runs alone (it calibrates
         // the base cost of every untried learner).
-        let mut batch = if speculative && iter > 0 {
+        let mut batch = if replaying {
+            1
+        } else if speculative && iter > 0 {
             workers.min(states.len())
         } else {
             1
@@ -358,46 +551,56 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
         } else {
             None
         };
-        if let Some(sink) = sink {
-            for p in &proposals {
-                let st = &states[p.li];
-                sink.emit(proposal_event(
-                    TrialEventKind::Started,
-                    p,
-                    &st.kind.name(),
-                    &p.config.render(&st.space),
-                ));
+        if !replaying {
+            if let Some(sink) = sink {
+                for p in &proposals {
+                    let st = &states[p.li];
+                    sink.emit(proposal_event(
+                        TrialEventKind::Started,
+                        p,
+                        &st.kind.name(),
+                        &p.config.render(&st.space),
+                    ));
+                }
             }
         }
         let shuffled_ref = &shuffled;
         let states_ref = &states;
         let fold_pool_ref = &fold_pool;
-        let jobs: Vec<Job<'_, TrialOutcome>> = proposals
-            .iter()
-            .map(|p| {
-                let st = &states_ref[p.li];
-                let job = Job::new(move |_ctx| {
-                    run_trial(
-                        shuffled_ref,
-                        &st.kind,
-                        &p.config,
-                        &st.space,
-                        p.trial_s,
-                        strategy,
-                        metric,
-                        p.seed,
-                        deadline,
-                        fold_pool_ref,
-                    )
+        let results: Vec<Option<JobResult<TrialOutcome>>> = if replaying {
+            proposals.iter().map(|_| None).collect()
+        } else {
+            let jobs: Vec<Job<'_, TrialOutcome>> = proposals
+                .iter()
+                .map(|p| {
+                    let st = &states_ref[p.li];
+                    let job = Job::new(move |_ctx| {
+                        run_trial(
+                            shuffled_ref,
+                            &st.kind,
+                            &p.config,
+                            &st.space,
+                            p.trial_s,
+                            strategy,
+                            metric,
+                            p.seed,
+                            deadline,
+                            fold_pool_ref,
+                        )
+                    })
+                    .deadline(deadline);
+                    match settings.fault_plan {
+                        Some(plan) => plan.instrument(job, p.trial_no as u64, 0),
+                        None => job,
+                    }
                 })
-                .deadline(deadline);
-                match settings.fault_plan {
-                    Some(plan) => plan.instrument(job, p.trial_no as u64, 0),
-                    None => job,
-                }
-            })
-            .collect();
-        let results = trial_pool.run_batch(jobs, None);
+                .collect();
+            trial_pool
+                .run_batch(jobs, None)
+                .into_iter()
+                .map(Some)
+                .collect()
+        };
 
         // Commit strictly in submission order; feedback, budget charging
         // and stopping decisions all happen here, exactly as the
@@ -405,6 +608,7 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
         let mut discarding = false;
         for (b, result) in results.into_iter().enumerate() {
             let p = &proposals[b];
+            let is_replay = result.is_none();
             // The sequential controller re-checks the budget before every
             // trial after the first; a speculative result whose turn
             // arrives past the budget must be dropped, not fed back.
@@ -412,7 +616,7 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 discarding = true;
             }
             if discarding {
-                if let Some(sink) = sink {
+                if let (Some(sink), Some(result)) = (sink, &result) {
                     let st = &states[p.li];
                     let mut ev = proposal_event(
                         TrialEventKind::Finished,
@@ -426,92 +630,130 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 }
                 continue;
             }
+            // No events during replay: the journaled records already
+            // describe these trials, and the journal sink must not write
+            // them a second time.
+            let sink: Option<&EventSink> = if is_replay { None } else { sink };
 
-            let (mut outcome, mut measured) = commit_outcome(result, p, settings.fault_plan, 0);
-            let mut cost = {
-                let info = TrialInfo {
-                    learner_cost_constant: states[p.li].kind.cost_constant(),
-                    sample_size: p.trial_s,
-                    n_features: d,
-                    cost_factor: outcome.cost_factor,
-                    n_fits: outcome.n_fits.max(1),
+            let mut attempt_costs: Vec<f64> = Vec::new();
+            let (mut outcome, cost, measured, n_retries_trial) = if let Some(result) = result {
+                let (mut outcome, mut measured) = commit_outcome(result, p, settings.fault_plan, 0);
+                let mut cost = {
+                    let info = TrialInfo {
+                        learner_cost_constant: states[p.li].kind.cost_constant(),
+                        sample_size: p.trial_s,
+                        n_features: d,
+                        cost_factor: outcome.cost_factor,
+                        n_fits: outcome.n_fits.max(1),
+                    };
+                    let c = clock.charge(&info, measured);
+                    attempt_costs.push(c);
+                    c
                 };
-                clock.charge(&info, measured)
-            };
 
-            // Transient failures (panics, non-finite losses) get retried
-            // on the trial's own budget: every attempt is charged like a
-            // fresh evaluation, the fault plan re-rolls per attempt, and
-            // deterministic failures / timeouts are never retried. The
-            // retry runs inline as a single-job batch, so it is
-            // panic-isolated and identical in sequential and speculative
-            // modes.
-            let mut attempt: u32 = 0;
-            let mut n_retries_trial = 0usize;
-            while outcome.status.transient()
-                && n_retries_trial < settings.max_retries
-                && clock.elapsed() < settings.time_budget
-            {
-                attempt += 1;
-                n_retries_trial += 1;
-                if let Some(sink) = sink {
+                // Transient failures (panics, non-finite losses) get
+                // retried on the trial's own budget: every attempt is
+                // charged like a fresh evaluation, the fault plan
+                // re-rolls per attempt, and deterministic failures /
+                // timeouts are never retried. The retry runs inline as a
+                // single-job batch, so it is panic-isolated and
+                // identical in sequential and speculative modes.
+                let mut attempt: u32 = 0;
+                let mut n_retries_trial = 0usize;
+                while outcome.status.transient()
+                    && n_retries_trial < settings.max_retries
+                    && clock.elapsed() < settings.time_budget
+                {
+                    attempt += 1;
+                    n_retries_trial += 1;
+                    if let Some(sink) = sink {
+                        let st = &states[p.li];
+                        let mut ev = proposal_event(
+                            TrialEventKind::Retried,
+                            p,
+                            &st.kind.name(),
+                            &p.config.render(&st.space),
+                        );
+                        ev.message =
+                            Some(format!("retry {n_retries_trial} after {}", outcome.status));
+                        sink.emit(ev);
+                    }
+                    let retry_deadline = if clock.is_wall() {
+                        let remaining = settings.time_budget - clock.elapsed();
+                        Some(Duration::from_secs_f64(remaining.max(0.05)))
+                    } else {
+                        None
+                    };
+                    // Vary the seed per attempt so a genuinely flaky fit
+                    // gets a different draw, not a replay of the same
+                    // failure.
+                    let retry_seed = p
+                        .seed
+                        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64));
                     let st = &states[p.li];
-                    let mut ev = proposal_event(
-                        TrialEventKind::Retried,
-                        p,
-                        &st.kind.name(),
-                        &p.config.render(&st.space),
-                    );
-                    ev.message = Some(format!("retry {n_retries_trial} after {}", outcome.status));
-                    sink.emit(ev);
+                    let job = Job::new(move |_ctx| {
+                        run_trial(
+                            shuffled_ref,
+                            &st.kind,
+                            &p.config,
+                            &st.space,
+                            p.trial_s,
+                            strategy,
+                            metric,
+                            retry_seed,
+                            retry_deadline,
+                            fold_pool_ref,
+                        )
+                    })
+                    .deadline(retry_deadline);
+                    let job = match settings.fault_plan {
+                        Some(plan) => plan.instrument(job, p.trial_no as u64, attempt),
+                        None => job,
+                    };
+                    let retry_result = trial_pool
+                        .run_batch(vec![job], None)
+                        .pop()
+                        .expect("one job in, one result out");
+                    let (o, m) = commit_outcome(retry_result, p, settings.fault_plan, attempt);
+                    let info = TrialInfo {
+                        learner_cost_constant: states[p.li].kind.cost_constant(),
+                        sample_size: p.trial_s,
+                        n_features: d,
+                        cost_factor: o.cost_factor,
+                        n_fits: o.n_fits.max(1),
+                    };
+                    let c = clock.charge(&info, m);
+                    attempt_costs.push(c);
+                    cost += c;
+                    measured += m;
+                    outcome = o;
                 }
-                let retry_deadline = if clock.is_wall() {
-                    let remaining = settings.time_budget - clock.elapsed();
-                    Some(Duration::from_secs_f64(remaining.max(0.05)))
-                } else {
-                    None
+                (outcome, cost, measured, n_retries_trial)
+            } else {
+                // Replay: the journaled record substitutes for execution.
+                // The budget clock re-applies the recorded per-attempt
+                // charges in order (reproducing the live run's float
+                // accumulation bit-for-bit), and the recorded loss feeds
+                // the proposers exactly as the live outcome did.
+                let line = replay
+                    .pop_front()
+                    .expect("replaying implies a queued record");
+                verify_replay_line(&line, p, &states[p.li].kind.name())?;
+                for &c in &line.attempt_costs {
+                    clock.advance(c);
+                }
+                let status = TrialStatus::parse(&line.status).unwrap_or(TrialStatus::Ok);
+                let outcome = TrialOutcome {
+                    error: line.loss,
+                    model: None,
+                    n_fits: p.expected_fits,
+                    cost_factor: p.cost_factor,
+                    status,
+                    message: None,
                 };
-                // Vary the seed per attempt so a genuinely flaky fit gets
-                // a different draw, not a replay of the same failure.
-                let retry_seed = p
-                    .seed
-                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64));
-                let st = &states[p.li];
-                let job = Job::new(move |_ctx| {
-                    run_trial(
-                        shuffled_ref,
-                        &st.kind,
-                        &p.config,
-                        &st.space,
-                        p.trial_s,
-                        strategy,
-                        metric,
-                        retry_seed,
-                        retry_deadline,
-                        fold_pool_ref,
-                    )
-                })
-                .deadline(retry_deadline);
-                let job = match settings.fault_plan {
-                    Some(plan) => plan.instrument(job, p.trial_no as u64, attempt),
-                    None => job,
-                };
-                let retry_result = trial_pool
-                    .run_batch(vec![job], None)
-                    .pop()
-                    .expect("one job in, one result out");
-                let (o, m) = commit_outcome(retry_result, p, settings.fault_plan, attempt);
-                let info = TrialInfo {
-                    learner_cost_constant: states[p.li].kind.cost_constant(),
-                    sample_size: p.trial_s,
-                    n_features: d,
-                    cost_factor: o.cost_factor,
-                    n_fits: o.n_fits.max(1),
-                };
-                cost += clock.charge(&info, m);
-                measured += m;
-                outcome = o;
-            }
+                attempt_costs = line.attempt_costs;
+                (outcome, line.cost, line.wall_secs, line.attempts)
+            };
             n_retries_total += n_retries_trial;
 
             // Feedback into the proposers.
@@ -641,6 +883,10 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 Vec::new()
             };
             let rendered = p.config.render(&states[p.li].space);
+            let best_err_so_far = best
+                .as_ref()
+                .map(|(_, _, e, _, _)| *e)
+                .unwrap_or(f64::INFINITY);
             if let Some(sink) = sink {
                 let kind = match outcome.status {
                     TrialStatus::Panicked => TrialEventKind::Panicked,
@@ -652,22 +898,31 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 ev.cost = Some(cost);
                 ev.wall_secs = Some(measured);
                 ev.message = outcome.message.clone();
+                ev.meta = Some(TrialMeta {
+                    mode: p.mode.name().to_string(),
+                    status: outcome.status.to_string(),
+                    attempts: n_retries_trial,
+                    attempt_costs: attempt_costs.clone(),
+                    total_time: clock.elapsed(),
+                    seed: p.seed,
+                    config_values: p.config.values().to_vec(),
+                    improved: improved_global,
+                    best_error: best_err_so_far,
+                });
                 sink.emit(ev);
             }
             trials.push(TrialRecord {
                 iter,
                 learner: states[p.li].kind.name(),
                 config: rendered,
+                config_values: p.config.values().to_vec(),
                 sample_size: p.trial_s,
                 error: outcome.error,
                 cost,
                 total_time: clock.elapsed(),
                 mode: p.mode,
                 improved_global,
-                best_error_so_far: best
-                    .as_ref()
-                    .map(|(_, _, e, _, _)| *e)
-                    .unwrap_or(f64::INFINITY),
+                best_error_so_far: best_err_so_far,
                 eci_snapshot,
                 timed_out: outcome.timed_out(),
                 panicked: outcome.panicked(),

@@ -66,6 +66,17 @@ impl EciState {
         }
     }
 
+    /// Seeds the learner's best error from a prior run (warm start): the
+    /// learner must now *beat* its historical best to count as improving,
+    /// and the ECI gap term prices lagging learners against real prior
+    /// results instead of `INFINITY`. Only meaningful before the first
+    /// trial; a `NaN` is sanitized to the failure sentinel.
+    pub fn set_prior_err(&mut self, err: f64) {
+        if self.n_trials == 0 {
+            self.best_err = if err.is_nan() { f64::INFINITY } else { err };
+        }
+    }
+
     /// Records a finished trial of this learner with the given cost and
     /// validation error. Returns `true` if the learner's best error
     /// improved.
@@ -197,6 +208,19 @@ mod tests {
         assert!(!e.tried());
         assert_eq!(e.eci1(), 2.5);
         assert_eq!(e.eci(0.1, 2.0), 2.5_f64.min(2.0 * 2.5));
+    }
+
+    #[test]
+    fn prior_err_must_be_beaten_to_improve() {
+        let mut e = EciState::new(1.0);
+        e.set_prior_err(0.3);
+        assert_eq!(e.best_err(), 0.3);
+        assert!(!e.tried(), "a prior is not a trial");
+        assert!(!e.on_trial(1.0, 0.5), "worse than the prior");
+        assert!(e.on_trial(1.0, 0.2), "beats the prior");
+        // After the first trial the prior is frozen in.
+        e.set_prior_err(0.01);
+        assert_eq!(e.best_err(), 0.2);
     }
 
     #[test]

@@ -50,7 +50,8 @@ mod resample;
 mod spaces;
 
 pub use automl::{
-    AutoMl, AutoMlError, AutoMlResult, LearnerSelection, ResampleChoice, TrialMode, TrialRecord,
+    retrain_from_log, AutoMl, AutoMlError, AutoMlResult, LearnerSelection, ResampleChoice,
+    Retrained, TrialMode, TrialRecord,
 };
 pub use clock::{default_virtual_cost, BudgetClock, TimeSource, TrialInfo};
 pub use custom::{CustomLearner, Estimator};
@@ -66,3 +67,7 @@ pub use flaml_exec::{
     event_channel, EventSink, ExecPool, FaultPlan, InjectedFault, Telemetry, TrialEvent,
     TrialEventKind,
 };
+
+// Re-export the journal so resume/warm-start workflows (read a log, seed
+// `starting_points`, inspect best trials) need only this crate.
+pub use flaml_journal::{Journal, JournalError, JournalHeader, TrialLine};

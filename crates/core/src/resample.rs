@@ -132,6 +132,20 @@ impl TrialStatus {
         }
     }
 
+    /// Parses a status name as produced by [`TrialStatus::name`] (how a
+    /// journaled status string becomes a typed status again on replay).
+    pub fn parse(name: &str) -> Option<TrialStatus> {
+        [
+            TrialStatus::Ok,
+            TrialStatus::Failed,
+            TrialStatus::TimedOut,
+            TrialStatus::Panicked,
+            TrialStatus::NonFiniteLoss,
+        ]
+        .into_iter()
+        .find(|s| s.name() == name)
+    }
+
     /// Whether the failure is *transient* — worth retrying. Panics and
     /// non-finite losses can come from flaky environments (or injected
     /// faults keyed by attempt); deterministic failures and timeouts

@@ -98,6 +98,76 @@ fn speculative_round_robin_matches_sequential_trace() {
     }
 }
 
+/// A scratch journal path unique to one (test, workers, k) combination.
+fn journal_path(tag: &str, workers: usize, k: usize) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "flaml_determinism_{tag}_w{workers}_k{k}_{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn kill_and_resume_reproduces_the_uninterrupted_trace() {
+    // The crash-recovery contract: journal a run, kill it after k trials,
+    // resume from the journal, and the continued trace must be
+    // byte-identical to a run that was never interrupted — for an early,
+    // a middle, and a last-moment kill, sequential and parallel.
+    let data = binary_dataset(700, 5);
+    for workers in [1usize, 4] {
+        let full = base(workers).fit(&data).unwrap();
+        let total = full.trials.len();
+        assert!(total >= 4, "need a few trials to kill between, got {total}");
+        for k in [1, total / 2, total - 1] {
+            let path = journal_path("resume", workers, k);
+            // "Kill at trial k": cap the journaled run at k trials. The
+            // journal then holds exactly the records a SIGKILL at that
+            // point would have committed (every record is fsynced).
+            let partial = base(workers)
+                .max_trials(k)
+                .journal(&path)
+                .fit(&data)
+                .unwrap();
+            assert_eq!(partial.trials.len(), k, "workers={workers} k={k}");
+            let resumed = base(workers).resume_from(&path).fit(&data).unwrap();
+            assert_eq!(
+                trace(&full.trials),
+                trace(&resumed.trials),
+                "workers={workers} k={k}"
+            );
+            assert_eq!(full.best_error.to_bits(), resumed.best_error.to_bits());
+            assert_eq!(full.best_config_rendered, resumed.best_config_rendered);
+            // The resumed process kept journaling: the file must now
+            // describe the full run and support a second resume that
+            // replays everything and runs nothing.
+            let journal = flaml_core::Journal::read(&path).unwrap();
+            assert_eq!(journal.trials.len(), total, "workers={workers} k={k}");
+            let replayed_only = base(workers).resume_from(&path).fit(&data).unwrap();
+            assert_eq!(trace(&full.trials), trace(&replayed_only.trials));
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+#[test]
+fn resume_refuses_a_journal_from_different_settings() {
+    let data = binary_dataset(500, 6);
+    let path = journal_path("mismatch", 1, 0);
+    base(1).max_trials(3).journal(&path).fit(&data).unwrap();
+    // Different seed: the replayed proposals would diverge immediately,
+    // so resume must refuse up front on the header.
+    let err = base(1).seed(8).resume_from(&path).fit(&data).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("seed"), "unexpected error: {msg}");
+    // Different dataset content: caught by the fingerprint.
+    let other = binary_dataset(500, 99);
+    let err = base(1).resume_from(&path).fit(&other).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("fingerprint"), "unexpected error: {msg}");
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn speculative_holdout_also_matches() {
     // Same contract when trials are holdout-evaluated (the model is

@@ -316,6 +316,46 @@ impl Dataset {
         self.n_rows() as u64 * self.n_features() as u64
     }
 
+    /// A content fingerprint: FNV-1a over the task, shape, and the raw
+    /// bits of every feature and target value. Two datasets fingerprint
+    /// equal iff they hold bit-identical data for the same task — the
+    /// check a trial journal uses to refuse resuming against different
+    /// data. The name is deliberately excluded (renames are harmless).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h
+        }
+        let mut h = FNV_OFFSET;
+        let task_tag: u64 = match self.task {
+            Task::Binary => 1,
+            Task::MultiClass(k) => 2 | ((k as u64) << 8),
+            Task::Regression => 3,
+        };
+        h = eat(h, &task_tag.to_le_bytes());
+        h = eat(h, &(self.n_rows() as u64).to_le_bytes());
+        h = eat(h, &(self.n_features() as u64).to_le_bytes());
+        for (col, kind) in self.columns.iter().zip(&self.kinds) {
+            let kind_tag: u64 = match kind {
+                FeatureKind::Numeric => 0,
+                FeatureKind::Categorical { cardinality } => 1 | ((*cardinality as u64) << 8),
+            };
+            h = eat(h, &kind_tag.to_le_bytes());
+            for &v in col {
+                h = eat(h, &v.to_bits().to_le_bytes());
+            }
+        }
+        for &y in &self.target {
+            h = eat(h, &y.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// Number of distinct label values present (for classification; the
     /// count of classes that actually occur, which can be smaller than
     /// the task's nominal class count). `None` for regression.

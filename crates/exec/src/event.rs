@@ -1,13 +1,23 @@
 //! Trial telemetry: structured events emitted as trials start and end,
 //! and an aggregator that turns an event stream into counts.
 //!
-//! Events flow over a standard mpsc channel. The [`EventSink`] end is
-//! cheap to clone and safe to share across pool workers; sends to a
-//! dropped receiver are silently discarded so telemetry can never fail a
-//! run.
+//! Events flow into an [`EventSink`], which is cheap to clone and safe to
+//! share across pool workers. A sink is one of three shapes:
+//!
+//! - a **channel** sink ([`event_channel`]) buffering events on a standard
+//!   mpsc channel for later draining (sends to a dropped receiver are
+//!   silently discarded so telemetry can never fail a run);
+//! - a **callback** sink ([`EventSink::callback`]) invoking a closure
+//!   synchronously on the emitting thread — the shape durable consumers
+//!   like a journal writer need, because the callback runs *before* the
+//!   run proceeds past the commit point;
+//! - a **fan-out** sink ([`EventSink::fanout`]) broadcasting every event
+//!   to a list of downstream sinks, so one run can feed live telemetry
+//!   and a durable journal at once.
 
 use std::collections::BTreeMap;
 use std::sync::mpsc;
+use std::sync::Arc;
 
 /// What happened to a trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +59,38 @@ impl TrialEventKind {
     }
 }
 
+/// Extended per-trial metadata attached to *committed* terminal events.
+///
+/// Live displays only need the event's headline fields; durable consumers
+/// (the `flaml-journal` writer) need everything required to later replay
+/// the trial through the controller bit-for-bit. The emitting controller
+/// fills this on the one terminal event per committed trial.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrialMeta {
+    /// Trial mode: `"search"` or `"sample-up"`.
+    pub mode: String,
+    /// Final-attempt status name (`"ok"`, `"failed"`, `"timed-out"`,
+    /// `"panicked"`, `"non-finite-loss"`).
+    pub status: String,
+    /// Retry attempts the trial consumed (0 = first attempt was final).
+    pub attempts: usize,
+    /// Budget cost charged per attempt, in charge order. Replaying these
+    /// charges one by one reproduces the budget clock's floating-point
+    /// accumulation exactly.
+    pub attempt_costs: Vec<f64>,
+    /// Total budget elapsed when the trial committed.
+    pub total_time: f64,
+    /// The trial's base evaluation seed.
+    pub seed: u64,
+    /// Natural-unit configuration values, in search-space parameter order
+    /// (lossless, unlike the rendered `config` string).
+    pub config_values: Vec<f64>,
+    /// Whether the trial improved the run's global best error.
+    pub improved: bool,
+    /// Global best error after this trial.
+    pub best_error: f64,
+}
+
 /// One structured trial event.
 #[derive(Debug, Clone)]
 pub struct TrialEvent {
@@ -72,6 +114,8 @@ pub struct TrialEvent {
     pub wall_secs: Option<f64>,
     /// Panic or diagnostic message, if any.
     pub message: Option<String>,
+    /// Full per-trial metadata (committed terminal events only).
+    pub meta: Option<TrialMeta>,
 }
 
 impl TrialEvent {
@@ -88,28 +132,92 @@ impl TrialEvent {
             cost: None,
             wall_secs: None,
             message: None,
+            meta: None,
         }
     }
 }
 
-/// The sending end of a trial-event channel.
-#[derive(Debug, Clone)]
+enum SinkInner {
+    Channel(mpsc::Sender<TrialEvent>),
+    Callback(Arc<dyn Fn(&TrialEvent) + Send + Sync>),
+    Fanout(Arc<[EventSink]>),
+}
+
+impl Clone for SinkInner {
+    fn clone(&self) -> SinkInner {
+        match self {
+            SinkInner::Channel(tx) => SinkInner::Channel(tx.clone()),
+            SinkInner::Callback(f) => SinkInner::Callback(f.clone()),
+            SinkInner::Fanout(sinks) => SinkInner::Fanout(sinks.clone()),
+        }
+    }
+}
+
+/// The consuming end a run emits trial events into (see the module docs
+/// for the three sink shapes).
+#[derive(Clone)]
 pub struct EventSink {
-    tx: mpsc::Sender<TrialEvent>,
+    inner: SinkInner,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            SinkInner::Channel(_) => f.write_str("EventSink::Channel"),
+            SinkInner::Callback(_) => f.write_str("EventSink::Callback"),
+            SinkInner::Fanout(sinks) => write!(f, "EventSink::Fanout({})", sinks.len()),
+        }
+    }
 }
 
 impl EventSink {
-    /// Emits an event. Errors (receiver dropped) are ignored: telemetry
-    /// is strictly best-effort and must never affect the run.
+    /// A sink that invokes `f` synchronously on the emitting thread for
+    /// every event. The callback must not panic; it runs inside the run's
+    /// commit path.
+    pub fn callback(f: impl Fn(&TrialEvent) + Send + Sync + 'static) -> EventSink {
+        EventSink {
+            inner: SinkInner::Callback(Arc::new(f)),
+        }
+    }
+
+    /// A sink that broadcasts every event to all of `sinks`, in order.
+    pub fn fanout(sinks: impl Into<Vec<EventSink>>) -> EventSink {
+        EventSink {
+            inner: SinkInner::Fanout(sinks.into().into()),
+        }
+    }
+
+    /// Emits an event. Errors (e.g. a dropped channel receiver) are
+    /// ignored: telemetry is strictly best-effort and must never fail a
+    /// run.
     pub fn emit(&self, event: TrialEvent) {
-        let _ = self.tx.send(event);
+        match &self.inner {
+            SinkInner::Channel(tx) => {
+                let _ = tx.send(event);
+            }
+            SinkInner::Callback(f) => f(&event),
+            SinkInner::Fanout(sinks) => match sinks.split_last() {
+                None => {}
+                Some((last, rest)) => {
+                    for sink in rest {
+                        sink.emit(event.clone());
+                    }
+                    last.emit(event);
+                }
+            },
+        }
     }
 }
 
 /// Creates a trial-event channel: a cloneable sink plus its receiver.
 pub fn event_channel() -> (EventSink, mpsc::Receiver<TrialEvent>) {
     let (tx, rx) = mpsc::channel();
-    (EventSink { tx }, rx)
+    (
+        EventSink {
+            inner: SinkInner::Channel(tx),
+        },
+        rx,
+    )
 }
 
 /// Per-learner event counts.
@@ -223,6 +331,48 @@ mod tests {
     fn sink_survives_dropped_receiver() {
         let (sink, rx) = event_channel();
         drop(rx);
+        sink.emit(TrialEvent::new(TrialEventKind::Started));
+    }
+
+    #[test]
+    fn callback_sink_runs_synchronously() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = seen.clone();
+        let sink = EventSink::callback(move |ev| {
+            assert_eq!(ev.kind, TrialEventKind::Finished);
+            seen2.fetch_add(1, Ordering::SeqCst);
+        });
+        sink.emit(TrialEvent::new(TrialEventKind::Finished));
+        assert_eq!(
+            seen.load(Ordering::SeqCst),
+            1,
+            "callback ran before emit returned"
+        );
+    }
+
+    #[test]
+    fn fanout_broadcasts_to_every_sink_in_order() {
+        use std::sync::Mutex;
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let (o1, o2) = (order.clone(), order.clone());
+        let (chan, rx) = event_channel();
+        let sink = EventSink::fanout(vec![
+            EventSink::callback(move |_| o1.lock().unwrap().push("a")),
+            chan,
+            EventSink::callback(move |_| o2.lock().unwrap().push("b")),
+        ]);
+        let mut ev = TrialEvent::new(TrialEventKind::Started);
+        ev.learner = "gbm".into();
+        sink.emit(ev);
+        assert_eq!(*order.lock().unwrap(), vec!["a", "b"]);
+        let forwarded = rx.try_recv().expect("channel leg received the event");
+        assert_eq!(forwarded.learner, "gbm");
+    }
+
+    #[test]
+    fn empty_fanout_is_a_null_sink() {
+        let sink = EventSink::fanout(Vec::new());
         sink.emit(TrialEvent::new(TrialEventKind::Started));
     }
 

@@ -52,7 +52,9 @@ mod job;
 mod pool;
 mod queue;
 
-pub use event::{event_channel, EventSink, LearnerCounts, Telemetry, TrialEvent, TrialEventKind};
+pub use event::{
+    event_channel, EventSink, LearnerCounts, Telemetry, TrialEvent, TrialEventKind, TrialMeta,
+};
 pub use fault::{FaultPlan, InjectedFault};
 pub use job::{Job, JobCtx, JobMeta, JobResult, JobStatus};
 pub use pool::ExecPool;

@@ -1,0 +1,217 @@
+//! The journal's on-disk record schema (version 1).
+//!
+//! Every record is one line of compact JSON. Floats round-trip exactly:
+//! the writer uses shortest-round-trip formatting and renders the
+//! non-finite failure sentinels as `Infinity` / `-Infinity` / `NaN`
+//! tokens, which the reader parses back bit-for-bit — a journaled loss of
+//! `+inf` (a failed trial) survives the round trip.
+//!
+//! # Schema evolution
+//!
+//! [`SCHEMA_VERSION`] is bumped whenever a field changes meaning or a
+//! required field is added. Readers accept only their own major version:
+//! replay feeds journaled outcomes back into live search state, so a
+//! misinterpreted field would silently corrupt a resumed run — refusing
+//! an unknown version is the safe behaviour. Purely additive optional
+//! fields (serde defaults) do not bump the version.
+
+use flaml_exec::TrialEvent;
+use serde::{Deserialize, Serialize};
+
+/// Journal schema version written into every header.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Identity of the dataset a journal was recorded against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetInfo {
+    /// Dataset name.
+    pub name: String,
+    /// Task kind (`"binary"` / `"multiclass"` / `"regression"`).
+    pub task: String,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of feature columns.
+    pub features: usize,
+    /// Content fingerprint (FNV-1a over the dataset's values); resume
+    /// refuses a journal whose fingerprint does not match the data it is
+    /// asked to continue on.
+    pub fingerprint: u64,
+}
+
+/// The first record of every journal: run configuration + dataset
+/// fingerprint. Resume verifies these against the continuing run's
+/// settings before replaying a single trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// Schema version of every record in this file.
+    pub schema_version: u32,
+    /// Random seed of the run.
+    pub seed: u64,
+    /// Time budget in (wall or virtual) seconds.
+    pub time_budget: f64,
+    /// Trial cap, if any.
+    pub max_trials: Option<usize>,
+    /// Initial sample size for data subsampling.
+    pub sample_size_init: usize,
+    /// Whether data subsampling was enabled.
+    pub sampling: bool,
+    /// Learner-selection strategy (`"eci"` / `"round-robin"`).
+    pub learner_selection: String,
+    /// Resampling choice (`"auto"` / `"cv"` / `"holdout"`).
+    pub resample: String,
+    /// Metric optimized (empty = the task default).
+    pub metric: String,
+    /// Estimator roster, in order.
+    pub estimators: Vec<String>,
+    /// `"wall"` or `"virtual"` budget accounting.
+    pub time_source: String,
+    /// The dataset the run searched on.
+    pub dataset: DatasetInfo,
+}
+
+/// One committed trial, as journaled (one JSONL line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialLine {
+    /// 1-based trial index.
+    pub iter: usize,
+    /// Learner evaluated.
+    pub learner: String,
+    /// Configuration rendered as `name=value` pairs (human-readable;
+    /// lossy).
+    pub config: String,
+    /// Natural-unit configuration values in parameter order (lossless).
+    pub config_values: Vec<f64>,
+    /// Sample size used.
+    pub sample_size: usize,
+    /// Final validation loss (may be `Infinity`, the failure sentinel).
+    pub loss: f64,
+    /// Final-attempt status name.
+    pub status: String,
+    /// Trial mode (`"search"` / `"sample-up"`).
+    pub mode: String,
+    /// Retry attempts consumed (0 = first attempt was final).
+    pub attempts: usize,
+    /// Budget cost charged per attempt, in charge order. Replay advances
+    /// the budget clock by these one at a time, reproducing the live
+    /// run's floating-point accumulation bit-for-bit.
+    pub attempt_costs: Vec<f64>,
+    /// Total budget cost of the trial (sum of `attempt_costs`, as summed
+    /// by the live run).
+    pub cost: f64,
+    /// Budget elapsed when the trial committed (wall or virtual seconds).
+    pub total_time: f64,
+    /// Measured wall seconds, regardless of the budget clock.
+    #[serde(default)]
+    pub wall_secs: f64,
+    /// The trial's base evaluation seed.
+    pub seed: u64,
+    /// Whether the trial improved the run's global best error.
+    pub improved: bool,
+    /// Global best error after this trial.
+    pub best_loss: f64,
+}
+
+impl TrialLine {
+    /// Builds a journal line from a committed terminal [`TrialEvent`] —
+    /// one that carries both an observed error and full
+    /// [`flaml_exec::TrialMeta`]. Returns `None` for any other event
+    /// (started, retried, quarantine traffic, discarded speculation).
+    pub fn from_event(event: &TrialEvent) -> Option<TrialLine> {
+        let error = event.error?;
+        let meta = event.meta.as_ref()?;
+        Some(TrialLine {
+            iter: event.job_id as usize,
+            learner: event.learner.clone(),
+            config: event.config.clone(),
+            config_values: meta.config_values.clone(),
+            sample_size: event.sample_size,
+            loss: error,
+            status: meta.status.clone(),
+            mode: meta.mode.clone(),
+            attempts: meta.attempts,
+            attempt_costs: meta.attempt_costs.clone(),
+            cost: event.cost.unwrap_or(0.0),
+            total_time: meta.total_time,
+            wall_secs: event.wall_secs.unwrap_or(0.0),
+            seed: meta.seed,
+            improved: meta.improved,
+            best_loss: meta.best_error,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> TrialLine {
+        TrialLine {
+            iter: 3,
+            learner: "lightgbm".into(),
+            config: "trees=4, lr=0.1000".into(),
+            config_values: vec![4.0, 0.1],
+            sample_size: 500,
+            loss: 0.125,
+            status: "ok".into(),
+            mode: "search".into(),
+            attempts: 0,
+            attempt_costs: vec![0.05],
+            cost: 0.05,
+            total_time: 0.2,
+            wall_secs: 0.01,
+            seed: 7,
+            improved: true,
+            best_loss: 0.125,
+        }
+    }
+
+    #[test]
+    fn trial_line_round_trips_through_json() {
+        let l = line();
+        let json = serde_json::to_string(&l).unwrap();
+        let back: TrialLine = serde_json::from_str(&json).unwrap();
+        assert_eq!(l, back);
+    }
+
+    #[test]
+    fn failure_sentinel_loss_round_trips() {
+        let mut l = line();
+        l.loss = f64::INFINITY;
+        l.best_loss = f64::INFINITY;
+        l.status = "panicked".into();
+        let json = serde_json::to_string(&l).unwrap();
+        assert!(json.contains("Infinity"));
+        let back: TrialLine = serde_json::from_str(&json).unwrap();
+        assert!(back.loss.is_infinite() && back.loss > 0.0);
+        assert_eq!(l, back);
+    }
+
+    #[test]
+    fn from_event_requires_error_and_meta() {
+        use flaml_exec::{TrialEventKind, TrialMeta};
+        let mut ev = TrialEvent::new(TrialEventKind::Finished);
+        assert!(TrialLine::from_event(&ev).is_none(), "no error, no meta");
+        ev.error = Some(0.5);
+        assert!(TrialLine::from_event(&ev).is_none(), "no meta");
+        ev.job_id = 9;
+        ev.learner = "rf".into();
+        ev.cost = Some(0.25);
+        ev.meta = Some(TrialMeta {
+            mode: "search".into(),
+            status: "ok".into(),
+            attempts: 1,
+            attempt_costs: vec![0.1, 0.15],
+            total_time: 1.5,
+            seed: 42,
+            config_values: vec![1.0],
+            improved: false,
+            best_error: 0.4,
+        });
+        let l = TrialLine::from_event(&ev).expect("committed terminal event");
+        assert_eq!(l.iter, 9);
+        assert_eq!(l.learner, "rf");
+        assert_eq!(l.attempts, 1);
+        assert_eq!(l.attempt_costs, vec![0.1, 0.15]);
+        assert_eq!(l.best_loss, 0.4);
+    }
+}

@@ -1,0 +1,236 @@
+//! The append side of the journal: fsync-on-commit JSONL writing.
+
+use crate::record::{JournalHeader, TrialLine};
+use flaml_exec::{EventSink, TrialEvent};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Appends journal records with fsync-on-commit.
+///
+/// Every [`JournalWriter::append`] writes one JSONL line and then flushes
+/// and syncs the file before returning, so a record the caller has seen
+/// committed survives a process kill or power loss. I/O errors after
+/// creation are reported once via [`JournalWriter::take_error`] and
+/// otherwise swallowed: persistence must never crash a search mid-run.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    /// First I/O error encountered while appending, if any.
+    error: Option<io::Error>,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal at `path` and durably writes its
+    /// header record. Parent directories are created as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or syncing the file.
+    pub fn create(path: impl AsRef<Path>, header: &JournalHeader) -> io::Result<JournalWriter> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = File::create(path)?;
+        let mut writer = JournalWriter { file, error: None };
+        let json = serde_json::to_string(header)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        writer.write_line(&json)?;
+        Ok(writer)
+    }
+
+    /// Opens an existing journal at `path` for appending (the resume
+    /// path: replayed trials are already on disk, continued trials are
+    /// appended after them). The header is not rewritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from opening the file.
+    pub fn append_to(path: impl AsRef<Path>) -> io::Result<JournalWriter> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(JournalWriter { file, error: None })
+    }
+
+    /// Reopens a journal for a resumed run: truncates the file to its
+    /// committed prefix (discarding any torn tail, so new records can
+    /// never glue onto torn bytes) and appends after it. Pass the
+    /// `committed_bytes` reported by [`crate::Journal::read`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from opening, truncating, or syncing.
+    pub fn resume(path: impl AsRef<Path>, committed_bytes: u64) -> io::Result<JournalWriter> {
+        let path = path.as_ref();
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(committed_bytes)?;
+        file.sync_data()?;
+        drop(file);
+        JournalWriter::append_to(path)
+    }
+
+    fn write_line(&mut self, json: &str) -> io::Result<()> {
+        self.file.write_all(json.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        // fsync-on-commit: the record is durable before the search
+        // proceeds past the trial it describes.
+        self.file.sync_data()
+    }
+
+    /// Appends one committed trial record durably. A failed append is
+    /// recorded (see [`JournalWriter::take_error`]) but does not panic.
+    pub fn append(&mut self, line: &TrialLine) {
+        if self.error.is_some() {
+            return;
+        }
+        let json = match serde_json::to_string(line) {
+            Ok(j) => j,
+            Err(e) => {
+                self.error = Some(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                return;
+            }
+        };
+        if let Err(e) = self.write_line(&json) {
+            self.error = Some(e);
+        }
+    }
+
+    /// Consumes one trial event, appending a record if it is a committed
+    /// terminal event (carries an error and full trial metadata).
+    pub fn on_event(&mut self, event: &TrialEvent) {
+        if let Some(line) = TrialLine::from_event(event) {
+            self.append(&line);
+        }
+    }
+
+    /// The first append error encountered, if any (taking it resets the
+    /// writer's error state).
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    /// Wraps the writer in a synchronous [`EventSink`]: every committed
+    /// terminal event emitted into the sink is appended (and fsynced)
+    /// before the emitting thread proceeds. Fan this together with live
+    /// telemetry sinks via [`EventSink::fanout`].
+    pub fn into_sink(self) -> EventSink {
+        let writer = Mutex::new(self);
+        EventSink::callback(move |event| {
+            if let Ok(mut w) = writer.lock() {
+                w.on_event(event);
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::Journal;
+    use crate::record::{DatasetInfo, SCHEMA_VERSION};
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            schema_version: SCHEMA_VERSION,
+            seed: 7,
+            time_budget: 1.0,
+            max_trials: Some(10),
+            sample_size_init: 100,
+            sampling: true,
+            learner_selection: "eci".into(),
+            resample: "auto".into(),
+            metric: "".into(),
+            estimators: vec!["lightgbm".into(), "lr".into()],
+            time_source: "virtual".into(),
+            dataset: DatasetInfo {
+                name: "t".into(),
+                task: "binary".into(),
+                rows: 100,
+                features: 2,
+                fingerprint: 0xfeed,
+            },
+        }
+    }
+
+    fn line(iter: usize) -> TrialLine {
+        TrialLine {
+            iter,
+            learner: "lightgbm".into(),
+            config: "x=1".into(),
+            config_values: vec![1.0],
+            sample_size: 100,
+            loss: 0.5 / iter as f64,
+            status: "ok".into(),
+            mode: "search".into(),
+            attempts: 0,
+            attempt_costs: vec![0.1],
+            cost: 0.1,
+            total_time: 0.1 * iter as f64,
+            wall_secs: 0.0,
+            seed: 7,
+            improved: true,
+            best_loss: 0.5 / iter as f64,
+        }
+    }
+
+    #[test]
+    fn create_append_read_round_trip() {
+        let dir = std::env::temp_dir().join("flaml-journal-writer-test");
+        let path = dir.join("run.jsonl");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.append(&line(1));
+        w.append(&line(2));
+        assert!(w.take_error().is_none());
+        drop(w);
+
+        let mut w = JournalWriter::append_to(&path).unwrap();
+        w.append(&line(3));
+        drop(w);
+
+        let j = Journal::read(&path).unwrap();
+        assert_eq!(j.header, header());
+        assert_eq!(j.trials.len(), 3);
+        assert_eq!(j.trials[2], line(3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn event_sink_appends_committed_terminals_only() {
+        use flaml_exec::{TrialEventKind, TrialMeta};
+        let dir = std::env::temp_dir().join("flaml-journal-sink-test");
+        let path = dir.join("run.jsonl");
+        let sink = JournalWriter::create(&path, &header()).unwrap().into_sink();
+
+        sink.emit(TrialEvent::new(TrialEventKind::Started));
+        let mut ev = TrialEvent::new(TrialEventKind::Finished);
+        ev.job_id = 1;
+        ev.learner = "lr".into();
+        ev.error = Some(0.25);
+        ev.cost = Some(0.1);
+        ev.meta = Some(TrialMeta {
+            mode: "search".into(),
+            status: "ok".into(),
+            attempt_costs: vec![0.1],
+            best_error: 0.25,
+            improved: true,
+            config_values: vec![0.5],
+            ..TrialMeta::default()
+        });
+        sink.emit(ev.clone());
+        // A discarded speculative trial: terminal kind but no error/meta.
+        let mut discarded = TrialEvent::new(TrialEventKind::Finished);
+        discarded.message = Some("speculative trial discarded".into());
+        sink.emit(discarded);
+        drop(sink);
+
+        let j = Journal::read(&path).unwrap();
+        assert_eq!(j.trials.len(), 1);
+        assert_eq!(j.trials[0].learner, "lr");
+        assert_eq!(j.trials[0].loss, 0.25);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

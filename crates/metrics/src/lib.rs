@@ -109,6 +109,18 @@ impl Metric {
         })
     }
 
+    /// Every metric, in display order. The single source of truth for
+    /// [`Metric::parse`].
+    pub const ALL: [Metric; 7] = [
+        Metric::RocAuc,
+        Metric::LogLoss,
+        Metric::Accuracy,
+        Metric::Mse,
+        Metric::Mae,
+        Metric::R2,
+        Metric::QErrorP95,
+    ];
+
     /// Human-readable metric name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -120,6 +132,12 @@ impl Metric {
             Metric::R2 => "r2",
             Metric::QErrorP95 => "q_error_p95",
         }
+    }
+
+    /// Parses a metric name as printed by [`Metric::name`] (used when
+    /// reconstructing a run from a trial journal's header).
+    pub fn parse(s: &str) -> Option<Metric> {
+        Metric::ALL.into_iter().find(|m| m.name() == s)
     }
 }
 
@@ -170,5 +188,13 @@ mod tests {
     fn display_names() {
         assert_eq!(Metric::RocAuc.to_string(), "roc_auc");
         assert_eq!(Metric::QErrorP95.to_string(), "q_error_p95");
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for m in Metric::ALL {
+            assert_eq!(Metric::parse(m.name()), Some(m));
+        }
+        assert_eq!(Metric::parse("nope"), None);
     }
 }

@@ -122,6 +122,25 @@ impl Flow2 {
         }
     }
 
+    /// Replaces the starting point of a fresh (never-evaluated) thread,
+    /// e.g. with a prior run's best configuration (warm start). The
+    /// seeded point is evaluated first, exactly as the default low-cost
+    /// init would have been; coordinates are clamped to the unit cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread has already evaluated a point or has an
+    /// outstanding proposal, or if the point's dimension is wrong —
+    /// seeding mid-search would corrupt the incumbent bookkeeping.
+    pub fn seed_point(&mut self, point: &[f64]) {
+        assert!(
+            !self.evaluated_init && self.outstanding.is_none(),
+            "seed_point() on a thread that already started searching"
+        );
+        assert_eq!(point.len(), self.space.dim(), "seed point dimension");
+        self.best_point = point.iter().map(|&u| u.clamp(0.0, 1.0)).collect();
+    }
+
     /// Proposes the next unit-cube point to evaluate.
     ///
     /// # Panics
@@ -273,6 +292,28 @@ mod tests {
         let c = space.decode(&p);
         assert_eq!(c.get(&space, "x"), -4.0);
         assert_eq!(c.get(&space, "y"), -4.0);
+    }
+
+    #[test]
+    fn seeded_point_is_evaluated_first() {
+        let space = square_space();
+        let mut opt = Flow2::new(space.clone(), 0);
+        let seed = vec![0.25, 0.75];
+        opt.seed_point(&seed);
+        assert_eq!(opt.ask(), seed);
+        opt.tell(0.5);
+        assert_eq!(opt.best_point(), seed);
+        assert_eq!(opt.best_err(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already started searching")]
+    fn seeding_after_first_evaluation_panics() {
+        let space = square_space();
+        let mut opt = Flow2::new(space.clone(), 0);
+        let p = opt.ask();
+        opt.tell(sphere_loss(&space, &p));
+        opt.seed_point(&[0.5, 0.5]);
     }
 
     #[test]

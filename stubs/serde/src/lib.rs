@@ -22,9 +22,15 @@ pub use serde_derive::{Deserialize, Serialize};
 pub enum Value {
     Null,
     Bool(bool),
-    /// All numbers, integral or not; `usize`/`i64` fields in this
-    /// workspace stay far below 2^53 so an `f64` carrier is lossless.
+    /// Floating-point numbers (including the non-finite sentinels).
     Num(f64),
+    /// Unsigned integers, carried exactly: dataset fingerprints and
+    /// derived trial seeds are arbitrary `u64` bit patterns that an
+    /// `f64` carrier would silently round above 2^53.
+    UInt(u64),
+    /// Negative integers, carried exactly (non-negative signed values
+    /// normalize to [`Value::UInt`]).
+    Int(i64),
     Str(String),
     Arr(Vec<Value>),
     Obj(Vec<(String, Value)>),
@@ -55,6 +61,34 @@ impl Value {
     pub fn as_num(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer, if it is one (or a float
+    /// with an integral value that fits).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an exact signed integer, if it is one (or a float
+    /// with an integral value that fits).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::UInt(n) => i64::try_from(*n).ok(),
+            Value::Num(n) if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 => {
+                Some(*n as i64)
+            }
             _ => None,
         }
     }
@@ -74,7 +108,7 @@ impl DeError {
         let found = match found {
             Value::Null => "null",
             Value::Bool(_) => "a boolean",
-            Value::Num(_) => "a number",
+            Value::Num(_) | Value::UInt(_) | Value::Int(_) => "a number",
             Value::Str(_) => "a string",
             Value::Arr(_) => "an array",
             Value::Obj(_) => "an object",
@@ -112,7 +146,47 @@ pub mod de {
     impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
 }
 
-macro_rules! num_primitives {
+macro_rules! uint_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("an unsigned integer", value))?;
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+macro_rules! int_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // Non-negative values normalize to UInt so a signed and
+                // an unsigned field holding the same small count render
+                // and compare identically.
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("an integer", value))?;
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+macro_rules! float_primitives {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value {
@@ -128,7 +202,9 @@ macro_rules! num_primitives {
     )*};
 }
 
-num_primitives!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+uint_primitives!(u8, u16, u32, u64, u128, usize);
+int_primitives!(i8, i16, i32, i64, i128, isize);
+float_primitives!(f32, f64);
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {

@@ -73,6 +73,8 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: us
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Value::Num(n) => write_num(out, *n),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
         Value::Str(s) => write_str(out, s),
         Value::Arr(items) => write_seq(out, indent, depth, '[', ']', items.iter(), |out, v, d| {
             write_value(out, v, indent, d);
@@ -376,15 +378,31 @@ impl<'a> Parser<'a> {
         if self.bytes.get(self.pos) == Some(&b'-') {
             self.pos += 1;
         }
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
+        let mut integral = true;
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => {}
+                b'.' | b'e' | b'E' | b'+' | b'-' => integral = false,
+                _ => break,
+            }
             self.pos += 1;
         }
-        std::str::from_utf8(&self.bytes[start..self.pos])
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        // Integer literals parse exactly — a u64 fingerprint or seed must
+        // not round through f64. Out-of-range integers (and anything with
+        // a fraction or exponent) fall back to the float path, as does
+        // "-0": it renders from the f64 -0.0 and must keep its sign bit.
+        if integral && text != "-0" {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        text.parse::<f64>()
             .ok()
-            .and_then(|s| s.parse::<f64>().ok())
             .map(Value::Num)
             .ok_or_else(|| self.err("invalid number"))
     }
