@@ -442,6 +442,8 @@ pub struct AutoMl {
     pub(crate) journal_path: Option<PathBuf>,
     pub(crate) resume: bool,
     pub(crate) starting_points: Vec<(String, Vec<f64>, f64)>,
+    pub(crate) prepared_cache: bool,
+    pub(crate) prepared_cache_bytes: usize,
 }
 
 impl Default for AutoMl {
@@ -473,6 +475,8 @@ impl Default for AutoMl {
             journal_path: None,
             resume: false,
             starting_points: Vec::new(),
+            prepared_cache: true,
+            prepared_cache_bytes: 256 * 1024 * 1024,
         }
     }
 }
@@ -604,6 +608,26 @@ impl AutoMl {
     /// retried. Default: 1.
     pub fn max_retries(mut self, n: usize) -> AutoMl {
         self.max_retries = n;
+        self
+    }
+
+    /// Enables or disables the zero-copy data plane (fold views and
+    /// pre-binned matrices memoized across trials). Disabling it falls
+    /// back to the copy-based data flow: every trial materializes owned
+    /// sample and fold datasets and every fit re-bins its columns. The
+    /// plane is observationally pure — the trial trace is bit-identical
+    /// either way — so this knob only trades memory for speed.
+    /// Default: on.
+    pub fn prepared_cache(mut self, on: bool) -> AutoMl {
+        self.prepared_cache = on;
+        self
+    }
+
+    /// Caps the bytes the prepared-data cache may hold; the oldest
+    /// entries are evicted first when the budget is exceeded. Default:
+    /// 256 MiB.
+    pub fn prepared_cache_bytes(mut self, bytes: usize) -> AutoMl {
+        self.prepared_cache_bytes = bytes;
         self
     }
 

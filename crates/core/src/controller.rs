@@ -33,9 +33,10 @@ use crate::automl::{
 };
 use crate::clock::{BudgetClock, TrialInfo};
 use crate::custom::Estimator;
+use crate::dataplane::{DataPlane, PrepStats, TrialData};
 use crate::eci::{sample_by_inverse_eci, EciState};
 use crate::ensemble::{build_stacked, MemberSpec};
-use crate::resample::{run_trial, ResampleStrategy, TrialOutcome, TrialStatus};
+use crate::resample::{run_trial_prepared, ResampleStrategy, TrialOutcome, TrialStatus};
 use flaml_data::{Dataset, Task};
 use flaml_exec::{
     EventSink, ExecPool, FaultPlan, Job, JobResult, JobStatus, TrialEvent, TrialEventKind,
@@ -49,6 +50,7 @@ use flaml_search::{Config, Flow2};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct LearnerState {
@@ -81,6 +83,13 @@ struct Proposal {
     /// itself panicked before reporting.
     cost_factor: f64,
     expected_fits: usize,
+    /// The trial's prepared views and bin artifacts, built by the data
+    /// plane at proposal time (on the controller thread, so cache state
+    /// advances in deterministic proposal order). `None` during replay,
+    /// which never executes.
+    data: Option<Arc<TrialData>>,
+    /// Cache hit/miss accounting for this trial's preparation.
+    prep: PrepStats,
 }
 
 /// Builds a trial event carrying a proposal's identity.
@@ -303,7 +312,7 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
         &cleaned
     };
 
-    let shuffled = data.shuffled(settings.seed);
+    let shuffled = data.shuffled_view(settings.seed);
     let n = shuffled.n_rows();
     let d = shuffled.n_features();
 
@@ -316,6 +325,18 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
             ratio: settings.resample_rule.holdout_ratio,
         },
     };
+
+    // The zero-copy data plane: prepares each trial's views (and, for
+    // binned learners, its bin artifacts) on the controller thread at
+    // proposal time, memoizing them across trials. Caching is
+    // observationally pure — cached artifacts are bit-identical to fresh
+    // computation — so traces do not depend on the cache settings.
+    let mut plane = DataPlane::new(
+        shuffled.clone(),
+        strategy,
+        settings.prepared_cache,
+        settings.prepared_cache_bytes,
+    );
 
     let init_s = if settings.sampling {
         settings.sample_size_init.min(n)
@@ -532,6 +553,14 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
             let st = &states[li];
             let config = st.space.decode(&point);
             let cost_factor = st.kind.cost_factor(&config, &st.space);
+            let (trial_data, prep) = if replaying {
+                // Replayed trials never execute; skip preparation so
+                // resume costs no data-plane work (and no cache churn).
+                (None, PrepStats::default())
+            } else {
+                let (td, prep) = plane.prepare(trial_s, st.kind.max_bin(&config, &st.space));
+                (Some(Arc::new(td)), prep)
+            };
             proposals.push(Proposal {
                 li,
                 trial_no: it + 1,
@@ -541,6 +570,8 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 seed: settings.seed.wrapping_add(it as u64),
                 cost_factor,
                 expected_fits: strategy.fits_per_trial(),
+                data: trial_data,
+                prep,
             });
         }
 
@@ -564,7 +595,6 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 }
             }
         }
-        let shuffled_ref = &shuffled;
         let states_ref = &states;
         let fold_pool_ref = &fold_pool;
         let results: Vec<Option<JobResult<TrialOutcome>>> = if replaying {
@@ -574,13 +604,13 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 .iter()
                 .map(|p| {
                     let st = &states_ref[p.li];
+                    let td = p.data.as_deref().expect("live trials carry prepared data");
                     let job = Job::new(move |_ctx| {
-                        run_trial(
-                            shuffled_ref,
+                        run_trial_prepared(
+                            td,
                             &st.kind,
                             &p.config,
                             &st.space,
-                            p.trial_s,
                             strategy,
                             metric,
                             p.seed,
@@ -691,13 +721,13 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                         .seed
                         .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64));
                     let st = &states[p.li];
+                    let td = p.data.as_deref().expect("live trials carry prepared data");
                     let job = Job::new(move |_ctx| {
-                        run_trial(
-                            shuffled_ref,
+                        run_trial_prepared(
+                            td,
                             &st.kind,
                             &p.config,
                             &st.space,
-                            p.trial_s,
                             strategy,
                             metric,
                             retry_seed,
@@ -898,6 +928,9 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 ev.cost = Some(cost);
                 ev.wall_secs = Some(measured);
                 ev.message = outcome.message.clone();
+                ev.prepared_hits = p.prep.prepared_hits;
+                ev.prepared_misses = p.prep.prepared_misses;
+                ev.bytes_copied_saved = p.prep.bytes_copied_saved;
                 ev.meta = Some(TrialMeta {
                     mode: p.mode.name().to_string(),
                     status: outcome.status.to_string(),

@@ -11,7 +11,7 @@
 //!
 //! ```
 //! use flaml_core::{AutoMl, CustomLearner};
-//! use flaml_data::Dataset;
+//! use flaml_data::DatasetView;
 //! use flaml_learners::{FitError, FittedModel, Forest, ForestParams};
 //! use flaml_search::{Config, Domain, ParamDef, SearchSpace};
 //! use std::time::Duration;
@@ -35,7 +35,7 @@
 //!     }
 //!     fn fit(
 //!         &self,
-//!         data: &Dataset,
+//!         data: &DatasetView,
 //!         config: &Config,
 //!         space: &SearchSpace,
 //!         seed: u64,
@@ -55,8 +55,8 @@
 //! ```
 
 use crate::spaces::LearnerKind;
-use flaml_data::Dataset;
-use flaml_learners::{FitError, FittedModel};
+use flaml_data::DatasetView;
+use flaml_learners::{FitError, FittedModel, PreparedBins};
 use flaml_search::{Config, SearchSpace};
 use std::sync::Arc;
 use std::time::Duration;
@@ -81,12 +81,17 @@ pub trait CustomLearner: std::fmt::Debug + Send + Sync {
     /// bounds training time; implementations should return a usable
     /// partial model rather than exceeding it.
     ///
+    /// `data` is a zero-copy [`DatasetView`] (the search loop never
+    /// materializes subsamples or folds); every builtin learner's `fit`
+    /// accepts it directly, and `data.materialize()` recovers an owned
+    /// `Dataset` for learners that need one.
+    ///
     /// # Errors
     ///
     /// Returns [`FitError`] for invalid configurations or unusable data.
     fn fit(
         &self,
-        data: &Dataset,
+        data: &DatasetView,
         config: &Config,
         space: &SearchSpace,
         seed: u64,
@@ -136,17 +141,56 @@ impl Estimator {
     /// Returns [`FitError`] for invalid configurations or unusable data.
     pub fn fit(
         &self,
-        data: &Dataset,
+        data: impl Into<DatasetView>,
         config: &Config,
         space: &SearchSpace,
         seed: u64,
         budget: Option<Duration>,
     ) -> Result<FittedModel, FitError> {
+        let data: DatasetView = data.into();
+        self.fit_prepared(&data, config, space, seed, budget, None)
+    }
+
+    /// Like [`Estimator::fit`], but reuses a cached [`PreparedBins`]
+    /// artifact when the learner bins its features and the artifact's
+    /// `max_bin` matches the configuration's. A mismatched or absent
+    /// artifact falls back to computing bins from `data` — the fitted
+    /// model is bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] for invalid configurations or unusable data.
+    pub fn fit_prepared(
+        &self,
+        data: &DatasetView,
+        config: &Config,
+        space: &SearchSpace,
+        seed: u64,
+        budget: Option<Duration>,
+        prepared: Option<&PreparedBins>,
+    ) -> Result<FittedModel, FitError> {
         match self {
-            Estimator::Builtin(k) => {
-                crate::learner::fit_learner(*k, data, config, space, seed, budget)
-            }
+            Estimator::Builtin(k) => crate::learner::fit_learner_prepared(
+                *k, data, config, space, seed, budget, prepared,
+            ),
             Estimator::Custom(c) => c.fit(data, config, space, seed, budget),
+        }
+    }
+
+    /// The binning resolution this learner fits `config` with, or `None`
+    /// for learners that do not bin. The data plane prepares (and caches)
+    /// a [`PreparedBins`] artifact per `(sample, fold, max_bin)` key;
+    /// returning exactly the `max_bin` that
+    /// [`crate::fit_learner`] will put in the learner's
+    /// parameters is what makes the cached artifact admissible.
+    pub fn max_bin(&self, config: &Config, space: &SearchSpace) -> Option<usize> {
+        match self {
+            Estimator::Builtin(LearnerKind::LightGbm) => {
+                Some(config.get(space, "max_bin") as usize)
+            }
+            Estimator::Builtin(LearnerKind::XgBoost | LearnerKind::CatBoost) => Some(255),
+            Estimator::Builtin(LearnerKind::Rf | LearnerKind::ExtraTrees | LearnerKind::Lr)
+            | Estimator::Custom(_) => None,
         }
     }
 
@@ -173,7 +217,7 @@ impl From<LearnerKind> for Estimator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flaml_data::Task;
+    use flaml_data::{Dataset, Task};
     use flaml_learners::{Linear, LinearParams};
     use flaml_search::{Domain, ParamDef};
 
@@ -193,7 +237,7 @@ mod tests {
         }
         fn fit(
             &self,
-            data: &Dataset,
+            data: &DatasetView,
             config: &Config,
             space: &SearchSpace,
             seed: u64,
@@ -245,5 +289,30 @@ mod tests {
         let space = e.space(100);
         let f = e.cost_factor(&space.init_config(), &space);
         assert_eq!(f, 64.0, "no tree_num in the stub space");
+    }
+
+    #[test]
+    fn max_bin_tracks_the_learner_params() {
+        let lgbm = Estimator::from(LearnerKind::LightGbm);
+        let space = lgbm.space(1000);
+        let config = space.init_config();
+        assert_eq!(
+            lgbm.max_bin(&config, &space),
+            Some(config.get(&space, "max_bin") as usize),
+            "lightgbm searches max_bin"
+        );
+        for fixed in [LearnerKind::XgBoost, LearnerKind::CatBoost] {
+            let e = Estimator::from(fixed);
+            let space = e.space(1000);
+            assert_eq!(e.max_bin(&space.init_config(), &space), Some(255));
+        }
+        for unbinned in [LearnerKind::Rf, LearnerKind::ExtraTrees, LearnerKind::Lr] {
+            let e = Estimator::from(unbinned);
+            let space = e.space(1000);
+            assert_eq!(e.max_bin(&space.init_config(), &space), None);
+        }
+        let custom = Estimator::Custom(Arc::new(Stub));
+        let space = custom.space(100);
+        assert_eq!(custom.max_bin(&space.init_config(), &space), None);
     }
 }

@@ -6,7 +6,7 @@
 //! [`crate::AutoMl::ensemble`].
 
 use crate::custom::Estimator;
-use flaml_data::{stratified_kfold, Dataset};
+use flaml_data::{stratified_kfold, Dataset, DatasetView};
 use flaml_learners::{fit_meta, meta_features, FittedModel, StackedModel};
 use flaml_search::{Config, SearchSpace};
 use std::time::Duration;
@@ -32,7 +32,7 @@ pub struct MemberSpec {
 /// training step fails — the caller then falls back to the single best
 /// model, so enabling ensembles can never lose a result.
 pub fn build_stacked(
-    shuffled: &Dataset,
+    shuffled: &DatasetView,
     mut specs: Vec<MemberSpec>,
     max_members: usize,
     folds: usize,
@@ -70,11 +70,11 @@ pub fn build_stacked(
     // order. Column count comes from a probe on the first fold.
     let probe = meta_features(
         &oof_members[0],
-        &shuffled.select(&fold_idx[0].valid),
+        shuffled.select(&fold_idx[0].valid),
         fold_idx[0]
             .valid
             .iter()
-            .map(|&i| shuffled.target()[i])
+            .map(|&i| shuffled.target_at(i))
             .collect(),
     );
     let n_meta = probe.n_features();
@@ -85,13 +85,13 @@ pub fn build_stacked(
         let feats = meta_features(
             models,
             &valid,
-            fold.valid.iter().map(|&i| shuffled.target()[i]).collect(),
+            fold.valid.iter().map(|&i| shuffled.target_at(i)).collect(),
         );
         for (local, &global) in fold.valid.iter().enumerate() {
             for (c, column) in columns.iter_mut().enumerate() {
                 column[global] = feats.value(local, c);
             }
-            target[global] = shuffled.target()[global];
+            target[global] = shuffled.target_at(global);
         }
     }
     let oof = Dataset::new("oof", shuffled.task(), columns, target).ok()?;
@@ -146,7 +146,7 @@ mod tests {
             spec(LearnerKind::Rf, 400, 0.2),
             spec(LearnerKind::Lr, 400, 0.3),
         ];
-        let model = build_stacked(&d, specs, 4, 5, 0, None).expect("ensemble builds");
+        let model = build_stacked(&d.view(), specs, 4, 5, 0, None).expect("ensemble builds");
         let pred = model.predict(&d);
         let loss = Metric::RocAuc.loss(&pred, d.target()).unwrap();
         assert!(loss < 0.2, "ensemble auc regret {loss}");
@@ -157,7 +157,7 @@ mod tests {
     fn single_member_returns_none() {
         let d = data(200).shuffled(0);
         let specs = vec![spec(LearnerKind::LightGbm, 200, 0.1)];
-        assert!(build_stacked(&d, specs, 4, 5, 0, None).is_none());
+        assert!(build_stacked(&d.view(), specs, 4, 5, 0, None).is_none());
     }
 
     #[test]
@@ -168,7 +168,7 @@ mod tests {
             spec(LearnerKind::Rf, 200, f64::INFINITY),
         ];
         assert!(
-            build_stacked(&d, specs, 4, 5, 0, None).is_none(),
+            build_stacked(&d.view(), specs, 4, 5, 0, None).is_none(),
             "one finite member is not an ensemble"
         );
     }
@@ -182,7 +182,7 @@ mod tests {
             spec(LearnerKind::ExtraTrees, 400, 0.3),
             spec(LearnerKind::Lr, 400, 0.4),
         ];
-        let model = build_stacked(&d, specs, 2, 5, 0, None).expect("ensemble builds");
+        let model = build_stacked(&d.view(), specs, 2, 5, 0, None).expect("ensemble builds");
         let FittedModel::Stacked(s) = model else {
             panic!("expected stacked model");
         };

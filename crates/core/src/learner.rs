@@ -2,10 +2,10 @@
 //! parameters, and the trial-time fit entry point.
 
 use crate::spaces::LearnerKind;
-use flaml_data::Dataset;
+use flaml_data::DatasetView;
 use flaml_learners::{
     FitError, FittedModel, Forest, ForestParams, Gbdt, GbdtParams, Growth, Linear, LinearParams,
-    SplitCriterion,
+    PreparedBins, SplitCriterion,
 };
 use flaml_search::{Config, SearchSpace};
 use std::time::Duration;
@@ -28,11 +28,34 @@ const CATBOOST_MAX_LEAVES: usize = 64;
 /// the data is unusable (e.g. a single-class subsample).
 pub fn fit_learner(
     kind: LearnerKind,
-    data: &Dataset,
+    data: impl Into<DatasetView>,
     config: &Config,
     space: &SearchSpace,
     seed: u64,
     budget: Option<Duration>,
+) -> Result<FittedModel, FitError> {
+    let data: DatasetView = data.into();
+    fit_learner_prepared(kind, &data, config, space, seed, budget, None)
+}
+
+/// Like [`fit_learner`], but lets GBDT learners reuse a pre-binned
+/// training matrix prepared by the data plane. `prepared` is consulted
+/// only when its `max_bin` equals the configuration's (the learner
+/// verifies the match); otherwise bins are computed from `data`, so the
+/// fitted model is bit-identical with or without the artifact.
+///
+/// # Errors
+///
+/// Returns [`FitError`] if the configuration is invalid for the learner or
+/// the data is unusable (e.g. a single-class subsample).
+pub fn fit_learner_prepared(
+    kind: LearnerKind,
+    data: &DatasetView,
+    config: &Config,
+    space: &SearchSpace,
+    seed: u64,
+    budget: Option<Duration>,
+    prepared: Option<&PreparedBins>,
 ) -> Result<FittedModel, FitError> {
     match kind {
         LearnerKind::LightGbm => {
@@ -50,7 +73,7 @@ pub fn fit_learner(
                 growth: Growth::LeafWise,
                 early_stop_rounds: None,
             };
-            Gbdt::fit_bounded(data, &params, seed, budget).map(FittedModel::from)
+            Gbdt::fit_prepared(data, &params, seed, budget, prepared).map(FittedModel::from)
         }
         LearnerKind::XgBoost => {
             let params = GbdtParams {
@@ -67,7 +90,7 @@ pub fn fit_learner(
                 growth: Growth::DepthWise,
                 early_stop_rounds: None,
             };
-            Gbdt::fit_bounded(data, &params, seed, budget).map(FittedModel::from)
+            Gbdt::fit_prepared(data, &params, seed, budget, prepared).map(FittedModel::from)
         }
         LearnerKind::CatBoost => {
             let params = GbdtParams {
@@ -84,7 +107,7 @@ pub fn fit_learner(
                 growth: Growth::Oblivious,
                 early_stop_rounds: Some(config.get(space, "early_stop_rounds") as usize),
             };
-            Gbdt::fit_bounded(data, &params, seed, budget).map(FittedModel::from)
+            Gbdt::fit_prepared(data, &params, seed, budget, prepared).map(FittedModel::from)
         }
         LearnerKind::Rf | LearnerKind::ExtraTrees => {
             let params = ForestParams {
@@ -129,7 +152,7 @@ pub fn config_cost_factor(kind: LearnerKind, config: &Config, space: &SearchSpac
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flaml_data::Task;
+    use flaml_data::{Dataset, Task};
 
     fn toy_binary(n: usize) -> Dataset {
         let x: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();

@@ -43,6 +43,7 @@ mod automl;
 mod clock;
 mod controller;
 mod custom;
+mod dataplane;
 mod eci;
 mod ensemble;
 mod learner;
@@ -55,10 +56,13 @@ pub use automl::{
 };
 pub use clock::{default_virtual_cost, BudgetClock, TimeSource, TrialInfo};
 pub use custom::{CustomLearner, Estimator};
+pub use dataplane::{DataPlane, FoldData, PrepStats, TrialData};
 pub use eci::{sample_by_inverse_eci, EciState};
 pub use ensemble::{build_stacked, MemberSpec};
-pub use learner::{config_cost_factor, fit_learner};
-pub use resample::{run_trial, ResampleRule, ResampleStrategy, TrialOutcome, TrialStatus};
+pub use learner::{config_cost_factor, fit_learner, fit_learner_prepared};
+pub use resample::{
+    run_trial, run_trial_prepared, ResampleRule, ResampleStrategy, TrialOutcome, TrialStatus,
+};
 pub use spaces::LearnerKind;
 
 // Re-export the execution runtime so downstream crates can size pools and

@@ -16,7 +16,8 @@
 //! the sequential fold loop bit-for-bit.
 
 use crate::custom::Estimator;
-use flaml_data::{stratified_kfold, train_test_split, Dataset};
+use crate::dataplane::{DataPlane, TrialData};
+use flaml_data::Dataset;
 use flaml_exec::{ExecPool, Job, JobStatus};
 use flaml_learners::FittedModel;
 use flaml_metrics::Metric;
@@ -217,14 +218,11 @@ enum FoldEval {
 }
 
 /// Evaluates `config` for `kind` on the first `sample_size` rows of the
-/// (pre-shuffled) dataset under `strategy`, scoring with `metric`. Model
-/// fits are dispatched as jobs on `pool`: CV folds run concurrently when
-/// the pool has more than one worker, and a `pool` with one worker
-/// reproduces the sequential fold loop exactly.
+/// (pre-shuffled) dataset under `strategy`, scoring with `metric`.
 ///
-/// Failures (unfittable subsample, degenerate metric, a panicking
-/// learner) surface as `error = INFINITY` rather than an `Err`, because
-/// a failed trial is a legitimate observation for the search.
+/// A convenience wrapper around [`run_trial_prepared`] that derives the
+/// trial's views (and, for binned learners, its bin artifacts) fresh —
+/// what the controller's [`DataPlane`] would produce on a cache miss.
 #[allow(clippy::too_many_arguments)]
 pub fn run_trial(
     shuffled: &Dataset,
@@ -238,24 +236,55 @@ pub fn run_trial(
     deadline: Option<Duration>,
     pool: &ExecPool,
 ) -> TrialOutcome {
-    let sample = shuffled.prefix(sample_size);
+    let mut plane = DataPlane::new(shuffled.view(), strategy, true, usize::MAX);
+    let (trial, _) = plane.prepare(sample_size, kind.max_bin(config, space));
+    run_trial_prepared(
+        &trial, kind, config, space, strategy, metric, seed, deadline, pool,
+    )
+}
+
+/// Evaluates `config` for `kind` on a prepared [`TrialData`] under
+/// `strategy`, scoring with `metric`. Model fits are dispatched as jobs
+/// on `pool`: CV folds run concurrently when the pool has more than one
+/// worker, and a `pool` with one worker reproduces the sequential fold
+/// loop exactly.
+///
+/// Failures (unfittable subsample, degenerate metric, a panicking
+/// learner) surface as `error = INFINITY` rather than an `Err`, because
+/// a failed trial is a legitimate observation for the search.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trial_prepared(
+    trial: &TrialData,
+    kind: &Estimator,
+    config: &Config,
+    space: &SearchSpace,
+    strategy: ResampleStrategy,
+    metric: Metric,
+    seed: u64,
+    deadline: Option<Duration>,
+    pool: &ExecPool,
+) -> TrialOutcome {
     let cost_factor = kind.cost_factor(config, space);
     match strategy {
-        ResampleStrategy::Holdout { ratio } => {
-            let Ok(fold) = train_test_split(sample.n_rows(), ratio) else {
+        ResampleStrategy::Holdout { .. } => {
+            let Some(fold) = trial.folds.first() else {
                 return TrialOutcome::aborted(cost_factor);
             };
-            let sample = &sample;
             let job = Job::new(move |ctx: &flaml_exec::JobCtx| {
-                let train = sample.select(&fold.train);
-                let valid = sample.select(&fold.valid);
-                match kind.fit(&train, config, space, seed, ctx.remaining()) {
+                match kind.fit_prepared(
+                    &fold.train,
+                    config,
+                    space,
+                    seed,
+                    ctx.remaining(),
+                    fold.bins.as_deref(),
+                ) {
                     Ok(model) => {
                         // Keep the raw loss (possibly NaN) so the commit
                         // path can distinguish a non-finite loss from a
                         // deterministic fit failure.
                         let err = metric
-                            .loss(&model.predict(&valid), valid.target())
+                            .loss(&model.predict(&fold.valid), &fold.valid_target)
                             .unwrap_or(f64::INFINITY);
                         (FoldEval::Scored(err), Some(model))
                     }
@@ -310,11 +339,11 @@ pub fn run_trial(
                 },
             }
         }
-        ResampleStrategy::Cv { folds } => {
-            let Ok(folds_idx) = stratified_kfold(&sample, folds) else {
+        ResampleStrategy::Cv { .. } => {
+            if trial.folds.is_empty() {
                 return TrialOutcome::aborted(cost_factor);
-            };
-            let n_fits = folds_idx.len();
+            }
+            let n_fits = trial.folds.len();
             // Split any deadline evenly across folds so CV cannot overrun
             // even when folds run one after another.
             let per_fold = deadline.map(|d| d / n_fits as u32);
@@ -323,21 +352,26 @@ pub fn run_trial(
             // With one worker this reproduces the sequential loop's early
             // break exactly.
             let aborted = AtomicBool::new(false);
-            let sample = &sample;
             let aborted_ref = &aborted;
-            let jobs: Vec<Job<'_, FoldEval>> = folds_idx
+            let jobs: Vec<Job<'_, FoldEval>> = trial
+                .folds
                 .iter()
                 .map(|fold| {
                     Job::new(move |ctx: &flaml_exec::JobCtx| {
                         if aborted_ref.load(Ordering::SeqCst) {
                             return FoldEval::Skipped;
                         }
-                        let train = sample.select(&fold.train);
-                        let valid = sample.select(&fold.valid);
-                        match kind.fit(&train, config, space, seed, ctx.remaining()) {
+                        match kind.fit_prepared(
+                            &fold.train,
+                            config,
+                            space,
+                            seed,
+                            ctx.remaining(),
+                            fold.bins.as_deref(),
+                        ) {
                             Ok(model) => {
                                 let err = metric
-                                    .loss(&model.predict(&valid), valid.target())
+                                    .loss(&model.predict(&fold.valid), &fold.valid_target)
                                     .unwrap_or(f64::INFINITY);
                                 FoldEval::Scored(err)
                             }
@@ -595,7 +629,7 @@ mod tests {
             }
             fn fit(
                 &self,
-                _data: &Dataset,
+                _data: &flaml_data::DatasetView,
                 _config: &Config,
                 _space: &SearchSpace,
                 _seed: u64,

@@ -6,7 +6,7 @@ use flaml_core::{
     default_virtual_cost, AutoMl, AutoMlError, LearnerKind, LearnerSelection, ResampleChoice,
     TimeSource, TrialMode,
 };
-use flaml_data::{Dataset, Task};
+use flaml_data::{Dataset, DatasetView, Task};
 use flaml_metrics::Metric;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -345,7 +345,7 @@ fn custom_learner_participates_in_the_search() {
         }
         fn fit(
             &self,
-            data: &Dataset,
+            data: &DatasetView,
             config: &Config,
             space: &SearchSpace,
             seed: u64,

@@ -1,7 +1,9 @@
+use crate::view::DatasetView;
 use crate::DataError;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The kind of a feature column.
 ///
@@ -47,18 +49,51 @@ impl Task {
     }
 }
 
+/// The shared, immutable storage behind a [`Dataset`] and every
+/// [`DatasetView`] derived from it. Never exposed mutably once wrapped in
+/// an `Arc`; row subsets are expressed as index views over this storage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct DatasetCore {
+    pub(crate) name: String,
+    pub(crate) task: Task,
+    pub(crate) columns: Vec<Vec<f64>>,
+    pub(crate) kinds: Vec<FeatureKind>,
+    pub(crate) target: Vec<f64>,
+}
+
 /// A column-major, in-memory tabular dataset.
 ///
 /// Feature values are `f64`; missing values are `NaN`. Labels for
 /// classification tasks are class indices stored as `f64`. The column-major
 /// layout favours the histogram construction done by the tree learners.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Storage is shared behind an `Arc`: cloning a dataset, or deriving
+/// [`DatasetView`]s from it via [`Dataset::view`] /
+/// [`Dataset::shuffled_view`], never copies the column data. `Dataset` is
+/// a thin constructor for the root view; the row-subset operations
+/// ([`Dataset::select`], [`Dataset::prefix`]) still return owned copies
+/// for compatibility, while the view equivalents are O(rows).
+#[derive(Debug, Clone)]
 pub struct Dataset {
-    name: String,
-    task: Task,
-    columns: Vec<Vec<f64>>,
-    kinds: Vec<FeatureKind>,
-    target: Vec<f64>,
+    pub(crate) core: Arc<DatasetCore>,
+}
+
+// Serialization delegates to the inner core so the on-disk shape stays the
+// flat `{name, task, columns, kinds, target}` object it was before the
+// storage moved behind an `Arc` (the vendored serde stub has no blanket
+// `Arc<T>` impls, and the flat shape is the compatible one anyway).
+impl Serialize for Dataset {
+    fn to_value(&self) -> serde::Value {
+        self.core.to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for Dataset {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        DatasetCore::from_value(value).map(|core| Dataset {
+            core: Arc::new(core),
+        })
+    }
 }
 
 impl Dataset {
@@ -124,32 +159,34 @@ impl Dataset {
             }
         }
         Ok(Dataset {
-            name: name.into(),
-            task,
-            columns,
-            kinds,
-            target,
+            core: Arc::new(DatasetCore {
+                name: name.into(),
+                task,
+                columns,
+                kinds,
+                target,
+            }),
         })
     }
 
     /// Dataset name (used in experiment reports).
     pub fn name(&self) -> &str {
-        &self.name
+        &self.core.name
     }
 
     /// The prediction task.
     pub fn task(&self) -> Task {
-        self.task
+        self.core.task
     }
 
     /// Number of rows.
     pub fn n_rows(&self) -> usize {
-        self.target.len()
+        self.core.target.len()
     }
 
     /// Number of feature columns.
     pub fn n_features(&self) -> usize {
-        self.columns.len()
+        self.core.columns.len()
     }
 
     /// The values of feature column `j`.
@@ -158,12 +195,12 @@ impl Dataset {
     ///
     /// Panics if `j >= self.n_features()`.
     pub fn column(&self, j: usize) -> &[f64] {
-        &self.columns[j]
+        &self.core.columns[j]
     }
 
     /// All feature columns.
     pub fn columns(&self) -> &[Vec<f64>] {
-        &self.columns
+        &self.core.columns
     }
 
     /// The kind of feature column `j`.
@@ -172,17 +209,17 @@ impl Dataset {
     ///
     /// Panics if `j >= self.n_features()`.
     pub fn feature_kind(&self, j: usize) -> FeatureKind {
-        self.kinds[j]
+        self.core.kinds[j]
     }
 
     /// All feature kinds.
     pub fn feature_kinds(&self) -> &[FeatureKind] {
-        &self.kinds
+        &self.core.kinds
     }
 
     /// The target vector.
     pub fn target(&self) -> &[f64] {
-        &self.target
+        &self.core.target
     }
 
     /// The value of feature `j` at row `i`.
@@ -191,20 +228,26 @@ impl Dataset {
     ///
     /// Panics if out of bounds.
     pub fn value(&self, i: usize, j: usize) -> f64 {
-        self.columns[j][i]
+        self.core.columns[j][i]
     }
 
     /// Renames the dataset (builder-style), returning it.
     pub fn renamed(mut self, name: impl Into<String>) -> Self {
-        self.name = name.into();
+        Arc::make_mut(&mut self.core).name = name.into();
         self
+    }
+
+    /// The zero-copy root view over all rows of this dataset. O(1): the
+    /// view shares this dataset's column storage.
+    pub fn view(&self) -> DatasetView {
+        DatasetView::root(Arc::clone(&self.core))
     }
 
     /// The empirical class distribution, `None` for regression.
     pub fn class_priors(&self) -> Option<Vec<f64>> {
-        let k = self.task.n_classes()?;
+        let k = self.core.task.n_classes()?;
         let mut counts = vec![0usize; k];
-        for &y in &self.target {
+        for &y in &self.core.target {
             counts[y as usize] += 1;
         }
         let n = self.n_rows() as f64;
@@ -215,38 +258,52 @@ impl Dataset {
     /// or a subset of row indices; duplicates are allowed, enabling
     /// bootstrap resamples).
     ///
+    /// This copies the selected rows; [`DatasetView::select`] is the
+    /// zero-copy equivalent.
+    ///
     /// # Panics
     ///
     /// Panics if any index is out of bounds or `order` is empty.
     pub fn select(&self, order: &[usize]) -> Dataset {
         assert!(!order.is_empty(), "cannot select zero rows");
         let columns = self
+            .core
             .columns
             .iter()
             .map(|col| order.iter().map(|&i| col[i]).collect())
             .collect();
-        let target = order.iter().map(|&i| self.target[i]).collect();
+        let target = order.iter().map(|&i| self.core.target[i]).collect();
         Dataset {
-            name: self.name.clone(),
-            task: self.task,
-            columns,
-            kinds: self.kinds.clone(),
-            target,
+            core: Arc::new(DatasetCore {
+                name: self.core.name.clone(),
+                task: self.core.task,
+                columns,
+                kinds: self.core.kinds.clone(),
+                target,
+            }),
         }
     }
 
     /// The first `s` rows (the paper's prefix subsample of shuffled data).
     ///
-    /// `s` is clamped to `1..=n_rows`.
+    /// `s` is clamped to `1..=n_rows`. This copies the prefix;
+    /// [`DatasetView::prefix`] is the zero-copy equivalent.
     pub fn prefix(&self, s: usize) -> Dataset {
         let s = s.clamp(1, self.n_rows());
-        let columns = self.columns.iter().map(|col| col[..s].to_vec()).collect();
+        let columns = self
+            .core
+            .columns
+            .iter()
+            .map(|col| col[..s].to_vec())
+            .collect();
         Dataset {
-            name: self.name.clone(),
-            task: self.task,
-            columns,
-            kinds: self.kinds.clone(),
-            target: self.target[..s].to_vec(),
+            core: Arc::new(DatasetCore {
+                name: self.core.name.clone(),
+                task: self.core.task,
+                columns,
+                kinds: self.core.kinds.clone(),
+                target: self.core.target[..s].to_vec(),
+            }),
         }
     }
 
@@ -261,11 +318,19 @@ impl Dataset {
         self.select(&order)
     }
 
+    /// A zero-copy shuffled view: the same row order as
+    /// [`Dataset::shuffled`] expressed as an index view over this
+    /// dataset's storage, built in O(rows) instead of O(rows × features).
+    pub fn shuffled_view(&self, seed: u64) -> DatasetView {
+        let order = self.shuffle_order(seed);
+        self.view().select(&order)
+    }
+
     /// The row order that [`Dataset::shuffled`] applies.
     pub fn shuffle_order(&self, seed: u64) -> Vec<usize> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let n = self.n_rows();
-        match self.task.n_classes() {
+        match self.core.task.n_classes() {
             None => {
                 let mut order: Vec<usize> = (0..n).collect();
                 order.shuffle(&mut rng);
@@ -276,7 +341,7 @@ impl Dataset {
                 // drawing from the class whose emitted share lags its prior
                 // the most: every prefix stays close to stratified.
                 let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); k];
-                for (i, &y) in self.target.iter().enumerate() {
+                for (i, &y) in self.core.target.iter().enumerate() {
                     by_class[y as usize].push(i);
                 }
                 for rows in &mut by_class {
@@ -332,7 +397,7 @@ impl Dataset {
             h
         }
         let mut h = FNV_OFFSET;
-        let task_tag: u64 = match self.task {
+        let task_tag: u64 = match self.core.task {
             Task::Binary => 1,
             Task::MultiClass(k) => 2 | ((k as u64) << 8),
             Task::Regression => 3,
@@ -340,7 +405,7 @@ impl Dataset {
         h = eat(h, &task_tag.to_le_bytes());
         h = eat(h, &(self.n_rows() as u64).to_le_bytes());
         h = eat(h, &(self.n_features() as u64).to_le_bytes());
-        for (col, kind) in self.columns.iter().zip(&self.kinds) {
+        for (col, kind) in self.core.columns.iter().zip(&self.core.kinds) {
             let kind_tag: u64 = match kind {
                 FeatureKind::Numeric => 0,
                 FeatureKind::Categorical { cardinality } => 1 | ((*cardinality as u64) << 8),
@@ -350,7 +415,7 @@ impl Dataset {
                 h = eat(h, &v.to_bits().to_le_bytes());
             }
         }
-        for &y in &self.target {
+        for &y in &self.core.target {
             h = eat(h, &y.to_bits().to_le_bytes());
         }
         h
@@ -360,9 +425,9 @@ impl Dataset {
     /// count of classes that actually occur, which can be smaller than
     /// the task's nominal class count). `None` for regression.
     pub fn distinct_labels(&self) -> Option<usize> {
-        let k = self.task.n_classes()?;
+        let k = self.core.task.n_classes()?;
         let mut seen = vec![false; k];
-        for &y in &self.target {
+        for &y in &self.core.target {
             seen[y as usize] = true;
         }
         Some(seen.into_iter().filter(|&s| s).count())
@@ -374,7 +439,8 @@ impl Dataset {
     /// and an all-NaN column can push imputation-free learners into
     /// producing NaN losses.
     pub fn degenerate_columns(&self) -> Vec<usize> {
-        self.columns
+        self.core
+            .columns
             .iter()
             .enumerate()
             .filter(|(_, col)| {
@@ -412,11 +478,13 @@ impl Dataset {
             return Err(DataError::NoFeatures);
         }
         Ok(Dataset {
-            name: self.name.clone(),
-            task: self.task,
-            columns: keep.iter().map(|&j| self.columns[j].clone()).collect(),
-            kinds: keep.iter().map(|&j| self.kinds[j]).collect(),
-            target: self.target.clone(),
+            core: Arc::new(DatasetCore {
+                name: self.core.name.clone(),
+                task: self.core.task,
+                columns: keep.iter().map(|&j| self.core.columns[j].clone()).collect(),
+                kinds: keep.iter().map(|&j| self.core.kinds[j]).collect(),
+                target: self.core.target.clone(),
+            }),
         })
     }
 }
@@ -503,6 +571,35 @@ mod tests {
         assert_eq!(d.prefix(3).n_rows(), 3);
         assert_eq!(d.prefix(0).n_rows(), 1);
         assert_eq!(d.prefix(99).n_rows(), 10);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let d = toy(10, Task::Regression);
+        let c = d.clone();
+        assert!(std::ptr::eq(d.column(0).as_ptr(), c.column(0).as_ptr()));
+    }
+
+    #[test]
+    fn renamed_does_not_disturb_other_handles() {
+        let d = toy(5, Task::Regression);
+        let original = d.clone();
+        let renamed = d.renamed("other");
+        assert_eq!(original.name(), "toy");
+        assert_eq!(renamed.name(), "other");
+        assert_eq!(original.column(0), renamed.column(0));
+    }
+
+    #[test]
+    fn serde_round_trip_keeps_the_flat_shape() {
+        let d = toy(4, Task::Binary);
+        let value = d.to_value();
+        // The Arc indirection must not leak into the serialized shape.
+        let fields = value.as_obj().expect("dataset serializes as an object");
+        assert!(fields.iter().any(|(k, _)| k == "columns"));
+        let back = Dataset::from_value(&value).unwrap();
+        assert_eq!(back.fingerprint(), d.fingerprint());
+        assert_eq!(back.name(), d.name());
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! sample of size `s` (Section 4.2: "to get a sample with size s, it takes
 //! the first s tuples of the shuffled data"), and *resampling* via k-fold
 //! cross-validation or holdout (Step 0). This crate implements all three,
-//! plus the [`Dataset`] container every learner in the ML layer consumes.
+//! plus the [`Dataset`] container every learner in the ML layer consumes
+//! and the zero-copy [`DatasetView`] the search loop derives subsamples,
+//! shuffles, and folds from without copying column data.
 //!
 //! # Example
 //!
@@ -24,7 +26,9 @@
 mod dataset;
 mod error;
 mod split;
+mod view;
 
 pub use dataset::{Dataset, FeatureKind, Task};
 pub use error::DataError;
 pub use split::{kfold, stratified_kfold, train_test_split, Fold};
+pub use view::DatasetView;

@@ -1,4 +1,4 @@
-use crate::{DataError, Dataset};
+use crate::{DataError, DatasetView};
 
 /// One cross-validation fold: row indices for training and validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,13 +72,16 @@ pub fn kfold(n: usize, k: usize) -> Result<Vec<Fold>, DataError> {
 /// Stratified k-fold for classification datasets: each fold's validation
 /// set receives every k-th row of each class, preserving class ratios.
 ///
-/// Falls back to plain [`kfold`] for regression tasks.
+/// Accepts anything convertible into a [`DatasetView`] (`&Dataset`,
+/// `&DatasetView`, ...); the fold indices are view-local. Falls back to
+/// plain [`kfold`] for regression tasks.
 ///
 /// # Errors
 ///
 /// Returns [`DataError::BadSplit`] if `k < 2` or `k` exceeds the dataset
 /// row count.
-pub fn stratified_kfold(data: &Dataset, k: usize) -> Result<Vec<Fold>, DataError> {
+pub fn stratified_kfold(data: impl Into<DatasetView>, k: usize) -> Result<Vec<Fold>, DataError> {
+    let data: DatasetView = data.into();
     let n = data.n_rows();
     let Some(n_classes) = data.task().n_classes() else {
         return kfold(n, k);
@@ -93,9 +96,9 @@ pub fn stratified_kfold(data: &Dataset, k: usize) -> Result<Vec<Fold>, DataError
     }
     let mut assignment = vec![0usize; n];
     let mut counter = vec![0usize; n_classes];
-    for (i, &y) in data.target().iter().enumerate() {
-        let c = y as usize;
-        assignment[i] = counter[c] % k;
+    for (i, slot) in assignment.iter_mut().enumerate() {
+        let c = data.target_at(i) as usize;
+        *slot = counter[c] % k;
         counter[c] += 1;
     }
     let mut folds: Vec<Fold> = (0..k)
@@ -128,7 +131,7 @@ pub fn stratified_kfold(data: &Dataset, k: usize) -> Result<Vec<Fold>, DataError
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Task;
+    use crate::{Dataset, Task};
 
     #[test]
     fn holdout_sizes() {

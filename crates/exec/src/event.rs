@@ -114,6 +114,14 @@ pub struct TrialEvent {
     pub wall_secs: Option<f64>,
     /// Panic or diagnostic message, if any.
     pub message: Option<String>,
+    /// Prepared-data cache hits during this trial's preparation
+    /// (committed terminal events only; 0 elsewhere).
+    pub prepared_hits: usize,
+    /// Prepared-data cache misses during this trial's preparation.
+    pub prepared_misses: usize,
+    /// Bytes of dataset copies the zero-copy data plane avoided
+    /// materializing for this trial.
+    pub bytes_copied_saved: usize,
     /// Full per-trial metadata (committed terminal events only).
     pub meta: Option<TrialMeta>,
 }
@@ -132,6 +140,9 @@ impl TrialEvent {
             cost: None,
             wall_secs: None,
             message: None,
+            prepared_hits: 0,
+            prepared_misses: 0,
+            bytes_copied_saved: 0,
             meta: None,
         }
     }
@@ -254,6 +265,13 @@ pub struct Telemetry {
     pub unquarantined: usize,
     /// `Sanitized` events seen (input-data cleanups before the search).
     pub sanitized: usize,
+    /// Prepared-data cache hits summed over all events.
+    pub prepared_hits: usize,
+    /// Prepared-data cache misses summed over all events.
+    pub prepared_misses: usize,
+    /// Bytes of dataset copies the zero-copy data plane avoided
+    /// materializing, summed over all events.
+    pub bytes_copied_saved: usize,
     /// Per-learner counts keyed by learner name (unnamed trials group
     /// under the empty string).
     pub by_learner: BTreeMap<String, LearnerCounts>,
@@ -267,6 +285,9 @@ impl Telemetry {
 
     /// Folds one event in.
     pub fn record(&mut self, event: &TrialEvent) {
+        self.prepared_hits += event.prepared_hits;
+        self.prepared_misses += event.prepared_misses;
+        self.bytes_copied_saved += event.bytes_copied_saved;
         match event.kind {
             TrialEventKind::Started => {
                 self.started += 1;
@@ -398,6 +419,24 @@ mod tests {
         assert_eq!(t.by_learner["gbm"].finished, 1);
         assert_eq!(t.by_learner["gbm"].panicked, 1);
         assert_eq!(t.by_learner["lr"].timed_out, 1);
+    }
+
+    #[test]
+    fn telemetry_sums_data_plane_counters() {
+        let (sink, rx) = event_channel();
+        let mut ev = TrialEvent::new(TrialEventKind::Finished);
+        ev.prepared_hits = 2;
+        ev.prepared_misses = 3;
+        ev.bytes_copied_saved = 4096;
+        sink.emit(ev.clone());
+        ev.prepared_hits = 5;
+        ev.prepared_misses = 0;
+        ev.bytes_copied_saved = 1024;
+        sink.emit(ev);
+        let t = Telemetry::new().drain(&rx);
+        assert_eq!(t.prepared_hits, 7);
+        assert_eq!(t.prepared_misses, 3);
+        assert_eq!(t.bytes_copied_saved, 5120);
     }
 
     #[test]

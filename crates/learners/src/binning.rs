@@ -6,7 +6,52 @@
 //! reserved for missing values (`NaN`); a split at threshold `t` sends bins
 //! `<= t` left, so missing values always travel with the leftmost bin.
 
-use flaml_data::Dataset;
+use flaml_data::DatasetView;
+
+/// The per-feature sorted-unique non-NaN values of one data view: the
+/// expensive part of quantile binning, computed once and shared.
+///
+/// [`BinMapper`]'s cut points are a pure function of this sorted-unique
+/// set (the seed path sorts then dedups before deriving cuts), so a
+/// mapper built via [`BinMapper::from_sorted`] for any `max_bin` is
+/// bit-identical to one built directly from the raw columns — the sort
+/// is paid once per view instead of once per trial.
+#[derive(Debug, Clone)]
+pub struct PreparedSort {
+    /// `columns[j]` holds feature `j`'s distinct non-NaN values, sorted.
+    columns: Vec<Vec<f64>>,
+}
+
+impl PreparedSort {
+    /// Sorts and dedups every feature column of `data`.
+    pub fn compute(data: impl Into<DatasetView>) -> PreparedSort {
+        let data: DatasetView = data.into();
+        let columns = (0..data.n_features())
+            .map(|j| sorted_uniques(data.column_values(j)))
+            .collect();
+        PreparedSort { columns }
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Approximate heap footprint in bytes (for cache budgeting).
+    pub fn heap_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| c.len() * std::mem::size_of::<f64>())
+            .sum()
+    }
+}
+
+fn sorted_uniques(values: impl Iterator<Item = f64>) -> Vec<f64> {
+    let mut values: Vec<f64> = values.filter(|v| !v.is_nan()).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+    values.dedup();
+    values
+}
 
 /// Per-feature quantile cut points mapping raw values to bin indices.
 #[derive(Debug, Clone)]
@@ -17,24 +62,39 @@ pub struct BinMapper {
 
 impl BinMapper {
     /// Builds a mapper with at most `max_bin` value bins per feature
-    /// (missing-value bin excluded).
+    /// (missing-value bin excluded). Accepts anything convertible into a
+    /// [`DatasetView`] (`&Dataset`, `&DatasetView`, ...).
     ///
     /// `max_bin` is clamped to at least 2.
-    pub fn fit(data: &Dataset, max_bin: usize) -> BinMapper {
+    pub fn fit(data: impl Into<DatasetView>, max_bin: usize) -> BinMapper {
+        let data: DatasetView = data.into();
         let max_bin = max_bin.max(2);
         let cuts = (0..data.n_features())
-            .map(|j| Self::feature_cuts(data.column(j), max_bin))
+            .map(|j| Self::cuts_from_sorted(&sorted_uniques(data.column_values(j)), max_bin))
             .collect();
         BinMapper { cuts }
     }
 
-    fn feature_cuts(column: &[f64], max_bin: usize) -> Vec<f64> {
-        let mut values: Vec<f64> = column.iter().copied().filter(|v| !v.is_nan()).collect();
+    /// Builds a mapper from a precomputed [`PreparedSort`], skipping the
+    /// per-trial sort. Produces exactly the cuts [`BinMapper::fit`] would
+    /// for the same view and `max_bin`.
+    ///
+    /// `max_bin` is clamped to at least 2.
+    pub fn from_sorted(sort: &PreparedSort, max_bin: usize) -> BinMapper {
+        let max_bin = max_bin.max(2);
+        let cuts = sort
+            .columns
+            .iter()
+            .map(|values| Self::cuts_from_sorted(values, max_bin))
+            .collect();
+        BinMapper { cuts }
+    }
+
+    /// Derives quantile cuts from a column's sorted-unique value set.
+    fn cuts_from_sorted(values: &[f64], max_bin: usize) -> Vec<f64> {
         if values.is_empty() {
             return Vec::new();
         }
-        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
-        values.dedup();
         if values.len() <= max_bin {
             // One bin per distinct value: cuts at midpoints.
             return values.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
@@ -79,24 +139,89 @@ impl BinMapper {
         1 + self.cuts[j].partition_point(|&c| c < v) as u32
     }
 
-    /// Bins an entire dataset (must have the same number of features).
+    /// Bins an entire dataset or view (must have the same number of
+    /// features), row-ordered as the view iterates.
     ///
     /// # Panics
     ///
     /// Panics if the feature count differs from the fit-time dataset.
-    pub fn transform(&self, data: &Dataset) -> BinnedDataset {
+    pub fn transform(&self, data: impl Into<DatasetView>) -> BinnedDataset {
+        let data: DatasetView = data.into();
         assert_eq!(
             data.n_features(),
             self.n_features(),
             "binning a dataset with a different feature count"
         );
         let bins = (0..data.n_features())
-            .map(|j| data.column(j).iter().map(|&v| self.bin(j, v)).collect())
+            .map(|j| data.column_values(j).map(|v| self.bin(j, v)).collect())
             .collect();
         BinnedDataset {
             bins,
             n_bins: (0..self.n_features()).map(|j| self.n_bins(j)).collect(),
         }
+    }
+}
+
+/// The build-once, reuse-everywhere binning artifact of one training
+/// view at one `max_bin`: the fitted [`BinMapper`] plus the pre-binned
+/// `u32` feature matrix. Sharing it across trials removes the per-trial
+/// sort + quantize + transform from `Gbdt::fit`'s critical path.
+#[derive(Debug, Clone)]
+pub struct PreparedBins {
+    mapper: BinMapper,
+    binned: BinnedDataset,
+    max_bin: usize,
+}
+
+impl PreparedBins {
+    /// Bins `data` with cuts derived from `sort` (which must have been
+    /// computed over the same view). `max_bin` is recorded unclamped so
+    /// callers can match a prepared artifact to a trial's configuration.
+    pub fn prepare(
+        sort: &PreparedSort,
+        data: impl Into<DatasetView>,
+        max_bin: usize,
+    ) -> PreparedBins {
+        let data: DatasetView = data.into();
+        let mapper = BinMapper::from_sorted(sort, max_bin);
+        let binned = mapper.transform(&data);
+        PreparedBins {
+            mapper,
+            binned,
+            max_bin,
+        }
+    }
+
+    /// The requested (unclamped) `max_bin` this artifact was built for.
+    pub fn max_bin(&self) -> usize {
+        self.max_bin
+    }
+
+    /// The fitted mapper.
+    pub fn mapper(&self) -> &BinMapper {
+        &self.mapper
+    }
+
+    /// The pre-binned training matrix.
+    pub fn binned(&self) -> &BinnedDataset {
+        &self.binned
+    }
+
+    /// Approximate heap footprint in bytes (for cache budgeting).
+    pub fn heap_bytes(&self) -> usize {
+        let cuts: usize = self
+            .mapper
+            .cuts
+            .iter()
+            .map(|c| c.len() * std::mem::size_of::<f64>())
+            .sum();
+        let bins: usize = self
+            .binned
+            .bins
+            .iter()
+            .map(|c| c.len() * std::mem::size_of::<u32>())
+            .sum();
+        cuts + bins
     }
 }
 
@@ -140,7 +265,7 @@ impl BinnedDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flaml_data::Task;
+    use flaml_data::{Dataset, Task};
 
     fn data(cols: Vec<Vec<f64>>) -> Dataset {
         let n = cols[0].len();
@@ -234,5 +359,58 @@ mod tests {
         let m = BinMapper::fit(&d, 255);
         assert_eq!(m.n_bins(0), 2);
         assert_eq!(m.bin(0, 4.0), 1);
+    }
+
+    #[test]
+    fn from_sorted_matches_direct_fit_for_every_max_bin() {
+        let col: Vec<f64> = (0..500)
+            .map(|i| {
+                if i % 7 == 0 {
+                    f64::NAN
+                } else {
+                    (i as f64 * 37.0) % 113.0
+                }
+            })
+            .collect();
+        let d = data(vec![col]);
+        let sort = PreparedSort::compute(&d);
+        for max_bin in [2usize, 3, 8, 16, 64, 255, 1024] {
+            let direct = BinMapper::fit(&d, max_bin);
+            let shared = BinMapper::from_sorted(&sort, max_bin);
+            assert_eq!(direct.cuts.len(), shared.cuts.len());
+            for (a, b) in direct.cuts.iter().zip(&shared.cuts) {
+                let a_bits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+                let b_bits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a_bits, b_bits, "max_bin={max_bin}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_bins_match_fit_plus_transform() {
+        let col: Vec<f64> = (0..300).map(|i| (i as f64 * 17.0) % 101.0).collect();
+        let d = data(vec![col]);
+        let sort = PreparedSort::compute(&d);
+        let prepared = PreparedBins::prepare(&sort, &d, 16);
+        let mapper = BinMapper::fit(&d, 16);
+        let binned = mapper.transform(&d);
+        assert_eq!(prepared.max_bin(), 16);
+        assert_eq!(prepared.binned().column(0), binned.column(0));
+        assert!(prepared.heap_bytes() > 0);
+        assert!(sort.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn view_transform_matches_materialized_transform() {
+        let col: Vec<f64> = (0..100).map(|i| ((i * 31) % 19) as f64).collect();
+        let d = data(vec![col]);
+        let view = d.view().select(&[90, 5, 5, 40, 77]);
+        let copy = view.materialize();
+        let m_view = BinMapper::fit(&view, 8);
+        let m_copy = BinMapper::fit(&copy, 8);
+        assert_eq!(
+            m_view.transform(&view).column(0),
+            m_copy.transform(&copy).column(0)
+        );
     }
 }

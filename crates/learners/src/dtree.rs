@@ -7,7 +7,7 @@
 //! paper's `extra trees` learner does. Missing values travel to the left
 //! child.
 
-use flaml_data::Dataset;
+use flaml_data::DatasetView;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -75,15 +75,29 @@ fn goes_left(v: f64, threshold: f64) -> bool {
 }
 
 impl DecisionTree {
-    /// Fits a tree on the rows `rows` of `data` (duplicates allowed, which
-    /// is how forests pass bootstrap samples).
+    /// Fits a tree on the view-local rows `rows` of `data` (duplicates
+    /// allowed, which is how forests pass bootstrap samples). Accepts
+    /// anything convertible into a [`DatasetView`] (`&Dataset`,
+    /// `&DatasetView`, ...).
     ///
     /// # Panics
     ///
     /// Panics if `rows` is empty or contains out-of-range indices.
-    pub fn fit(data: &Dataset, rows: &[usize], params: &TreeParams, rng: &mut StdRng) -> Self {
+    pub fn fit(
+        data: impl Into<DatasetView>,
+        rows: &[usize],
+        params: &TreeParams,
+        rng: &mut StdRng,
+    ) -> Self {
+        let data: DatasetView = data.into();
         assert!(!rows.is_empty(), "cannot fit a tree on zero rows");
         let n_classes = data.task().n_classes().unwrap_or(0);
+        // Map the view-local rows to root-storage coordinates once; tree
+        // growth then indexes the shared column storage directly, with no
+        // per-node indirection through the view. Row order is preserved,
+        // so every accumulation below visits values in the same order the
+        // copy-based path did.
+        let rows: Vec<usize> = rows.iter().map(|&r| data.root_row(r)).collect();
         let mut tree = DecisionTree {
             nodes: Vec::new(),
             n_classes,
@@ -94,15 +108,15 @@ impl DecisionTree {
             left: 0,
             right: 0,
             is_leaf: true,
-            value: leaf_value(data, rows, n_classes),
+            value: leaf_value(&data, &rows, n_classes),
         });
-        tree.grow(data, 0, rows.to_vec(), 0, params, rng);
+        tree.grow(&data, 0, rows, 0, params, rng);
         tree
     }
 
     fn grow(
         &mut self,
-        data: &Dataset,
+        data: &DatasetView,
         node: usize,
         rows: Vec<usize>,
         depth: usize,
@@ -123,7 +137,7 @@ impl DecisionTree {
         let Some((feature, threshold)) = self.find_split(data, &rows, params, rng) else {
             return;
         };
-        let col = data.column(feature as usize);
+        let col = data.root_column(feature as usize);
         let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
             .into_iter()
             .partition(|&r| goes_left(col[r], threshold));
@@ -162,7 +176,7 @@ impl DecisionTree {
 
     fn find_split(
         &self,
-        data: &Dataset,
+        data: &DatasetView,
         rows: &[usize],
         params: &TreeParams,
         rng: &mut StdRng,
@@ -179,7 +193,7 @@ impl DecisionTree {
         let parent_impurity = impurity(data, rows, params.criterion, self.n_classes);
         let mut best: Option<(u32, f64, f64)> = None; // (feature, threshold, score)
         for &j in &features {
-            let col = data.column(j as usize);
+            let col = data.root_column(j as usize);
             let candidates = if params.random_threshold {
                 random_threshold(col, rows, rng).into_iter().collect()
             } else {
@@ -202,9 +216,9 @@ impl DecisionTree {
         best.map(|(f, t, _)| (f, t))
     }
 
-    /// The leaf value vector for `row` of `data`: class distribution for
-    /// classification, `[mean]` for regression.
-    pub fn eval(&self, data: &Dataset, row: usize) -> &[f64] {
+    /// The leaf value vector for view row `row` of `data`: class
+    /// distribution for classification, `[mean]` for regression.
+    pub fn eval(&self, data: &DatasetView, row: usize) -> &[f64] {
         let mut at = 0usize;
         loop {
             let node = &self.nodes[at];
@@ -252,8 +266,10 @@ impl DecisionTree {
     }
 }
 
-fn leaf_value(data: &Dataset, rows: &[usize], n_classes: usize) -> Vec<f64> {
-    let y = data.target();
+/// All helpers below receive *root-coordinate* rows and index the shared
+/// storage directly.
+fn leaf_value(data: &DatasetView, rows: &[usize], n_classes: usize) -> Vec<f64> {
+    let y = data.root_target();
     if n_classes == 0 {
         let mean = rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len() as f64;
         vec![mean]
@@ -270,14 +286,19 @@ fn leaf_value(data: &Dataset, rows: &[usize], n_classes: usize) -> Vec<f64> {
     }
 }
 
-fn is_pure(data: &Dataset, rows: &[usize]) -> bool {
-    let y = data.target();
+fn is_pure(data: &DatasetView, rows: &[usize]) -> bool {
+    let y = data.root_target();
     let first = y[rows[0]];
     rows.iter().all(|&r| y[r] == first)
 }
 
-fn impurity(data: &Dataset, rows: &[usize], criterion: SplitCriterion, n_classes: usize) -> f64 {
-    let y = data.target();
+fn impurity(
+    data: &DatasetView,
+    rows: &[usize],
+    criterion: SplitCriterion,
+    n_classes: usize,
+) -> f64 {
+    let y = data.root_target();
     match criterion {
         SplitCriterion::Variance => {
             let n = rows.len() as f64;
@@ -323,15 +344,15 @@ fn class_impurity(counts: &[usize], total: usize, criterion: SplitCriterion) -> 
 
 /// Impurities and sizes of the two sides of a split.
 fn split_impurities(
-    data: &Dataset,
+    data: &DatasetView,
     rows: &[usize],
     feature: usize,
     threshold: f64,
     criterion: SplitCriterion,
     n_classes: usize,
 ) -> (f64, usize, f64, usize) {
-    let col = data.column(feature);
-    let y = data.target();
+    let col = data.root_column(feature);
+    let y = data.root_target();
     if criterion == SplitCriterion::Variance {
         // Single pass Welford-free: accumulate sums and squared sums.
         let (mut ls, mut lss, mut ln) = (0.0, 0.0, 0usize);
@@ -439,7 +460,7 @@ fn random_threshold(col: &[f64], rows: &[usize], rng: &mut StdRng) -> Option<f64
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flaml_data::Task;
+    use flaml_data::{Dataset, Task};
     use rand::SeedableRng;
 
     fn checkerboard(n: usize, seed: u64) -> Dataset {
@@ -461,7 +482,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let t = DecisionTree::fit(&d, &rows, &TreeParams::default(), &mut rng);
         for i in 0..300 {
-            let dist = t.eval(&d, i);
+            let dist = t.eval(&d.view(), i);
             let pred = f64::from(dist[1] > dist[0]);
             assert_eq!(pred, d.target()[i], "row {i}");
         }
@@ -522,8 +543,8 @@ mod tests {
             },
             &mut rng,
         );
-        assert!((t.eval(&d, 0)[0] - 1.0).abs() < 1e-9);
-        assert!((t.eval(&d, 99)[0] - 9.0).abs() < 1e-9);
+        assert!((t.eval(&d.view(), 0)[0] - 1.0).abs() < 1e-9);
+        assert!((t.eval(&d.view(), 99)[0] - 9.0).abs() < 1e-9);
     }
 
     #[test]
@@ -565,7 +586,7 @@ mod tests {
         );
         let mut correct = 0;
         for i in 0..400 {
-            let dist = t.eval(&d, i);
+            let dist = t.eval(&d.view(), i);
             if f64::from(dist[1] > dist[0]) == d.target()[i] {
                 correct += 1;
             }
@@ -582,7 +603,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let t = DecisionTree::fit(&d, &rows, &TreeParams::default(), &mut rng);
         for i in 0..8 {
-            let dist = t.eval(&d, i);
+            let dist = t.eval(&d.view(), i);
             assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
     }

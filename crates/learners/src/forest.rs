@@ -7,7 +7,7 @@
 
 use crate::dtree::{DecisionTree, SplitCriterion, TreeParams};
 use crate::FitError;
-use flaml_data::{Dataset, Task};
+use flaml_data::{DatasetView, Task};
 use flaml_metrics::Pred;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,12 +53,17 @@ pub struct ForestModel {
 }
 
 impl Forest {
-    /// Fits a forest.
+    /// Fits a forest. Accepts anything convertible into a
+    /// [`DatasetView`] (`&Dataset`, `&DatasetView`, ...).
     ///
     /// # Errors
     ///
     /// Returns [`FitError`] for out-of-range hyperparameters.
-    pub fn fit(data: &Dataset, params: &ForestParams, seed: u64) -> Result<ForestModel, FitError> {
+    pub fn fit(
+        data: impl Into<DatasetView>,
+        params: &ForestParams,
+        seed: u64,
+    ) -> Result<ForestModel, FitError> {
         Self::fit_bounded(data, params, seed, None)
     }
 
@@ -69,11 +74,12 @@ impl Forest {
     ///
     /// Returns [`FitError`] for out-of-range hyperparameters.
     pub fn fit_bounded(
-        data: &Dataset,
+        data: impl Into<DatasetView>,
         params: &ForestParams,
         seed: u64,
         budget: Option<Duration>,
     ) -> Result<ForestModel, FitError> {
+        let data: DatasetView = data.into();
         if params.n_trees == 0 {
             return Err(FitError::bad_param("n_trees", 0.0, "must be >= 1"));
         }
@@ -113,7 +119,7 @@ impl Forest {
             } else {
                 (0..n).map(|_| rng.gen_range(0..n)).collect()
             };
-            trees.push(DecisionTree::fit(data, &rows, &tree_params, &mut rng));
+            trees.push(DecisionTree::fit(&data, &rows, &tree_params, &mut rng));
         }
         Ok(ForestModel {
             trees,
@@ -151,7 +157,8 @@ impl ForestModel {
     /// # Panics
     ///
     /// Panics if `data` has a different feature count than training data.
-    pub fn predict(&self, data: &Dataset) -> Pred {
+    pub fn predict(&self, data: impl Into<DatasetView>) -> Pred {
+        let data: DatasetView = data.into();
         assert_eq!(
             data.n_features(),
             self.n_features,
@@ -164,7 +171,7 @@ impl ForestModel {
                 let mut out = vec![0.0; n];
                 for tree in &self.trees {
                     for (i, o) in out.iter_mut().enumerate() {
-                        *o += tree.eval(data, i)[0];
+                        *o += tree.eval(&data, i)[0];
                     }
                 }
                 for o in &mut out {
@@ -177,7 +184,7 @@ impl ForestModel {
                 let mut p = vec![0.0; n * k];
                 for tree in &self.trees {
                     for i in 0..n {
-                        let dist = tree.eval(data, i);
+                        let dist = tree.eval(&data, i);
                         for c in 0..k {
                             p[i * k + c] += dist[c];
                         }
@@ -195,6 +202,7 @@ impl ForestModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flaml_data::Dataset;
     use flaml_metrics::Metric;
 
     fn blobs(n: usize, seed: u64) -> Dataset {

@@ -16,9 +16,9 @@
 //! rows and columns can be subsampled (`subsample`, `colsample_bytree`,
 //! `colsample_bylevel`). All of these are searched by FLAML (Table 5).
 
-use crate::binning::{BinMapper, BinnedDataset};
+use crate::binning::{BinMapper, BinnedDataset, PreparedBins};
 use crate::FitError;
-use flaml_data::{Dataset, Task};
+use flaml_data::{DatasetView, Task};
 use flaml_metrics::Pred;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -196,24 +196,6 @@ impl Tree {
             };
         }
     }
-
-    /// Evaluates the tree on raw values via the mapper.
-    fn eval_raw(&self, mapper: &BinMapper, data: &Dataset, row: usize) -> f64 {
-        let mut at = 0usize;
-        loop {
-            let node = &self.nodes[at];
-            if node.is_leaf {
-                return node.leaf_value;
-            }
-            let j = node.feature as usize;
-            let bin = mapper.bin(j, data.value(row, j));
-            at = if bin <= node.threshold {
-                node.left as usize
-            } else {
-                node.right as usize
-            };
-        }
-    }
 }
 
 /// A trained gradient-boosting model.
@@ -263,7 +245,13 @@ impl GbdtModel {
     }
 
     /// Raw (margin) scores per row and group, before the link function.
-    pub fn raw_scores(&self, data: &Dataset) -> Vec<f64> {
+    ///
+    /// Rows are binned once up front and every tree is evaluated on the
+    /// pre-binned matrix, instead of re-binning each feature value at
+    /// every tree traversal; `bin` is deterministic per value, so the
+    /// scores are identical to per-row re-binning.
+    pub fn raw_scores(&self, data: impl Into<DatasetView>) -> Vec<f64> {
+        let data: DatasetView = data.into();
         assert_eq!(
             data.n_features(),
             self.n_features,
@@ -271,6 +259,7 @@ impl GbdtModel {
         );
         let n = data.n_rows();
         let k = self.n_groups;
+        let binned = self.mapper.transform(&data);
         let mut scores = vec![0.0; n * k];
         for i in 0..n {
             for (c, init) in self.init_scores.iter().enumerate() {
@@ -280,7 +269,7 @@ impl GbdtModel {
         for (t, tree) in self.trees.iter().enumerate() {
             let c = t % k;
             for (i, slot) in scores.chunks_exact_mut(k).enumerate() {
-                slot[c] += tree.eval_raw(&self.mapper, data, i);
+                slot[c] += tree.eval_binned(&binned, i);
             }
         }
         scores
@@ -293,7 +282,7 @@ impl GbdtModel {
     ///
     /// Panics if `data` has a different number of features than the
     /// training data.
-    pub fn predict(&self, data: &Dataset) -> Pred {
+    pub fn predict(&self, data: impl Into<DatasetView>) -> Pred {
         let raw = self.raw_scores(data);
         match self.task {
             Task::Regression => Pred::from_values(raw),
@@ -329,13 +318,18 @@ fn softmax_in_place(row: &mut [f64]) {
 }
 
 impl Gbdt {
-    /// Fits a boosting model.
+    /// Fits a boosting model. Accepts anything convertible into a
+    /// [`DatasetView`] (`&Dataset`, `&DatasetView`, ...).
     ///
     /// # Errors
     ///
     /// Returns [`FitError`] for out-of-range hyperparameters or unusable
     /// data (single-class classification training set).
-    pub fn fit(data: &Dataset, params: &GbdtParams, seed: u64) -> Result<GbdtModel, FitError> {
+    pub fn fit(
+        data: impl Into<DatasetView>,
+        params: &GbdtParams,
+        seed: u64,
+    ) -> Result<GbdtModel, FitError> {
         Self::fit_bounded(data, params, seed, None)
     }
 
@@ -347,11 +341,32 @@ impl Gbdt {
     ///
     /// Same as [`Gbdt::fit`].
     pub fn fit_bounded(
-        data: &Dataset,
+        data: impl Into<DatasetView>,
         params: &GbdtParams,
         seed: u64,
         budget: Option<Duration>,
     ) -> Result<GbdtModel, FitError> {
+        Self::fit_prepared(data, params, seed, budget, None)
+    }
+
+    /// Like [`Gbdt::fit_bounded`] but reuses a [`PreparedBins`] artifact
+    /// (shared bin cuts plus the pre-binned feature matrix) when one is
+    /// supplied for the same `max_bin`; a mismatched or absent artifact
+    /// falls back to binning in place. The fitted model is bit-identical
+    /// either way — [`PreparedBins::prepare`] produces exactly what
+    /// [`BinMapper::fit`] + [`BinMapper::transform`] would.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gbdt::fit`].
+    pub fn fit_prepared(
+        data: impl Into<DatasetView>,
+        params: &GbdtParams,
+        seed: u64,
+        budget: Option<Duration>,
+        prepared: Option<&PreparedBins>,
+    ) -> Result<GbdtModel, FitError> {
+        let data: DatasetView = data.into();
         params.validate()?;
         let start = Instant::now();
         let n = data.n_rows();
@@ -359,9 +374,19 @@ impl Gbdt {
             Task::Regression | Task::Binary => 1,
             Task::MultiClass(k) => k,
         };
-        let mapper = BinMapper::fit(data, params.max_bin);
-        let binned = mapper.transform(data);
-        let y = data.target();
+        let owned;
+        let (mapper, binned): (&BinMapper, &BinnedDataset) =
+            match prepared.filter(|p| p.max_bin() == params.max_bin) {
+                Some(p) => (p.mapper(), p.binned()),
+                None => {
+                    let m = BinMapper::fit(&data, params.max_bin);
+                    let b = m.transform(&data);
+                    owned = (m, b);
+                    (&owned.0, &owned.1)
+                }
+            };
+        let y = data.gather_target();
+        let y = y.as_slice();
 
         // Early-stopping holdout: every 10th row (the controller shuffles
         // data, so a stride is a random sample).
@@ -381,7 +406,7 @@ impl Gbdt {
                 ((0..n as u32).collect(), Vec::new())
             };
 
-        let init_scores = init_scores(data, &train_rows)?;
+        let init_scores = init_scores(data.task(), y, &train_rows)?;
         let mut scores = vec![0.0; n * n_groups];
         for slot in scores.chunks_exact_mut(n_groups) {
             slot.copy_from_slice(&init_scores);
@@ -421,10 +446,10 @@ impl Gbdt {
 
             for c in 0..n_groups {
                 compute_gradients(data.task(), y, &scores, n_groups, c, &mut grad, &mut hess);
-                let tree = build_tree(&binned, &rows, &grad, &hess, params, &mut rng);
+                let tree = build_tree(binned, &rows, &grad, &hess, params, &mut rng);
                 // Update scores on all rows (train + valid) for the group.
                 for i in 0..n {
-                    scores[i * n_groups + c] += tree.eval_binned(&binned, i);
+                    scores[i * n_groups + c] += tree.eval_binned(binned, i);
                 }
                 trees.push(tree);
             }
@@ -456,7 +481,7 @@ impl Gbdt {
         }
 
         Ok(GbdtModel {
-            mapper,
+            mapper: mapper.clone(),
             trees,
             n_groups,
             init_scores,
@@ -466,9 +491,8 @@ impl Gbdt {
     }
 }
 
-fn init_scores(data: &Dataset, rows: &[u32]) -> Result<Vec<f64>, FitError> {
-    let y = data.target();
-    match data.task() {
+fn init_scores(task: Task, y: &[f64], rows: &[u32]) -> Result<Vec<f64>, FitError> {
+    match task {
         Task::Regression => {
             let mean = rows.iter().map(|&i| y[i as usize]).sum::<f64>() / rows.len() as f64;
             Ok(vec![mean])
@@ -1031,6 +1055,7 @@ fn grow_oblivious(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flaml_data::Dataset;
     use flaml_metrics::Metric;
     use rand::Rng;
 

@@ -11,9 +11,12 @@
 //! * [`Linear`] — L2-regularized logistic regression (classification) and
 //!   ridge regression (regression tasks), trained with averaged SGD.
 //!
-//! All learners consume a [`flaml_data::Dataset`] and produce a
-//! [`FittedModel`] whose [`FittedModel::predict`] returns a
-//! [`flaml_metrics::Pred`] ready for metric evaluation.
+//! All learners consume anything convertible into a zero-copy
+//! [`flaml_data::DatasetView`] (an owned [`flaml_data::Dataset`], a
+//! subsample view, a fold view, ...) and produce a [`FittedModel`] whose
+//! [`FittedModel::predict`] returns a [`flaml_metrics::Pred`] ready for
+//! metric evaluation. [`PreparedSort`] and [`PreparedBins`] let callers
+//! hoist the per-fit binning work of [`Gbdt`] out of repeated trials.
 //!
 //! # Example
 //!
@@ -42,7 +45,7 @@ mod gbdt;
 mod linear;
 mod stacking;
 
-pub use binning::{BinMapper, BinnedDataset};
+pub use binning::{BinMapper, BinnedDataset, PreparedBins, PreparedSort};
 pub use dtree::{DecisionTree, SplitCriterion, TreeParams};
 pub use error::FitError;
 pub use forest::{Forest, ForestModel, ForestParams};
@@ -50,7 +53,7 @@ pub use gbdt::{Gbdt, GbdtModel, GbdtParams, Growth};
 pub use linear::{Linear, LinearModel, LinearParams};
 pub use stacking::{fit_meta, meta_features, StackedModel};
 
-use flaml_data::Dataset;
+use flaml_data::DatasetView;
 use flaml_metrics::Pred;
 use std::sync::Arc;
 
@@ -59,7 +62,7 @@ use std::sync::Arc;
 pub trait DynModel: std::fmt::Debug + Send + Sync {
     /// Predicts on `data` (probabilities for classification, values for
     /// regression).
-    fn predict_dyn(&self, data: &Dataset) -> Pred;
+    fn predict_dyn(&self, data: &DatasetView) -> Pred;
 }
 
 /// A trained model from any learner in the ML layer.
@@ -80,13 +83,14 @@ pub enum FittedModel {
 impl FittedModel {
     /// Predicts on `data` (class probabilities for classification tasks,
     /// values for regression).
-    pub fn predict(&self, data: &Dataset) -> Pred {
+    pub fn predict(&self, data: impl Into<DatasetView>) -> Pred {
+        let data: DatasetView = data.into();
         match self {
-            FittedModel::Gbdt(m) => m.predict(data),
-            FittedModel::Forest(m) => m.predict(data),
-            FittedModel::Linear(m) => m.predict(data),
-            FittedModel::Stacked(m) => m.predict(data),
-            FittedModel::Custom(m) => m.predict_dyn(data),
+            FittedModel::Gbdt(m) => m.predict(&data),
+            FittedModel::Forest(m) => m.predict(&data),
+            FittedModel::Linear(m) => m.predict(&data),
+            FittedModel::Stacked(m) => m.predict(&data),
+            FittedModel::Custom(m) => m.predict_dyn(&data),
         }
     }
 

@@ -9,7 +9,7 @@
 //! in-crate Cholesky solver, so convergence is fast and deterministic.
 
 use crate::FitError;
-use flaml_data::{Dataset, FeatureKind, Task};
+use flaml_data::{DatasetView, FeatureKind, Task};
 use flaml_metrics::Pred;
 use std::time::{Duration, Instant};
 
@@ -60,12 +60,17 @@ pub struct LinearModel {
 }
 
 impl Linear {
-    /// Fits a linear model.
+    /// Fits a linear model. Accepts anything convertible into a
+    /// [`DatasetView`] (`&Dataset`, `&DatasetView`, ...).
     ///
     /// # Errors
     ///
     /// Returns [`FitError`] for non-positive `C` or unusable data.
-    pub fn fit(data: &Dataset, params: &LinearParams, seed: u64) -> Result<LinearModel, FitError> {
+    pub fn fit(
+        data: impl Into<DatasetView>,
+        params: &LinearParams,
+        seed: u64,
+    ) -> Result<LinearModel, FitError> {
         Self::fit_bounded(data, params, seed, None)
     }
 
@@ -77,11 +82,12 @@ impl Linear {
     ///
     /// Returns [`FitError`] for non-positive `C` or unusable data.
     pub fn fit_bounded(
-        data: &Dataset,
+        data: impl Into<DatasetView>,
         params: &LinearParams,
         _seed: u64,
         budget: Option<Duration>,
     ) -> Result<LinearModel, FitError> {
+        let data: DatasetView = data.into();
         if params.c <= 0.0 || params.c.is_nan() {
             return Err(FitError::bad_param("c", params.c, "must be > 0"));
         }
@@ -89,15 +95,15 @@ impl Linear {
             return Err(FitError::bad_param("max_iter", 0.0, "must be >= 1"));
         }
         let start = Instant::now();
-        let encodings = build_encodings(data);
-        let x = design_matrix(data, &encodings);
+        let encodings = build_encodings(&data);
+        let x = design_matrix(&data, &encodings);
         let d = x.n_cols; // includes intercept
         let n = data.n_rows();
         let lambda = 1.0 / (params.c * n as f64);
 
         match data.task() {
             Task::Regression => {
-                let y = data.target();
+                let y = data.gather_target();
                 let y_mean = y.iter().sum::<f64>() / n as f64;
                 let y_std = {
                     let var = y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n as f64;
@@ -114,7 +120,7 @@ impl Linear {
                 })
             }
             Task::Binary => {
-                let targets: Vec<f64> = data.target().to_vec();
+                let targets: Vec<f64> = data.gather_target();
                 let w = irls(&x, &targets, lambda, params.max_iter, budget, start)?;
                 Ok(LinearModel {
                     encodings,
@@ -126,12 +132,9 @@ impl Linear {
             }
             Task::MultiClass(k) => {
                 let mut weights = Vec::with_capacity(k);
+                let y = data.gather_target();
                 for c in 0..k {
-                    let targets: Vec<f64> = data
-                        .target()
-                        .iter()
-                        .map(|&y| f64::from(y as usize == c))
-                        .collect();
+                    let targets: Vec<f64> = y.iter().map(|&y| f64::from(y as usize == c)).collect();
                     // A class can be absent from a subsample; a zero model
                     // (uniform probability) is the sensible fallback.
                     let w = if targets.iter().all(|&t| t == 0.0) {
@@ -160,13 +163,14 @@ impl LinearModel {
     /// # Panics
     ///
     /// Panics if `data` has a different feature count than training data.
-    pub fn predict(&self, data: &Dataset) -> Pred {
+    pub fn predict(&self, data: impl Into<DatasetView>) -> Pred {
+        let data: DatasetView = data.into();
         assert_eq!(
             data.n_features(),
             self.encodings.len(),
             "predicting with a different feature count"
         );
-        let x = design_matrix(data, &self.encodings);
+        let x = design_matrix(&data, &self.encodings);
         match self.task {
             Task::Regression => {
                 let margins = x.matvec(&self.weights[0]);
@@ -217,15 +221,14 @@ fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
 }
 
-fn build_encodings(data: &Dataset) -> Vec<Encoding> {
+fn build_encodings(data: &DatasetView) -> Vec<Encoding> {
     (0..data.n_features())
         .map(|j| match data.feature_kind(j) {
             FeatureKind::Categorical { cardinality } if cardinality <= 64 => {
                 Encoding::OneHot { cardinality }
             }
             _ => {
-                let col = data.column(j);
-                let finite: Vec<f64> = col.iter().copied().filter(|v| !v.is_nan()).collect();
+                let finite: Vec<f64> = data.column_values(j).filter(|v| !v.is_nan()).collect();
                 if finite.is_empty() {
                     Encoding::Numeric {
                         mean: 0.0,
@@ -264,7 +267,7 @@ impl Design {
     }
 }
 
-fn design_matrix(data: &Dataset, encodings: &[Encoding]) -> Design {
+fn design_matrix(data: &DatasetView, encodings: &[Encoding]) -> Design {
     let n = data.n_rows();
     let n_cols: usize = encodings
         .iter()
@@ -463,6 +466,7 @@ fn irls(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flaml_data::Dataset;
     use flaml_metrics::Metric;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

@@ -10,7 +10,7 @@
 
 use crate::linear::{Linear, LinearModel, LinearParams};
 use crate::{FitError, FittedModel};
-use flaml_data::{Dataset, Task};
+use flaml_data::{Dataset, DatasetView, Task};
 use flaml_metrics::Pred;
 
 /// A stacked ensemble: base members and a linear meta-learner over their
@@ -30,12 +30,17 @@ pub struct StackedModel {
 ///
 /// Panics if `members` is empty or a member produces the wrong prediction
 /// kind for the task.
-pub fn meta_features(members: &[FittedModel], data: &Dataset, target: Vec<f64>) -> Dataset {
+pub fn meta_features(
+    members: &[FittedModel],
+    data: impl Into<DatasetView>,
+    target: Vec<f64>,
+) -> Dataset {
     assert!(!members.is_empty(), "stacking needs at least one member");
+    let data: DatasetView = data.into();
     let n = data.n_rows();
     let mut columns: Vec<Vec<f64>> = Vec::new();
     for member in members {
-        match member.predict(data) {
+        match member.predict(&data) {
             Pred::Values(v) => {
                 assert_eq!(v.len(), n);
                 columns.push(v);
@@ -79,12 +84,13 @@ impl StackedModel {
 
     /// Predicts by feeding every member's prediction into the
     /// meta-learner.
-    pub fn predict(&self, data: &Dataset) -> Pred {
+    pub fn predict(&self, data: impl Into<DatasetView>) -> Pred {
+        let data: DatasetView = data.into();
         let dummy_target = match self.task {
             Task::Regression => vec![0.0; data.n_rows()],
             _ => vec![0.0; data.n_rows()],
         };
-        let features = meta_features(&self.members, data, dummy_target);
+        let features = meta_features(&self.members, &data, dummy_target);
         self.meta.predict(&features)
     }
 }

@@ -10,7 +10,7 @@
 //! ```
 
 use flaml::{AutoMl, CustomLearner, LearnerKind};
-use flaml_data::Dataset;
+use flaml_data::DatasetView;
 use flaml_learners::{DynModel, FitError, FittedModel};
 use flaml_metrics::Pred;
 use flaml_search::{Config, Domain, ParamDef, SearchSpace};
@@ -32,7 +32,7 @@ struct CentroidModel {
 }
 
 impl DynModel for CentroidModel {
-    fn predict_dyn(&self, data: &Dataset) -> Pred {
+    fn predict_dyn(&self, data: &DatasetView) -> Pred {
         let n = data.n_rows();
         let d = data.n_features();
         let k = self.centroids.len();
@@ -81,7 +81,7 @@ impl CustomLearner for NearestCentroids {
 
     fn fit(
         &self,
-        data: &Dataset,
+        data: &DatasetView,
         config: &Config,
         space: &SearchSpace,
         seed: u64,
@@ -96,7 +96,7 @@ impl CustomLearner for NearestCentroids {
         let mut centroids = Vec::with_capacity(n_classes);
         for c in 0..n_classes {
             let rows: Vec<usize> = (0..data.n_rows())
-                .filter(|&i| data.target()[i] as usize == c)
+                .filter(|&i| data.target_at(i) as usize == c)
                 .collect();
             if rows.is_empty() {
                 return Err(FitError::BadData(format!("class {c} absent")));
