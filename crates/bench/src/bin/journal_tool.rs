@@ -143,27 +143,7 @@ fn inspect(journal: &Journal) {
 }
 
 fn export_csv(journal: &Journal, out: Option<String>) {
-    let mut csv = String::from(
-        "iter,learner,mode,status,sample_size,loss,cost,total_time,wall_secs,attempts,improved,best_loss,config\n",
-    );
-    for t in &journal.trials {
-        csv.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},\"{}\"\n",
-            t.iter,
-            t.learner,
-            t.mode,
-            t.status,
-            t.sample_size,
-            t.loss,
-            t.cost,
-            t.total_time,
-            t.wall_secs,
-            t.attempts,
-            t.improved,
-            t.best_loss,
-            t.config.replace('"', "\"\""),
-        ));
-    }
+    let csv = flaml_bench::render_trials_csv(&journal.trials);
     match out {
         Some(path) => {
             std::fs::write(&path, csv).expect("write csv");

@@ -125,9 +125,10 @@ impl Args {
             eprintln!("--resume requires --journal DIR (the directory holding the journals)");
             std::process::exit(2);
         }
+        let jobs = self.usize("jobs", 1);
         ExecArgs {
             seed: self.u64("seed", 0),
-            jobs: self.usize("jobs", 1),
+            jobs,
             time_source: if self.flag("virtual") {
                 TimeSource::Virtual(default_virtual_cost)
             } else {
@@ -138,6 +139,9 @@ impl Args {
             journal_dir,
             resume,
             full: self.flag("full"),
+            batch: self.usize("batch", 32).max(1),
+            concurrency: self.usize("concurrency", jobs).max(1),
+            artifact: self.opt_str("artifact").map(PathBuf::from),
         }
     }
 }
@@ -154,7 +158,10 @@ impl Args {
 /// - `--journal DIR` — journal every FLAML run to
 ///   `DIR/<dataset>_<method>_<budget>s_seed<seed>.jsonl`;
 /// - `--resume` — continue from the journals already in `DIR`;
-/// - `--full` — full-scale dataset suites.
+/// - `--full` — full-scale dataset suites;
+/// - `--batch N` — serving batch size in rows (default 32, clamped ≥ 1);
+/// - `--concurrency N` — serving pool workers (default: `--jobs`);
+/// - `--artifact PATH` — export the winning model as a serving artifact.
 #[derive(Debug, Clone)]
 pub struct ExecArgs {
     /// Run seed.
@@ -173,6 +180,14 @@ pub struct ExecArgs {
     pub resume: bool,
     /// Full-scale dataset suites (`--full`).
     pub full: bool,
+    /// Serving batch size in rows (`--batch`, default 32, always ≥ 1).
+    pub batch: usize,
+    /// Serving pool workers (`--concurrency`, default: `jobs`, always
+    /// ≥ 1).
+    pub concurrency: usize,
+    /// Where to export the winning model as a serving artifact
+    /// (`--artifact PATH`), if requested.
+    pub artifact: Option<PathBuf>,
 }
 
 impl ExecArgs {
@@ -264,5 +279,24 @@ mod tests {
 
         let e = args("").exec();
         assert_eq!(e.journal_file("x"), None);
+    }
+
+    #[test]
+    fn exec_parses_serving_knobs() {
+        let e = args("--jobs 4 --batch 128 --concurrency 2 --artifact model.json").exec();
+        assert_eq!(e.batch, 128);
+        assert_eq!(e.concurrency, 2);
+        assert_eq!(e.artifact, Some(PathBuf::from("model.json")));
+
+        // Defaults: batch 32, concurrency follows --jobs, no artifact.
+        let e = args("--jobs 3").exec();
+        assert_eq!(e.batch, 32);
+        assert_eq!(e.concurrency, 3);
+        assert_eq!(e.artifact, None);
+
+        // Degenerate values are clamped to 1, never 0.
+        let e = args("--batch 0 --concurrency 0").exec();
+        assert_eq!(e.batch, 1);
+        assert_eq!(e.concurrency, 1);
     }
 }

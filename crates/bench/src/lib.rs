@@ -16,6 +16,8 @@
 //! | `fig8_ablation_all` | Figure 8: ablation score differences |
 //! | `table4_selectivity` | Table 4: selectivity-estimation q-errors |
 //! | `journal_tool` | (no figure) inspect / verify-replay / export-csv on trial journals |
+//! | `bench_dataplane` | (no figure) prepared-data cache purity + replay throughput gate |
+//! | `bench_serve` | (no figure) compiled-artifact bit-exactness, batched-inference identity + throughput gate, hot-swap soak, serving latency JSON |
 //!
 //! Every binary accepts the shared execution flags parsed by
 //! [`cli::ExecArgs`] — `--seed`, `--jobs`, `--virtual`, `--chaos`,
@@ -30,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod csv;
 pub mod grid;
 pub mod report;
 pub mod run;
 
 pub use cli::{journal_stem, Args, ExecArgs};
+pub use csv::{parse_trials_csv, render_trials_csv, TrialCsvRow, TRIAL_CSV_HEADER};
 pub use grid::{paired_scores, run_grid, GridResult, GridSpec};
 pub use report::{box_stats, percent_better_or_equal, render_table, BoxStats, TelemetryCollector};
 pub use run::{evaluate_scaled, holdout_split, Method, RunConfig};

@@ -211,6 +211,8 @@ pub enum AutoMlError {
     /// The journal's best trial used a learner this build cannot
     /// reconstruct by name (e.g. a custom learner).
     UnknownLearner(String),
+    /// Compiling, saving or loading a serving artifact failed.
+    Artifact(flaml_serve::ArtifactError),
 }
 
 impl fmt::Display for AutoMlError {
@@ -244,6 +246,7 @@ impl fmt::Display for AutoMlError {
             AutoMlError::UnknownLearner(name) => {
                 write!(f, "journaled learner {name:?} is not a builtin learner")
             }
+            AutoMlError::Artifact(e) => write!(f, "serving artifact error: {e}"),
         }
     }
 }
@@ -253,6 +256,12 @@ impl Error for AutoMlError {}
 impl From<JournalError> for AutoMlError {
     fn from(e: JournalError) -> AutoMlError {
         AutoMlError::Journal(e)
+    }
+}
+
+impl From<flaml_serve::ArtifactError> for AutoMlError {
+    fn from(e: flaml_serve::ArtifactError) -> AutoMlError {
+        AutoMlError::Artifact(e)
     }
 }
 

@@ -48,6 +48,7 @@ mod eci;
 mod ensemble;
 mod learner;
 mod resample;
+mod serving;
 mod spaces;
 
 pub use automl::{
@@ -63,6 +64,7 @@ pub use learner::{config_cost_factor, fit_learner, fit_learner_prepared};
 pub use resample::{
     run_trial, run_trial_prepared, ResampleRule, ResampleStrategy, TrialOutcome, TrialStatus,
 };
+pub use serving::export_artifact_from_log;
 pub use spaces::LearnerKind;
 
 // Re-export the execution runtime so downstream crates can size pools and
@@ -75,3 +77,10 @@ pub use flaml_exec::{
 // Re-export the journal so resume/warm-start workflows (read a log, seed
 // `starting_points`, inspect best trials) need only this crate.
 pub use flaml_journal::{Journal, JournalError, JournalHeader, TrialLine};
+
+// Re-export the serving stack so "fit, then serve" needs only this crate:
+// compile the winner, publish it to a registry, batch-predict on the pool.
+pub use flaml_serve::{
+    ArtifactError, BatchEngine, CompiledModel, ModelRegistry, ServeTelemetry, SlotStats,
+    VersionedModel,
+};

@@ -41,6 +41,14 @@ pub enum TrialEventKind {
     /// The input data was sanitized before the search (e.g. constant or
     /// all-NaN feature columns dropped); details in the message.
     Sanitized,
+    /// A serving batch completed: `label` names the registry slot,
+    /// `sample_size` carries the row count and `wall_secs` the batch
+    /// latency.
+    ServeBatch,
+    /// A new model version was promoted into a registry slot.
+    ServePromoted,
+    /// A registry slot was rolled back to an earlier model version.
+    ServeRolledBack,
 }
 
 impl TrialEventKind {
@@ -55,6 +63,9 @@ impl TrialEventKind {
             TrialEventKind::Quarantined => "quarantined",
             TrialEventKind::Unquarantined => "unquarantined",
             TrialEventKind::Sanitized => "sanitized",
+            TrialEventKind::ServeBatch => "serve-batch",
+            TrialEventKind::ServePromoted => "serve-promoted",
+            TrialEventKind::ServeRolledBack => "serve-rolled-back",
         }
     }
 }
@@ -265,6 +276,14 @@ pub struct Telemetry {
     pub unquarantined: usize,
     /// `Sanitized` events seen (input-data cleanups before the search).
     pub sanitized: usize,
+    /// `ServeBatch` events seen (completed serving batches).
+    pub serve_batches: usize,
+    /// Rows served, summed over `ServeBatch` events' `sample_size`.
+    pub serve_rows: usize,
+    /// `ServePromoted` events seen (registry slot promotions).
+    pub serve_promoted: usize,
+    /// `ServeRolledBack` events seen (registry slot rollbacks).
+    pub serve_rolled_back: usize,
     /// Prepared-data cache hits summed over all events.
     pub prepared_hits: usize,
     /// Prepared-data cache misses summed over all events.
@@ -298,6 +317,16 @@ impl Telemetry {
             TrialEventKind::Sanitized => {
                 self.sanitized += 1;
             }
+            TrialEventKind::ServeBatch => {
+                self.serve_batches += 1;
+                self.serve_rows += event.sample_size;
+            }
+            TrialEventKind::ServePromoted => {
+                self.serve_promoted += 1;
+            }
+            TrialEventKind::ServeRolledBack => {
+                self.serve_rolled_back += 1;
+            }
             _ => {
                 let slot = self.by_learner.entry(event.learner.clone()).or_default();
                 match event.kind {
@@ -323,7 +352,10 @@ impl Telemetry {
                     }
                     TrialEventKind::Started
                     | TrialEventKind::Unquarantined
-                    | TrialEventKind::Sanitized => unreachable!("handled above"),
+                    | TrialEventKind::Sanitized
+                    | TrialEventKind::ServeBatch
+                    | TrialEventKind::ServePromoted
+                    | TrialEventKind::ServeRolledBack => unreachable!("handled above"),
                 }
             }
         }
@@ -437,6 +469,29 @@ mod tests {
         assert_eq!(t.prepared_hits, 7);
         assert_eq!(t.prepared_misses, 3);
         assert_eq!(t.bytes_copied_saved, 5120);
+    }
+
+    #[test]
+    fn telemetry_counts_serving_events() {
+        let (sink, rx) = event_channel();
+        let mut ev = TrialEvent::new(TrialEventKind::ServeBatch);
+        ev.label = "prod/churn".into();
+        ev.sample_size = 128;
+        sink.emit(ev.clone());
+        ev.sample_size = 64;
+        sink.emit(ev.clone());
+        ev.kind = TrialEventKind::ServePromoted;
+        ev.sample_size = 0;
+        sink.emit(ev.clone());
+        ev.kind = TrialEventKind::ServeRolledBack;
+        sink.emit(ev);
+        let t = Telemetry::new().drain(&rx);
+        assert_eq!(t.serve_batches, 2);
+        assert_eq!(t.serve_rows, 192);
+        assert_eq!(t.serve_promoted, 1);
+        assert_eq!(t.serve_rolled_back, 1);
+        assert_eq!(t.total_terminal(), 0, "serving events are not terminal");
+        assert!(t.by_learner.is_empty(), "serving events carry no learner");
     }
 
     #[test]

@@ -229,6 +229,9 @@ mod tests {
             cost: 0.75,
             total_time: 0.75 * iter as f64,
             wall_secs: 0.0,
+            prepared_hits: 0,
+            prepared_misses: 0,
+            bytes_copied_saved: 0,
             seed: 1,
             improved: false,
             best_loss: loss,

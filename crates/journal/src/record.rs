@@ -103,6 +103,16 @@ pub struct TrialLine {
     /// Measured wall seconds, regardless of the budget clock.
     #[serde(default)]
     pub wall_secs: f64,
+    /// Prepared-data cache hits during this trial's preparation.
+    #[serde(default)]
+    pub prepared_hits: usize,
+    /// Prepared-data cache misses during this trial's preparation.
+    #[serde(default)]
+    pub prepared_misses: usize,
+    /// Bytes of dataset copies the zero-copy data plane avoided
+    /// materializing for this trial.
+    #[serde(default)]
+    pub bytes_copied_saved: usize,
     /// The trial's base evaluation seed.
     pub seed: u64,
     /// Whether the trial improved the run's global best error.
@@ -133,6 +143,9 @@ impl TrialLine {
             cost: event.cost.unwrap_or(0.0),
             total_time: meta.total_time,
             wall_secs: event.wall_secs.unwrap_or(0.0),
+            prepared_hits: event.prepared_hits,
+            prepared_misses: event.prepared_misses,
+            bytes_copied_saved: event.bytes_copied_saved,
             seed: meta.seed,
             improved: meta.improved,
             best_loss: meta.best_error,
@@ -159,6 +172,9 @@ mod tests {
             cost: 0.05,
             total_time: 0.2,
             wall_secs: 0.01,
+            prepared_hits: 2,
+            prepared_misses: 1,
+            bytes_copied_saved: 4096,
             seed: 7,
             improved: true,
             best_loss: 0.125,
@@ -196,6 +212,9 @@ mod tests {
         ev.job_id = 9;
         ev.learner = "rf".into();
         ev.cost = Some(0.25);
+        ev.prepared_hits = 3;
+        ev.prepared_misses = 1;
+        ev.bytes_copied_saved = 2048;
         ev.meta = Some(TrialMeta {
             mode: "search".into(),
             status: "ok".into(),
@@ -213,5 +232,8 @@ mod tests {
         assert_eq!(l.attempts, 1);
         assert_eq!(l.attempt_costs, vec![0.1, 0.15]);
         assert_eq!(l.best_loss, 0.4);
+        assert_eq!(l.prepared_hits, 3);
+        assert_eq!(l.prepared_misses, 1);
+        assert_eq!(l.bytes_copied_saved, 2048);
     }
 }

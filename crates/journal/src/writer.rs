@@ -171,6 +171,9 @@ mod tests {
             cost: 0.1,
             total_time: 0.1 * iter as f64,
             wall_secs: 0.0,
+            prepared_hits: 0,
+            prepared_misses: 0,
+            bytes_copied_saved: 0,
             seed: 7,
             improved: true,
             best_loss: 0.5 / iter as f64,

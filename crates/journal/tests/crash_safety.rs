@@ -101,6 +101,9 @@ fn random_line(rng: &mut Rng, i: usize) -> TrialLine {
         attempt_costs,
         total_time: rng.f64_unit() * 1e4,
         wall_secs: rng.f64_unit(),
+        prepared_hits: (rng.next() % 16) as usize,
+        prepared_misses: (rng.next() % 16) as usize,
+        bytes_copied_saved: (rng.next() % 1_000_000) as usize,
         // Seeds above 2^53 catch any f64 carrier in the JSON layer.
         seed: rng.next() | (1 << 63),
         improved: rng.next().is_multiple_of(2),

@@ -112,6 +112,18 @@ impl BinMapper {
         cuts
     }
 
+    /// Rebuilds a mapper from stored cut points — e.g. the cuts embedded
+    /// in a compiled serving artifact. A mapper built from the cuts of an
+    /// existing mapper bins every value identically to the original.
+    pub fn from_cuts(cuts: Vec<Vec<f64>>) -> BinMapper {
+        BinMapper { cuts }
+    }
+
+    /// The per-feature sorted cut points.
+    pub fn cuts(&self) -> &[Vec<f64>] {
+        &self.cuts
+    }
+
     /// Number of features the mapper was fit on.
     pub fn n_features(&self) -> usize {
         self.cuts.len()
@@ -184,6 +196,27 @@ impl PreparedBins {
     ) -> PreparedBins {
         let data: DatasetView = data.into();
         let mapper = BinMapper::from_sorted(sort, max_bin);
+        let binned = mapper.transform(&data);
+        PreparedBins {
+            mapper,
+            binned,
+            max_bin,
+        }
+    }
+
+    /// Bins `data` with an already-fitted `mapper` (e.g. one rebuilt from
+    /// a serving artifact's stored cuts). The recorded `max_bin` is the
+    /// mapper's own bin budget, so the artifact matches itself on lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has a different feature count than the mapper.
+    pub fn from_mapper(mapper: BinMapper, data: impl Into<DatasetView>) -> PreparedBins {
+        let data: DatasetView = data.into();
+        let max_bin = (0..mapper.n_features())
+            .map(|j| mapper.n_bins(j).saturating_sub(1))
+            .max()
+            .unwrap_or(2);
         let binned = mapper.transform(&data);
         PreparedBins {
             mapper,

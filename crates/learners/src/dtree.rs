@@ -68,9 +68,29 @@ pub struct DecisionTree {
     n_classes: usize,
 }
 
+/// One flattened decision-tree node, as exported to the serving layer.
+/// Thresholds are raw feature values; a row goes left when
+/// [`goes_left`] holds; child indices are local to the exporting tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DTreeNode {
+    /// Feature column the node splits on (0 for leaves).
+    pub feature: u32,
+    /// Raw-value split threshold (0 for leaves).
+    pub threshold: f64,
+    /// Tree-local index of the left child (0 for leaves).
+    pub left: u32,
+    /// Tree-local index of the right child (0 for leaves).
+    pub right: u32,
+    /// Whether the node is a leaf.
+    pub is_leaf: bool,
+    /// Class distribution (classification) or `[mean]` (regression).
+    pub value: Vec<f64>,
+}
+
 /// Whether row value `v` goes to the left child of a split at `threshold`.
-/// Missing values always go left.
-fn goes_left(v: f64, threshold: f64) -> bool {
+/// Missing values always go left. Public because the compiled serving
+/// layer must traverse with exactly these semantics.
+pub fn goes_left(v: f64, threshold: f64) -> bool {
     v.is_nan() || v <= threshold
 }
 
@@ -232,6 +252,47 @@ impl DecisionTree {
                 node.right as usize
             };
         }
+    }
+
+    /// Like [`DecisionTree::eval`], but over pre-gathered feature columns
+    /// (`cols[j][row]` is the value of feature `j` at row `row`). Gathering
+    /// once per predict call and traversing every tree against the plain
+    /// slices replaces a per-value row-selection dispatch through the view;
+    /// the values are identical, so the leaf reached is identical.
+    pub fn eval_cols(&self, cols: &[Vec<f64>], row: usize) -> &[f64] {
+        let mut at = 0usize;
+        loop {
+            let node = &self.nodes[at];
+            if node.is_leaf {
+                return &node.value;
+            }
+            let v = cols[node.feature as usize][row];
+            at = if goes_left(v, node.threshold) {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+
+    /// Number of classes the tree predicts (0 for regression).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Flattened node list for compilation into a serving artifact.
+    pub fn export_nodes(&self) -> Vec<DTreeNode> {
+        self.nodes
+            .iter()
+            .map(|n| DTreeNode {
+                feature: n.feature,
+                threshold: n.threshold,
+                left: n.left,
+                right: n.right,
+                is_leaf: n.is_leaf,
+                value: n.value.clone(),
+            })
+            .collect()
     }
 
     /// Number of leaves.

@@ -154,6 +154,12 @@ impl ForestModel {
     /// Predicts by averaging per-tree leaf distributions (classification)
     /// or leaf means (regression).
     ///
+    /// The eval matrix is gathered into plain column slices once up front
+    /// and every tree traverses those slices, instead of re-dispatching
+    /// each value lookup through the view's row selection at every tree
+    /// visit; the gathered values are identical, so the predictions are
+    /// identical. The same column path serves compiled artifacts.
+    ///
     /// # Panics
     ///
     /// Panics if `data` has a different feature count than training data.
@@ -164,14 +170,32 @@ impl ForestModel {
             self.n_features,
             "predicting with a different feature count"
         );
-        let n = data.n_rows();
+        let cols: Vec<Vec<f64>> = (0..data.n_features())
+            .map(|j| data.column_values(j).collect())
+            .collect();
+        self.predict_cols(&cols, data.n_rows())
+    }
+
+    /// Predicts from pre-gathered feature columns (`cols[j][i]` is the
+    /// value of feature `j` at row `i`). This is the code path
+    /// [`ForestModel::predict`] uses after gathering its view once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` has a different feature count than training data.
+    pub fn predict_cols(&self, cols: &[Vec<f64>], n: usize) -> Pred {
+        assert_eq!(
+            cols.len(),
+            self.n_features,
+            "predicting with a different feature count"
+        );
         let m = self.trees.len() as f64;
         match self.task {
             Task::Regression => {
                 let mut out = vec![0.0; n];
                 for tree in &self.trees {
                     for (i, o) in out.iter_mut().enumerate() {
-                        *o += tree.eval(&data, i)[0];
+                        *o += tree.eval_cols(cols, i)[0];
                     }
                 }
                 for o in &mut out {
@@ -184,7 +208,7 @@ impl ForestModel {
                 let mut p = vec![0.0; n * k];
                 for tree in &self.trees {
                     for i in 0..n {
-                        let dist = tree.eval(&data, i);
+                        let dist = tree.eval_cols(cols, i);
                         for c in 0..k {
                             p[i * k + c] += dist[c];
                         }
@@ -196,6 +220,21 @@ impl ForestModel {
                 Pred::Probs { n_classes: k, p }
             }
         }
+    }
+
+    /// The fitted trees, for compilation into a serving artifact.
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// The task the model was trained for.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// Number of feature columns the model was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
     }
 }
 

@@ -17,6 +17,7 @@
 //! `colsample_bylevel`). All of these are searched by FLAML (Table 5).
 
 use crate::binning::{BinMapper, BinnedDataset, PreparedBins};
+use crate::link::{sigmoid, softmax_in_place};
 use crate::FitError;
 use flaml_data::{DatasetView, Task};
 use flaml_metrics::Pred;
@@ -198,6 +199,26 @@ impl Tree {
     }
 }
 
+/// One flattened boosted-tree node, as exported to the serving layer.
+/// Thresholds are bin indices (a row goes left when `bin <= threshold`;
+/// `NaN` always bins to 0, the leftmost bin); child indices are local to
+/// the exporting tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbdtNode {
+    /// Feature column the node splits on (0 for leaves).
+    pub feature: u32,
+    /// Bin-index split threshold (0 for leaves).
+    pub threshold: u32,
+    /// Tree-local index of the left child (0 for leaves).
+    pub left: u32,
+    /// Tree-local index of the right child (0 for leaves).
+    pub right: u32,
+    /// Leaf value (0 for internal nodes).
+    pub leaf_value: f64,
+    /// Whether the node is a leaf.
+    pub is_leaf: bool,
+}
+
 /// A trained gradient-boosting model.
 #[derive(Debug, Clone)]
 pub struct GbdtModel {
@@ -211,6 +232,52 @@ pub struct GbdtModel {
 }
 
 impl GbdtModel {
+    /// The fitted bin mapper (serving artifacts store its cut points).
+    pub fn mapper(&self) -> &BinMapper {
+        &self.mapper
+    }
+
+    /// Number of score groups per row: 1 for regression/binary, `k` for
+    /// `k`-class tasks.
+    pub fn n_groups(&self) -> usize {
+        self.n_groups
+    }
+
+    /// Per-group initial scores added to every row before boosting.
+    pub fn init_scores(&self) -> &[f64] {
+        &self.init_scores
+    }
+
+    /// The task the model was trained for.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// Number of feature columns the model was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Flattened per-tree node lists in boosting order (tree `t` scores
+    /// group `t % n_groups`), for compilation into a serving artifact.
+    pub fn export_trees(&self) -> Vec<Vec<GbdtNode>> {
+        self.trees
+            .iter()
+            .map(|tree| {
+                tree.nodes
+                    .iter()
+                    .map(|n| GbdtNode {
+                        feature: n.feature,
+                        threshold: n.threshold,
+                        left: n.left,
+                        right: n.right,
+                        leaf_value: n.leaf_value,
+                        is_leaf: n.is_leaf,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
     /// Number of boosting rounds actually kept (after early stopping).
     pub fn n_rounds(&self) -> usize {
         self.trees.len() / self.n_groups
@@ -298,22 +365,6 @@ impl GbdtModel {
                 Pred::Probs { n_classes: k, p }
             }
         }
-    }
-}
-
-fn sigmoid(x: f64) -> f64 {
-    1.0 / (1.0 + (-x).exp())
-}
-
-fn softmax_in_place(row: &mut [f64]) {
-    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let mut total = 0.0;
-    for v in row.iter_mut() {
-        *v = (*v - max).exp();
-        total += *v;
-    }
-    for v in row.iter_mut() {
-        *v /= total;
     }
 }
 

@@ -43,15 +43,16 @@ mod error;
 mod forest;
 mod gbdt;
 mod linear;
+pub mod link;
 mod stacking;
 
 pub use binning::{BinMapper, BinnedDataset, PreparedBins, PreparedSort};
-pub use dtree::{DecisionTree, SplitCriterion, TreeParams};
+pub use dtree::{goes_left, DTreeNode, DecisionTree, SplitCriterion, TreeParams};
 pub use error::FitError;
 pub use forest::{Forest, ForestModel, ForestParams};
-pub use gbdt::{Gbdt, GbdtModel, GbdtParams, Growth};
-pub use linear::{Linear, LinearModel, LinearParams};
-pub use stacking::{fit_meta, meta_features, StackedModel};
+pub use gbdt::{Gbdt, GbdtModel, GbdtNode, GbdtParams, Growth};
+pub use linear::{Encoding, Linear, LinearModel, LinearParams};
+pub use stacking::{fit_meta, member_columns, meta_features, StackedModel};
 
 use flaml_data::DatasetView;
 use flaml_metrics::Pred;

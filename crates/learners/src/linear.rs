@@ -8,9 +8,11 @@
 //! by one-vs-rest, ridge regression by normal equations — all via a small
 //! in-crate Cholesky solver, so convergence is fast and deterministic.
 
+use crate::link::sigmoid;
 use crate::FitError;
 use flaml_data::{DatasetView, FeatureKind, Task};
 use flaml_metrics::Pred;
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Hyperparameters of the [`Linear`] learner.
@@ -37,12 +39,22 @@ impl Default for LinearParams {
 pub struct Linear;
 
 /// How each raw feature column is embedded into the design matrix.
-#[derive(Debug, Clone)]
-enum Encoding {
+/// Public (and serializable) so serving artifacts can store the fitted
+/// encodings and rebuild an identical model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Encoding {
     /// Standardized numeric column: `(value - mean) / std`.
-    Numeric { mean: f64, std: f64 },
+    Numeric {
+        /// Mean of the finite training values.
+        mean: f64,
+        /// Standard deviation of the finite training values (floored).
+        std: f64,
+    },
     /// One-hot over `cardinality` categories.
-    OneHot { cardinality: usize },
+    OneHot {
+        /// Number of categories (one design column each).
+        cardinality: usize,
+    },
 }
 
 /// A fitted linear model.
@@ -157,6 +169,50 @@ impl Linear {
 }
 
 impl LinearModel {
+    /// Reassembles a model from its fitted parts (e.g. a deserialized
+    /// serving artifact). A model rebuilt from the accessors of an
+    /// existing model predicts identically.
+    pub fn from_parts(
+        encodings: Vec<Encoding>,
+        weights: Vec<Vec<f64>>,
+        task: Task,
+        y_mean: f64,
+        y_std: f64,
+    ) -> LinearModel {
+        LinearModel {
+            encodings,
+            weights,
+            task,
+            y_mean,
+            y_std,
+        }
+    }
+
+    /// The fitted per-feature encodings.
+    pub fn encodings(&self) -> &[Encoding] {
+        &self.encodings
+    }
+
+    /// The fitted weight groups (design columns + intercept each).
+    pub fn weights(&self) -> &[Vec<f64>] {
+        &self.weights
+    }
+
+    /// The task the model was trained for.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// Regression target mean (0 for classification).
+    pub fn y_mean(&self) -> f64 {
+        self.y_mean
+    }
+
+    /// Regression target standard deviation (1 for classification).
+    pub fn y_std(&self) -> f64 {
+        self.y_std
+    }
+
     /// Predicts class probabilities (classification) or values
     /// (regression).
     ///
@@ -171,6 +227,30 @@ impl LinearModel {
             "predicting with a different feature count"
         );
         let x = design_matrix(&data, &self.encodings);
+        self.predict_design(&x)
+    }
+
+    /// Predicts from raw feature columns (`columns[j][i]` is the value of
+    /// feature `j` at row `i`), bypassing dataset construction. The design
+    /// matrix is built by the same code over the same values in the same
+    /// order as [`LinearModel::predict`], so the output is bit-identical
+    /// to predicting on a dataset holding these columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` has a different feature count than training
+    /// data.
+    pub fn predict_columns(&self, columns: &[Vec<f64>], n_rows: usize) -> Pred {
+        assert_eq!(
+            columns.len(),
+            self.encodings.len(),
+            "predicting with a different feature count"
+        );
+        let x = design_from(n_rows, &self.encodings, |i, j| columns[j][i]);
+        self.predict_design(&x)
+    }
+
+    fn predict_design(&self, x: &Design) -> Pred {
         match self.task {
             Task::Regression => {
                 let margins = x.matvec(&self.weights[0]);
@@ -186,7 +266,7 @@ impl LinearModel {
                 Pred::binary_probs(margins.into_iter().map(sigmoid).collect())
             }
             Task::MultiClass(k) => {
-                let n = data.n_rows();
+                let n = x.n_rows;
                 let mut p = vec![0.0; n * k];
                 for (c, w) in self.weights.iter().enumerate() {
                     for (i, m) in x.matvec(w).into_iter().enumerate() {
@@ -215,10 +295,6 @@ impl LinearModel {
     pub fn n_weights(&self) -> usize {
         self.weights[0].len()
     }
-}
-
-fn sigmoid(x: f64) -> f64 {
-    1.0 / (1.0 + (-x).exp())
 }
 
 fn build_encodings(data: &DatasetView) -> Vec<Encoding> {
@@ -268,7 +344,13 @@ impl Design {
 }
 
 fn design_matrix(data: &DatasetView, encodings: &[Encoding]) -> Design {
-    let n = data.n_rows();
+    design_from(data.n_rows(), encodings, |i, j| data.value(i, j))
+}
+
+/// Builds the design matrix from any value source; the view-based and
+/// column-based predict paths share this exact construction so their
+/// outputs agree bit-for-bit.
+fn design_from(n: usize, encodings: &[Encoding], value: impl Fn(usize, usize) -> f64) -> Design {
     let n_cols: usize = encodings
         .iter()
         .map(|e| match e {
@@ -282,7 +364,7 @@ fn design_matrix(data: &DatasetView, encodings: &[Encoding]) -> Design {
         let out = &mut rows[i * n_cols..(i + 1) * n_cols];
         let mut at = 0usize;
         for (j, enc) in encodings.iter().enumerate() {
-            let v = data.value(i, j);
+            let v = value(i, j);
             match enc {
                 Encoding::Numeric { mean, std } => {
                     out[at] = if v.is_nan() { 0.0 } else { (v - mean) / std };

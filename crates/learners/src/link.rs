@@ -1,0 +1,22 @@
+//! Link functions shared by the training predict paths and the compiled
+//! serving layer. Keeping one implementation is what makes compiled
+//! artifacts bit-identical to the interpreted models: both sides apply
+//! exactly these operations, in exactly this order.
+
+/// The logistic function `1 / (1 + e^-x)`.
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// In-place max-subtracted softmax over one row of margins.
+pub fn softmax_in_place(row: &mut [f64]) {
+    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut total = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        total += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= total;
+    }
+}

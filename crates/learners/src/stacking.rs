@@ -22,6 +22,36 @@ pub struct StackedModel {
     task: Task,
 }
 
+/// The meta-feature columns for `data`: one column per member and class
+/// (probabilities, last class dropped as redundant) or per member
+/// (regression values). This is the single extraction both [`meta_features`]
+/// (training) and [`StackedModel::predict`] (serving) run, so the two
+/// paths see bit-identical features.
+///
+/// # Panics
+///
+/// Panics if `members` is empty or a member predicts the wrong row count.
+pub fn member_columns(members: &[FittedModel], data: &DatasetView) -> Vec<Vec<f64>> {
+    assert!(!members.is_empty(), "stacking needs at least one member");
+    let n = data.n_rows();
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for member in members {
+        match member.predict(data) {
+            Pred::Values(v) => {
+                assert_eq!(v.len(), n);
+                columns.push(v);
+            }
+            Pred::Probs { n_classes, p } => {
+                // Skip the last class: its probability is redundant.
+                for c in 0..n_classes.saturating_sub(1) {
+                    columns.push(p.chunks_exact(n_classes).map(|row| row[c]).collect());
+                }
+            }
+        }
+    }
+    columns
+}
+
 /// Builds the meta-feature dataset for `data`: one column per member and
 /// class (probabilities) or per member (regression values), with `target`
 /// as the label.
@@ -35,24 +65,8 @@ pub fn meta_features(
     data: impl Into<DatasetView>,
     target: Vec<f64>,
 ) -> Dataset {
-    assert!(!members.is_empty(), "stacking needs at least one member");
     let data: DatasetView = data.into();
-    let n = data.n_rows();
-    let mut columns: Vec<Vec<f64>> = Vec::new();
-    for member in members {
-        match member.predict(&data) {
-            Pred::Values(v) => {
-                assert_eq!(v.len(), n);
-                columns.push(v);
-            }
-            Pred::Probs { n_classes, p } => {
-                // Skip the last class: its probability is redundant.
-                for c in 0..n_classes.saturating_sub(1) {
-                    columns.push(p.chunks_exact(n_classes).map(|row| row[c]).collect());
-                }
-            }
-        }
-    }
+    let columns = member_columns(members, &data);
     Dataset::new("meta", data.task(), columns, target).expect("consistent meta features")
 }
 
@@ -82,16 +96,25 @@ impl StackedModel {
         &self.members
     }
 
+    /// The linear meta-learner.
+    pub fn meta(&self) -> &LinearModel {
+        &self.meta
+    }
+
+    /// The task the ensemble was assembled for.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
     /// Predicts by feeding every member's prediction into the
-    /// meta-learner.
+    /// meta-learner. The member columns go straight into the meta-model's
+    /// column predict path — no intermediate dataset is built — which is
+    /// bit-identical to the dataset route because the design matrix is
+    /// constructed by the same code over the same values.
     pub fn predict(&self, data: impl Into<DatasetView>) -> Pred {
         let data: DatasetView = data.into();
-        let dummy_target = match self.task {
-            Task::Regression => vec![0.0; data.n_rows()],
-            _ => vec![0.0; data.n_rows()],
-        };
-        let features = meta_features(&self.members, &data, dummy_target);
-        self.meta.predict(&features)
+        let columns = member_columns(&self.members, &data);
+        self.meta.predict_columns(&columns, data.n_rows())
     }
 }
 

@@ -1,0 +1,80 @@
+//! Typed errors of the serving artifact layer.
+
+use std::fmt;
+
+/// Why compiling, saving or loading a serving artifact failed.
+///
+/// Every rejection path of [`crate::CompiledModel::load`] maps to a
+/// distinct variant, so callers can tell a torn download
+/// ([`ArtifactError::Parse`]) from a foreign file
+/// ([`ArtifactError::BadMagic`]) from a corrupted payload
+/// ([`ArtifactError::FingerprintMismatch`]).
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Reading or writing the artifact file failed.
+    Io(std::io::Error),
+    /// The file is not parseable artifact JSON (corrupt or truncated).
+    Parse(String),
+    /// The file parses but does not carry the artifact magic string.
+    BadMagic {
+        /// The magic string found in the file.
+        found: String,
+    },
+    /// The artifact was written by an unsupported format version.
+    Version {
+        /// Format version found in the file.
+        found: u32,
+        /// Format version this build supports.
+        supported: u32,
+    },
+    /// The model payload does not hash to the fingerprint in the header.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the header.
+        expected: u64,
+        /// Fingerprint recomputed from the payload.
+        found: u64,
+    },
+    /// The model cannot be compiled into an artifact (e.g. a custom
+    /// dynamic model, whose prediction code lives outside the artifact).
+    Unsupported(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact io error: {e}"),
+            ArtifactError::Parse(msg) => write!(f, "artifact parse error: {msg}"),
+            ArtifactError::BadMagic { found } => {
+                write!(f, "not a flaml artifact (magic {found:?})")
+            }
+            ArtifactError::Version { found, supported } => {
+                write!(
+                    f,
+                    "artifact format v{found} not supported (this build reads v{supported})"
+                )
+            }
+            ArtifactError::FingerprintMismatch { expected, found } => {
+                write!(
+                    f,
+                    "artifact fingerprint mismatch: header {expected:#018x}, payload {found:#018x}"
+                )
+            }
+            ArtifactError::Unsupported(msg) => write!(f, "model cannot be compiled: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> ArtifactError {
+        ArtifactError::Io(e)
+    }
+}

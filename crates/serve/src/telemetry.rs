@@ -1,0 +1,200 @@
+//! Serving telemetry: per-slot latency percentiles, throughput and
+//! batch occupancy, aggregated from the same [`TrialEvent`] stream the
+//! training stack uses.
+//!
+//! [`crate::BatchEngine`] emits one [`TrialEventKind::ServeBatch`]
+//! event per completed chunk and [`crate::ModelRegistry`] emits
+//! promote/rollback events; [`ServeTelemetry`] folds them into
+//! per-slot [`SlotStats`]. The generic [`flaml_exec::Telemetry`]
+//! aggregator counts the same events at coarser grain (batches, rows,
+//! promotions), so serving traffic shows up in existing dashboards
+//! without any schema change.
+
+use flaml_exec::{TrialEvent, TrialEventKind};
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+
+/// Aggregated serving statistics of one registry slot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SlotStats {
+    /// Completed batches (chunks).
+    pub batches: usize,
+    /// Rows served.
+    pub rows: usize,
+    /// Total batch wall seconds (sum over batches).
+    pub total_secs: f64,
+    occupancy_sum: f64,
+    latencies: Vec<f64>,
+}
+
+impl SlotStats {
+    fn record(&mut self, event: &TrialEvent) {
+        self.batches += 1;
+        self.rows += event.sample_size;
+        let wall = event.wall_secs.unwrap_or(0.0);
+        self.total_secs += wall;
+        self.latencies.push(wall);
+        self.occupancy_sum += event.cost.unwrap_or(0.0);
+    }
+
+    /// The `q`-th latency percentile in seconds (nearest-rank over the
+    /// recorded batch latencies; 0 with no batches).
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let rank = ((q / 100.0) * n as f64).ceil() as usize;
+        sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Median batch latency in seconds.
+    pub fn p50(&self) -> f64 {
+        self.latency_percentile(50.0)
+    }
+
+    /// 95th-percentile batch latency in seconds.
+    pub fn p95(&self) -> f64 {
+        self.latency_percentile(95.0)
+    }
+
+    /// 99th-percentile batch latency in seconds.
+    pub fn p99(&self) -> f64 {
+        self.latency_percentile(99.0)
+    }
+
+    /// Rows per second over the recorded batches (0 with no wall time).
+    pub fn throughput(&self) -> f64 {
+        if self.total_secs > 0.0 {
+            self.rows as f64 / self.total_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean batch occupancy: rows per batch over the configured batch
+    /// capacity, averaged across batches (1.0 = every batch full).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches > 0 {
+            self.occupancy_sum / self.batches as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// The raw per-batch latencies, in arrival order.
+    pub fn latencies(&self) -> &[f64] {
+        &self.latencies
+    }
+}
+
+/// Aggregated serving telemetry across all slots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeTelemetry {
+    /// Per-slot statistics keyed by slot name.
+    pub slots: BTreeMap<String, SlotStats>,
+    /// Model promotions observed.
+    pub promoted: usize,
+    /// Rollbacks observed.
+    pub rolled_back: usize,
+}
+
+impl ServeTelemetry {
+    /// An empty aggregate.
+    pub fn new() -> ServeTelemetry {
+        ServeTelemetry::default()
+    }
+
+    /// Folds one event in (non-serving events are ignored).
+    pub fn record(&mut self, event: &TrialEvent) {
+        match event.kind {
+            TrialEventKind::ServeBatch => {
+                self.slots
+                    .entry(event.label.clone())
+                    .or_default()
+                    .record(event);
+            }
+            TrialEventKind::ServePromoted => self.promoted += 1,
+            TrialEventKind::ServeRolledBack => self.rolled_back += 1,
+            _ => {}
+        }
+    }
+
+    /// Drains every event currently buffered in `rx` (non-blocking) and
+    /// folds them in. Returns `self` for chaining.
+    pub fn drain(mut self, rx: &mpsc::Receiver<TrialEvent>) -> ServeTelemetry {
+        while let Ok(ev) = rx.try_recv() {
+            self.record(&ev);
+        }
+        self
+    }
+
+    /// Total rows served across all slots.
+    pub fn total_rows(&self) -> usize {
+        self.slots.values().map(|s| s.rows).sum()
+    }
+
+    /// Total batches across all slots.
+    pub fn total_batches(&self) -> usize {
+        self.slots.values().map(|s| s.batches).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(slot: &str, rows: usize, wall: f64, occupancy: f64) -> TrialEvent {
+        let mut ev = TrialEvent::new(TrialEventKind::ServeBatch);
+        ev.label = slot.to_string();
+        ev.sample_size = rows;
+        ev.wall_secs = Some(wall);
+        ev.cost = Some(occupancy);
+        ev
+    }
+
+    #[test]
+    fn aggregates_per_slot() {
+        let mut t = ServeTelemetry::new();
+        t.record(&batch("a", 32, 0.010, 1.0));
+        t.record(&batch("a", 16, 0.030, 0.5));
+        t.record(&batch("b", 8, 0.002, 0.25));
+        t.record(&TrialEvent::new(TrialEventKind::ServePromoted));
+        t.record(&TrialEvent::new(TrialEventKind::ServeRolledBack));
+        t.record(&TrialEvent::new(TrialEventKind::Finished)); // ignored
+        assert_eq!(t.total_rows(), 56);
+        assert_eq!(t.total_batches(), 3);
+        assert_eq!(t.promoted, 1);
+        assert_eq!(t.rolled_back, 1);
+        let a = &t.slots["a"];
+        assert_eq!(a.batches, 2);
+        assert_eq!(a.rows, 48);
+        assert!((a.total_secs - 0.040).abs() < 1e-12);
+        assert!((a.throughput() - 48.0 / 0.040).abs() < 1e-6);
+        assert!((a.mean_occupancy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut t = ServeTelemetry::new();
+        for i in 1..=100 {
+            t.record(&batch("s", 1, i as f64, 1.0));
+        }
+        let s = &t.slots["s"];
+        assert_eq!(s.p50(), 50.0);
+        assert_eq!(s.p95(), 95.0);
+        assert_eq!(s.p99(), 99.0);
+        assert_eq!(s.latency_percentile(100.0), 100.0);
+        assert_eq!(s.latency_percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn empty_slot_stats_are_zero() {
+        let s = SlotStats::default();
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.mean_occupancy(), 0.0);
+    }
+}
