@@ -142,6 +142,9 @@ impl Args {
             batch: self.usize("batch", 32).max(1),
             concurrency: self.usize("concurrency", jobs).max(1),
             artifact: self.opt_str("artifact").map(PathBuf::from),
+            port: self.usize("port", 8700).min(u16::MAX as usize) as u16,
+            tenants: self.usize("tenants", 2).max(1),
+            max_inflight: self.usize("max-inflight", 8).max(1),
         }
     }
 }
@@ -161,7 +164,12 @@ impl Args {
 /// - `--full` — full-scale dataset suites;
 /// - `--batch N` — serving batch size in rows (default 32, clamped ≥ 1);
 /// - `--concurrency N` — serving pool workers (default: `--jobs`);
-/// - `--artifact PATH` — export the winning model as a serving artifact.
+/// - `--artifact PATH` — export the winning model as a serving artifact;
+/// - `--port N` — service port to target or bind (default 8700);
+/// - `--tenants N` — tenants a service load generator simulates
+///   (default 2, clamped ≥ 1);
+/// - `--max-inflight N` — the service admission bound (default 8,
+///   clamped ≥ 1).
 #[derive(Debug, Clone)]
 pub struct ExecArgs {
     /// Run seed.
@@ -188,6 +196,14 @@ pub struct ExecArgs {
     /// Where to export the winning model as a serving artifact
     /// (`--artifact PATH`), if requested.
     pub artifact: Option<PathBuf>,
+    /// Service port to target or bind (`--port`, default 8700).
+    pub port: u16,
+    /// Tenants a service load generator simulates (`--tenants`,
+    /// default 2, always ≥ 1).
+    pub tenants: usize,
+    /// Service admission bound (`--max-inflight`, default 8, always
+    /// ≥ 1).
+    pub max_inflight: usize,
 }
 
 impl ExecArgs {
@@ -298,5 +314,23 @@ mod tests {
         let e = args("--batch 0 --concurrency 0").exec();
         assert_eq!(e.batch, 1);
         assert_eq!(e.concurrency, 1);
+    }
+
+    #[test]
+    fn exec_parses_server_knobs() {
+        let e = args("--port 9100 --tenants 5 --max-inflight 3").exec();
+        assert_eq!(e.port, 9100);
+        assert_eq!(e.tenants, 5);
+        assert_eq!(e.max_inflight, 3);
+
+        // Defaults, and clamping of degenerate values.
+        let e = args("").exec();
+        assert_eq!(e.port, 8700);
+        assert_eq!(e.tenants, 2);
+        assert_eq!(e.max_inflight, 8);
+        let e = args("--tenants 0 --max-inflight 0 --port 99999").exec();
+        assert_eq!(e.tenants, 1);
+        assert_eq!(e.max_inflight, 1);
+        assert_eq!(e.port, u16::MAX);
     }
 }

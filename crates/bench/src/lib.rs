@@ -18,6 +18,7 @@
 //! | `journal_tool` | (no figure) inspect / verify-replay / export-csv on trial journals |
 //! | `bench_dataplane` | (no figure) prepared-data cache purity + replay throughput gate |
 //! | `bench_serve` | (no figure) compiled-artifact bit-exactness, batched-inference identity + throughput gate, hot-swap soak, serving latency JSON |
+//! | `bench_server` | (no figure) multi-tenant service load generator: mixed fit/predict stream with p99 + rows/sec gates, and `--verify` byte-compares resumed search journals against in-process reference runs |
 //!
 //! Every binary accepts the shared execution flags parsed by
 //! [`cli::ExecArgs`] — `--seed`, `--jobs`, `--virtual`, `--chaos`,

@@ -450,6 +450,12 @@ pub struct AutoMl {
     pub(crate) fault_plan: Option<FaultPlan>,
     pub(crate) journal_path: Option<PathBuf>,
     pub(crate) resume: bool,
+    /// Overrides the `max_trials` value recorded in a freshly created
+    /// journal header. [`crate::SearchHandle`] runs a search as a series
+    /// of slices, each a `fit` with a small trial cap; recording the
+    /// *target* cap instead keeps a sliced run's journal byte-identical
+    /// to a single-shot run's (resume deliberately ignores the field).
+    pub(crate) header_max_trials: Option<Option<usize>>,
     pub(crate) starting_points: Vec<(String, Vec<f64>, f64)>,
     pub(crate) prepared_cache: bool,
     pub(crate) prepared_cache_bytes: usize,
@@ -483,6 +489,7 @@ impl Default for AutoMl {
             fault_plan: None,
             journal_path: None,
             resume: false,
+            header_max_trials: None,
             starting_points: Vec::new(),
             prepared_cache: true,
             prepared_cache_bytes: 256 * 1024 * 1024,

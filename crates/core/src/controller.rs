@@ -355,7 +355,7 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
             schema_version: SCHEMA_VERSION,
             seed: settings.seed,
             time_budget: settings.time_budget,
-            max_trials: settings.max_trials,
+            max_trials: settings.header_max_trials.unwrap_or(settings.max_trials),
             sample_size_init: settings.sample_size_init,
             sampling: settings.sampling,
             learner_selection: settings.learner_selection.name().to_string(),

@@ -46,6 +46,7 @@ mod custom;
 mod dataplane;
 mod eci;
 mod ensemble;
+mod handle;
 mod learner;
 mod resample;
 mod serving;
@@ -60,6 +61,7 @@ pub use custom::{CustomLearner, Estimator};
 pub use dataplane::{DataPlane, FoldData, PrepStats, TrialData};
 pub use eci::{sample_by_inverse_eci, EciState};
 pub use ensemble::{build_stacked, MemberSpec};
+pub use handle::{SearchHandle, SliceOutcome};
 pub use learner::{config_cost_factor, fit_learner, fit_learner_prepared};
 pub use resample::{
     run_trial, run_trial_prepared, ResampleRule, ResampleStrategy, TrialOutcome, TrialStatus,
@@ -70,13 +72,15 @@ pub use spaces::LearnerKind;
 // Re-export the execution runtime so downstream crates can size pools and
 // subscribe to trial telemetry without depending on flaml-exec directly.
 pub use flaml_exec::{
-    event_channel, EventSink, ExecPool, FaultPlan, InjectedFault, Telemetry, TrialEvent,
-    TrialEventKind,
+    event_channel, EventSink, ExecPool, FaultPlan, InjectedFault, Telemetry, TenantUsage,
+    TrialEvent, TrialEventKind,
 };
 
 // Re-export the journal so resume/warm-start workflows (read a log, seed
 // `starting_points`, inspect best trials) need only this crate.
-pub use flaml_journal::{Journal, JournalError, JournalHeader, TrialLine};
+pub use flaml_journal::{
+    discover, DiscoveredJournal, Journal, JournalError, JournalHeader, TrialLine,
+};
 
 // Re-export the serving stack so "fit, then serve" needs only this crate:
 // compile the winner, publish it to a registry, batch-predict on the pool.

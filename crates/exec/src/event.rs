@@ -49,6 +49,18 @@ pub enum TrialEventKind {
     ServePromoted,
     /// A registry slot was rolled back to an earlier model version.
     ServeRolledBack,
+    /// An admission controller rejected a request (e.g. a fit submitted
+    /// past the in-flight search cap); `tenant` names the rejected
+    /// tenant and the message carries the reason.
+    ServeRejected,
+    /// A gauge sample of an admission queue's depth: `sample_size`
+    /// carries the number of searches queued or running when the event
+    /// was emitted (on admit, dequeue, and completion).
+    ServeQueueDepth,
+    /// One fair-share scheduling slice of a tenant's search completed:
+    /// `tenant` names the tenant, `cost` the budget seconds charged to
+    /// the slice and `sample_size` the trials it committed.
+    TenantSlice,
 }
 
 impl TrialEventKind {
@@ -66,6 +78,9 @@ impl TrialEventKind {
             TrialEventKind::ServeBatch => "serve-batch",
             TrialEventKind::ServePromoted => "serve-promoted",
             TrialEventKind::ServeRolledBack => "serve-rolled-back",
+            TrialEventKind::ServeRejected => "serve-rejected",
+            TrialEventKind::ServeQueueDepth => "serve-queue-depth",
+            TrialEventKind::TenantSlice => "tenant-slice",
         }
     }
 }
@@ -111,6 +126,9 @@ pub struct TrialEvent {
     pub job_id: u64,
     /// Free-form label (e.g. `"dataset/method"`).
     pub label: String,
+    /// Tenant the event is accounted to in a multi-tenant service
+    /// (empty outside the server: library runs have no tenancy).
+    pub tenant: String,
     /// Learner evaluated, if known.
     pub learner: String,
     /// Rendered configuration, if known.
@@ -144,6 +162,7 @@ impl TrialEvent {
             kind,
             job_id: 0,
             label: String::new(),
+            tenant: String::new(),
             learner: String::new(),
             config: String::new(),
             sample_size: 0,
@@ -257,6 +276,25 @@ pub struct LearnerCounts {
     pub quarantined: usize,
 }
 
+/// Per-tenant resource accounting in a multi-tenant service, folded
+/// from tenant-carrying events (`TenantSlice`, serving traffic and
+/// admission rejections emitted with a non-empty `tenant`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantUsage {
+    /// Fair-share scheduling slices run for this tenant's searches.
+    pub fit_slices: usize,
+    /// Search trials committed across those slices.
+    pub fit_trials: usize,
+    /// Budget seconds charged to this tenant's searches.
+    pub fit_cost_secs: f64,
+    /// Serving batches completed for this tenant.
+    pub serve_batches: usize,
+    /// Rows served to this tenant.
+    pub serve_rows: usize,
+    /// Requests of this tenant rejected by admission control.
+    pub rejected: usize,
+}
+
 /// Aggregated counts over a trial-event stream.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Telemetry {
@@ -284,6 +322,14 @@ pub struct Telemetry {
     pub serve_promoted: usize,
     /// `ServeRolledBack` events seen (registry slot rollbacks).
     pub serve_rolled_back: usize,
+    /// `ServeRejected` events seen (admission-control rejections).
+    pub serve_rejected: usize,
+    /// Last observed admission queue depth (`ServeQueueDepth` gauge).
+    pub serve_queue_depth: usize,
+    /// Highest admission queue depth observed.
+    pub serve_queue_depth_max: usize,
+    /// `TenantSlice` events seen (fair-share search slices).
+    pub tenant_slices: usize,
     /// Prepared-data cache hits summed over all events.
     pub prepared_hits: usize,
     /// Prepared-data cache misses summed over all events.
@@ -294,6 +340,9 @@ pub struct Telemetry {
     /// Per-learner counts keyed by learner name (unnamed trials group
     /// under the empty string).
     pub by_learner: BTreeMap<String, LearnerCounts>,
+    /// Per-tenant accounting keyed by tenant name (events with an empty
+    /// `tenant` are not attributed).
+    pub by_tenant: BTreeMap<String, TenantUsage>,
 }
 
 impl Telemetry {
@@ -307,6 +356,24 @@ impl Telemetry {
         self.prepared_hits += event.prepared_hits;
         self.prepared_misses += event.prepared_misses;
         self.bytes_copied_saved += event.bytes_copied_saved;
+        if !event.tenant.is_empty() {
+            let usage = self.by_tenant.entry(event.tenant.clone()).or_default();
+            match event.kind {
+                TrialEventKind::TenantSlice => {
+                    usage.fit_slices += 1;
+                    usage.fit_trials += event.sample_size;
+                    usage.fit_cost_secs += event.cost.unwrap_or(0.0);
+                }
+                TrialEventKind::ServeBatch => {
+                    usage.serve_batches += 1;
+                    usage.serve_rows += event.sample_size;
+                }
+                TrialEventKind::ServeRejected => {
+                    usage.rejected += 1;
+                }
+                _ => {}
+            }
+        }
         match event.kind {
             TrialEventKind::Started => {
                 self.started += 1;
@@ -326,6 +393,16 @@ impl Telemetry {
             }
             TrialEventKind::ServeRolledBack => {
                 self.serve_rolled_back += 1;
+            }
+            TrialEventKind::ServeRejected => {
+                self.serve_rejected += 1;
+            }
+            TrialEventKind::ServeQueueDepth => {
+                self.serve_queue_depth = event.sample_size;
+                self.serve_queue_depth_max = self.serve_queue_depth_max.max(event.sample_size);
+            }
+            TrialEventKind::TenantSlice => {
+                self.tenant_slices += 1;
             }
             _ => {
                 let slot = self.by_learner.entry(event.learner.clone()).or_default();
@@ -355,7 +432,10 @@ impl Telemetry {
                     | TrialEventKind::Sanitized
                     | TrialEventKind::ServeBatch
                     | TrialEventKind::ServePromoted
-                    | TrialEventKind::ServeRolledBack => unreachable!("handled above"),
+                    | TrialEventKind::ServeRolledBack
+                    | TrialEventKind::ServeRejected
+                    | TrialEventKind::ServeQueueDepth
+                    | TrialEventKind::TenantSlice => unreachable!("handled above"),
                 }
             }
         }
@@ -492,6 +572,43 @@ mod tests {
         assert_eq!(t.serve_rolled_back, 1);
         assert_eq!(t.total_terminal(), 0, "serving events are not terminal");
         assert!(t.by_learner.is_empty(), "serving events carry no learner");
+    }
+
+    #[test]
+    fn telemetry_counts_admission_and_tenant_events() {
+        let (sink, rx) = event_channel();
+        let mut ev = TrialEvent::new(TrialEventKind::ServeRejected);
+        ev.tenant = "acme".into();
+        sink.emit(ev.clone());
+        ev.kind = TrialEventKind::ServeQueueDepth;
+        ev.sample_size = 7;
+        sink.emit(ev.clone());
+        ev.sample_size = 3;
+        sink.emit(ev.clone());
+        ev.kind = TrialEventKind::TenantSlice;
+        ev.sample_size = 4;
+        ev.cost = Some(1.5);
+        sink.emit(ev.clone());
+        ev.sample_size = 2;
+        ev.cost = Some(0.5);
+        sink.emit(ev.clone());
+        ev.kind = TrialEventKind::ServeBatch;
+        ev.sample_size = 64;
+        ev.cost = None;
+        sink.emit(ev);
+        let t = Telemetry::new().drain(&rx);
+        assert_eq!(t.serve_rejected, 1);
+        assert_eq!(t.serve_queue_depth, 3, "gauge keeps the last sample");
+        assert_eq!(t.serve_queue_depth_max, 7);
+        assert_eq!(t.tenant_slices, 2);
+        let usage = &t.by_tenant["acme"];
+        assert_eq!(usage.rejected, 1);
+        assert_eq!(usage.fit_slices, 2);
+        assert_eq!(usage.fit_trials, 6);
+        assert!((usage.fit_cost_secs - 2.0).abs() < 1e-12);
+        assert_eq!(usage.serve_batches, 1);
+        assert_eq!(usage.serve_rows, 64);
+        assert_eq!(t.total_terminal(), 0, "tenant events are not terminal");
     }
 
     #[test]

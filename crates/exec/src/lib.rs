@@ -53,7 +53,8 @@ mod pool;
 mod queue;
 
 pub use event::{
-    event_channel, EventSink, LearnerCounts, Telemetry, TrialEvent, TrialEventKind, TrialMeta,
+    event_channel, EventSink, LearnerCounts, Telemetry, TenantUsage, TrialEvent, TrialEventKind,
+    TrialMeta,
 };
 pub use fault::{FaultPlan, InjectedFault};
 pub use job::{Job, JobCtx, JobMeta, JobResult, JobStatus};

@@ -152,6 +152,32 @@ impl Journal {
             .collect()
     }
 
+    /// The journal re-serialized with every record's process-lifetime
+    /// fields zeroed: the *deterministic* bytes of a run. `wall_secs`
+    /// records physical time and `prepared_hits` / `prepared_misses`
+    /// record the warmth of the in-process prepared-data cache; all
+    /// three depend on how the process ran, not on the search
+    /// trajectory, so two journals of the same virtual-clock search —
+    /// live, sliced, or killed-and-resumed — compare equal here.
+    /// (`TrialLine`'s JSON round-trip is a fixed point, so every other
+    /// field still compares byte-for-byte.)
+    pub fn canonical_bytes(&self) -> String {
+        let mut out =
+            serde_json::to_string(&self.header).expect("header serialization is infallible");
+        out.push('\n');
+        for trial in &self.trials {
+            let mut trial = trial.clone();
+            trial.wall_secs = 0.0;
+            trial.prepared_hits = 0;
+            trial.prepared_misses = 0;
+            out.push_str(
+                &serde_json::to_string(&trial).expect("record serialization is infallible"),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
     /// Total budget cost charged across every committed attempt — the
     /// budget a resumed run has already spent.
     pub fn spent_budget(&self) -> f64 {

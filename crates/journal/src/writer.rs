@@ -113,6 +113,14 @@ impl JournalWriter {
         self.error.take()
     }
 
+    /// Flushes and fsyncs any buffered bytes now, without appending a
+    /// record. Dropping the writer does the same, so a server shutting
+    /// down mid-search never loses the last committed record.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+
     /// Wraps the writer in a synchronous [`EventSink`]: every committed
     /// terminal event emitted into the sink is appended (and fsynced)
     /// before the emitting thread proceeds. Fan this together with live
@@ -124,6 +132,14 @@ impl JournalWriter {
                 w.on_event(event);
             }
         })
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        // Best-effort durability on shutdown: errors are unreportable
+        // here and every committed append already fsynced itself.
+        let _ = self.sync();
     }
 }
 

@@ -359,6 +359,22 @@ impl CompiledModel {
         }
     }
 
+    /// Feature columns the model expects at [`CompiledModel::bind`]
+    /// time. Lets callers (e.g. a request front end) reject a
+    /// mis-shaped matrix with a typed error instead of panicking.
+    pub fn n_features(&self) -> usize {
+        match self {
+            CompiledModel::Gbdt(m) => m.cuts.len(),
+            CompiledModel::Forest(m) => m.n_features,
+            CompiledModel::Linear(m) => m.encodings.len(),
+            CompiledModel::Stacked(m) => m
+                .members
+                .first()
+                .map(CompiledModel::n_features)
+                .unwrap_or(0),
+        }
+    }
+
     /// Binds the model to one request matrix: bins / gathers / encodes
     /// the matrix **once**, returning an evaluator whose
     /// [`Bound::eval_range`] is pure per-row work. Binding up front is

@@ -99,6 +99,12 @@ pub struct ServeTelemetry {
     pub promoted: usize,
     /// Rollbacks observed.
     pub rolled_back: usize,
+    /// Requests rejected by admission control.
+    pub rejected: usize,
+    /// Last observed admission-queue depth gauge.
+    pub queue_depth: usize,
+    /// Maximum admission-queue depth observed.
+    pub queue_depth_max: usize,
 }
 
 impl ServeTelemetry {
@@ -118,6 +124,11 @@ impl ServeTelemetry {
             }
             TrialEventKind::ServePromoted => self.promoted += 1,
             TrialEventKind::ServeRolledBack => self.rolled_back += 1,
+            TrialEventKind::ServeRejected => self.rejected += 1,
+            TrialEventKind::ServeQueueDepth => {
+                self.queue_depth = event.sample_size;
+                self.queue_depth_max = self.queue_depth_max.max(event.sample_size);
+            }
             _ => {}
         }
     }
@@ -164,10 +175,19 @@ mod tests {
         t.record(&TrialEvent::new(TrialEventKind::ServePromoted));
         t.record(&TrialEvent::new(TrialEventKind::ServeRolledBack));
         t.record(&TrialEvent::new(TrialEventKind::Finished)); // ignored
+        t.record(&TrialEvent::new(TrialEventKind::ServeRejected));
+        let mut depth = TrialEvent::new(TrialEventKind::ServeQueueDepth);
+        depth.sample_size = 5;
+        t.record(&depth);
+        depth.sample_size = 2;
+        t.record(&depth);
         assert_eq!(t.total_rows(), 56);
         assert_eq!(t.total_batches(), 3);
         assert_eq!(t.promoted, 1);
         assert_eq!(t.rolled_back, 1);
+        assert_eq!(t.rejected, 1);
+        assert_eq!(t.queue_depth, 2, "gauge keeps the last sample");
+        assert_eq!(t.queue_depth_max, 5);
         let a = &t.slots["a"];
         assert_eq!(a.batches, 2);
         assert_eq!(a.rows, 48);

@@ -1,0 +1,128 @@
+//! Stress test: `ModelRegistry` under repeated concurrent
+//! promote→rollback cycles across many slots.
+//!
+//! Each slot has one writer thread running publish→publish→rollback
+//! cycles while reader threads continuously snapshot every slot. The
+//! model payload encodes the version it was published as, so a reader
+//! can detect a torn snapshot (version and model disagree) or an
+//! out-of-range version (a version number the writer never published).
+
+use flaml_data::Task;
+use flaml_learners::Encoding;
+use flaml_serve::{CompiledLinear, CompiledModel, ModelRegistry};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+const SLOTS: usize = 8;
+const CYCLES: usize = 60;
+const READERS: usize = 4;
+
+/// A model whose weight encodes `(slot, version)`, so any mismatch
+/// between the snapshot's `version` field and its payload is visible.
+fn model_for(slot: usize, version: u64) -> CompiledModel {
+    CompiledModel::Linear(CompiledLinear {
+        encodings: vec![Encoding::Numeric {
+            mean: 0.0,
+            std: 1.0,
+        }],
+        weights: vec![vec![slot as f64 * 1_000.0 + version as f64, 0.0]],
+        task: Task::Regression,
+        y_mean: 0.0,
+        y_std: 1.0,
+    })
+}
+
+fn slot_name(slot: usize) -> String {
+    format!("tenant-{slot}/model")
+}
+
+#[test]
+fn concurrent_promote_rollback_never_tears() {
+    let registry = Arc::new(ModelRegistry::new());
+    // Seed every slot so readers always have something to observe.
+    for slot in 0..SLOTS {
+        registry.publish(&slot_name(slot), model_for(slot, 1));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let observed = Arc::new(AtomicUsize::new(0));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let observed = Arc::clone(&observed);
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for slot in 0..SLOTS {
+                        let snap = registry
+                            .get(&slot_name(slot))
+                            .expect("seeded slot never disappears");
+                        // 2 publishes per cycle on top of the seed.
+                        let max_version = 1 + 2 * CYCLES as u64;
+                        assert!(
+                            snap.version >= 1 && snap.version <= max_version,
+                            "slot {slot} served unpublished version {}",
+                            snap.version
+                        );
+                        assert_eq!(
+                            snap.model,
+                            model_for(slot, snap.version),
+                            "slot {slot} version {} served a torn model",
+                            snap.version
+                        );
+                        observed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let writers: Vec<_> = (0..SLOTS)
+        .map(|slot| {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                let name = slot_name(slot);
+                let mut next = 2u64;
+                for _ in 0..CYCLES {
+                    // Promote twice, then step back once: the slot is
+                    // permanently churning between fresh and prior
+                    // versions while readers snapshot it.
+                    let v1 = registry.publish(&name, model_for(slot, next));
+                    assert_eq!(v1, next);
+                    let v2 = registry.publish(&name, model_for(slot, next + 1));
+                    assert_eq!(v2, next + 1);
+                    let rolled = registry.rollback(&name);
+                    assert_eq!(rolled, Some(next));
+                    next += 2;
+                }
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().expect("writer panicked");
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join()
+            .expect("reader observed a torn or out-of-order version");
+    }
+
+    // History is complete: seed + 2 per cycle, rollbacks discard nothing.
+    for slot in 0..SLOTS {
+        let name = slot_name(slot);
+        assert_eq!(registry.n_versions(&name), 1 + 2 * CYCLES);
+        // Every writer ends on a rollback, so the served version is the
+        // penultimate one; rolling forward again still works.
+        let current = registry.get(&name).unwrap();
+        assert_eq!(current.version, 2 * CYCLES as u64);
+        let republished = registry.publish(&name, model_for(slot, 1 + 2 * CYCLES as u64 + 1));
+        assert_eq!(republished, 1 + 2 * CYCLES as u64 + 1);
+    }
+    assert!(
+        observed.load(Ordering::Relaxed) > 0,
+        "readers never got to observe a snapshot"
+    );
+}

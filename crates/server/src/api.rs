@@ -1,0 +1,285 @@
+//! The service's JSON wire types, shared by the server and its load
+//! generator (`bench_server`).
+//!
+//! [`FitRequest`] is the contract that makes crash recovery
+//! *verifiable*: the server persists every accepted request as a
+//! sidecar JSON file next to the tenant's journal, and
+//! [`FitRequest::to_automl`] / [`FitRequest::to_dataset`] are the
+//! **only** way either side turns a request into a run. A verifier can
+//! therefore re-run any search from its sidecar in a fresh process and
+//! byte-compare journals — there is no second code path to drift.
+
+use flaml_core::{default_virtual_cost, AutoMl, LearnerKind, TimeSource};
+use flaml_data::{Dataset, Task};
+use serde::{Deserialize, Serialize};
+
+/// Default trials per scheduler slice when a request does not say.
+pub const DEFAULT_SLICE_TRIALS: usize = 4;
+
+/// An inline dataset: feature columns plus target.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetPayload {
+    /// Dataset name (recorded in the journal header).
+    pub name: String,
+    /// `"binary"`, `"regression"`, or `"multiclass:<k>"`.
+    pub task: String,
+    /// Feature columns, column-major.
+    pub columns: Vec<Vec<f64>>,
+    /// Target values, one per row.
+    pub target: Vec<f64>,
+}
+
+impl DatasetPayload {
+    fn parse_task(&self) -> Result<Task, String> {
+        match self.task.as_str() {
+            "binary" => Ok(Task::Binary),
+            "regression" => Ok(Task::Regression),
+            other => match other.strip_prefix("multiclass:").map(str::parse) {
+                Some(Ok(k)) => Ok(Task::MultiClass(k)),
+                _ => Err(format!(
+                    "unknown task {other:?}; expected binary, regression, or multiclass:<k>"
+                )),
+            },
+        }
+    }
+}
+
+/// A tenant's request to run an AutoML search and publish the winner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FitRequest {
+    /// Tenant slot the best model is published into when the search
+    /// finishes.
+    pub slot: String,
+    /// Search budget in virtual seconds (the service always runs the
+    /// deterministic virtual clock so resumed traces can be verified).
+    pub time_budget: f64,
+    /// Trial cap (`None` = budget-bound only).
+    #[serde(default)]
+    pub max_trials: Option<usize>,
+    /// Random seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Estimator names (empty = every builtin learner).
+    #[serde(default)]
+    pub estimators: Vec<String>,
+    /// Initial subsample size override.
+    #[serde(default)]
+    pub sample_size_init: Option<usize>,
+    /// Trials the scheduler runs per fair-share slice.
+    #[serde(default)]
+    pub slice_trials: Option<usize>,
+    /// The training data, inline.
+    pub dataset: DatasetPayload,
+}
+
+impl FitRequest {
+    /// Builds the exact [`AutoMl`] settings this request runs under —
+    /// the single construction point shared by server and verifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming any unknown estimator.
+    pub fn to_automl(&self) -> Result<AutoMl, String> {
+        let mut automl = AutoMl::new()
+            .time_budget(self.time_budget)
+            .seed(self.seed)
+            .time_source(TimeSource::Virtual(default_virtual_cost));
+        if let Some(n) = self.max_trials {
+            automl = automl.max_trials(n);
+        }
+        if let Some(s) = self.sample_size_init {
+            automl = automl.sample_size_init(s);
+        }
+        if !self.estimators.is_empty() {
+            let kinds = self
+                .estimators
+                .iter()
+                .map(|name| {
+                    LearnerKind::parse(name).ok_or_else(|| format!("unknown estimator {name:?}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            automl = automl.estimators(kinds);
+        }
+        Ok(automl)
+    }
+
+    /// Materializes the request's inline dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown task string or invalid data
+    /// (ragged columns, bad labels, …).
+    pub fn to_dataset(&self) -> Result<Dataset, String> {
+        let task = self.dataset.parse_task()?;
+        Dataset::new(
+            self.dataset.name.clone(),
+            task,
+            self.dataset.columns.clone(),
+            self.dataset.target.clone(),
+        )
+        .map_err(|e| format!("invalid dataset: {e:?}"))
+    }
+
+    /// Trials per scheduler slice for this search.
+    pub fn slice_trials(&self) -> usize {
+        self.slice_trials.unwrap_or(DEFAULT_SLICE_TRIALS).max(1)
+    }
+}
+
+/// A tenant's batched prediction request against a published slot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Slot to serve from.
+    pub slot: String,
+    /// Feature columns, column-major (must match the model's feature
+    /// count).
+    pub columns: Vec<Vec<f64>>,
+}
+
+/// `202 Accepted` body for a fit submission.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FitAccepted {
+    /// Server-assigned search id, unique per tenant.
+    pub id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Poll here: `/tenants/{tenant}/searches/{id}`.
+    pub status_path: String,
+}
+
+/// `429` body when admission control rejects a fit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rejected {
+    /// Human-readable reason.
+    pub error: String,
+    /// Searches currently queued or running.
+    pub inflight: usize,
+    /// The configured admission bound.
+    pub max_inflight: usize,
+}
+
+/// Search status, as returned by the status endpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchStatus {
+    /// Search id.
+    pub id: String,
+    /// `"queued"`, `"running"`, `"finished"`, or `"failed"`.
+    pub state: String,
+    /// Committed trials so far.
+    pub committed: usize,
+    /// Budget seconds spent so far.
+    pub spent: f64,
+    /// Best loss so far, if any trial succeeded.
+    pub best_loss: Option<f64>,
+    /// Slot the result publishes into.
+    pub slot: String,
+    /// Registry version published on finish.
+    pub published_version: Option<u64>,
+    /// Failure detail when `state == "failed"`.
+    pub error: Option<String>,
+}
+
+/// Prediction response: flattened scores plus shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// Rows predicted.
+    pub rows: usize,
+    /// Classes per row (1 for regression).
+    pub n_classes: usize,
+    /// Row-major flattened predictions, length `rows * n_classes`.
+    pub values: Vec<f64>,
+    /// Registry version that served the request.
+    pub version: u64,
+    /// Fingerprint of the serving model.
+    pub fingerprint: u64,
+}
+
+/// Generic error body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable message.
+    pub error: String,
+}
+
+impl ErrorBody {
+    /// Serializes `{"error": msg}`.
+    pub fn json(msg: impl Into<String>) -> String {
+        serde_json::to_string(&ErrorBody { error: msg.into() })
+            .expect("error body serialization is infallible")
+    }
+}
+
+/// A name usable as a tenant, slot, or search id: `[A-Za-z0-9_-]`,
+/// 1–64 chars. Path-traversal-proof by construction (journals and
+/// sidecars live at paths built from these names).
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_request_round_trips_and_builds() {
+        let req = FitRequest {
+            slot: "churn".into(),
+            time_budget: 2.0,
+            max_trials: Some(10),
+            seed: 3,
+            estimators: vec!["lightgbm".into(), "lr".into()],
+            sample_size_init: Some(100),
+            slice_trials: None,
+            dataset: DatasetPayload {
+                name: "d".into(),
+                task: "binary".into(),
+                columns: vec![vec![0.0, 1.0, 0.5, 0.25]],
+                target: vec![0.0, 1.0, 1.0, 0.0],
+            },
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: FitRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+        let data = back.to_dataset().unwrap();
+        assert_eq!(data.n_rows(), 4);
+        back.to_automl().unwrap();
+        assert_eq!(back.slice_trials(), DEFAULT_SLICE_TRIALS);
+    }
+
+    #[test]
+    fn bad_inputs_are_typed_errors() {
+        let mut req = FitRequest {
+            slot: "s".into(),
+            time_budget: 1.0,
+            max_trials: None,
+            seed: 0,
+            estimators: vec!["not-a-learner".into()],
+            sample_size_init: None,
+            slice_trials: None,
+            dataset: DatasetPayload {
+                name: "d".into(),
+                task: "ternary".into(),
+                columns: vec![vec![0.0]],
+                target: vec![0.0],
+            },
+        };
+        assert!(req.to_automl().unwrap_err().contains("not-a-learner"));
+        assert!(req.to_dataset().unwrap_err().contains("ternary"));
+        req.dataset.task = "multiclass:3".into();
+        req.dataset.target = vec![5.0];
+        assert!(req.to_dataset().unwrap_err().contains("invalid dataset"));
+    }
+
+    #[test]
+    fn name_validation_rejects_traversal() {
+        assert!(valid_name("tenant-1_A"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("../etc"));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name(&"x".repeat(65)));
+    }
+}

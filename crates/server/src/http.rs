@@ -1,0 +1,138 @@
+//! A minimal, dependency-free HTTP/1.1 layer over `std::net`.
+//!
+//! Exactly the subset a JSON service needs: request line, headers,
+//! `Content-Length` bodies, keep-alive. No chunked encoding, no TLS,
+//! no pipelining beyond the sequential keep-alive loop. Requests are
+//! size-capped so a misbehaving client cannot balloon server memory.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body (64 MiB — fit requests carry inline
+/// datasets).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Largest accepted header block.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty without `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The path split on `/`, empty segments dropped:
+    /// `/tenants/acme/fit` → `["tenants", "acme", "fit"]`.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Reads one request off `reader`. Returns `Ok(None)` on a clean EOF
+/// (client closed between requests).
+///
+/// # Errors
+///
+/// Returns an I/O error on malformed request lines, oversized heads or
+/// bodies, or a socket failure.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || !target.starts_with('/') || !version.starts_with("HTTP/1.") {
+        return Err(bad("malformed request line"));
+    }
+    let path = target.split('?').next().unwrap_or("/").to_string();
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; `Connection: close` opts out.
+    let mut keep_alive = !version.ends_with("1.0");
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("connection closed mid-headers"));
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(bad("header block too large"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+            }
+            "connection" => {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Writes one `application/json` response.
+///
+/// # Errors
+///
+/// Returns any socket write error.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "",
+    };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}

@@ -1,0 +1,66 @@
+//! `flaml-server` binary: bind a port, recover state, serve tenants.
+//!
+//! ```text
+//! flaml-server [--port N] [--root DIR] [--max-inflight N]
+//!              [--batch-rows N] [--serve-workers N] [--fit-workers N]
+//!              [--tenants a,b,c]
+//! ```
+
+use flaml_server::{Server, ServerConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut port = 8700u16;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--port" => port = value("--port").parse().expect("--port: u16"),
+            "--root" => cfg.root = PathBuf::from(value("--root")),
+            "--max-inflight" => {
+                cfg.max_inflight = value("--max-inflight")
+                    .parse()
+                    .expect("--max-inflight: usize");
+            }
+            "--batch-rows" => {
+                cfg.batch_rows = value("--batch-rows").parse().expect("--batch-rows: usize");
+            }
+            "--serve-workers" => {
+                cfg.serve_workers = value("--serve-workers")
+                    .parse()
+                    .expect("--serve-workers: usize");
+            }
+            "--fit-workers" => {
+                cfg.fit_workers = value("--fit-workers")
+                    .parse()
+                    .expect("--fit-workers: usize");
+            }
+            "--tenants" => {
+                cfg.tenants = Some(
+                    value("--tenants")
+                        .split(',')
+                        .filter(|t| !t.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                );
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = cfg.root.clone();
+    let server = Server::new(cfg).expect("server init");
+    let listener = std::net::TcpListener::bind(("0.0.0.0", port)).expect("bind server port");
+    let addr = listener.local_addr().expect("local addr");
+    println!(
+        "flaml-server listening on {addr} (state root {})",
+        root.display()
+    );
+    server.serve(listener);
+}

@@ -1,0 +1,734 @@
+//! The multi-tenant service: shared state, request routing, crash
+//! recovery, and the accept loop.
+//!
+//! ## Tenancy model
+//!
+//! Every route is rooted at `/tenants/{tenant}`. A tenant owns named
+//! model slots (registry keys `tenant/slot`) and searches; everything
+//! durable lives under `root/{tenant}/`: the search journal
+//! (`{id}.jsonl`), the request sidecar (`{id}.request.json`), the
+//! completion marker (`{id}.artifact.json` or `{id}.failed`), and the
+//! durable slot registry (`slots/{slot}.artifact.json`). Names are
+//! restricted to `[A-Za-z0-9_-]`, so no request can escape its
+//! tenant's directory.
+//!
+//! ## Recovery protocol
+//!
+//! The sidecar is written (and fsynced) *before* a fit is admitted, so
+//! after a kill the directory tree is the full intent log. On startup
+//! the server replays it: slot artifacts are republished, searches
+//! with a completion marker are recorded (finished searches republish
+//! their artifact), and every remaining sidecar is re-admitted — with
+//! [`SearchHandle::attach`] when its journal exists, from scratch
+//! otherwise. Because searches run under the virtual clock and the
+//! journal replays deterministically, the resumed trace is
+//! byte-identical (canonically) to a never-interrupted run.
+
+use crate::api::{
+    valid_name, ErrorBody, FitAccepted, FitRequest, PredictRequest, PredictResponse, Rejected,
+};
+use crate::http::{read_request, write_response, Request};
+use crate::scheduler::{journal_progress, Scheduler, SearchJob};
+use flaml_core::{
+    discover, BatchEngine, CompiledModel, EventSink, ExecPool, ModelRegistry, SearchHandle,
+    ServeTelemetry, Telemetry, TrialEvent, TrialEventKind,
+};
+use flaml_data::{Dataset, Task};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Durable state root (journals, sidecars, artifacts).
+    pub root: PathBuf,
+    /// Admission bound: max searches queued or running.
+    pub max_inflight: usize,
+    /// Rows per serving batch.
+    pub batch_rows: usize,
+    /// Workers in the shared serving pool.
+    pub serve_workers: usize,
+    /// Fit scheduler worker threads time-slicing searches.
+    pub fit_workers: usize,
+    /// Tenant allow-list (`None` = any well-formed tenant name).
+    pub tenants: Option<Vec<String>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            root: PathBuf::from("flaml-server-state"),
+            max_inflight: 8,
+            batch_rows: 256,
+            serve_workers: 2,
+            fit_workers: 1,
+            tenants: None,
+        }
+    }
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    registry: Arc<ModelRegistry>,
+    pool: ExecPool,
+    scheduler: Arc<Scheduler>,
+    telemetry: Arc<Mutex<(Telemetry, ServeTelemetry)>>,
+    sink: EventSink,
+    next_ids: Mutex<BTreeMap<String, u64>>,
+    shutdown: AtomicBool,
+}
+
+/// The multi-tenant AutoML service.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Builds the server state and runs crash recovery against
+    /// `cfg.root` (see the module docs). Does not bind a socket —
+    /// follow with [`Server::serve`] or [`Server::start`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the state root cannot be created or
+    /// scanned.
+    pub fn new(cfg: ServerConfig) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&cfg.root)?;
+        let telemetry = Arc::new(Mutex::new((Telemetry::new(), ServeTelemetry::new())));
+        let fold = Arc::clone(&telemetry);
+        let sink = EventSink::callback(move |ev| {
+            let mut t = fold.lock().expect("telemetry lock");
+            t.0.record(ev);
+            t.1.record(ev);
+        });
+        let registry = Arc::new(ModelRegistry::with_sink(sink.clone()));
+        let scheduler = Arc::new(Scheduler::new(
+            cfg.root.clone(),
+            cfg.max_inflight,
+            Arc::clone(&registry),
+            sink.clone(),
+        ));
+        let server = Server {
+            inner: Arc::new(Inner {
+                pool: ExecPool::new(cfg.serve_workers),
+                registry,
+                scheduler,
+                telemetry,
+                sink,
+                next_ids: Mutex::new(BTreeMap::new()),
+                shutdown: AtomicBool::new(false),
+                cfg,
+            }),
+        };
+        server.recover()?;
+        for _ in 0..server.inner.cfg.fit_workers.max(1) {
+            let scheduler = Arc::clone(&server.inner.scheduler);
+            std::thread::spawn(move || scheduler.run_worker());
+        }
+        Ok(server)
+    }
+
+    /// Replays the durable state under the root (module docs: recovery
+    /// protocol).
+    fn recover(&self) -> std::io::Result<()> {
+        let root = &self.inner.cfg.root;
+        for entry in std::fs::read_dir(root)? {
+            let entry = entry?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let tenant = entry.file_name().to_string_lossy().into_owned();
+            if !valid_name(&tenant) {
+                continue;
+            }
+            // 1. Republish the durable slot registry.
+            let slots_dir = entry.path().join("slots");
+            if let Ok(slots) = std::fs::read_dir(&slots_dir) {
+                let mut files: Vec<PathBuf> =
+                    slots.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+                files.sort();
+                for file in files {
+                    let Some(slot) = file
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .and_then(|n| n.strip_suffix(".artifact.json"))
+                    else {
+                        continue;
+                    };
+                    if let Ok(model) = CompiledModel::load(&file) {
+                        self.inner
+                            .registry
+                            .publish(&format!("{tenant}/{slot}"), model);
+                    }
+                }
+            }
+            // 2. Replay every accepted search, newest id last.
+            let mut sidecars: Vec<PathBuf> = std::fs::read_dir(entry.path())?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.ends_with(".request.json"))
+                })
+                .collect();
+            sidecars.sort();
+            for sidecar in sidecars {
+                let id = sidecar
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(|n| n.strip_suffix(".request.json"))
+                    .unwrap_or_default()
+                    .to_string();
+                self.bump_next_id(&tenant, &id);
+                self.recover_search(&tenant, &id, &sidecar);
+            }
+        }
+        Ok(())
+    }
+
+    fn recover_search(&self, tenant: &str, id: &str, sidecar: &std::path::Path) {
+        let tenant_dir = self.inner.cfg.root.join(tenant);
+        let journal = tenant_dir.join(format!("{id}.jsonl"));
+        let artifact = tenant_dir.join(format!("{id}.artifact.json"));
+        let failed = tenant_dir.join(format!("{id}.failed"));
+        let request: Option<FitRequest> = std::fs::read_to_string(sidecar)
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok());
+        let terminal = |state: &str, slot: &str, version, error| {
+            let (committed, spent, best_loss) = journal_progress(&journal);
+            crate::api::SearchStatus {
+                id: id.to_string(),
+                state: state.to_string(),
+                committed,
+                spent,
+                best_loss,
+                slot: slot.to_string(),
+                published_version: version,
+                error,
+            }
+        };
+        let Some(request) = request else {
+            self.inner.scheduler.record_terminal(
+                tenant,
+                terminal(
+                    "failed",
+                    "",
+                    None,
+                    Some("unreadable request sidecar".into()),
+                ),
+            );
+            return;
+        };
+        if failed.exists() {
+            let msg = std::fs::read_to_string(&failed).unwrap_or_default();
+            self.inner
+                .scheduler
+                .record_terminal(tenant, terminal("failed", &request.slot, None, Some(msg)));
+            return;
+        }
+        if artifact.exists() {
+            // Finished on a previous process: republish its artifact so
+            // the slot serves again even if the slot file was lost.
+            let version = CompiledModel::load(&artifact).ok().map(|m| {
+                self.inner
+                    .registry
+                    .publish(&format!("{tenant}/{}", request.slot), m)
+            });
+            self.inner
+                .scheduler
+                .record_terminal(tenant, terminal("finished", &request.slot, version, None));
+            return;
+        }
+        // In flight when the process died: re-admit, resuming the
+        // journal byte-identically where one exists.
+        let built = request.to_automl().and_then(|automl| {
+            let data = request.to_dataset()?;
+            let handle = if journal.exists() {
+                SearchHandle::attach(automl, &journal)
+                    .map_err(|e| format!("journal attach failed: {e}"))?
+            } else {
+                SearchHandle::new(automl, &journal)
+            };
+            Ok((handle, data))
+        });
+        match built {
+            Ok((handle, data)) => {
+                self.inner.scheduler.submit_recovered(SearchJob {
+                    tenant: tenant.to_string(),
+                    id: id.to_string(),
+                    slot: request.slot.clone(),
+                    slice_trials: request.slice_trials(),
+                    handle,
+                    data,
+                });
+            }
+            Err(msg) => {
+                self.inner
+                    .scheduler
+                    .record_terminal(tenant, terminal("failed", &request.slot, None, Some(msg)));
+            }
+        }
+    }
+
+    fn bump_next_id(&self, tenant: &str, seen: &str) {
+        if let Some(n) = seen.strip_prefix('s').and_then(|n| n.parse::<u64>().ok()) {
+            let mut ids = self.inner.next_ids.lock().expect("id lock");
+            let next = ids.entry(tenant.to_string()).or_insert(0);
+            *next = (*next).max(n + 1);
+        }
+    }
+
+    fn assign_id(&self, tenant: &str) -> String {
+        let mut ids = self.inner.next_ids.lock().expect("id lock");
+        let next = ids.entry(tenant.to_string()).or_insert(0);
+        let id = format!("s{:04}", *next);
+        *next += 1;
+        id
+    }
+
+    /// Serves connections on `listener` until [`Server::stop`]. Each
+    /// connection gets a thread; requests are handled keep-alive.
+    pub fn serve(&self, listener: TcpListener) {
+        listener
+            .set_nonblocking(true)
+            .expect("listener nonblocking");
+        while !self.inner.shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let server = self.clone();
+                    std::thread::spawn(move || server.handle_connection(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Short poll: with connection-per-request clients this
+                    // sleep is on the latency path of every request.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Binds `addr` (use port 0 for an ephemeral port), spawns the
+    /// accept loop on a background thread, and returns the running
+    /// server plus its local address.
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind error.
+    pub fn start(self, addr: &str) -> std::io::Result<(Server, std::net::SocketAddr)> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let server = self.clone();
+        std::thread::spawn(move || server.serve(listener));
+        Ok((self, local))
+    }
+
+    /// Stops the accept loop and the fit workers. Queued searches stay
+    /// journaled and resume on the next start — stopping is equivalent
+    /// to a crash, by design.
+    pub fn stop(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.scheduler.stop();
+    }
+
+    fn handle_connection(&self, stream: TcpStream) {
+        // Small JSON responses + Nagle + delayed ACK = ~20ms floors;
+        // a latency-gated service always wants immediate writes.
+        let _ = stream.set_nodelay(true);
+        let mut reader = match stream.try_clone() {
+            Ok(s) => BufReader::new(s),
+            Err(_) => return,
+        };
+        let mut stream = stream;
+        loop {
+            let request = match read_request(&mut reader) {
+                Ok(Some(r)) => r,
+                Ok(None) => return,
+                Err(e) => {
+                    let _ =
+                        write_response(&mut stream, 400, &ErrorBody::json(e.to_string()), false);
+                    return;
+                }
+            };
+            let keep_alive = request.keep_alive;
+            let (status, body) = catch_unwind(AssertUnwindSafe(|| self.route(&request)))
+                .unwrap_or_else(|_| (500, ErrorBody::json("request handler panicked")));
+            if write_response(&mut stream, status, &body, keep_alive).is_err() || !keep_alive {
+                return;
+            }
+        }
+    }
+
+    /// Dispatches one request to `(status, json_body)`.
+    fn route(&self, req: &Request) -> (u16, String) {
+        let segments = req.segments();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => (200, "{\"ok\":true}".to_string()),
+            ("GET", ["stats"]) => (200, self.stats_json()),
+            ("POST", ["tenants", tenant, "fit"]) => self.handle_fit(tenant, &req.body),
+            ("GET", ["tenants", tenant, "searches", id]) => self.handle_status(tenant, id),
+            ("POST", ["tenants", tenant, "predict"]) => self.handle_predict(tenant, &req.body),
+            ("POST", ["tenants", tenant, "slots", slot]) => {
+                self.handle_publish(tenant, slot, &req.body)
+            }
+            ("POST", ["tenants", tenant, "slots", slot, "rollback"]) => {
+                self.handle_rollback(tenant, slot)
+            }
+            _ => (404, ErrorBody::json("no such route")),
+        }
+    }
+
+    fn check_tenant(&self, tenant: &str) -> Option<(u16, String)> {
+        if !valid_name(tenant) {
+            return Some((400, ErrorBody::json("invalid tenant name")));
+        }
+        if let Some(allowed) = &self.inner.cfg.tenants {
+            if !allowed.iter().any(|t| t == tenant) {
+                return Some((403, ErrorBody::json(format!("unknown tenant {tenant:?}"))));
+            }
+        }
+        None
+    }
+
+    fn handle_fit(&self, tenant: &str, body: &[u8]) -> (u16, String) {
+        if let Some(err) = self.check_tenant(tenant) {
+            return err;
+        }
+        let request: FitRequest = match parse_json(body) {
+            Ok(r) => r,
+            Err(msg) => return (400, ErrorBody::json(msg)),
+        };
+        if !valid_name(&request.slot) {
+            return (400, ErrorBody::json("invalid slot name"));
+        }
+        let (automl, data) = match request
+            .to_automl()
+            .and_then(|a| Ok((a, request.to_dataset()?)))
+        {
+            Ok(pair) => pair,
+            Err(msg) => return (400, ErrorBody::json(msg)),
+        };
+        // Admission check before any durable write; a rejected request
+        // leaves no trace except the telemetry counter.
+        let inflight = self.inner.scheduler.inflight();
+        if inflight >= self.inner.cfg.max_inflight {
+            return self.reject_fit(tenant, inflight);
+        }
+        let id = self.assign_id(tenant);
+        let tenant_dir = self.inner.cfg.root.join(tenant);
+        let journal = tenant_dir.join(format!("{id}.jsonl"));
+        // Persist the sidecar durably BEFORE admitting: once the client
+        // sees 202, a kill at any point leaves enough on disk to resume.
+        if let Err(e) = write_durable(
+            &tenant_dir.join(format!("{id}.request.json")),
+            &serde_json::to_string(&request).expect("requests always serialize"),
+        ) {
+            return (
+                500,
+                ErrorBody::json(format!("persisting request failed: {e}")),
+            );
+        }
+        let job = SearchJob {
+            tenant: tenant.to_string(),
+            id: id.clone(),
+            slot: request.slot.clone(),
+            slice_trials: request.slice_trials(),
+            handle: SearchHandle::new(automl, &journal),
+            data,
+        };
+        match self.inner.scheduler.submit(job) {
+            Ok(()) => {
+                let accepted = FitAccepted {
+                    id: id.clone(),
+                    tenant: tenant.to_string(),
+                    status_path: format!("/tenants/{tenant}/searches/{id}"),
+                };
+                (
+                    202,
+                    serde_json::to_string(&accepted).expect("response serialization"),
+                )
+            }
+            Err((inflight, _)) => {
+                // Lost the admission race; drop the sidecar again.
+                let _ = std::fs::remove_file(tenant_dir.join(format!("{id}.request.json")));
+                self.reject_fit(tenant, inflight)
+            }
+        }
+    }
+
+    fn reject_fit(&self, tenant: &str, inflight: usize) -> (u16, String) {
+        let mut ev = TrialEvent::new(TrialEventKind::ServeRejected);
+        ev.tenant = tenant.to_string();
+        self.inner.sink.emit(ev);
+        let body = Rejected {
+            error: "too many searches in flight".to_string(),
+            inflight,
+            max_inflight: self.inner.cfg.max_inflight,
+        };
+        (
+            429,
+            serde_json::to_string(&body).expect("response serialization"),
+        )
+    }
+
+    fn handle_status(&self, tenant: &str, id: &str) -> (u16, String) {
+        if let Some(err) = self.check_tenant(tenant) {
+            return err;
+        }
+        match self.inner.scheduler.status(tenant, id) {
+            Some(status) => (
+                200,
+                serde_json::to_string(&status).expect("response serialization"),
+            ),
+            None => (404, ErrorBody::json(format!("no search {id:?}"))),
+        }
+    }
+
+    fn handle_predict(&self, tenant: &str, body: &[u8]) -> (u16, String) {
+        if let Some(err) = self.check_tenant(tenant) {
+            return err;
+        }
+        let request: PredictRequest = match parse_json(body) {
+            Ok(r) => r,
+            Err(msg) => return (400, ErrorBody::json(msg)),
+        };
+        if !valid_name(&request.slot) {
+            return (400, ErrorBody::json("invalid slot name"));
+        }
+        let key = format!("{tenant}/{}", request.slot);
+        let Some(served) = self.inner.registry.get(&key) else {
+            return (
+                404,
+                ErrorBody::json(format!("no model in slot {:?}", request.slot)),
+            );
+        };
+        let expected = served.model.n_features();
+        if request.columns.len() != expected {
+            return (
+                400,
+                ErrorBody::json(format!(
+                    "model expects {expected} feature column(s), request has {}",
+                    request.columns.len()
+                )),
+            );
+        }
+        let rows = request.columns.first().map_or(0, Vec::len);
+        if rows == 0 || request.columns.iter().any(|c| c.len() != rows) {
+            return (
+                400,
+                ErrorBody::json("columns must be non-empty and equal-length"),
+            );
+        }
+        // Prediction input needs no labels; a zero regression target
+        // satisfies the Dataset invariants without affecting inference.
+        let data = match Dataset::new(
+            key.clone(),
+            Task::Regression,
+            request.columns,
+            vec![0.0; rows],
+        ) {
+            Ok(d) => d,
+            Err(e) => return (400, ErrorBody::json(format!("invalid matrix: {e:?}"))),
+        };
+        let tenant_name = tenant.to_string();
+        let inner_sink = self.inner.sink.clone();
+        let engine = BatchEngine::new(&self.inner.pool, self.inner.cfg.batch_rows).with_sink(
+            EventSink::callback(move |ev| {
+                let mut ev = ev.clone();
+                ev.tenant = tenant_name.clone();
+                inner_sink.emit(ev);
+            }),
+        );
+        // Serve under the registry key so slot stats are per-tenant.
+        let pred = match catch_unwind(AssertUnwindSafe(|| {
+            engine.predict(&key, &served.model, &data)
+        })) {
+            Ok(p) => p,
+            Err(_) => return (500, ErrorBody::json("prediction panicked")),
+        };
+        let (n_classes, values) = match pred {
+            flaml_metrics::Pred::Values(v) => (1, v),
+            flaml_metrics::Pred::Probs { n_classes, p } => (n_classes, p),
+        };
+        let response = PredictResponse {
+            rows,
+            n_classes,
+            values,
+            version: served.version,
+            fingerprint: served.fingerprint,
+        };
+        (
+            200,
+            serde_json::to_string(&response).expect("response serialization"),
+        )
+    }
+
+    fn handle_publish(&self, tenant: &str, slot: &str, body: &[u8]) -> (u16, String) {
+        if let Some(err) = self.check_tenant(tenant) {
+            return err;
+        }
+        if !valid_name(slot) {
+            return (400, ErrorBody::json("invalid slot name"));
+        }
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return (400, ErrorBody::json("artifact body is not UTF-8")),
+        };
+        let model = match CompiledModel::from_artifact_str(text) {
+            Ok(m) => m,
+            Err(e) => return (400, ErrorBody::json(format!("bad artifact: {e}"))),
+        };
+        // Durable slot registry first, then the live swap.
+        let slot_file = self
+            .inner
+            .cfg
+            .root
+            .join(tenant)
+            .join("slots")
+            .join(format!("{slot}.artifact.json"));
+        if let Err(e) = model.save(&slot_file) {
+            return (500, ErrorBody::json(format!("persisting slot failed: {e}")));
+        }
+        let version = self
+            .inner
+            .registry
+            .publish(&format!("{tenant}/{slot}"), model);
+        (200, format!("{{\"version\":{version}}}"))
+    }
+
+    fn handle_rollback(&self, tenant: &str, slot: &str) -> (u16, String) {
+        if let Some(err) = self.check_tenant(tenant) {
+            return err;
+        }
+        match self.inner.registry.rollback(&format!("{tenant}/{slot}")) {
+            Some(version) => (200, format!("{{\"version\":{version}}}")),
+            None => (
+                409,
+                ErrorBody::json("slot unknown or already at its oldest version"),
+            ),
+        }
+    }
+
+    fn stats_json(&self) -> String {
+        let (telemetry, serve) = {
+            let t = self.inner.telemetry.lock().expect("telemetry lock");
+            (t.0.clone(), t.1.clone())
+        };
+        let by_tenant = telemetry
+            .by_tenant
+            .iter()
+            .map(|(tenant, u)| {
+                (
+                    tenant.clone(),
+                    TenantStats {
+                        fit_slices: u.fit_slices,
+                        fit_trials: u.fit_trials,
+                        fit_cost_secs: u.fit_cost_secs,
+                        serve_batches: u.serve_batches,
+                        serve_rows: u.serve_rows,
+                        rejected: u.rejected,
+                    },
+                )
+            })
+            .collect();
+        let slots = serve
+            .slots
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    SlotStatsBody {
+                        batches: s.batches,
+                        rows: s.rows,
+                        p50_secs: s.p50(),
+                        p99_secs: s.p99(),
+                        rows_per_sec: s.throughput(),
+                    },
+                )
+            })
+            .collect();
+        let body = StatsBody {
+            searches: self.inner.scheduler.state_counts(),
+            inflight: self.inner.scheduler.inflight(),
+            max_inflight: self.inner.cfg.max_inflight,
+            trials_started: telemetry.started,
+            trials_finished: telemetry.finished,
+            tenant_slices: telemetry.tenant_slices,
+            serve_rejected: telemetry.serve_rejected,
+            serve_queue_depth: telemetry.serve_queue_depth,
+            serve_queue_depth_max: telemetry.serve_queue_depth_max,
+            promoted: serve.promoted,
+            rolled_back: serve.rolled_back,
+            by_tenant,
+            slots,
+        };
+        serde_json::to_string(&body).expect("stats serialization")
+    }
+
+    /// Journals discovered under the state root (diagnostics).
+    pub fn journals(&self) -> Vec<flaml_core::DiscoveredJournal> {
+        discover(&self.inner.cfg.root).unwrap_or_default()
+    }
+}
+
+/// `/stats` body.
+#[derive(Debug, Serialize)]
+struct StatsBody {
+    searches: BTreeMap<String, usize>,
+    inflight: usize,
+    max_inflight: usize,
+    trials_started: usize,
+    trials_finished: usize,
+    tenant_slices: usize,
+    serve_rejected: usize,
+    serve_queue_depth: usize,
+    serve_queue_depth_max: usize,
+    promoted: usize,
+    rolled_back: usize,
+    by_tenant: BTreeMap<String, TenantStats>,
+    slots: BTreeMap<String, SlotStatsBody>,
+}
+
+#[derive(Debug, Serialize)]
+struct TenantStats {
+    fit_slices: usize,
+    fit_trials: usize,
+    fit_cost_secs: f64,
+    serve_batches: usize,
+    serve_rows: usize,
+    rejected: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct SlotStatsBody {
+    batches: usize,
+    rows: usize,
+    p50_secs: f64,
+    p99_secs: f64,
+    rows_per_sec: f64,
+}
+
+fn parse_json<T: for<'de> serde::Deserialize<'de>>(body: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    serde_json::from_str(text).map_err(|e| format!("bad JSON body: {e}"))
+}
+
+/// Writes `text` to `path` with fsync — create-dirs, write, sync — so
+/// the bytes survive a kill the moment this returns.
+fn write_durable(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(text.as_bytes())?;
+    file.sync_data()
+}

@@ -1,0 +1,92 @@
+//! Shared helpers for the server integration tests: a tiny HTTP
+//! client, a deterministic dataset generator, and scratch roots.
+
+use flaml_server::{DatasetPayload, FitRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+/// One-shot HTTP request; returns `(status, body)`.
+pub fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let mut line = String::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("header");
+        if line.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body).expect("body");
+    (status, body)
+}
+
+/// Deterministic binary-classification payload.
+pub fn payload(n: usize, seed: u64) -> DatasetPayload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x0: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    let x1: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| f64::from(x0[i] * 1.5 + (x1[i] - 0.4).powi(2) * 3.0 > 0.9))
+        .collect();
+    DatasetPayload {
+        name: "server-test".into(),
+        task: "binary".into(),
+        columns: vec![x0, x1],
+        target: y,
+    }
+}
+
+/// A standard small search request.
+pub fn fit_request(slot: &str, max_trials: usize, seed: u64) -> FitRequest {
+    FitRequest {
+        slot: slot.into(),
+        time_budget: 5.0,
+        max_trials: Some(max_trials),
+        seed,
+        estimators: vec!["lightgbm".into(), "rf".into(), "lr".into()],
+        sample_size_init: Some(100),
+        slice_trials: Some(4),
+        dataset: payload(400, 11),
+    }
+}
+
+/// Fresh scratch directory for a server state root.
+pub fn scratch_root(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("flaml_server_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+/// Polls a search status until it leaves `queued`/`running`; returns
+/// the final status body. Panics after ~60s.
+pub fn await_terminal(addr: SocketAddr, tenant: &str, id: &str) -> flaml_server::SearchStatus {
+    for _ in 0..600 {
+        let (status, body) = http(addr, "GET", &format!("/tenants/{tenant}/searches/{id}"), "");
+        assert_eq!(status, 200, "status poll failed: {body}");
+        let parsed: flaml_server::SearchStatus =
+            serde_json::from_str(&body).expect("status body parses");
+        if parsed.state == "finished" || parsed.state == "failed" {
+            return parsed;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    panic!("search {tenant}/{id} did not reach a terminal state");
+}

@@ -1,0 +1,150 @@
+//! Crash recovery: a server killed mid-search must, on restart, resume
+//! the search from its journal and finish with **byte-identical**
+//! canonical journal bytes to a never-interrupted reference run, then
+//! republish the winner so the tenant's slot serves again.
+
+mod common;
+
+use common::{await_terminal, fit_request, http, scratch_root};
+use flaml_core::{Journal, SearchHandle};
+use flaml_server::{FitAccepted, Server, ServerConfig};
+use std::io::Write;
+
+fn config(root: std::path::PathBuf) -> ServerConfig {
+    ServerConfig {
+        root,
+        max_inflight: 4,
+        batch_rows: 64,
+        serve_workers: 2,
+        fit_workers: 1,
+        tenants: None,
+    }
+}
+
+#[test]
+fn killed_midsearch_server_resumes_byte_identically() {
+    let request = fit_request("churn", 12, 7);
+    let data = request.to_dataset().unwrap();
+
+    // Reference: the same request run uninterrupted in one process.
+    let ref_path = std::env::temp_dir().join(format!(
+        "flaml_server_recovery_ref_{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&ref_path);
+    request
+        .to_automl()
+        .unwrap()
+        .journal(&ref_path)
+        .fit(&data)
+        .unwrap();
+    let reference = Journal::read(&ref_path).unwrap().canonical_bytes();
+
+    // Simulate a server that accepted the fit (durable sidecar), ran
+    // one slice, and was then killed: the journal stops mid-search.
+    let root = scratch_root("recovery");
+    let tenant_dir = root.join("acme");
+    std::fs::create_dir_all(&tenant_dir).unwrap();
+    let mut sidecar = std::fs::File::create(tenant_dir.join("s0000.request.json")).unwrap();
+    sidecar
+        .write_all(serde_json::to_string(&request).unwrap().as_bytes())
+        .unwrap();
+    drop(sidecar);
+    let journal = tenant_dir.join("s0000.jsonl");
+    let mut handle = SearchHandle::new(request.to_automl().unwrap(), &journal);
+    handle.run_slice(&data, 5).unwrap();
+    let half = Journal::read(&journal).unwrap().trials.len();
+    assert!(
+        half > 0 && half < 12,
+        "crash must land mid-search, got {half}"
+    );
+    drop(handle);
+
+    // Restart: recovery re-admits the search and finishes it.
+    let (server, addr) = Server::new(config(root.clone()))
+        .unwrap()
+        .start("127.0.0.1:0")
+        .unwrap();
+    let done = await_terminal(addr, "acme", "s0000");
+    assert_eq!(done.state, "finished", "resume failed: {:?}", done.error);
+    assert!(done.published_version.is_some());
+
+    // The resumed journal is canonically byte-identical to the
+    // uninterrupted reference run.
+    let resumed = Journal::read(&journal).unwrap().canonical_bytes();
+    assert_eq!(
+        resumed, reference,
+        "resumed journal diverged from reference"
+    );
+
+    // The republished winner serves.
+    let predict = "{\"slot\":\"churn\",\"columns\":[[0.5,0.1],[0.2,0.9]]}";
+    let (status, body) = http(addr, "POST", "/tenants/acme/predict", predict);
+    assert_eq!(status, 200, "predict after recovery failed: {body}");
+    server.stop();
+
+    // A second restart finds the completion marker: the search reports
+    // finished without re-running, the slot still serves, and new ids
+    // continue past the recovered one.
+    let (server, addr) = Server::new(config(root))
+        .unwrap()
+        .start("127.0.0.1:0")
+        .unwrap();
+    let done = await_terminal(addr, "acme", "s0000");
+    assert_eq!(done.state, "finished");
+    assert_eq!(done.committed, 12);
+    let (status, _) = http(addr, "POST", "/tenants/acme/predict", predict);
+    assert_eq!(status, 200);
+    let unchanged = Journal::read(&journal).unwrap().canonical_bytes();
+    assert_eq!(
+        unchanged, reference,
+        "restart must not touch a finished journal"
+    );
+
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/tenants/acme/fit",
+        &serde_json::to_string(&fit_request("other", 4, 1)).unwrap(),
+    );
+    assert_eq!(status, 202, "{body}");
+    let accepted: FitAccepted = serde_json::from_str(&body).unwrap();
+    assert_eq!(accepted.id, "s0001", "ids must continue after recovery");
+    let done = await_terminal(addr, "acme", "s0001");
+    assert_eq!(done.state, "finished", "{:?}", done.error);
+    server.stop();
+}
+
+#[test]
+fn direct_publishes_survive_restart_and_roll_back() {
+    let request = fit_request("direct", 6, 21);
+    let data = request.to_dataset().unwrap();
+    let result = request.to_automl().unwrap().fit(&data).unwrap();
+    let artifact_v1 = result.compile().unwrap().to_artifact_string();
+
+    let root = scratch_root("publish");
+    let (server, addr) = Server::new(config(root.clone()))
+        .unwrap()
+        .start("127.0.0.1:0")
+        .unwrap();
+    let (status, body) = http(addr, "POST", "/tenants/acme/slots/direct", &artifact_v1);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, "{\"version\":1}");
+    let (status, body) = http(addr, "POST", "/tenants/acme/slots/direct", &artifact_v1);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, "{\"version\":2}");
+    let (status, body) = http(addr, "POST", "/tenants/acme/slots/direct/rollback", "");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, "{\"version\":1}");
+    server.stop();
+
+    // The durable slot file makes the publish survive a restart.
+    let (server, addr) = Server::new(config(root))
+        .unwrap()
+        .start("127.0.0.1:0")
+        .unwrap();
+    let predict = "{\"slot\":\"direct\",\"columns\":[[0.5,0.1],[0.2,0.9]]}";
+    let (status, body) = http(addr, "POST", "/tenants/acme/predict", predict);
+    assert_eq!(status, 200, "slot lost across restart: {body}");
+    server.stop();
+}

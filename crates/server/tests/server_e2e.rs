@@ -1,0 +1,169 @@
+//! End-to-end service tests over a real socket: the fit → status →
+//! predict lifecycle, admission control, input validation, and the
+//! direct publish/rollback slot routes.
+
+mod common;
+
+use common::{await_terminal, fit_request, http, scratch_root};
+use flaml_server::{FitAccepted, PredictResponse, Rejected, Server, ServerConfig};
+
+fn start(root: std::path::PathBuf, max_inflight: usize) -> (Server, std::net::SocketAddr) {
+    let cfg = ServerConfig {
+        root,
+        max_inflight,
+        batch_rows: 64,
+        serve_workers: 2,
+        fit_workers: 1,
+        tenants: None,
+    };
+    Server::new(cfg)
+        .expect("server init")
+        .start("127.0.0.1:0")
+        .expect("bind")
+}
+
+#[test]
+fn fit_predict_lifecycle() {
+    let (server, addr) = start(scratch_root("lifecycle"), 4);
+
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+
+    let request = fit_request("churn", 10, 3);
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/tenants/acme/fit",
+        &serde_json::to_string(&request).unwrap(),
+    );
+    assert_eq!(status, 202, "fit rejected: {body}");
+    let accepted: FitAccepted = serde_json::from_str(&body).unwrap();
+    assert_eq!(accepted.tenant, "acme");
+
+    let done = await_terminal(addr, "acme", &accepted.id);
+    assert_eq!(done.state, "finished", "search failed: {:?}", done.error);
+    assert!(done.committed > 0);
+    assert!(done.best_loss.is_some());
+    let version = done.published_version.expect("publish on finish");
+    assert!(version >= 1);
+
+    // Predict against the published slot.
+    let rows = 8;
+    let predict = serde_json::to_string(&flaml_server::PredictRequest {
+        slot: "churn".into(),
+        columns: vec![vec![0.5; rows], vec![0.25; rows]],
+    })
+    .unwrap();
+    let (status, body) = http(addr, "POST", "/tenants/acme/predict", &predict);
+    assert_eq!(status, 200, "predict failed: {body}");
+    let response: PredictResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(response.rows, rows);
+    assert_eq!(response.values.len(), rows * response.n_classes);
+    assert_eq!(response.version, version);
+
+    // Tenants are isolated: the same slot name elsewhere is 404.
+    let (status, _) = http(addr, "POST", "/tenants/rival/predict", &predict);
+    assert_eq!(status, 404);
+
+    // Stats reflect the work and attribute it to the tenant.
+    let (status, stats) = http(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"acme\""), "no tenant usage in {stats}");
+    assert!(stats.contains("\"acme/churn\""), "no slot stats in {stats}");
+
+    server.stop();
+}
+
+#[test]
+fn admission_control_rejects_excess_fits_with_429() {
+    let (server, addr) = start(scratch_root("admission"), 1);
+
+    let request = serde_json::to_string(&fit_request("slot-a", 18, 5)).unwrap();
+    let (status, body) = http(addr, "POST", "/tenants/t1/fit", &request);
+    assert_eq!(status, 202, "first fit rejected: {body}");
+    let first: FitAccepted = serde_json::from_str(&body).unwrap();
+
+    // The bound is 1, the first search is in flight: reject.
+    let (status, body) = http(addr, "POST", "/tenants/t2/fit", &request);
+    assert_eq!(status, 429, "expected 429, got {status}: {body}");
+    let rejected: Rejected = serde_json::from_str(&body).unwrap();
+    assert_eq!(rejected.max_inflight, 1);
+    assert!(rejected.inflight >= 1);
+
+    let done = await_terminal(addr, "t1", &first.id);
+    assert_eq!(done.state, "finished", "search failed: {:?}", done.error);
+
+    // Rejections are counted in telemetry.
+    let (_, stats) = http(addr, "GET", "/stats", "");
+    assert!(
+        stats.contains("\"serve_rejected\":1"),
+        "rejection not counted in {stats}"
+    );
+
+    server.stop();
+}
+
+#[test]
+fn bad_inputs_get_typed_errors() {
+    let (server, addr) = start(scratch_root("validation"), 4);
+
+    let (status, _) = http(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    let (status, _) = http(addr, "POST", "/tenants/..%2Fetc/fit", "{}");
+    assert_eq!(status, 400);
+
+    let (status, body) = http(addr, "POST", "/tenants/acme/fit", "not json");
+    assert_eq!(status, 400);
+    assert!(body.contains("bad JSON body"));
+
+    let mut request = fit_request("slot", 4, 1);
+    request.estimators = vec!["not-a-learner".into()];
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/tenants/acme/fit",
+        &serde_json::to_string(&request).unwrap(),
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("not-a-learner"));
+
+    // Predict against an empty slot is 404; rollback on it is 409.
+    let predict = "{\"slot\":\"ghost\",\"columns\":[[1.0]]}";
+    let (status, _) = http(addr, "POST", "/tenants/acme/predict", predict);
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "POST", "/tenants/acme/slots/ghost/rollback", "");
+    assert_eq!(status, 409);
+
+    server.stop();
+}
+
+#[test]
+fn predict_feature_mismatch_is_400_and_wrong_artifact_rejected() {
+    let (server, addr) = start(scratch_root("features"), 4);
+
+    let request = fit_request("m", 6, 9);
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/tenants/acme/fit",
+        &serde_json::to_string(&request).unwrap(),
+    );
+    assert_eq!(status, 202, "{body}");
+    let accepted: FitAccepted = serde_json::from_str(&body).unwrap();
+    let done = await_terminal(addr, "acme", &accepted.id);
+    assert_eq!(done.state, "finished", "{:?}", done.error);
+
+    // Model was trained on 2 features; send 3.
+    let predict = "{\"slot\":\"m\",\"columns\":[[1.0],[1.0],[1.0]]}";
+    let (status, body) = http(addr, "POST", "/tenants/acme/predict", predict);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("feature column"), "{body}");
+
+    // Publishing garbage bytes into a slot is a typed 400.
+    let (status, body) = http(addr, "POST", "/tenants/acme/slots/m", "not an artifact");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("bad artifact"), "{body}");
+
+    server.stop();
+}
