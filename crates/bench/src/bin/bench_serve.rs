@@ -400,7 +400,13 @@ fn main() {
         }
     }
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(&out_path, json).expect("write results json");
+    let storage = flaml_core::disk();
+    flaml_core::atomic_write_file(
+        storage.as_ref(),
+        std::path::Path::new(&out_path),
+        json.as_bytes(),
+    )
+    .expect("write results json");
 
     println!(
         "serve: {} model/dataset cells, {} rows served over the pool ({} workers, batch {}), \

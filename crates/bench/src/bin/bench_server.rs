@@ -186,7 +186,13 @@ fn write_report<T: Serialize>(out_path: &str, report: &T) {
         }
     }
     let json = serde_json::to_string_pretty(report).expect("serialize report");
-    std::fs::write(out_path, json).expect("write results json");
+    let storage = flaml_core::disk();
+    flaml_core::atomic_write_file(
+        storage.as_ref(),
+        std::path::Path::new(out_path),
+        json.as_bytes(),
+    )
+    .expect("write results json");
     eprintln!("[server] wrote {out_path}");
 }
 

@@ -269,7 +269,9 @@ pub fn run_grid(groups: &[(&str, Vec<Dataset>)], spec: &GridSpec) -> Vec<GridRes
         .collect()
 }
 
-/// Serializes grid results to a JSON file (pretty-printed, stable order).
+/// Serializes grid results to a JSON file (pretty-printed, stable
+/// order). The file is published atomically, so a crashed run never
+/// leaves a torn results file for a later `--results` load to choke on.
 ///
 /// # Errors
 ///
@@ -282,7 +284,13 @@ pub fn save_results(path: &str, results: &[GridResult]) -> std::io::Result<()> {
     }
     let json = serde_json::to_string_pretty(results)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    std::fs::write(path, json)
+    let storage = flaml_store::disk();
+    flaml_store::atomic_write_file(
+        storage.as_ref(),
+        std::path::Path::new(path),
+        json.as_bytes(),
+    )
+    .map_err(std::io::Error::from)
 }
 
 /// Loads grid results saved by [`save_results`]; `None` if the file does

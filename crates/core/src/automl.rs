@@ -190,6 +190,12 @@ pub enum AutoMlError {
     Journal(JournalError),
     /// The journal file could not be created or written.
     JournalIo(std::io::Error),
+    /// Durable persistence failed mid-run (`ENOSPC`, failed fsync, torn
+    /// write): records the search believed committed may not be on
+    /// disk, so the run fails with the typed storage error instead of
+    /// returning a result whose journal silently lies. The journal file
+    /// itself is already truncated back to its last committed record.
+    Durability(flaml_store::StorageError),
     /// The journal was recorded under a different run configuration or
     /// dataset; resuming or retraining from it would be meaningless.
     ResumeMismatch {
@@ -235,6 +241,7 @@ impl fmt::Display for AutoMlError {
             }
             AutoMlError::Journal(e) => write!(f, "trial journal unusable: {e}"),
             AutoMlError::JournalIo(e) => write!(f, "trial journal write failed: {e}"),
+            AutoMlError::Durability(e) => write!(f, "durable persistence failed: {e}"),
             AutoMlError::ResumeMismatch { field, journal, run } => write!(
                 f,
                 "journal does not match this run: {field} is {journal} in the journal but {run} here"
@@ -459,6 +466,10 @@ pub struct AutoMl {
     pub(crate) starting_points: Vec<(String, Vec<f64>, f64)>,
     pub(crate) prepared_cache: bool,
     pub(crate) prepared_cache_bytes: usize,
+    /// Storage backend for journal persistence. `None` means the real
+    /// filesystem ([`flaml_store::DiskStorage`]); tests inject
+    /// [`flaml_store::ChaosStorage`] here to fault the journal's I/O.
+    pub(crate) storage: Option<std::sync::Arc<dyn flaml_store::Storage>>,
 }
 
 impl Default for AutoMl {
@@ -493,6 +504,7 @@ impl Default for AutoMl {
             starting_points: Vec::new(),
             prepared_cache: true,
             prepared_cache_bytes: 256 * 1024 * 1024,
+            storage: None,
         }
     }
 }
@@ -695,6 +707,17 @@ impl AutoMl {
     pub fn resume_from(mut self, path: impl Into<PathBuf>) -> AutoMl {
         self.journal_path = Some(path.into());
         self.resume = true;
+        self
+    }
+
+    /// Routes journal persistence through an explicit
+    /// [`flaml_store::Storage`] backend instead of the real filesystem —
+    /// the disk-fault-injection entry point
+    /// ([`flaml_store::ChaosStorage`]). Storage choice never affects the
+    /// search trajectory: with faults disabled, traces are byte-identical
+    /// to the default backend's.
+    pub fn storage(mut self, storage: std::sync::Arc<dyn flaml_store::Storage>) -> AutoMl {
+        self.storage = Some(storage);
         self
     }
 

@@ -43,7 +43,8 @@ use flaml_exec::{
     TrialMeta,
 };
 use flaml_journal::{
-    DatasetInfo, Journal, JournalHeader, JournalWriter, TrialLine, SCHEMA_VERSION,
+    DatasetInfo, Journal, JournalHeader, JournalWriter, SharedJournalWriter, TrialLine,
+    SCHEMA_VERSION,
 };
 use flaml_metrics::Metric;
 use flaml_search::{Config, Flow2};
@@ -350,6 +351,8 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
     // reopen it for appending (truncating any torn tail first). The
     // writer becomes an extra event sink fanned together with the user's.
     let mut replay: VecDeque<TrialLine> = VecDeque::new();
+    let storage = settings.storage.clone().unwrap_or_else(flaml_store::disk);
+    let mut shared_journal: Option<SharedJournalWriter> = None;
     let journal_sink: Option<EventSink> = if let Some(path) = &settings.journal_path {
         let header = JournalHeader {
             schema_version: SCHEMA_VERSION,
@@ -375,17 +378,25 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 fingerprint: data.fingerprint(),
             },
         };
-        if settings.resume {
-            let journal = Journal::read(path)?;
+        let writer = if settings.resume {
+            let journal = Journal::read_with(storage.as_ref(), path)?;
             verify_resume_header(&journal.header, &header)?;
-            let writer = JournalWriter::resume(path, journal.committed_bytes)
-                .map_err(AutoMlError::JournalIo)?;
+            let writer =
+                JournalWriter::resume_with(storage.as_ref(), path, journal.committed_bytes)
+                    .map_err(AutoMlError::Durability)?;
             replay = journal.trials.into();
-            Some(writer.into_sink())
+            writer
         } else {
-            let writer = JournalWriter::create(path, &header).map_err(AutoMlError::JournalIo)?;
-            Some(writer.into_sink())
-        }
+            JournalWriter::create_with(storage.as_ref(), path, &header)
+                .map_err(AutoMlError::Durability)?
+        };
+        // Keep a shared handle so a mid-run persistence failure (ENOSPC,
+        // failed fsync) surfaces as a typed error after the search loop
+        // instead of being silently swallowed by the sink.
+        let shared = writer.into_shared();
+        let sink = shared.sink();
+        shared_journal = Some(shared);
+        Some(sink)
     } else {
         None
     };
@@ -966,6 +977,14 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
         if discarding {
             break 'search;
         }
+    }
+
+    // A persistence failure invalidates the run even if the search
+    // itself succeeded: the caller believes every committed trial is on
+    // disk, and here that stopped being true. The writer already
+    // truncated the journal back to its last committed record.
+    if let Some(e) = shared_journal.as_ref().and_then(|s| s.take_error()) {
+        return Err(AutoMlError::Durability(e));
     }
 
     let Some((best_li, best_config, best_error, trial_model, _best_s)) = best else {

@@ -61,6 +61,16 @@ pub enum TrialEventKind {
     /// `tenant` names the tenant, `cost` the budget seconds charged to
     /// the slice and `sample_size` the trials it committed.
     TenantSlice,
+    /// A corrupt or unreadable durable file was quarantined during
+    /// recovery (renamed to `*.corrupt` instead of aborting startup);
+    /// the message carries the original path.
+    StorageQuarantined,
+    /// A durable-storage operation failed (`ENOSPC`, failed fsync, torn
+    /// write, failed marker write); the message carries the typed error.
+    StorageFault,
+    /// An HTTP connection was dropped after a socket read/write timeout
+    /// — a stalled client that can no longer pin a connection thread.
+    ServeTimedOut,
 }
 
 impl TrialEventKind {
@@ -81,6 +91,9 @@ impl TrialEventKind {
             TrialEventKind::ServeRejected => "serve-rejected",
             TrialEventKind::ServeQueueDepth => "serve-queue-depth",
             TrialEventKind::TenantSlice => "tenant-slice",
+            TrialEventKind::StorageQuarantined => "storage-quarantined",
+            TrialEventKind::StorageFault => "storage-fault",
+            TrialEventKind::ServeTimedOut => "serve-timed-out",
         }
     }
 }
@@ -330,6 +343,14 @@ pub struct Telemetry {
     pub serve_queue_depth_max: usize,
     /// `TenantSlice` events seen (fair-share search slices).
     pub tenant_slices: usize,
+    /// `StorageQuarantined` events seen (corrupt files sidelined during
+    /// recovery).
+    pub storage_quarantined: usize,
+    /// `StorageFault` events seen (durable-storage operation failures).
+    pub storage_faults: usize,
+    /// `ServeTimedOut` events seen (connections dropped on socket
+    /// timeout).
+    pub serve_timed_out: usize,
     /// Prepared-data cache hits summed over all events.
     pub prepared_hits: usize,
     /// Prepared-data cache misses summed over all events.
@@ -404,6 +425,15 @@ impl Telemetry {
             TrialEventKind::TenantSlice => {
                 self.tenant_slices += 1;
             }
+            TrialEventKind::StorageQuarantined => {
+                self.storage_quarantined += 1;
+            }
+            TrialEventKind::StorageFault => {
+                self.storage_faults += 1;
+            }
+            TrialEventKind::ServeTimedOut => {
+                self.serve_timed_out += 1;
+            }
             _ => {
                 let slot = self.by_learner.entry(event.learner.clone()).or_default();
                 match event.kind {
@@ -435,7 +465,10 @@ impl Telemetry {
                     | TrialEventKind::ServeRolledBack
                     | TrialEventKind::ServeRejected
                     | TrialEventKind::ServeQueueDepth
-                    | TrialEventKind::TenantSlice => unreachable!("handled above"),
+                    | TrialEventKind::TenantSlice
+                    | TrialEventKind::StorageQuarantined
+                    | TrialEventKind::StorageFault
+                    | TrialEventKind::ServeTimedOut => unreachable!("handled above"),
                 }
             }
         }

@@ -43,32 +43,49 @@ pub struct DiscoveredJournal {
 /// Returns an I/O error only if listing a directory fails; individual
 /// files that cannot be read or parsed as journals are skipped.
 pub fn discover(root: impl AsRef<Path>) -> io::Result<Vec<DiscoveredJournal>> {
-    let root = root.as_ref();
+    discover_with(flaml_store::disk().as_ref(), root.as_ref()).map_err(io::Error::from)
+}
+
+/// [`discover`] against an explicit [`flaml_store::Storage`] — the
+/// fault-injection entry point.
+///
+/// # Errors
+///
+/// Returns a typed storage failure only if listing a directory fails;
+/// individual files that cannot be read or parsed as journals are
+/// skipped.
+pub fn discover_with(
+    storage: &dyn flaml_store::Storage,
+    root: &Path,
+) -> Result<Vec<DiscoveredJournal>, flaml_store::StorageError> {
     let mut found = Vec::new();
-    if !root.exists() {
-        return Ok(found);
-    }
-    for entry in std::fs::read_dir(root)? {
-        let entry = entry?;
-        let path = entry.path();
-        if path.is_dir() {
-            let tenant = entry.file_name().to_string_lossy().into_owned();
-            for sub in std::fs::read_dir(&path)? {
-                probe(&sub?.path(), Some(&tenant), &mut found);
+    for path in storage.scan(root)? {
+        if storage.is_dir(&path) {
+            let tenant = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            for sub in storage.scan(&path)? {
+                probe(storage, &sub, Some(&tenant), &mut found);
             }
         } else {
-            probe(&path, None, &mut found);
+            probe(storage, &path, None, &mut found);
         }
     }
     found.sort_by(|a, b| (&a.tenant, &a.run).cmp(&(&b.tenant, &b.run)));
     Ok(found)
 }
 
-fn probe(path: &Path, tenant: Option<&str>, found: &mut Vec<DiscoveredJournal>) {
-    if !path.is_file() || path.extension().is_none_or(|e| e != "jsonl") {
+fn probe(
+    storage: &dyn flaml_store::Storage,
+    path: &Path,
+    tenant: Option<&str>,
+    found: &mut Vec<DiscoveredJournal>,
+) {
+    if storage.is_dir(path) || path.extension().is_none_or(|e| e != "jsonl") {
         return;
     }
-    let Ok(journal) = Journal::read(path) else {
+    let Ok(journal) = Journal::read_with(storage, path) else {
         return; // not a journal (bad header / schema / unreadable)
     };
     let run = path

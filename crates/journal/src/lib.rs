@@ -35,7 +35,7 @@ mod reader;
 mod record;
 mod writer;
 
-pub use discover::{discover, DiscoveredJournal};
+pub use discover::{discover, discover_with, DiscoveredJournal};
 pub use reader::{Journal, JournalError};
 pub use record::{DatasetInfo, JournalHeader, TrialLine, SCHEMA_VERSION};
-pub use writer::JournalWriter;
+pub use writer::{JournalWriter, SharedJournalWriter};

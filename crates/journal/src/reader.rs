@@ -78,7 +78,21 @@ impl Journal {
     /// Only an unreadable file, a missing/corrupt header line, or an
     /// unsupported schema version error out.
     pub fn read(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
-        let bytes = std::fs::read(path)?;
+        Journal::read_with(flaml_store::disk().as_ref(), path.as_ref())
+    }
+
+    /// [`Journal::read`] against an explicit [`flaml_store::Storage`] —
+    /// the fault-injection entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`Journal::read`]; storage failures surface as
+    /// [`JournalError::Io`].
+    pub fn read_with(
+        storage: &dyn flaml_store::Storage,
+        path: &Path,
+    ) -> Result<Journal, JournalError> {
+        let bytes = storage.read(path).map_err(io::Error::from)?;
         // Lossy decoding: a torn multi-byte UTF-8 sequence in the tail
         // must truncate the tail, not fail the read. The replacement
         // character breaks JSON parsing for the affected line only.

@@ -2,23 +2,32 @@
 
 use crate::record::{JournalHeader, TrialLine};
 use flaml_exec::{EventSink, TrialEvent};
-use std::fs::{File, OpenOptions};
-use std::io::{self, Write};
-use std::path::Path;
-use std::sync::Mutex;
+use flaml_store::{disk, Storage, StorageError, StorageFile};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// Appends journal records with fsync-on-commit.
 ///
-/// Every [`JournalWriter::append`] writes one JSONL line and then flushes
-/// and syncs the file before returning, so a record the caller has seen
-/// committed survives a process kill or power loss. I/O errors after
-/// creation are reported once via [`JournalWriter::take_error`] and
-/// otherwise swallowed: persistence must never crash a search mid-run.
+/// Every [`JournalWriter::append`] writes one JSONL line and then syncs
+/// the file before returning, so a record the caller has seen committed
+/// survives a process kill or power loss. I/O errors after creation are
+/// reported once via [`JournalWriter::take_error`] and otherwise
+/// swallowed: persistence must never crash a search mid-run. A failed
+/// append additionally truncates the file back to its committed prefix,
+/// so torn bytes from the failure can never glue onto a later record.
+///
+/// All I/O goes through a [`Storage`] handle — [`flaml_store::DiskStorage`]
+/// by default, or a chaos wrapper in fault-injection tests (the `_with`
+/// constructors).
 #[derive(Debug)]
 pub struct JournalWriter {
-    file: File,
-    /// First I/O error encountered while appending, if any.
-    error: Option<io::Error>,
+    file: Box<dyn StorageFile>,
+    path: PathBuf,
+    /// Bytes known durably committed (header + fsynced records).
+    committed_len: u64,
+    /// First storage error encountered while appending, if any.
+    error: Option<StorageError>,
 }
 
 impl JournalWriter {
@@ -29,16 +38,36 @@ impl JournalWriter {
     ///
     /// Returns any I/O error from creating or syncing the file.
     pub fn create(path: impl AsRef<Path>, header: &JournalHeader) -> io::Result<JournalWriter> {
-        let path = path.as_ref();
+        JournalWriter::create_with(disk().as_ref(), path.as_ref(), header).map_err(io::Error::from)
+    }
+
+    /// [`JournalWriter::create`] against an explicit [`Storage`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed storage failure from creating or syncing.
+    pub fn create_with(
+        storage: &dyn Storage,
+        path: &Path,
+        header: &JournalHeader,
+    ) -> Result<JournalWriter, StorageError> {
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
+                storage.create_dir_all(dir)?;
             }
         }
-        let file = File::create(path)?;
-        let mut writer = JournalWriter { file, error: None };
-        let json = serde_json::to_string(header)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let file = storage.create(path)?;
+        let mut writer = JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            committed_len: 0,
+            error: None,
+        };
+        let json = serde_json::to_string(header).map_err(|e| StorageError::Io {
+            op: "serialize-header",
+            path: path.to_path_buf(),
+            source: io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+        })?;
         writer.write_line(&json)?;
         Ok(writer)
     }
@@ -51,8 +80,26 @@ impl JournalWriter {
     ///
     /// Returns any I/O error from opening the file.
     pub fn append_to(path: impl AsRef<Path>) -> io::Result<JournalWriter> {
-        let file = OpenOptions::new().append(true).open(path)?;
-        Ok(JournalWriter { file, error: None })
+        JournalWriter::append_to_with(disk().as_ref(), path.as_ref()).map_err(io::Error::from)
+    }
+
+    /// [`JournalWriter::append_to`] against an explicit [`Storage`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed storage failure from opening or sizing the file.
+    pub fn append_to_with(
+        storage: &dyn Storage,
+        path: &Path,
+    ) -> Result<JournalWriter, StorageError> {
+        let committed_len = storage.file_len(path)?;
+        let file = storage.append(path)?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            committed_len,
+            error: None,
+        })
     }
 
     /// Reopens a journal for a resumed run: truncates the file to its
@@ -64,21 +111,49 @@ impl JournalWriter {
     ///
     /// Returns any I/O error from opening, truncating, or syncing.
     pub fn resume(path: impl AsRef<Path>, committed_bytes: u64) -> io::Result<JournalWriter> {
-        let path = path.as_ref();
-        let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(committed_bytes)?;
-        file.sync_data()?;
-        drop(file);
-        JournalWriter::append_to(path)
+        JournalWriter::resume_with(disk().as_ref(), path.as_ref(), committed_bytes)
+            .map_err(io::Error::from)
     }
 
-    fn write_line(&mut self, json: &str) -> io::Result<()> {
-        self.file.write_all(json.as_bytes())?;
-        self.file.write_all(b"\n")?;
-        self.file.flush()?;
-        // fsync-on-commit: the record is durable before the search
-        // proceeds past the trial it describes.
-        self.file.sync_data()
+    /// [`JournalWriter::resume`] against an explicit [`Storage`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed storage failure from opening, truncating, or
+    /// syncing.
+    pub fn resume_with(
+        storage: &dyn Storage,
+        path: &Path,
+        committed_bytes: u64,
+    ) -> Result<JournalWriter, StorageError> {
+        storage.truncate_file(path, committed_bytes)?;
+        JournalWriter::append_to_with(storage, path)
+    }
+
+    fn write_line(&mut self, json: &str) -> Result<(), StorageError> {
+        let mut buf = Vec::with_capacity(json.len() + 1);
+        buf.extend_from_slice(json.as_bytes());
+        buf.push(b'\n');
+        let commit = (|| {
+            self.file.write_all(&buf)?;
+            // fsync-on-commit: the record is durable before the search
+            // proceeds past the trial it describes.
+            self.file.sync_data()
+        })();
+        match commit {
+            Ok(()) => {
+                self.committed_len += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Drop any torn bytes of the failed record so the file
+                // stays exactly its committed prefix; if even that
+                // fails, the reader's torn-tail tolerance still covers
+                // recovery.
+                let _ = self.file.truncate(self.committed_len);
+                Err(e)
+            }
+        }
     }
 
     /// Appends one committed trial record durably. A failed append is
@@ -90,7 +165,11 @@ impl JournalWriter {
         let json = match serde_json::to_string(line) {
             Ok(j) => j,
             Err(e) => {
-                self.error = Some(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                self.error = Some(StorageError::Io {
+                    op: "serialize-record",
+                    path: self.path.clone(),
+                    source: io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+                });
                 return;
             }
         };
@@ -109,29 +188,39 @@ impl JournalWriter {
 
     /// The first append error encountered, if any (taking it resets the
     /// writer's error state).
-    pub fn take_error(&mut self) -> Option<io::Error> {
+    pub fn take_error(&mut self) -> Option<StorageError> {
         self.error.take()
     }
 
-    /// Flushes and fsyncs any buffered bytes now, without appending a
-    /// record. Dropping the writer does the same, so a server shutting
-    /// down mid-search never loses the last committed record.
-    pub fn sync(&mut self) -> io::Result<()> {
-        self.file.flush()?;
+    /// Bytes known durably committed so far.
+    pub fn committed_len(&self) -> u64 {
+        self.committed_len
+    }
+
+    /// Fsyncs any buffered bytes now, without appending a record.
+    /// Dropping the writer does the same, so a server shutting down
+    /// mid-search never loses the last committed record.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
         self.file.sync_data()
     }
 
     /// Wraps the writer in a synchronous [`EventSink`]: every committed
     /// terminal event emitted into the sink is appended (and fsynced)
     /// before the emitting thread proceeds. Fan this together with live
-    /// telemetry sinks via [`EventSink::fanout`].
+    /// telemetry sinks via [`EventSink::fanout`]. Use
+    /// [`JournalWriter::into_shared`] instead when the caller needs to
+    /// observe append errors after the run.
     pub fn into_sink(self) -> EventSink {
-        let writer = Mutex::new(self);
-        EventSink::callback(move |event| {
-            if let Ok(mut w) = writer.lock() {
-                w.on_event(event);
-            }
-        })
+        self.into_shared().sink()
+    }
+
+    /// Wraps the writer in a [`SharedJournalWriter`], which hands out
+    /// sinks *and* keeps a handle for checking [`take_error`] once the
+    /// run is over.
+    ///
+    /// [`take_error`]: SharedJournalWriter::take_error
+    pub fn into_shared(self) -> SharedJournalWriter {
+        SharedJournalWriter(Arc::new(Mutex::new(self)))
     }
 }
 
@@ -140,6 +229,39 @@ impl Drop for JournalWriter {
         // Best-effort durability on shutdown: errors are unreportable
         // here and every committed append already fsynced itself.
         let _ = self.sync();
+    }
+}
+
+/// A clonable handle to a [`JournalWriter`] that separates *writing*
+/// (the [`EventSink`] from [`SharedJournalWriter::sink`], handed to the
+/// search) from *error observation* ([`SharedJournalWriter::take_error`],
+/// checked by the owner after the run). This is how a search turns a
+/// mid-run `ENOSPC` into a typed terminal failure instead of silently
+/// dropping records.
+#[derive(Debug, Clone)]
+pub struct SharedJournalWriter(Arc<Mutex<JournalWriter>>);
+
+impl SharedJournalWriter {
+    /// A synchronous sink appending committed terminal events to the
+    /// shared writer.
+    pub fn sink(&self) -> EventSink {
+        let writer = Arc::clone(&self.0);
+        EventSink::callback(move |event| {
+            if let Ok(mut w) = writer.lock() {
+                w.on_event(event);
+            }
+        })
+    }
+
+    /// The first append error encountered, if any (taking it resets the
+    /// writer's error state).
+    pub fn take_error(&self) -> Option<StorageError> {
+        self.0.lock().ok().and_then(|mut w| w.take_error())
+    }
+
+    /// Bytes known durably committed so far.
+    pub fn committed_len(&self) -> u64 {
+        self.0.lock().map(|w| w.committed_len()).unwrap_or(0)
     }
 }
 
@@ -219,7 +341,7 @@ mod tests {
 
     #[test]
     fn event_sink_appends_committed_terminals_only() {
-        use flaml_exec::{TrialEventKind, TrialMeta};
+        use flaml_exec::{TrialEvent, TrialEventKind, TrialMeta};
         let dir = std::env::temp_dir().join("flaml-journal-sink-test");
         let path = dir.join("run.jsonl");
         let sink = JournalWriter::create(&path, &header()).unwrap().into_sink();
@@ -250,6 +372,72 @@ mod tests {
         assert_eq!(j.trials.len(), 1);
         assert_eq!(j.trials[0].learner, "lr");
         assert_eq!(j.trials[0].loss, 0.25);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_append_truncates_to_committed_prefix_and_latches() {
+        use flaml_store::{ChaosStorage, DiskStorage, IoFaultPlan};
+        let dir = std::env::temp_dir().join("flaml-journal-chaos-append");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+
+        // Count the ops of one clean append so the chaos run can fault
+        // exactly the second record's write.
+        let clean = ChaosStorage::new(flaml_store::disk(), IoFaultPlan::new(0));
+        let mut w = JournalWriter::create_with(&clean, &path, &header()).unwrap();
+        let after_create = clean.ops_issued();
+        w.append(&line(1));
+        let per_append = clean.ops_issued() - after_create;
+        drop(w);
+
+        // Short-write every op: header creation would fail, so create
+        // cleanly first, then reopen under chaos for the append.
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.append(&line(1));
+        drop(w);
+        let committed = Journal::read(&path).unwrap().committed_bytes;
+
+        let chaotic = ChaosStorage::new(flaml_store::disk(), IoFaultPlan::new(3).short_writes(1.0));
+        let mut w = JournalWriter::append_to_with(&chaotic, &path).unwrap();
+        w.append(&line(2));
+        let err = w.take_error().expect("the torn append is reported");
+        assert!(matches!(err, StorageError::TornWrite { .. }), "{err}");
+        drop(w);
+        assert!(per_append >= 1);
+
+        // The file is exactly its committed prefix — no torn bytes —
+        // and reads back as the one committed record.
+        assert_eq!(DiskStorage.file_len(&path).unwrap(), committed);
+        let j = Journal::read(&path).unwrap();
+        assert_eq!(j.trials.len(), 1);
+        assert_eq!(j.committed_bytes, committed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_writer_reports_errors_after_the_run() {
+        use flaml_store::{ChaosStorage, IoFaultPlan};
+        let dir = std::env::temp_dir().join("flaml-journal-shared-err");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.append(&line(1));
+        drop(w);
+
+        let chaotic = ChaosStorage::new(flaml_store::disk(), IoFaultPlan::new(1).enospc(1.0));
+        let shared =
+            JournalWriter::append_to_with(&chaotic, &path).expect_err("open hits injected ENOSPC");
+        assert!(shared.is_no_space());
+
+        // With faults off the shared handle reports no error.
+        let shared = JournalWriter::append_to(&path).unwrap().into_shared();
+        let sink = shared.sink();
+        drop(sink);
+        assert!(shared.take_error().is_none());
+        assert!(shared.committed_len() > 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

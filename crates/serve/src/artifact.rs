@@ -25,6 +25,7 @@ use flaml_learners::{
     LinearModel, PreparedBins, StackedModel,
 };
 use flaml_metrics::Pred;
+use flaml_store::{atomic_write_file, Storage};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -489,15 +490,27 @@ impl CompiledModel {
     ///
     /// Returns [`ArtifactError::Io`] on filesystem failures.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, ArtifactError> {
-        let path = path.as_ref();
+        self.save_with(flaml_store::disk().as_ref(), path.as_ref())
+    }
+
+    /// [`CompiledModel::save`] against an explicit
+    /// [`flaml_store::Storage`]. The artifact is published atomically —
+    /// temp file, fsync, rename, parent-dir fsync — so a crash at any
+    /// point leaves either the previous artifact or none, never a torn
+    /// file under the final name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Storage`] on persistence failures.
+    pub fn save_with(&self, storage: &dyn Storage, path: &Path) -> Result<u64, ArtifactError> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
+                storage.create_dir_all(parent)?;
             }
         }
         let text = self.to_artifact_string();
         let payload = serde_json::to_string(self).expect("compiled models always serialize");
-        std::fs::write(path, text)?;
+        atomic_write_file(storage, path, text.as_bytes())?;
         Ok(fingerprint(&payload))
     }
 
@@ -509,6 +522,19 @@ impl CompiledModel {
     /// [`ArtifactError::Io`] on read failures.
     pub fn load(path: impl AsRef<Path>) -> Result<CompiledModel, ArtifactError> {
         let text = std::fs::read_to_string(path)?;
+        CompiledModel::from_artifact_str(&text)
+    }
+
+    /// [`CompiledModel::load`] against an explicit
+    /// [`flaml_store::Storage`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledModel::from_artifact_str`], plus
+    /// [`ArtifactError::Storage`] on read failures.
+    pub fn load_with(storage: &dyn Storage, path: &Path) -> Result<CompiledModel, ArtifactError> {
+        let bytes = storage.read(path)?;
+        let text = String::from_utf8_lossy(&bytes);
         CompiledModel::from_artifact_str(&text)
     }
 }

@@ -37,6 +37,10 @@ pub enum ArtifactError {
     /// The model cannot be compiled into an artifact (e.g. a custom
     /// dynamic model, whose prediction code lives outside the artifact).
     Unsupported(String),
+    /// Durable persistence of the artifact failed (`ENOSPC`, failed
+    /// fsync, torn write) — the typed storage failure, so the service
+    /// layer can answer a structured 507 on a full disk.
+    Storage(flaml_store::StorageError),
 }
 
 impl fmt::Display for ArtifactError {
@@ -60,6 +64,7 @@ impl fmt::Display for ArtifactError {
                 )
             }
             ArtifactError::Unsupported(msg) => write!(f, "model cannot be compiled: {msg}"),
+            ArtifactError::Storage(e) => write!(f, "artifact storage error: {e}"),
         }
     }
 }
@@ -68,6 +73,7 @@ impl std::error::Error for ArtifactError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ArtifactError::Io(e) => Some(e),
+            ArtifactError::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -76,5 +82,18 @@ impl std::error::Error for ArtifactError {
 impl From<std::io::Error> for ArtifactError {
     fn from(e: std::io::Error) -> ArtifactError {
         ArtifactError::Io(e)
+    }
+}
+
+impl From<flaml_store::StorageError> for ArtifactError {
+    fn from(e: flaml_store::StorageError) -> ArtifactError {
+        ArtifactError::Storage(e)
+    }
+}
+
+impl ArtifactError {
+    /// Whether the failure means the device is out of space.
+    pub fn is_no_space(&self) -> bool {
+        matches!(self, ArtifactError::Storage(e) if e.is_no_space())
     }
 }

@@ -118,9 +118,11 @@ pub fn write_response(
         400 => "Bad Request",
         403 => "Forbidden",
         404 => "Not Found",
+        408 => "Request Timeout",
         409 => "Conflict",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        507 => "Insufficient Storage",
         _ => "",
     };
     let connection = if keep_alive { "keep-alive" } else { "close" };
@@ -135,4 +137,14 @@ pub fn write_response(
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Whether an I/O error is a socket timeout. Unix reports an expired
+/// `SO_RCVTIMEO` as `WouldBlock`, Windows as `TimedOut`; both mean the
+/// peer stalled past the configured deadline.
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+    )
 }

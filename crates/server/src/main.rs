@@ -3,11 +3,20 @@
 //! ```text
 //! flaml-server [--port N] [--root DIR] [--max-inflight N]
 //!              [--batch-rows N] [--serve-workers N] [--fit-workers N]
-//!              [--tenants a,b,c]
+//!              [--tenants a,b,c] [--socket-timeout SECS]
+//!              [--io-chaos SEED:RATE]
 //! ```
+//!
+//! `--socket-timeout 0` disables socket timeouts. `--io-chaos`
+//! wraps the disk in a seeded fault-injecting storage (short writes,
+//! failed fsyncs, ENOSPC at the given rate) — a chaos-testing mode,
+//! never for production.
 
+use flaml_core::{ChaosStorage, IoFaultPlan};
 use flaml_server::{Server, ServerConfig};
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let mut cfg = ServerConfig::default();
@@ -47,6 +56,19 @@ fn main() {
                         .map(str::to_string)
                         .collect(),
                 );
+            }
+            "--socket-timeout" => {
+                let secs: u64 = value("--socket-timeout")
+                    .parse()
+                    .expect("--socket-timeout: seconds");
+                cfg.socket_timeout = (secs > 0).then(|| Duration::from_secs(secs));
+            }
+            "--io-chaos" => {
+                let spec = value("--io-chaos");
+                let plan = IoFaultPlan::parse(&spec)
+                    .unwrap_or_else(|| panic!("--io-chaos: SEED:RATE, got {spec:?}"));
+                eprintln!("warning: disk chaos enabled ({spec}); not for production");
+                cfg.storage = Arc::new(ChaosStorage::new(Arc::clone(&cfg.storage), plan));
             }
             other => {
                 eprintln!("unknown argument {other:?}");

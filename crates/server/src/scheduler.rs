@@ -22,6 +22,7 @@ use flaml_core::{
     TrialEvent, TrialEventKind,
 };
 use flaml_data::Dataset;
+use flaml_store::{atomic_write_file, Storage};
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -57,6 +58,7 @@ pub struct Scheduler {
     max_inflight: usize,
     registry: Arc<ModelRegistry>,
     sink: EventSink,
+    storage: Arc<dyn Storage>,
     queues: Mutex<Queues>,
     work: Condvar,
     statuses: Mutex<BTreeMap<(String, String), SearchStatus>>,
@@ -64,19 +66,22 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// A scheduler writing artifacts under `root` and publishing into
-    /// `registry`; at most `max_inflight` searches queued or running.
+    /// A scheduler writing artifacts under `root` (through `storage`)
+    /// and publishing into `registry`; at most `max_inflight` searches
+    /// queued or running.
     pub fn new(
         root: PathBuf,
         max_inflight: usize,
         registry: Arc<ModelRegistry>,
         sink: EventSink,
+        storage: Arc<dyn Storage>,
     ) -> Scheduler {
         Scheduler {
             root,
             max_inflight: max_inflight.max(1),
             registry,
             sink,
+            storage,
             queues: Mutex::new(Queues {
                 queued: VecDeque::new(),
                 running: 0,
@@ -215,6 +220,12 @@ impl Scheduler {
                     self.finish_one();
                 }
                 Ok(Err(e)) => {
+                    // A durability failure (ENOSPC, failed fsync) is a
+                    // storage fault, not a search defect: count it so
+                    // operators can tell a full disk from a bad config.
+                    if matches!(e, AutoMlError::Durability(_)) {
+                        self.emit_storage_fault(&job.tenant, &e.to_string());
+                    }
                     self.mark_failed(&job, &e.to_string());
                     self.finish_one();
                 }
@@ -273,17 +284,30 @@ impl Scheduler {
         let tenant_dir = self.root.join(&job.tenant);
         // Completion marker first: recovery treats a search with an
         // artifact file as done even if the process dies mid-publish.
+        // Both writes publish atomically, so a crash anywhere in here
+        // leaves either no marker (the journal re-derives the result on
+        // restart) or a complete one — never a torn artifact.
         compiled
-            .save(tenant_dir.join(format!("{}.artifact.json", job.id)))
-            .map_err(|e| format!("writing artifact failed: {e}"))?;
+            .save_with(
+                self.storage.as_ref(),
+                &tenant_dir.join(format!("{}.artifact.json", job.id)),
+            )
+            .map_err(|e| {
+                self.emit_storage_fault(&job.tenant, &e.to_string());
+                format!("writing artifact failed: {e}")
+            })?;
         // The slot file is the durable registry: restart republishes it.
         compiled
-            .save(
-                tenant_dir
+            .save_with(
+                self.storage.as_ref(),
+                &tenant_dir
                     .join("slots")
                     .join(format!("{}.artifact.json", job.slot)),
             )
-            .map_err(|e| format!("writing slot artifact failed: {e}"))?;
+            .map_err(|e| {
+                self.emit_storage_fault(&job.tenant, &e.to_string());
+                format!("writing slot artifact failed: {e}")
+            })?;
         Ok(self
             .registry
             .publish(&format!("{}/{}", job.tenant, job.slot), compiled))
@@ -294,11 +318,25 @@ impl Scheduler {
             .root
             .join(&job.tenant)
             .join(format!("{}.failed", job.id));
-        if let Some(dir) = marker.parent() {
-            let _ = std::fs::create_dir_all(dir);
+        let written = marker
+            .parent()
+            .map_or(Ok(()), |dir| self.storage.create_dir_all(dir))
+            .and_then(|()| atomic_write_file(self.storage.as_ref(), &marker, msg.as_bytes()));
+        if let Err(e) = written {
+            // The marker is what recovery reads; losing it silently
+            // would resurrect this failed search as healthy on restart.
+            // The in-memory status still reports the failure, and the
+            // fault is counted for operators.
+            self.emit_storage_fault(&job.tenant, &format!("writing failure marker: {e}"));
         }
-        let _ = std::fs::write(&marker, msg);
         self.set_status_full(job, "failed", None, None, Some(msg.to_string()));
+    }
+
+    fn emit_storage_fault(&self, tenant: &str, detail: &str) {
+        let mut ev = TrialEvent::new(TrialEventKind::StorageFault);
+        ev.tenant = tenant.to_string();
+        ev.message = Some(detail.to_string());
+        self.sink.emit(ev);
     }
 
     fn set_status(&self, job: &SearchJob, state: &str, best: Option<f64>, version: Option<u64>) {

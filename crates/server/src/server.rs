@@ -34,9 +34,10 @@ use flaml_core::{
     ServeTelemetry, Telemetry, TrialEvent, TrialEventKind,
 };
 use flaml_data::{Dataset, Task};
+use flaml_store::{atomic_write_file, is_stale_tmp, Storage};
 use serde::Serialize;
 use std::collections::BTreeMap;
-use std::io::{BufReader, Write};
+use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -59,6 +60,14 @@ pub struct ServerConfig {
     pub fit_workers: usize,
     /// Tenant allow-list (`None` = any well-formed tenant name).
     pub tenants: Option<Vec<String>>,
+    /// Backend for every durable write (sidecars, markers, artifacts,
+    /// journals). Production uses [`flaml_store::disk`]; tests wrap it
+    /// in a [`flaml_store::ChaosStorage`] to inject disk faults.
+    pub storage: Arc<dyn Storage>,
+    /// Read/write timeout on client sockets (`None` = block forever).
+    /// A stalled client beyond the timeout gets a 408 and its
+    /// connection thread back.
+    pub socket_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +79,8 @@ impl Default for ServerConfig {
             serve_workers: 2,
             fit_workers: 1,
             tenants: None,
+            storage: flaml_store::disk(),
+            socket_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -115,6 +126,7 @@ impl Server {
             cfg.max_inflight,
             Arc::clone(&registry),
             sink.clone(),
+            Arc::clone(&cfg.storage),
         ));
         let server = Server {
             inner: Arc::new(Inner {
@@ -137,50 +149,57 @@ impl Server {
     }
 
     /// Replays the durable state under the root (module docs: recovery
-    /// protocol).
+    /// protocol). Corrupt files are quarantined to `*.corrupt` — never
+    /// served, never fatal — and stale `*.tmp` debris from interrupted
+    /// atomic publishes is swept.
     fn recover(&self) -> std::io::Result<()> {
+        let storage = Arc::clone(&self.inner.cfg.storage);
         let root = &self.inner.cfg.root;
-        for entry in std::fs::read_dir(root)? {
-            let entry = entry?;
-            if !entry.path().is_dir() {
+        for tenant_path in storage.scan(root).map_err(std::io::Error::from)? {
+            if !storage.is_dir(&tenant_path) {
                 continue;
             }
-            let tenant = entry.file_name().to_string_lossy().into_owned();
+            let tenant = tenant_path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
             if !valid_name(&tenant) {
                 continue;
             }
-            // 1. Republish the durable slot registry.
-            let slots_dir = entry.path().join("slots");
-            if let Ok(slots) = std::fs::read_dir(&slots_dir) {
-                let mut files: Vec<PathBuf> =
-                    slots.filter_map(|e| e.ok()).map(|e| e.path()).collect();
-                files.sort();
-                for file in files {
-                    let Some(slot) = file
-                        .file_name()
-                        .and_then(|n| n.to_str())
-                        .and_then(|n| n.strip_suffix(".artifact.json"))
-                    else {
-                        continue;
-                    };
-                    if let Ok(model) = CompiledModel::load(&file) {
+            let slots_dir = tenant_path.join("slots");
+            self.sweep_stale_tmps(&tenant_path);
+            self.sweep_stale_tmps(&slots_dir);
+            // 1. Republish the durable slot registry; a slot file that
+            //    no longer parses is sidelined instead of served.
+            let slots = storage.scan(&slots_dir).unwrap_or_default();
+            for file in slots {
+                let Some(slot) = file
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(|n| n.strip_suffix(".artifact.json"))
+                else {
+                    continue;
+                };
+                match CompiledModel::load_with(storage.as_ref(), &file) {
+                    Ok(model) => {
                         self.inner
                             .registry
                             .publish(&format!("{tenant}/{slot}"), model);
                     }
+                    Err(e) => self.quarantine(&file, &tenant, &format!("slot artifact: {e}")),
                 }
             }
             // 2. Replay every accepted search, newest id last.
-            let mut sidecars: Vec<PathBuf> = std::fs::read_dir(entry.path())?
-                .filter_map(|e| e.ok())
-                .map(|e| e.path())
+            let sidecars: Vec<PathBuf> = storage
+                .scan(&tenant_path)
+                .map_err(std::io::Error::from)?
+                .into_iter()
                 .filter(|p| {
                     p.file_name()
                         .and_then(|n| n.to_str())
                         .is_some_and(|n| n.ends_with(".request.json"))
                 })
                 .collect();
-            sidecars.sort();
             for sidecar in sidecars {
                 let id = sidecar
                     .file_name()
@@ -193,6 +212,39 @@ impl Server {
             }
         }
         Ok(())
+    }
+
+    /// Deletes interrupted-publish temp files (`.{name}.{nonce}.tmp`)
+    /// from `dir`. They are never referenced by any protocol state, so
+    /// removal is always safe.
+    fn sweep_stale_tmps(&self, dir: &std::path::Path) {
+        let storage = &self.inner.cfg.storage;
+        for entry in storage.scan(dir).unwrap_or_default() {
+            if is_stale_tmp(&entry) {
+                let _ = storage.remove(&entry);
+            }
+        }
+    }
+
+    /// Renames a corrupt durable file to `{name}.corrupt` and records a
+    /// [`TrialEventKind::StorageQuarantined`] event carrying the path
+    /// and the parse failure. Recovery continues either way.
+    fn quarantine(&self, path: &std::path::Path, tenant: &str, why: &str) {
+        let quarantined = path.with_file_name(format!(
+            "{}.corrupt",
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        ));
+        let moved = self.inner.cfg.storage.rename(path, &quarantined);
+        let mut ev = TrialEvent::new(TrialEventKind::StorageQuarantined);
+        ev.tenant = tenant.to_string();
+        ev.label = path.display().to_string();
+        ev.message = Some(match moved {
+            Ok(()) => why.to_string(),
+            Err(e) => format!("{why} (quarantine rename failed: {e})"),
+        });
+        self.inner.sink.emit(ev);
     }
 
     fn recover_search(&self, tenant: &str, id: &str, sidecar: &std::path::Path) {
@@ -217,13 +269,16 @@ impl Server {
             }
         };
         let Some(request) = request else {
+            // The sidecar is the intent record; without it the search
+            // cannot be reconstructed. Sideline it and report the loss.
+            self.quarantine(sidecar, tenant, "unreadable request sidecar");
             self.inner.scheduler.record_terminal(
                 tenant,
                 terminal(
                     "failed",
                     "",
                     None,
-                    Some("unreadable request sidecar".into()),
+                    Some("unreadable request sidecar (quarantined)".into()),
                 ),
             );
             return;
@@ -237,24 +292,43 @@ impl Server {
         }
         if artifact.exists() {
             // Finished on a previous process: republish its artifact so
-            // the slot serves again even if the slot file was lost.
-            let version = CompiledModel::load(&artifact).ok().map(|m| {
-                self.inner
-                    .registry
-                    .publish(&format!("{tenant}/{}", request.slot), m)
-            });
-            self.inner
-                .scheduler
-                .record_terminal(tenant, terminal("finished", &request.slot, version, None));
-            return;
+            // the slot serves again even if the slot file was lost. A
+            // corrupt completion marker is quarantined and the search
+            // falls through to journal re-admission, which re-derives
+            // the artifact from the committed trials.
+            let storage = Arc::clone(&self.inner.cfg.storage);
+            match CompiledModel::load_with(storage.as_ref(), &artifact) {
+                Ok(m) => {
+                    let version = self
+                        .inner
+                        .registry
+                        .publish(&format!("{tenant}/{}", request.slot), m);
+                    self.inner.scheduler.record_terminal(
+                        tenant,
+                        terminal("finished", &request.slot, Some(version), None),
+                    );
+                    return;
+                }
+                Err(e) => {
+                    self.quarantine(&artifact, tenant, &format!("completion artifact: {e}"));
+                }
+            }
         }
         // In flight when the process died: re-admit, resuming the
-        // journal byte-identically where one exists.
+        // journal byte-identically where one exists. An unreadable
+        // journal is quarantined and the search restarts from scratch —
+        // slower, but never wedged.
         let built = request.to_automl().and_then(|automl| {
+            let automl = automl.storage(Arc::clone(&self.inner.cfg.storage));
             let data = request.to_dataset()?;
             let handle = if journal.exists() {
-                SearchHandle::attach(automl, &journal)
-                    .map_err(|e| format!("journal attach failed: {e}"))?
+                match SearchHandle::attach(automl.clone(), &journal) {
+                    Ok(handle) => handle,
+                    Err(e) => {
+                        self.quarantine(&journal, tenant, &format!("search journal: {e}"));
+                        SearchHandle::new(automl, &journal)
+                    }
+                }
             } else {
                 SearchHandle::new(automl, &journal)
             };
@@ -344,6 +418,10 @@ impl Server {
         // Small JSON responses + Nagle + delayed ACK = ~20ms floors;
         // a latency-gated service always wants immediate writes.
         let _ = stream.set_nodelay(true);
+        // Socket timeouts bound how long a stalled client can pin this
+        // thread; they are set on the fd, so the clone shares them.
+        let _ = stream.set_read_timeout(self.inner.cfg.socket_timeout);
+        let _ = stream.set_write_timeout(self.inner.cfg.socket_timeout);
         let mut reader = match stream.try_clone() {
             Ok(s) => BufReader::new(s),
             Err(_) => return,
@@ -353,6 +431,18 @@ impl Server {
             let request = match read_request(&mut reader) {
                 Ok(Some(r)) => r,
                 Ok(None) => return,
+                Err(e) if crate::http::is_timeout(&e) => {
+                    self.inner
+                        .sink
+                        .emit(TrialEvent::new(TrialEventKind::ServeTimedOut));
+                    let _ = write_response(
+                        &mut stream,
+                        408,
+                        &ErrorBody::json("request timed out"),
+                        false,
+                    );
+                    return;
+                }
                 Err(e) => {
                     let _ =
                         write_response(&mut stream, 400, &ErrorBody::json(e.to_string()), false);
@@ -428,12 +518,30 @@ impl Server {
         let journal = tenant_dir.join(format!("{id}.jsonl"));
         // Persist the sidecar durably BEFORE admitting: once the client
         // sees 202, a kill at any point leaves enough on disk to resume.
-        if let Err(e) = write_durable(
-            &tenant_dir.join(format!("{id}.request.json")),
-            &serde_json::to_string(&request).expect("requests always serialize"),
-        ) {
+        // Atomic publish, so a crash mid-write cannot leave a torn
+        // sidecar that recovery would quarantine.
+        let storage = Arc::clone(&self.inner.cfg.storage);
+        let persisted = storage
+            .create_dir_all(&tenant_dir)
+            .and_then(|()| {
+                atomic_write_file(
+                    storage.as_ref(),
+                    &tenant_dir.join(format!("{id}.request.json")),
+                    serde_json::to_string(&request)
+                        .expect("requests always serialize")
+                        .as_bytes(),
+                )
+            })
+            .inspect_err(|e| {
+                let mut ev = TrialEvent::new(TrialEventKind::StorageFault);
+                ev.tenant = tenant.to_string();
+                ev.message = Some(e.to_string());
+                self.inner.sink.emit(ev);
+            });
+        if let Err(e) = persisted {
+            let status = if e.is_no_space() { 507 } else { 500 };
             return (
-                500,
+                status,
                 ErrorBody::json(format!("persisting request failed: {e}")),
             );
         }
@@ -442,7 +550,7 @@ impl Server {
             id: id.clone(),
             slot: request.slot.clone(),
             slice_trials: request.slice_trials(),
-            handle: SearchHandle::new(automl, &journal),
+            handle: SearchHandle::new(automl.storage(Arc::clone(&storage)), &journal),
             data,
         };
         match self.inner.scheduler.submit(job) {
@@ -459,7 +567,7 @@ impl Server {
             }
             Err((inflight, _)) => {
                 // Lost the admission race; drop the sidecar again.
-                let _ = std::fs::remove_file(tenant_dir.join(format!("{id}.request.json")));
+                let _ = storage.remove(&tenant_dir.join(format!("{id}.request.json")));
                 self.reject_fit(tenant, inflight)
             }
         }
@@ -595,8 +703,16 @@ impl Server {
             .join(tenant)
             .join("slots")
             .join(format!("{slot}.artifact.json"));
-        if let Err(e) = model.save(&slot_file) {
-            return (500, ErrorBody::json(format!("persisting slot failed: {e}")));
+        if let Err(e) = model.save_with(self.inner.cfg.storage.as_ref(), &slot_file) {
+            let mut ev = TrialEvent::new(TrialEventKind::StorageFault);
+            ev.tenant = tenant.to_string();
+            ev.message = Some(e.to_string());
+            self.inner.sink.emit(ev);
+            let status = if e.is_no_space() { 507 } else { 500 };
+            return (
+                status,
+                ErrorBody::json(format!("persisting slot failed: {e}")),
+            );
         }
         let version = self
             .inner
@@ -666,6 +782,9 @@ impl Server {
             serve_rejected: telemetry.serve_rejected,
             serve_queue_depth: telemetry.serve_queue_depth,
             serve_queue_depth_max: telemetry.serve_queue_depth_max,
+            storage_quarantined: telemetry.storage_quarantined,
+            storage_faults: telemetry.storage_faults,
+            serve_timed_out: telemetry.serve_timed_out,
             promoted: serve.promoted,
             rolled_back: serve.rolled_back,
             by_tenant,
@@ -692,6 +811,9 @@ struct StatsBody {
     serve_rejected: usize,
     serve_queue_depth: usize,
     serve_queue_depth_max: usize,
+    storage_quarantined: usize,
+    storage_faults: usize,
+    serve_timed_out: usize,
     promoted: usize,
     rolled_back: usize,
     by_tenant: BTreeMap<String, TenantStats>,
@@ -720,15 +842,4 @@ struct SlotStatsBody {
 fn parse_json<T: for<'de> serde::Deserialize<'de>>(body: &[u8]) -> Result<T, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     serde_json::from_str(text).map_err(|e| format!("bad JSON body: {e}"))
-}
-
-/// Writes `text` to `path` with fsync — create-dirs, write, sync — so
-/// the bytes survive a kill the moment this returns.
-fn write_durable(path: &std::path::Path, text: &str) -> std::io::Result<()> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(text.as_bytes())?;
-    file.sync_data()
 }

@@ -1,6 +1,10 @@
 //! Shared helpers for the server integration tests: a tiny HTTP
 //! client, a deterministic dataset generator, and scratch roots.
 
+// Each test binary compiles its own copy; not every binary uses every
+// helper.
+#![allow(dead_code)]
+
 use flaml_server::{DatasetPayload, FitRequest};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -17,7 +17,7 @@ fn config(root: std::path::PathBuf) -> ServerConfig {
         batch_rows: 64,
         serve_workers: 2,
         fit_workers: 1,
-        tenants: None,
+        ..ServerConfig::default()
     }
 }
 

@@ -14,7 +14,7 @@ fn start(root: std::path::PathBuf, max_inflight: usize) -> (Server, std::net::So
         batch_rows: 64,
         serve_workers: 2,
         fit_workers: 1,
-        tenants: None,
+        ..ServerConfig::default()
     };
     Server::new(cfg)
         .expect("server init")
