@@ -235,7 +235,7 @@ fn hot_swap_check(data: &Dataset, n_versions: u64) -> bool {
         .collect();
     let mut ok = true;
     for v in versions.iter().skip(1) {
-        let published = registry.publish("live", v.clone());
+        let published = registry.publish("live", v.clone()).version;
         ok &= registry.get("live").expect("slot exists").version >= published;
     }
     for reader in readers {

@@ -145,6 +145,10 @@ impl Args {
             port: self.usize("port", 8700).min(u16::MAX as usize) as u16,
             tenants: self.usize("tenants", 2).max(1),
             max_inflight: self.usize("max-inflight", 8).max(1),
+            chunks: self.usize("chunks", 24).max(1),
+            chunk_rows: self.usize("chunk-rows", 120).max(8),
+            drift_at: self.usize("drift-at", 8).max(2),
+            promote_margin: self.f64("promote-margin", 0.01).max(0.0),
         }
     }
 }
@@ -169,7 +173,15 @@ impl Args {
 /// - `--tenants N` — tenants a service load generator simulates
 ///   (default 2, clamped ≥ 1);
 /// - `--max-inflight N` — the service admission bound (default 8,
-///   clamped ≥ 1).
+///   clamped ≥ 1);
+/// - `--chunks N` — stream length in chunks for online benchmarks
+///   (default 24, clamped ≥ 1);
+/// - `--chunk-rows N` — rows per stream chunk (default 120, clamped
+///   ≥ 8);
+/// - `--drift-at N` — chunks per stream concept segment, i.e. a
+///   concept shift every N chunks (default 8, clamped ≥ 2);
+/// - `--promote-margin X` — margin a challenger must beat the champion
+///   by to be promoted (default 0.01, clamped ≥ 0).
 #[derive(Debug, Clone)]
 pub struct ExecArgs {
     /// Run seed.
@@ -204,6 +216,17 @@ pub struct ExecArgs {
     /// Service admission bound (`--max-inflight`, default 8, always
     /// ≥ 1).
     pub max_inflight: usize,
+    /// Stream length in chunks for online benchmarks (`--chunks`,
+    /// default 24, always ≥ 1).
+    pub chunks: usize,
+    /// Rows per stream chunk (`--chunk-rows`, default 120, always ≥ 8).
+    pub chunk_rows: usize,
+    /// Chunks per stream concept segment — a concept shift every N
+    /// chunks (`--drift-at`, default 8, always ≥ 2).
+    pub drift_at: usize,
+    /// Promotion margin for online champion–challenger benchmarks
+    /// (`--promote-margin`, default 0.01, always ≥ 0).
+    pub promote_margin: f64,
 }
 
 impl ExecArgs {
@@ -332,5 +355,26 @@ mod tests {
         assert_eq!(e.tenants, 1);
         assert_eq!(e.max_inflight, 1);
         assert_eq!(e.port, u16::MAX);
+    }
+
+    #[test]
+    fn exec_parses_online_knobs() {
+        let e = args("--chunks 16 --chunk-rows 100 --drift-at 6 --promote-margin 0.02").exec();
+        assert_eq!(e.chunks, 16);
+        assert_eq!(e.chunk_rows, 100);
+        assert_eq!(e.drift_at, 6);
+        assert_eq!(e.promote_margin, 0.02);
+
+        // Defaults, and clamping of degenerate values.
+        let e = args("").exec();
+        assert_eq!(e.chunks, 24);
+        assert_eq!(e.chunk_rows, 120);
+        assert_eq!(e.drift_at, 8);
+        assert_eq!(e.promote_margin, 0.01);
+        let e = args("--chunks 0 --chunk-rows 1 --drift-at 1 --promote-margin -3").exec();
+        assert_eq!(e.chunks, 1);
+        assert_eq!(e.chunk_rows, 8);
+        assert_eq!(e.drift_at, 2);
+        assert_eq!(e.promote_margin, 0.0);
     }
 }

@@ -85,13 +85,13 @@ pub use flaml_journal::{
 // Re-export the storage layer so fault-injection tests and durability
 // tooling (chaos plans, atomic publish) need only this crate.
 pub use flaml_store::{
-    atomic_write_file, disk, ChaosStorage, DiskStorage, IoFault, IoFaultPlan, Storage,
-    StorageError, StorageFile,
+    atomic_write_file, disk, is_stale_tmp, ChaosStorage, DiskStorage, IoFault, IoFaultPlan,
+    Storage, StorageError, StorageFile,
 };
 
 // Re-export the serving stack so "fit, then serve" needs only this crate:
 // compile the winner, publish it to a registry, batch-predict on the pool.
 pub use flaml_serve::{
-    ArtifactError, BatchEngine, CompiledModel, ModelRegistry, ServeTelemetry, SlotStats,
-    VersionedModel,
+    ArtifactError, BatchEngine, CompiledModel, ModelRegistry, PromoteReason, Published,
+    ServeTelemetry, SlotStats, VersionedModel,
 };

@@ -1,0 +1,196 @@
+//! Durable chunk representation and window assembly.
+//!
+//! Every ingested chunk is persisted (atomically) before any journal
+//! event mentions it, so a resumed session can rebuild its sliding
+//! training window from disk without replaying the stream source.
+//! [`ChunkPayload`] is the JSON form; [`concat_chunks`] materializes a
+//! window of chunks into the single [`Dataset`] a challenger trains on.
+
+use crate::OnlineError;
+use flaml_data::{Dataset, FeatureKind, Task};
+use serde::{Deserialize, Serialize};
+
+/// Serializable form of one chunk: column-major features, kinds, labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChunkPayload {
+    /// Dataset name (informational; excluded from fingerprints).
+    pub name: String,
+    /// Task name as printed by [`task_name`].
+    pub task: String,
+    /// Column-major feature matrix.
+    pub columns: Vec<Vec<f64>>,
+    /// Cardinality per column: 0 = numeric, k > 0 = categorical with k
+    /// categories.
+    pub cardinalities: Vec<usize>,
+    /// Labels, one per row.
+    pub target: Vec<f64>,
+}
+
+impl ChunkPayload {
+    /// Captures a dataset for persistence.
+    pub fn from_dataset(data: &Dataset) -> ChunkPayload {
+        ChunkPayload {
+            name: data.name().to_string(),
+            task: task_name(data.task()),
+            columns: data.columns().to_vec(),
+            cardinalities: data
+                .feature_kinds()
+                .iter()
+                .map(|k| match k {
+                    FeatureKind::Numeric => 0,
+                    FeatureKind::Categorical { cardinality } => *cardinality,
+                })
+                .collect(),
+            target: data.target().to_vec(),
+        }
+    }
+
+    /// Rebuilds the dataset. The round trip is bit-exact: the rebuilt
+    /// dataset's [`Dataset::fingerprint`] equals the original's.
+    pub fn into_dataset(self) -> Result<Dataset, OnlineError> {
+        let task = parse_task(&self.task)
+            .ok_or_else(|| OnlineError::Corrupt(format!("unknown task {:?}", self.task)))?;
+        let kinds = self
+            .cardinalities
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    FeatureKind::Numeric
+                } else {
+                    FeatureKind::Categorical { cardinality: c }
+                }
+            })
+            .collect();
+        Dataset::with_kinds(&self.name, task, self.columns, kinds, self.target)
+            .map_err(|e| OnlineError::Corrupt(format!("chunk payload invalid: {e}")))
+    }
+}
+
+/// Stable task name ("binary" | "regression" | "multiclass:<k>"),
+/// matching the server's dataset wire format.
+pub fn task_name(task: Task) -> String {
+    match task {
+        Task::Binary => "binary".to_string(),
+        Task::Regression => "regression".to_string(),
+        Task::MultiClass(k) => format!("multiclass:{k}"),
+    }
+}
+
+/// Parses a name as printed by [`task_name`].
+pub fn parse_task(s: &str) -> Option<Task> {
+    match s {
+        "binary" => Some(Task::Binary),
+        "regression" => Some(Task::Regression),
+        _ => {
+            let k: usize = s.strip_prefix("multiclass:")?.parse().ok()?;
+            (k >= 2).then_some(Task::MultiClass(k))
+        }
+    }
+}
+
+/// Concatenates a window of schema-identical chunks (same task, same
+/// column count and kinds) into one training dataset, rows in chunk
+/// order.
+///
+/// # Errors
+///
+/// [`OnlineError::SchemaMismatch`] if the chunks disagree on task or
+/// column layout; [`OnlineError::Corrupt`] for an empty window.
+pub fn concat_chunks(name: &str, chunks: &[&Dataset]) -> Result<Dataset, OnlineError> {
+    let first = *chunks
+        .first()
+        .ok_or_else(|| OnlineError::Corrupt("empty chunk window".to_string()))?;
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); first.n_features()];
+    let mut target = Vec::new();
+    for chunk in chunks {
+        if chunk.task() != first.task()
+            || chunk.n_features() != first.n_features()
+            || chunk.feature_kinds() != first.feature_kinds()
+        {
+            return Err(OnlineError::SchemaMismatch {
+                expected: format!(
+                    "{} x{} features",
+                    task_name(first.task()),
+                    first.n_features()
+                ),
+                got: format!(
+                    "{} x{} features",
+                    task_name(chunk.task()),
+                    chunk.n_features()
+                ),
+            });
+        }
+        for (dst, src) in columns.iter_mut().zip(chunk.columns()) {
+            dst.extend_from_slice(src);
+        }
+        target.extend_from_slice(chunk.target());
+    }
+    Dataset::with_kinds(
+        name,
+        first.task(),
+        columns,
+        first.feature_kinds().to_vec(),
+        target,
+    )
+    .map_err(|e| OnlineError::Corrupt(format!("window assembly failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(name: &str, base: f64) -> Dataset {
+        Dataset::new(
+            name,
+            Task::Binary,
+            vec![vec![base, base + 1.0, base + 2.0, base + 3.0]],
+            vec![0.0, 1.0, 0.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn payload_round_trip_is_bit_exact() {
+        let d = chunk("c0", 0.5);
+        let json = serde_json::to_string(&ChunkPayload::from_dataset(&d)).unwrap();
+        let back: ChunkPayload = serde_json::from_str(&json).unwrap();
+        let rebuilt = back.into_dataset().unwrap();
+        assert_eq!(rebuilt.fingerprint(), d.fingerprint());
+        assert_eq!(rebuilt.name(), "c0");
+    }
+
+    #[test]
+    fn task_names_round_trip() {
+        for t in [Task::Binary, Task::Regression, Task::MultiClass(5)] {
+            assert_eq!(parse_task(&task_name(t)), Some(t));
+        }
+        assert_eq!(parse_task("multiclass:1"), None);
+        assert_eq!(parse_task("nope"), None);
+    }
+
+    #[test]
+    fn concat_stacks_rows_in_order() {
+        let a = chunk("a", 0.0);
+        let b = chunk("b", 10.0);
+        let w = concat_chunks("w", &[&a, &b]).unwrap();
+        assert_eq!(w.n_rows(), 8);
+        assert_eq!(w.column(0)[4], 10.0);
+    }
+
+    #[test]
+    fn concat_rejects_schema_mismatch() {
+        let a = chunk("a", 0.0);
+        let b = Dataset::new(
+            "b",
+            Task::Binary,
+            vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+            vec![0.0, 1.0],
+        )
+        .unwrap();
+        assert!(matches!(
+            concat_chunks("w", &[&a, &b]),
+            Err(OnlineError::SchemaMismatch { .. })
+        ));
+        assert!(concat_chunks("w", &[]).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Windowed loss-shift drift detection over the champion's per-chunk
+//! evaluation losses.
+//!
+//! The detector is the trigger of the online loop: the champion is
+//! evaluated on every incoming chunk *before* anything trains on it
+//! (prequential, "test then train"), and the resulting loss sequence is
+//! fed to [`DriftDetector::observe`]. When the mean loss of the most
+//! recent `window` chunks exceeds the mean of everything before them in
+//! the current era by more than `threshold`, the detector fires and the
+//! session launches a challenger round.
+//!
+//! The test is deliberately a pure function of the observed losses —
+//! no wall clock, no randomness — so a resumed session that replays the
+//! journaled losses reconstructs the exact detector state and fires at
+//! the exact same chunk. That purity is what makes the promotion trace
+//! byte-identical across kill-and-resume and across worker counts.
+
+/// What a firing detector saw: the pre-shift baseline mean and the
+/// recent-window mean that exceeded it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSignal {
+    /// Mean loss of the era's chunks before the recent window.
+    pub baseline: f64,
+    /// Mean loss of the last `window` chunks.
+    pub recent: f64,
+}
+
+/// A deterministic windowed loss-shift test (see the module docs).
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    window: usize,
+    threshold: f64,
+    losses: Vec<f64>,
+}
+
+impl DriftDetector {
+    /// A detector firing when the last `window` losses exceed the
+    /// preceding baseline mean by more than `threshold`. The baseline
+    /// needs at least `window` observations of its own, so the earliest
+    /// possible firing is `2 * window` chunks into an era.
+    pub fn new(window: usize, threshold: f64) -> DriftDetector {
+        DriftDetector {
+            window: window.max(1),
+            threshold,
+            losses: Vec::new(),
+        }
+    }
+
+    /// Feeds one per-chunk champion loss; returns the drift signal if
+    /// the loss shift crosses the threshold at this observation.
+    /// Non-finite losses (a failed evaluation) are clamped out rather
+    /// than poisoning the means.
+    pub fn observe(&mut self, loss: f64) -> Option<DriftSignal> {
+        self.losses.push(if loss.is_finite() { loss } else { 0.0 });
+        let n = self.losses.len();
+        if n < 2 * self.window {
+            return None;
+        }
+        let recent = mean(&self.losses[n - self.window..]);
+        let baseline = mean(&self.losses[..n - self.window]);
+        if recent - baseline > self.threshold {
+            Some(DriftSignal { baseline, recent })
+        } else {
+            None
+        }
+    }
+
+    /// Losses observed in the current era.
+    pub fn len(&self) -> usize {
+        self.losses.len()
+    }
+
+    /// Whether no losses have been observed this era.
+    pub fn is_empty(&self) -> bool {
+        self.losses.is_empty()
+    }
+
+    /// Re-anchors the detector at an era boundary (promotion, rollback,
+    /// or a rejected challenger round): the old era's losses no longer
+    /// describe the model now being served.
+    pub fn reset(&mut self) {
+        self.losses.clear();
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_only_on_a_real_shift() {
+        let mut d = DriftDetector::new(3, 0.1);
+        for _ in 0..10 {
+            assert_eq!(d.observe(0.30), None, "stationary losses never fire");
+        }
+        // Loss jumps by 0.3: fires as soon as the recent window is
+        // dominated by post-shift chunks.
+        let mut fired = None;
+        for i in 0..6 {
+            if let Some(sig) = d.observe(0.60) {
+                fired = Some((i, sig));
+                break;
+            }
+        }
+        let (at, sig) = fired.expect("shift must fire");
+        assert!(at <= 3, "fired within one window of the shift, got {at}");
+        assert!(sig.recent > sig.baseline + 0.1);
+    }
+
+    #[test]
+    fn needs_two_windows_before_firing() {
+        let mut d = DriftDetector::new(4, 0.0);
+        for i in 0..7 {
+            assert_eq!(d.observe(i as f64), None, "observation {i} is too early");
+        }
+        assert!(d.observe(7.0).is_some(), "2*window observations suffice");
+    }
+
+    #[test]
+    fn reset_reanchors() {
+        let mut d = DriftDetector::new(2, 0.05);
+        for _ in 0..4 {
+            d.observe(0.2);
+        }
+        assert!(d.observe(0.9).is_some(), "shift detected");
+        d.reset();
+        assert!(d.is_empty());
+        for _ in 0..8 {
+            assert_eq!(
+                d.observe(0.9),
+                None,
+                "post-reset the high loss is the new baseline"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_replay_matches() {
+        let seq = [0.2, 0.21, 0.19, 0.2, 0.5, 0.52, 0.51, 0.5];
+        let run = |xs: &[f64]| {
+            let mut d = DriftDetector::new(2, 0.1);
+            xs.iter().map(|&l| d.observe(l)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(&seq), run(&seq));
+    }
+
+    #[test]
+    fn non_finite_losses_are_clamped() {
+        let mut d = DriftDetector::new(1, 0.5);
+        d.observe(f64::NAN);
+        d.observe(f64::INFINITY);
+        assert_eq!(d.len(), 2);
+        assert!(d.observe(0.1).is_none(), "clamped values keep means finite");
+    }
+}

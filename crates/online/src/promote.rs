@@ -1,0 +1,71 @@
+//! Promotion and rollback decisions.
+//!
+//! ChaCha promotes a challenger only when it *clearly* beats the
+//! champion — a configurable loss margin guards against promoting on
+//! holdout noise, which would churn the served model on every round.
+//! The same margin guards the rollback direction during probation: the
+//! previous champion must clearly beat the new one to be restored.
+
+/// The margin-based promotion test (pure; both decisions are journaled,
+/// so replaying them during recovery reproduces the exact trace).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PromotionPolicy {
+    /// Loss margin the winner must clear.
+    pub margin: f64,
+}
+
+impl PromotionPolicy {
+    /// A policy requiring wins by more than `margin` (clamped to ≥ 0).
+    pub fn new(margin: f64) -> PromotionPolicy {
+        PromotionPolicy {
+            margin: if margin.is_finite() && margin > 0.0 {
+                margin
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Whether a challenger with held-out loss `challenger` displaces a
+    /// champion with held-out loss `champion` (infinite when there is
+    /// no champion — a finite challenger always wins warmup).
+    pub fn should_promote(&self, challenger: f64, champion: f64) -> bool {
+        challenger.is_finite() && challenger + self.margin < champion
+    }
+
+    /// Whether probation fails: the previous champion's summed
+    /// probation loss beats the new champion's by more than the margin
+    /// (scaled by nothing — sums over the same chunks are comparable).
+    pub fn should_roll_back(&self, previous_sum: f64, current_sum: f64) -> bool {
+        previous_sum.is_finite() && previous_sum + self.margin < current_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margin_guards_both_directions() {
+        let p = PromotionPolicy::new(0.05);
+        assert!(p.should_promote(0.10, 0.20));
+        assert!(
+            !p.should_promote(0.18, 0.20),
+            "within margin: keep champion"
+        );
+        assert!(!p.should_promote(f64::INFINITY, 0.20));
+        assert!(
+            p.should_promote(0.5, f64::INFINITY),
+            "warmup: any finite loss wins"
+        );
+        assert!(p.should_roll_back(1.0, 1.2));
+        assert!(!p.should_roll_back(1.18, 1.2));
+        assert!(!p.should_roll_back(f64::NAN, 1.0));
+    }
+
+    #[test]
+    fn bad_margins_clamp_to_zero() {
+        assert_eq!(PromotionPolicy::new(-1.0).margin, 0.0);
+        assert_eq!(PromotionPolicy::new(f64::NAN).margin, 0.0);
+    }
+}

@@ -64,5 +64,5 @@ pub use artifact::{
 };
 pub use batch::BatchEngine;
 pub use error::ArtifactError;
-pub use registry::{ModelRegistry, VersionedModel};
+pub use registry::{ModelRegistry, PromoteReason, Published, VersionedModel};
 pub use telemetry::{ServeTelemetry, SlotStats};

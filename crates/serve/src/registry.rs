@@ -37,6 +37,52 @@ struct Slot {
     current: usize,
 }
 
+/// Why a model version was promoted into its slot. Surfaced in the
+/// promotion event's message and counted per reason by
+/// [`crate::ServeTelemetry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromoteReason {
+    /// An online challenger beat the champion after a detected drift.
+    Drift,
+    /// A scheduled (warmup or periodic) challenger round won.
+    Scheduled,
+    /// An operator or API client published directly.
+    Manual,
+}
+
+impl PromoteReason {
+    /// Stable lowercase name ("drift" | "scheduled" | "manual").
+    pub fn name(&self) -> &'static str {
+        match self {
+            PromoteReason::Drift => "drift",
+            PromoteReason::Scheduled => "scheduled",
+            PromoteReason::Manual => "manual",
+        }
+    }
+
+    /// Parses a name as printed by [`PromoteReason::name`].
+    pub fn parse(s: &str) -> Option<PromoteReason> {
+        match s {
+            "drift" => Some(PromoteReason::Drift),
+            "scheduled" => Some(PromoteReason::Scheduled),
+            "manual" => Some(PromoteReason::Manual),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of a publish: the new current version and the version
+/// that was current immediately before it (`None` for a fresh slot).
+/// The previous version is the exact rollback target an online
+/// promoter records in its journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Published {
+    /// The version just published (now current).
+    pub version: u64,
+    /// The version that was being served before this publish, if any.
+    pub previous: Option<u64>,
+}
+
 /// Named, versioned serving slots with atomic hot-swap (see the module
 /// docs for the consistency guarantees).
 #[derive(Debug, Default)]
@@ -61,17 +107,32 @@ impl ModelRegistry {
     }
 
     /// Publishes `model` as the next version of slot `name` and makes
-    /// it current. Returns the new version number.
-    pub fn publish(&self, name: &str, model: CompiledModel) -> u64 {
+    /// it current, attributed to [`PromoteReason::Manual`]. Returns the
+    /// new version number and the previously-served one.
+    pub fn publish(&self, name: &str, model: CompiledModel) -> Published {
+        self.publish_with(name, model, PromoteReason::Manual)
+    }
+
+    /// [`ModelRegistry::publish`] with an explicit promotion reason
+    /// (carried on the emitted event and tallied per reason by
+    /// [`crate::ServeTelemetry`]).
+    pub fn publish_with(
+        &self,
+        name: &str,
+        model: CompiledModel,
+        reason: PromoteReason,
+    ) -> Published {
         let payload = serde_json::to_string(&model).expect("compiled models always serialize");
         let fp = fingerprint(&payload);
         let version;
+        let previous;
         {
             let mut slots = self.slots.write().expect("registry lock");
             let slot = slots.entry(name.to_string()).or_insert(Slot {
                 versions: Vec::new(),
                 current: 0,
             });
+            previous = slot.versions.get(slot.current).map(|v| v.version);
             version = slot.versions.last().map_or(1, |v| v.version + 1);
             slot.versions.push(Arc::new(VersionedModel {
                 name: name.to_string(),
@@ -81,8 +142,14 @@ impl ModelRegistry {
             }));
             slot.current = slot.versions.len() - 1;
         }
-        self.emit(TrialEventKind::ServePromoted, name, version);
-        version
+        if let Some(sink) = &self.sink {
+            let mut ev = TrialEvent::new(TrialEventKind::ServePromoted);
+            ev.label = name.to_string();
+            ev.job_id = version;
+            ev.message = Some(reason.name().to_string());
+            sink.emit(ev);
+        }
+        Published { version, previous }
     }
 
     /// The currently served version of slot `name`, or `None` for an
@@ -163,15 +230,35 @@ mod tests {
         let (sink, rx) = event_channel();
         let reg = ModelRegistry::with_sink(sink);
         assert!(reg.get("m").is_none());
-        assert_eq!(reg.publish("m", model(1.0)), 1);
-        assert_eq!(reg.publish("m", model(2.0)), 2);
+        assert_eq!(
+            reg.publish("m", model(1.0)),
+            Published {
+                version: 1,
+                previous: None
+            }
+        );
+        assert_eq!(
+            reg.publish("m", model(2.0)),
+            Published {
+                version: 2,
+                previous: Some(1)
+            }
+        );
         assert_eq!(reg.get("m").unwrap().version, 2);
         assert_eq!(reg.rollback("m"), Some(1));
         assert_eq!(reg.get("m").unwrap().version, 1);
         assert_eq!(reg.rollback("m"), None, "already at the oldest version");
         assert_eq!(reg.n_versions("m"), 2, "rollback keeps history");
-        // Republishing after a rollback continues the version sequence.
-        assert_eq!(reg.publish("m", model(3.0)), 3);
+        // Republishing after a rollback continues the version sequence;
+        // `previous` reports the *served* version, i.e. the rollback
+        // target, not the newest history entry.
+        assert_eq!(
+            reg.publish("m", model(3.0)),
+            Published {
+                version: 3,
+                previous: Some(1)
+            }
+        );
         assert_eq!(reg.get("m").unwrap().version, 3);
         assert_eq!(reg.slot_names(), vec!["m".to_string()]);
         let t = Telemetry::new().drain(&rx);

@@ -97,6 +97,11 @@ pub struct ServeTelemetry {
     pub slots: BTreeMap<String, SlotStats>,
     /// Model promotions observed.
     pub promoted: usize,
+    /// Promotions broken down by reason ("drift" | "scheduled" |
+    /// "manual", as carried on the event's message by
+    /// [`crate::ModelRegistry::publish_with`]). Events without a
+    /// reason count under "manual".
+    pub promoted_reasons: BTreeMap<String, usize>,
     /// Rollbacks observed.
     pub rolled_back: usize,
     /// Requests rejected by admission control.
@@ -122,7 +127,11 @@ impl ServeTelemetry {
                     .or_default()
                     .record(event);
             }
-            TrialEventKind::ServePromoted => self.promoted += 1,
+            TrialEventKind::ServePromoted => {
+                self.promoted += 1;
+                let reason = event.message.as_deref().unwrap_or("manual").to_string();
+                *self.promoted_reasons.entry(reason).or_insert(0) += 1;
+            }
             TrialEventKind::ServeRolledBack => self.rolled_back += 1,
             TrialEventKind::ServeRejected => self.rejected += 1,
             TrialEventKind::ServeQueueDepth => {
@@ -173,6 +182,9 @@ mod tests {
         t.record(&batch("a", 16, 0.030, 0.5));
         t.record(&batch("b", 8, 0.002, 0.25));
         t.record(&TrialEvent::new(TrialEventKind::ServePromoted));
+        let mut drifted = TrialEvent::new(TrialEventKind::ServePromoted);
+        drifted.message = Some("drift".to_string());
+        t.record(&drifted);
         t.record(&TrialEvent::new(TrialEventKind::ServeRolledBack));
         t.record(&TrialEvent::new(TrialEventKind::Finished)); // ignored
         t.record(&TrialEvent::new(TrialEventKind::ServeRejected));
@@ -183,7 +195,12 @@ mod tests {
         t.record(&depth);
         assert_eq!(t.total_rows(), 56);
         assert_eq!(t.total_batches(), 3);
-        assert_eq!(t.promoted, 1);
+        assert_eq!(t.promoted, 2);
+        assert_eq!(
+            t.promoted_reasons["manual"], 1,
+            "no reason counts as manual"
+        );
+        assert_eq!(t.promoted_reasons["drift"], 1);
         assert_eq!(t.rolled_back, 1);
         assert_eq!(t.rejected, 1);
         assert_eq!(t.queue_depth, 2, "gauge keeps the last sample");

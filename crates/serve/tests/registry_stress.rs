@@ -90,9 +90,13 @@ fn concurrent_promote_rollback_never_tears() {
                     // permanently churning between fresh and prior
                     // versions while readers snapshot it.
                     let v1 = registry.publish(&name, model_for(slot, next));
-                    assert_eq!(v1, next);
+                    assert_eq!(v1.version, next);
+                    // `previous` is the *served* version, which the prior
+                    // cycle left one step behind via its rollback.
+                    assert_eq!(v1.previous, Some((next - 2).max(1)));
                     let v2 = registry.publish(&name, model_for(slot, next + 1));
-                    assert_eq!(v2, next + 1);
+                    assert_eq!(v2.version, next + 1);
+                    assert_eq!(v2.previous, Some(next));
                     let rolled = registry.rollback(&name);
                     assert_eq!(rolled, Some(next));
                     next += 2;
@@ -119,7 +123,7 @@ fn concurrent_promote_rollback_never_tears() {
         let current = registry.get(&name).unwrap();
         assert_eq!(current.version, 2 * CYCLES as u64);
         let republished = registry.publish(&name, model_for(slot, 1 + 2 * CYCLES as u64 + 1));
-        assert_eq!(republished, 1 + 2 * CYCLES as u64 + 1);
+        assert_eq!(republished.version, 1 + 2 * CYCLES as u64 + 1);
     }
     assert!(
         observed.load(Ordering::Relaxed) > 0,

@@ -234,7 +234,7 @@ fn hot_swap_under_concurrent_load_never_serves_torn_or_stale_models() {
         .collect();
 
     for v in versions.iter().skip(1) {
-        let published = registry.publish("live", v.clone());
+        let published = registry.publish("live", v.clone()).version;
         // A get() after publish returns must see at least that version.
         assert!(registry.get("live").unwrap().version >= published);
     }

@@ -42,6 +42,34 @@ impl DatasetPayload {
             },
         }
     }
+
+    /// Materializes the inline payload as a [`Dataset`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown task string or invalid data
+    /// (ragged columns, bad labels, …).
+    pub fn to_dataset(&self) -> Result<Dataset, String> {
+        let task = self.parse_task()?;
+        Dataset::new(
+            self.name.clone(),
+            task,
+            self.columns.clone(),
+            self.target.clone(),
+        )
+        .map_err(|e| format!("invalid dataset: {e:?}"))
+    }
+
+    /// Builds the wire payload for an in-memory [`Dataset`] (clients,
+    /// load generators, and tests assembling stream chunks).
+    pub fn from_dataset(data: &Dataset) -> DatasetPayload {
+        DatasetPayload {
+            name: data.name().to_string(),
+            task: flaml_online::task_name(data.task()),
+            columns: data.columns().to_vec(),
+            target: data.target().to_vec(),
+        }
+    }
 }
 
 /// A tenant's request to run an AutoML search and publish the winner.
@@ -110,19 +138,218 @@ impl FitRequest {
     /// Returns a message for an unknown task string or invalid data
     /// (ragged columns, bad labels, …).
     pub fn to_dataset(&self) -> Result<Dataset, String> {
-        let task = self.dataset.parse_task()?;
-        Dataset::new(
-            self.dataset.name.clone(),
-            task,
-            self.dataset.columns.clone(),
-            self.dataset.target.clone(),
-        )
-        .map_err(|e| format!("invalid dataset: {e:?}"))
+        self.dataset.to_dataset()
     }
 
     /// Trials per scheduler slice for this search.
     pub fn slice_trials(&self) -> usize {
         self.slice_trials.unwrap_or(DEFAULT_SLICE_TRIALS).max(1)
+    }
+}
+
+/// Optional stream tuning knobs, honored on the chunk that *creates*
+/// the stream (later chunks run under the config journaled at
+/// creation; resending different options is not an error, just inert).
+/// Absent fields take the [`flaml_online::OnlineConfig`] defaults.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamOptions {
+    /// Master seed for challenger searches.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Evaluation metric name (default: log-loss for classification,
+    /// MSE for regression).
+    #[serde(default)]
+    pub metric: Option<String>,
+    /// Estimator names challenger rounds search over.
+    #[serde(default)]
+    pub estimators: Vec<String>,
+    /// Sliding-window length in chunks.
+    #[serde(default)]
+    pub window_chunks: Option<usize>,
+    /// Recent chunks held out to score challenger vs. champion.
+    #[serde(default)]
+    pub holdout_chunks: Option<usize>,
+    /// Chunks accumulated before the first (warmup) round.
+    #[serde(default)]
+    pub warmup_chunks: Option<usize>,
+    /// Drift-detector recent-window length in chunks.
+    #[serde(default)]
+    pub drift_window: Option<usize>,
+    /// Drift-detector loss-shift threshold.
+    #[serde(default)]
+    pub drift_threshold: Option<f64>,
+    /// Margin a challenger must beat the champion by on the holdout.
+    #[serde(default)]
+    pub promote_margin: Option<f64>,
+    /// Probation chunks before a promotion is final (0 = no rollback).
+    #[serde(default)]
+    pub probation_chunks: Option<usize>,
+    /// Scheduled challenger round every N chunks (0 = drift-only).
+    #[serde(default)]
+    pub refresh_every: Option<usize>,
+    /// Virtual-seconds budget per challenger search.
+    #[serde(default)]
+    pub round_budget: Option<f64>,
+    /// Trial cap per challenger search.
+    #[serde(default)]
+    pub round_trials: Option<usize>,
+}
+
+impl StreamOptions {
+    /// Resolves the options against the defaults for a stream of
+    /// `task` with `features` columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming any unknown metric or estimator.
+    pub fn to_config(
+        &self,
+        task: Task,
+        features: usize,
+    ) -> Result<flaml_online::OnlineConfig, String> {
+        let mut cfg = flaml_online::OnlineConfig::new(task, features);
+        if let Some(seed) = self.seed {
+            cfg.seed = seed;
+        }
+        if let Some(name) = &self.metric {
+            cfg.metric = Some(
+                flaml_metrics::Metric::parse(name)
+                    .ok_or_else(|| format!("unknown metric {name:?}"))?,
+            );
+        }
+        if !self.estimators.is_empty() {
+            cfg.estimators = self
+                .estimators
+                .iter()
+                .map(|name| {
+                    LearnerKind::parse(name).ok_or_else(|| format!("unknown estimator {name:?}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+        }
+        if let Some(v) = self.window_chunks {
+            cfg.window_chunks = v;
+        }
+        if let Some(v) = self.holdout_chunks {
+            cfg.holdout_chunks = v;
+        }
+        if let Some(v) = self.warmup_chunks {
+            cfg.warmup_chunks = v;
+        }
+        if let Some(v) = self.drift_window {
+            cfg.drift_window = v;
+        }
+        if let Some(v) = self.drift_threshold {
+            cfg.drift_threshold = v;
+        }
+        if let Some(v) = self.promote_margin {
+            cfg.promote_margin = v;
+        }
+        if let Some(v) = self.probation_chunks {
+            cfg.probation_chunks = v;
+        }
+        if let Some(v) = self.refresh_every {
+            cfg.refresh_every = v;
+        }
+        if let Some(v) = self.round_budget {
+            cfg.round_budget = v;
+        }
+        if let Some(v) = self.round_trials {
+            cfg.round_trials = v;
+        }
+        Ok(cfg)
+    }
+}
+
+/// One stream chunk: the inline data plus (optionally) the stream
+/// config for the creating chunk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamChunkRequest {
+    /// Stream tuning, honored when this chunk creates the stream.
+    #[serde(default)]
+    pub options: Option<StreamOptions>,
+    /// The chunk's rows, inline.
+    pub dataset: DatasetPayload,
+}
+
+/// A challenger round reported inside a [`StreamPushResponse`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamRoundBody {
+    /// Round index (1-based).
+    pub round: u64,
+    /// Trigger: `"warmup"`, `"drift"`, or `"scheduled"`.
+    pub reason: String,
+    /// Whether the challenger was promoted.
+    pub promoted: bool,
+    /// Challenger's holdout loss.
+    pub challenger_loss: f64,
+    /// Champion's holdout loss (infinite when there was no champion).
+    pub champion_loss: f64,
+}
+
+/// `200` body for a stream chunk push.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamPushResponse {
+    /// Stream slot (also the `/predict` slot serving its champion).
+    pub slot: String,
+    /// The chunk's index in the stream.
+    pub chunk: usize,
+    /// Whether the chunk was a duplicate redelivery (nothing happened).
+    pub duplicate: bool,
+    /// Champion's prequential loss on this chunk, once one exists.
+    pub champion_loss: Option<f64>,
+    /// Whether the drift detector fired on this chunk.
+    pub drifted: bool,
+    /// Whether probation failed and the previous champion was restored.
+    pub rolled_back: bool,
+    /// The challenger round this chunk triggered, if any.
+    pub round: Option<StreamRoundBody>,
+    /// Era of the serving champion after this chunk (0 = none yet).
+    pub era: u64,
+}
+
+/// Stream status, as returned by `GET /tenants/{t}/stream/{s}/status`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStatusBody {
+    /// Stream slot.
+    pub slot: String,
+    /// Chunks ingested (the next chunk's index).
+    pub chunks: usize,
+    /// Challenger rounds started.
+    pub rounds: u64,
+    /// Era of the serving champion (0 = none yet).
+    pub era: u64,
+    /// Drift events fired.
+    pub drift_events: usize,
+    /// Promotions (including warmup).
+    pub promotions: usize,
+    /// Rejected challenger rounds.
+    pub rejections: usize,
+    /// Probation rollbacks.
+    pub rollbacks: usize,
+    /// Champion's loss on the most recent evaluated chunk.
+    pub last_loss: Option<f64>,
+    /// Probation chunks remaining for the current champion.
+    pub probation_left: usize,
+    /// Chunks currently in the sliding window.
+    pub window: usize,
+}
+
+impl StreamStatusBody {
+    /// Wraps an [`flaml_online::StreamStatus`] snapshot for the wire.
+    pub fn from_status(slot: &str, s: &flaml_online::StreamStatus) -> StreamStatusBody {
+        StreamStatusBody {
+            slot: slot.to_string(),
+            chunks: s.chunks,
+            rounds: s.rounds,
+            era: s.era,
+            drift_events: s.drift_events,
+            promotions: s.promotions,
+            rejections: s.rejections,
+            rollbacks: s.rollbacks,
+            last_loss: s.last_loss,
+            probation_left: s.probation_left,
+            window: s.window,
+        }
     }
 }
 
@@ -272,6 +499,62 @@ mod tests {
         req.dataset.task = "multiclass:3".into();
         req.dataset.target = vec![5.0];
         assert!(req.to_dataset().unwrap_err().contains("invalid dataset"));
+    }
+
+    #[test]
+    fn stream_options_resolve_against_defaults() {
+        let defaults = StreamOptions::default().to_config(Task::Binary, 3).unwrap();
+        assert_eq!(defaults, flaml_online::OnlineConfig::new(Task::Binary, 3));
+
+        let opts = StreamOptions {
+            seed: Some(7),
+            metric: Some("mse".into()),
+            estimators: vec!["lr".into()],
+            window_chunks: Some(5),
+            promote_margin: Some(0.25),
+            ..StreamOptions::default()
+        };
+        let cfg = opts.to_config(Task::Regression, 2).unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.window_chunks, 5);
+        assert_eq!(cfg.promote_margin, 0.25);
+        assert_eq!(cfg.estimators, vec![LearnerKind::Lr]);
+
+        let bad = StreamOptions {
+            metric: Some("nope".into()),
+            ..StreamOptions::default()
+        };
+        assert!(bad.to_config(Task::Binary, 1).unwrap_err().contains("nope"));
+    }
+
+    #[test]
+    fn stream_chunk_request_round_trips() {
+        let req = StreamChunkRequest {
+            options: Some(StreamOptions {
+                seed: Some(3),
+                ..StreamOptions::default()
+            }),
+            dataset: DatasetPayload {
+                name: "chunk-0".into(),
+                task: "binary".into(),
+                columns: vec![vec![0.0, 1.0]],
+                target: vec![0.0, 1.0],
+            },
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: StreamChunkRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+        let data = back.dataset.to_dataset().unwrap();
+        assert_eq!(
+            DatasetPayload::from_dataset(&data).columns,
+            req.dataset.columns
+        );
+        // A bare chunk (no options) is also a valid request.
+        let bare: StreamChunkRequest = serde_json::from_str(
+            r#"{"dataset":{"name":"c","task":"binary","columns":[[0,1]],"target":[0,1]}}"#,
+        )
+        .unwrap();
+        assert!(bare.options.is_none());
     }
 
     #[test]

@@ -35,6 +35,15 @@
 //! | `POST /tenants/{t}/predict` | batched prediction from a slot |
 //! | `POST /tenants/{t}/slots/{s}` | publish an artifact directly |
 //! | `POST /tenants/{t}/slots/{s}/rollback` | roll a slot back |
+//! | `POST /tenants/{t}/stream/{s}` | push one chunk into a streaming AutoML session |
+//! | `GET /tenants/{t}/stream/{s}/status` | stream status: era, drift events, promotions |
+//!
+//! Streaming slots are champion–challenger [`flaml_online`] sessions:
+//! every pushed chunk is evaluated prequentially, drift triggers a
+//! budgeted challenger search, and promotions publish into the same
+//! registry key `/predict` reads. Stream state is journaled under
+//! `root/{tenant}/streams/{slot}/` and recovers byte-identically after
+//! a kill, like searches.
 
 #![warn(missing_docs)]
 
@@ -45,7 +54,8 @@ pub mod server;
 
 pub use api::{
     valid_name, DatasetPayload, ErrorBody, FitAccepted, FitRequest, PredictRequest,
-    PredictResponse, Rejected, SearchStatus, DEFAULT_SLICE_TRIALS,
+    PredictResponse, Rejected, SearchStatus, StreamChunkRequest, StreamOptions, StreamPushResponse,
+    StreamRoundBody, StreamStatusBody, DEFAULT_SLICE_TRIALS,
 };
 pub use scheduler::{Scheduler, SearchJob};
 pub use server::{Server, ServerConfig};

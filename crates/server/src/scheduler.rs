@@ -310,7 +310,8 @@ impl Scheduler {
             })?;
         Ok(self
             .registry
-            .publish(&format!("{}/{}", job.tenant, job.slot), compiled))
+            .publish(&format!("{}/{}", job.tenant, job.slot), compiled)
+            .version)
     }
 
     fn mark_failed(&self, job: &SearchJob, msg: &str) {

@@ -26,6 +26,7 @@
 
 use crate::api::{
     valid_name, ErrorBody, FitAccepted, FitRequest, PredictRequest, PredictResponse, Rejected,
+    StreamChunkRequest, StreamPushResponse, StreamRoundBody, StreamStatusBody,
 };
 use crate::http::{read_request, write_response, Request};
 use crate::scheduler::{journal_progress, Scheduler, SearchJob};
@@ -34,6 +35,7 @@ use flaml_core::{
     ServeTelemetry, Telemetry, TrialEvent, TrialEventKind,
 };
 use flaml_data::{Dataset, Task};
+use flaml_online::{ChunkOutcome, OnlineError, OnlineRuntime, OnlineSession};
 use flaml_store::{atomic_write_file, is_stale_tmp, Storage};
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -93,6 +95,10 @@ struct Inner {
     telemetry: Arc<Mutex<(Telemetry, ServeTelemetry)>>,
     sink: EventSink,
     next_ids: Mutex<BTreeMap<String, u64>>,
+    /// Open streaming sessions keyed `tenant/slot`. Each session is its
+    /// own mutex: a challenger round blocks only its stream, not the
+    /// map (chunks for other streams keep flowing).
+    streams: Mutex<BTreeMap<String, Arc<Mutex<OnlineSession>>>>,
     shutdown: AtomicBool,
 }
 
@@ -136,6 +142,7 @@ impl Server {
                 telemetry,
                 sink,
                 next_ids: Mutex::new(BTreeMap::new()),
+                streams: Mutex::new(BTreeMap::new()),
                 shutdown: AtomicBool::new(false),
                 cfg,
             }),
@@ -210,6 +217,9 @@ impl Server {
                 self.bump_next_id(&tenant, &id);
                 self.recover_search(&tenant, &id, &sidecar);
             }
+            // 3. Reopen every streaming session, completing interrupted
+            //    chunks and republishing stream champions.
+            self.recover_streams(&tenant, &tenant_path);
         }
         Ok(())
     }
@@ -302,7 +312,8 @@ impl Server {
                     let version = self
                         .inner
                         .registry
-                        .publish(&format!("{tenant}/{}", request.slot), m);
+                        .publish(&format!("{tenant}/{}", request.slot), m)
+                        .version;
                     self.inner.scheduler.record_terminal(
                         tenant,
                         terminal("finished", &request.slot, Some(version), None),
@@ -472,6 +483,12 @@ impl Server {
             }
             ("POST", ["tenants", tenant, "slots", slot, "rollback"]) => {
                 self.handle_rollback(tenant, slot)
+            }
+            ("POST", ["tenants", tenant, "stream", slot]) => {
+                self.handle_stream_push(tenant, slot, &req.body)
+            }
+            ("GET", ["tenants", tenant, "stream", slot, "status"]) => {
+                self.handle_stream_status(tenant, slot)
             }
             _ => (404, ErrorBody::json("no such route")),
         }
@@ -717,7 +734,8 @@ impl Server {
         let version = self
             .inner
             .registry
-            .publish(&format!("{tenant}/{slot}"), model);
+            .publish(&format!("{tenant}/{slot}"), model)
+            .version;
         (200, format!("{{\"version\":{version}}}"))
     }
 
@@ -731,6 +749,215 @@ impl Server {
                 409,
                 ErrorBody::json("slot unknown or already at its oldest version"),
             ),
+        }
+    }
+
+    /// Process-local wiring for the stream at `tenant`/`slot`:
+    /// challenger searches share the fit worker count, and promotions
+    /// publish straight into the serving registry under the same key
+    /// `/predict` reads, so the stream's champion serves immediately.
+    fn stream_runtime(&self, tenant: &str, slot: &str) -> OnlineRuntime {
+        OnlineRuntime {
+            storage: Arc::clone(&self.inner.cfg.storage),
+            workers: self.inner.cfg.fit_workers.max(1),
+            registry: Some(Arc::clone(&self.inner.registry)),
+            slot: format!("{tenant}/{slot}"),
+        }
+    }
+
+    /// Reopens every streaming session under `tenant_path/streams`.
+    /// [`OnlineSession::open`] replays the stream journal, completes
+    /// any chunk interrupted by the kill, and republishes the champion
+    /// — so the resumed promotion trace is byte-identical with a
+    /// never-killed process and the slot serves again at once. A
+    /// stream that fails to open is quarantined like any other corrupt
+    /// durable state.
+    fn recover_streams(&self, tenant: &str, tenant_path: &std::path::Path) {
+        let storage = &self.inner.cfg.storage;
+        let streams_dir = tenant_path.join("streams");
+        self.sweep_stale_tmps(&streams_dir);
+        for dir in storage.scan(&streams_dir).unwrap_or_default() {
+            if !storage.is_dir(&dir) {
+                continue;
+            }
+            let slot = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if !valid_name(&slot) {
+                continue;
+            }
+            match OnlineSession::open(&dir, self.stream_runtime(tenant, &slot)) {
+                Ok(session) => {
+                    self.inner
+                        .streams
+                        .lock()
+                        .expect("streams lock")
+                        .insert(format!("{tenant}/{slot}"), Arc::new(Mutex::new(session)));
+                }
+                Err(e) => self.quarantine(&dir, tenant, &format!("stream state: {e}")),
+            }
+        }
+    }
+
+    fn handle_stream_push(&self, tenant: &str, slot: &str, body: &[u8]) -> (u16, String) {
+        if let Some(err) = self.check_tenant(tenant) {
+            return err;
+        }
+        if !valid_name(slot) {
+            return (400, ErrorBody::json("invalid slot name"));
+        }
+        let request: StreamChunkRequest = match parse_json(body) {
+            Ok(r) => r,
+            Err(msg) => return (400, ErrorBody::json(msg)),
+        };
+        let chunk = match request.dataset.to_dataset() {
+            Ok(d) => d,
+            Err(msg) => return (400, ErrorBody::json(msg)),
+        };
+        if chunk.n_rows() == 0 {
+            return (400, ErrorBody::json("chunk must have at least one row"));
+        }
+        let key = format!("{tenant}/{slot}");
+        let cell = {
+            // Map lock held only for lookup/creation, never across a
+            // push: a challenger round blocks its own stream only.
+            let mut streams = self.inner.streams.lock().expect("streams lock");
+            match streams.get(&key) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    // First chunk for this slot: open the durable
+                    // stream if one exists on disk, otherwise create it
+                    // under the request's options.
+                    let dir = self.inner.cfg.root.join(tenant).join("streams").join(slot);
+                    let rt = self.stream_runtime(tenant, slot);
+                    let opened = match OnlineSession::open(&dir, rt.clone()) {
+                        Err(OnlineError::Journal(flaml_online::LogError::Missing)) => {
+                            let options = request.options.clone().unwrap_or_default();
+                            match options.to_config(chunk.task(), chunk.n_features()) {
+                                Ok(cfg) => OnlineSession::create(&dir, cfg, rt),
+                                Err(msg) => return (400, ErrorBody::json(msg)),
+                            }
+                        }
+                        other => other,
+                    };
+                    match opened {
+                        Ok(session) => {
+                            let cell = Arc::new(Mutex::new(session));
+                            streams.insert(key.clone(), Arc::clone(&cell));
+                            cell
+                        }
+                        Err(e) => return self.stream_error(tenant, &e),
+                    }
+                }
+            }
+        };
+        let mut session = cell.lock().expect("stream session lock");
+        match session.push_chunk(&chunk) {
+            Ok(outcome) => {
+                let era = session.status().era;
+                let response = match outcome {
+                    ChunkOutcome::Duplicate => StreamPushResponse {
+                        slot: slot.to_string(),
+                        chunk: session.status().chunks.saturating_sub(1),
+                        duplicate: true,
+                        champion_loss: None,
+                        drifted: false,
+                        rolled_back: false,
+                        round: None,
+                        era,
+                    },
+                    ChunkOutcome::Processed {
+                        chunk,
+                        champion_loss,
+                        drifted,
+                        round,
+                        rolled_back,
+                    } => StreamPushResponse {
+                        slot: slot.to_string(),
+                        chunk,
+                        duplicate: false,
+                        champion_loss,
+                        drifted,
+                        rolled_back,
+                        round: round.map(|r| StreamRoundBody {
+                            round: r.round,
+                            reason: r.reason,
+                            promoted: r.promoted,
+                            challenger_loss: r.challenger_loss,
+                            champion_loss: r.champion_loss,
+                        }),
+                        era,
+                    },
+                };
+                (
+                    200,
+                    serde_json::to_string(&response).expect("response serialization"),
+                )
+            }
+            Err(e) => {
+                // A mid-chunk failure wedges the session. Recover in
+                // place — reopening replays the journal and completes
+                // whatever the failed push committed — so the client's
+                // retry of this chunk lands on a healthy session (and
+                // dedupes if the chunk actually finished).
+                if session.is_wedged() {
+                    let dir = session.dir().to_path_buf();
+                    if let Ok(reopened) =
+                        OnlineSession::open(&dir, self.stream_runtime(tenant, slot))
+                    {
+                        *session = reopened;
+                    }
+                }
+                self.stream_error(tenant, &e)
+            }
+        }
+    }
+
+    /// Maps an [`OnlineError`] to an HTTP response: schema and config
+    /// problems are the client's (400), state conflicts are 409, and
+    /// storage failures surface as 507/500 with a telemetry event.
+    fn stream_error(&self, tenant: &str, e: &OnlineError) -> (u16, String) {
+        let status = match e {
+            OnlineError::SchemaMismatch { .. } | OnlineError::Config(_) => 400,
+            OnlineError::Wedged | OnlineError::Corrupt(_) => 409,
+            OnlineError::Durability(s) => {
+                let mut ev = TrialEvent::new(TrialEventKind::StorageFault);
+                ev.tenant = tenant.to_string();
+                ev.message = Some(s.to_string());
+                self.inner.sink.emit(ev);
+                if s.is_no_space() {
+                    507
+                } else {
+                    500
+                }
+            }
+            _ => 500,
+        };
+        (status, ErrorBody::json(e.to_string()))
+    }
+
+    fn handle_stream_status(&self, tenant: &str, slot: &str) -> (u16, String) {
+        if let Some(err) = self.check_tenant(tenant) {
+            return err;
+        }
+        if !valid_name(slot) {
+            return (400, ErrorBody::json("invalid slot name"));
+        }
+        let cell = {
+            let streams = self.inner.streams.lock().expect("streams lock");
+            streams.get(&format!("{tenant}/{slot}")).cloned()
+        };
+        match cell {
+            Some(cell) => {
+                let session = cell.lock().expect("stream session lock");
+                let body = StreamStatusBody::from_status(slot, &session.status());
+                (
+                    200,
+                    serde_json::to_string(&body).expect("response serialization"),
+                )
+            }
+            None => (404, ErrorBody::json(format!("no stream {slot:?}"))),
         }
     }
 

@@ -26,6 +26,7 @@
 mod classification;
 mod regression;
 mod selectivity;
+mod stream;
 mod suite;
 
 pub use classification::{blobs, checkerboard, hyperplane, imbalanced, rings, ClassSpec};
@@ -34,4 +35,5 @@ pub use selectivity::{
     selectivity_dataset, selectivity_suite, selectivity_suite_scaled, SelectivityWorkload,
     TableDistribution,
 };
+pub use stream::DriftStream;
 pub use suite::{binary_suite, multiclass_suite, regression_suite, SuiteScale};
