@@ -70,6 +70,7 @@ struct DatasetRow {
     replay_losses_identical: bool,
     prepared_hits: usize,
     prepared_misses: usize,
+    prepared_evictions: usize,
     bytes_copied_saved: usize,
     /// Trials per timed cycle (the roster size); the timings cover one
     /// cycle (the fastest of `--cycles`).
@@ -158,7 +159,7 @@ fn replay(
             let (est, space) = &estimators[t.est];
             let (td, _) = plane.prepare(t.sample_size, est.max_bin(&t.config, space));
             let out = run_trial_prepared(
-                &td, est, &t.config, space, strategy, metric, spec.seed, None, pool,
+                &td, est, &t.config, space, strategy, metric, spec.seed, None, pool, None,
             );
             if let Some(v) = sink.as_mut() {
                 v.push(out.error.to_bits());
@@ -262,6 +263,7 @@ fn main() {
                 replay_losses_identical: off_losses == on_losses,
                 prepared_hits: telemetry.prepared_hits,
                 prepared_misses: telemetry.prepared_misses,
+                prepared_evictions: telemetry.prepared_evictions,
                 bytes_copied_saved: telemetry.bytes_copied_saved,
                 replay_trials,
                 secs_cache_off: off_secs,

@@ -2,7 +2,9 @@
 //! `journal_tool export-csv` and anything that wants the trial trace in
 //! a spreadsheet. The column set is the analysis-facing subset of
 //! [`TrialLine`] — including the data-plane counters
-//! (`prepared_hits` / `prepared_misses` / `bytes_copied_saved`) — with
+//! (`prepared_hits` / `prepared_misses` / `bytes_copied_saved` /
+//! `prepared_evictions`) and the tree-cache counters
+//! (`tree_cache_hits` / `tree_cache_misses` / `trees_saved`) — with
 //! the free-text `config` quoted and last so the fixed columns split on
 //! plain commas.
 
@@ -10,7 +12,8 @@ use flaml_core::TrialLine;
 
 /// Header row of the trial CSV, in column order.
 pub const TRIAL_CSV_HEADER: &str = "iter,learner,mode,status,sample_size,loss,cost,total_time,\
-     wall_secs,attempts,improved,best_loss,prepared_hits,prepared_misses,bytes_copied_saved,config";
+     wall_secs,attempts,improved,best_loss,prepared_hits,prepared_misses,bytes_copied_saved,\
+     prepared_evictions,tree_cache_hits,tree_cache_misses,trees_saved,config";
 
 /// One parsed row of the trial CSV: the analysis-facing subset of
 /// [`TrialLine`] that [`render_trials_csv`] exports.
@@ -46,6 +49,14 @@ pub struct TrialCsvRow {
     pub prepared_misses: usize,
     /// Bytes of dataset copies the zero-copy data plane avoided.
     pub bytes_copied_saved: usize,
+    /// Prepared-data cache entries evicted under the byte budget.
+    pub prepared_evictions: usize,
+    /// Folds that continued boosting from a cached tree prefix.
+    pub tree_cache_hits: usize,
+    /// Cache-eligible folds that started from round zero.
+    pub tree_cache_misses: usize,
+    /// Trees served from cached prefixes instead of being refit.
+    pub trees_saved: usize,
     /// Configuration rendered as `name=value` pairs.
     pub config: String,
 }
@@ -58,7 +69,7 @@ pub fn render_trials_csv(trials: &[TrialLine]) -> String {
     csv.push('\n');
     for t in trials {
         csv.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\"{}\"\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\"{}\"\n",
             t.iter,
             t.learner,
             t.mode,
@@ -74,6 +85,10 @@ pub fn render_trials_csv(trials: &[TrialLine]) -> String {
             t.prepared_hits,
             t.prepared_misses,
             t.bytes_copied_saved,
+            t.prepared_evictions,
+            t.tree_cache_hits,
+            t.tree_cache_misses,
+            t.trees_saved,
             t.config.replace('"', "\"\""),
         ));
     }
@@ -105,14 +120,14 @@ pub fn parse_trials_csv(csv: &str) -> Result<Vec<TrialCsvRow>, String> {
 }
 
 fn parse_row(line: &str) -> Result<TrialCsvRow, String> {
-    let fields: Vec<&str> = line.splitn(16, ',').collect();
-    if fields.len() != 16 {
-        return Err(format!("expected 16 columns, found {}", fields.len()));
+    let fields: Vec<&str> = line.splitn(20, ',').collect();
+    if fields.len() != 20 {
+        return Err(format!("expected 20 columns, found {}", fields.len()));
     }
     fn num<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
         v.parse().map_err(|_| format!("bad {name} value {v:?}"))
     }
-    let config = fields[15];
+    let config = fields[19];
     let config = config
         .strip_prefix('"')
         .and_then(|c| c.strip_suffix('"'))
@@ -134,6 +149,10 @@ fn parse_row(line: &str) -> Result<TrialCsvRow, String> {
         prepared_hits: num("prepared_hits", fields[12])?,
         prepared_misses: num("prepared_misses", fields[13])?,
         bytes_copied_saved: num("bytes_copied_saved", fields[14])?,
+        prepared_evictions: num("prepared_evictions", fields[15])?,
+        tree_cache_hits: num("tree_cache_hits", fields[16])?,
+        tree_cache_misses: num("tree_cache_misses", fields[17])?,
+        trees_saved: num("trees_saved", fields[18])?,
         config,
     })
 }
@@ -159,7 +178,11 @@ mod tests {
             wall_secs: 0.017,
             prepared_hits: iter * 2,
             prepared_misses: iter,
+            prepared_evictions: iter % 2,
             bytes_copied_saved: iter * 4096,
+            tree_cache_hits: iter % 4,
+            tree_cache_misses: iter % 3,
+            trees_saved: iter * 17,
             seed: 7,
             improved: iter.is_multiple_of(2),
             best_loss: 0.125,
@@ -172,6 +195,7 @@ mod tests {
         let csv = render_trials_csv(&trials);
         assert!(csv.starts_with(TRIAL_CSV_HEADER));
         assert!(csv.contains("prepared_hits,prepared_misses,bytes_copied_saved"));
+        assert!(csv.contains("prepared_evictions,tree_cache_hits,tree_cache_misses,trees_saved"));
         let rows = parse_trials_csv(&csv).unwrap();
         assert_eq!(rows.len(), trials.len());
         for (row, t) in rows.iter().zip(&trials) {
@@ -190,6 +214,10 @@ mod tests {
             assert_eq!(row.prepared_hits, t.prepared_hits);
             assert_eq!(row.prepared_misses, t.prepared_misses);
             assert_eq!(row.bytes_copied_saved, t.bytes_copied_saved);
+            assert_eq!(row.prepared_evictions, t.prepared_evictions);
+            assert_eq!(row.tree_cache_hits, t.tree_cache_hits);
+            assert_eq!(row.tree_cache_misses, t.tree_cache_misses);
+            assert_eq!(row.trees_saved, t.trees_saved);
             assert_eq!(row.config, t.config, "embedded quotes must unescape");
         }
     }
@@ -207,9 +235,9 @@ mod tests {
     fn malformed_rows_are_rejected_with_context() {
         assert!(parse_trials_csv("nope\n").is_err());
         let short = format!("{TRIAL_CSV_HEADER}\n1,2,3\n");
-        assert!(parse_trials_csv(&short).unwrap_err().contains("16 columns"));
+        assert!(parse_trials_csv(&short).unwrap_err().contains("20 columns"));
         let bad = format!(
-            "{TRIAL_CSV_HEADER}\nX,lgbm,search,ok,5,0.1,0.1,0.1,0.1,0,true,0.1,0,0,0,\"c\"\n"
+            "{TRIAL_CSV_HEADER}\nX,lgbm,search,ok,5,0.1,0.1,0.1,0.1,0,true,0.1,0,0,0,0,0,0,0,\"c\"\n"
         );
         assert!(parse_trials_csv(&bad).unwrap_err().contains("bad iter"));
     }

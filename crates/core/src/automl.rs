@@ -466,6 +466,8 @@ pub struct AutoMl {
     pub(crate) starting_points: Vec<(String, Vec<f64>, f64)>,
     pub(crate) prepared_cache: bool,
     pub(crate) prepared_cache_bytes: usize,
+    pub(crate) tree_cache: bool,
+    pub(crate) tree_cache_bytes: usize,
     /// Storage backend for journal persistence. `None` means the real
     /// filesystem ([`flaml_store::DiskStorage`]); tests inject
     /// [`flaml_store::ChaosStorage`] here to fault the journal's I/O.
@@ -504,6 +506,8 @@ impl Default for AutoMl {
             starting_points: Vec::new(),
             prepared_cache: true,
             prepared_cache_bytes: 256 * 1024 * 1024,
+            tree_cache: true,
+            tree_cache_bytes: 256 * 1024 * 1024,
             storage: None,
         }
     }
@@ -656,6 +660,25 @@ impl AutoMl {
     /// 256 MiB.
     pub fn prepared_cache_bytes(mut self, bytes: usize) -> AutoMl {
         self.prepared_cache_bytes = bytes;
+        self
+    }
+
+    /// Enables or disables the cross-trial tree cache (fitted boosting
+    /// prefixes memoized per (config-without-`tree_num`, sample, fold)
+    /// and continued by later trials — see [`crate::TreeCache`]).
+    /// Continuation is bit-identical to fitting from scratch, so the
+    /// trial trace is byte-identical either way; this knob only trades
+    /// memory for speed. Default: on.
+    pub fn tree_cache(mut self, on: bool) -> AutoMl {
+        self.tree_cache = on;
+        self
+    }
+
+    /// Caps the bytes the tree cache may hold; the oldest-stored
+    /// prefixes are evicted first when the budget is exceeded. Default:
+    /// 256 MiB.
+    pub fn tree_cache_bytes(mut self, bytes: usize) -> AutoMl {
+        self.tree_cache_bytes = bytes;
         self
     }
 

@@ -37,6 +37,7 @@ use crate::dataplane::{DataPlane, PrepStats, TrialData};
 use crate::eci::{sample_by_inverse_eci, EciState};
 use crate::ensemble::{build_stacked, MemberSpec};
 use crate::resample::{run_trial_prepared, ResampleStrategy, TrialOutcome, TrialStatus};
+use crate::treecache::{TreeCache, TreeCacheStats, TreeKey, TrialBoost};
 use flaml_data::{Dataset, Task};
 use flaml_exec::{
     EventSink, ExecPool, FaultPlan, Job, JobResult, JobStatus, TrialEvent, TrialEventKind,
@@ -91,6 +92,14 @@ struct Proposal {
     data: Option<Arc<TrialData>>,
     /// Cache hit/miss accounting for this trial's preparation.
     prep: PrepStats,
+    /// The trial's warm-continuation plan when its fit is eligible for
+    /// the tree cache: per-fold keys and cached prefixes, looked up at
+    /// proposal time (controller thread, deterministic order). `None`
+    /// for ineligible fits, replay, or a disabled cache — those run the
+    /// plain fit path.
+    boost: Option<TrialBoost>,
+    /// Tree-cache hit/miss accounting for this trial's plan.
+    tree_prep: TreeCacheStats,
 }
 
 /// Builds a trial event carrying a proposal's identity.
@@ -131,6 +140,7 @@ fn commit_outcome(
             cost_factor: p.cost_factor,
             status: TrialStatus::Panicked,
             message: Some(msg),
+            fold_states: Vec::new(),
         },
     };
     if let Some(plan) = fault_plan {
@@ -338,6 +348,15 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
         settings.prepared_cache,
         settings.prepared_cache_bytes,
     );
+
+    // The cross-trial tree cache: fitted boosting prefixes memoized per
+    // (config-without-`tree_num`, sample, fold) and continued by later
+    // trials. Like the plane it is owned by the controller thread —
+    // lookups at proposal time, store-backs at commit time — and it is
+    // observationally pure (continuation is bit-identical to a cold
+    // fit), so traces do not depend on it either.
+    let mut tree_cache = TreeCache::new(settings.tree_cache, settings.tree_cache_bytes);
+    let fingerprint = data.fingerprint();
 
     let init_s = if settings.sampling {
         settings.sample_size_init.min(n)
@@ -572,6 +591,56 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 let (td, prep) = plane.prepare(trial_s, st.kind.max_bin(&config, &st.space));
                 (Some(Arc::new(td)), prep)
             };
+            // Tree-cache plan: per-fold prefix lookups, on the controller
+            // thread so cache reads happen in deterministic proposal
+            // order. The learner name is part of the key and a batch
+            // never holds two proposals for one learner, so a batch's
+            // lookups cannot depend on its own store-backs — accounting
+            // is identical at any worker count.
+            let boost = match (&trial_data, tree_cache.enabled()) {
+                (Some(td), true) => st.kind.boost_params(&config, &st.space).map(|bp| {
+                    let tree_idx = st.space.index_of("tree_num");
+                    let mut stats = TreeCacheStats::default();
+                    let mut keys = Vec::with_capacity(td.folds.len());
+                    let mut warm = Vec::with_capacity(td.folds.len());
+                    for fi in 0..td.folds.len() {
+                        let key = TreeKey::new(
+                            st.kind.name(),
+                            config.values(),
+                            tree_idx,
+                            trial_s,
+                            fi,
+                            bp.max_bin,
+                            fingerprint,
+                        );
+                        match tree_cache.get(&key) {
+                            Some(s) => {
+                                stats.tree_cache_hits += 1;
+                                stats.trees_saved += s.rounds_done().min(bp.n_trees) * s.n_groups();
+                                warm.push(Some(s));
+                            }
+                            None => {
+                                stats.tree_cache_misses += 1;
+                                warm.push(None);
+                            }
+                        }
+                        keys.push(key);
+                    }
+                    (
+                        TrialBoost {
+                            params: bp,
+                            keys,
+                            warm,
+                        },
+                        stats,
+                    )
+                }),
+                _ => None,
+            };
+            let (boost, tree_prep) = match boost {
+                Some((tb, stats)) => (Some(tb), stats),
+                None => (None, TreeCacheStats::default()),
+            };
             proposals.push(Proposal {
                 li,
                 trial_no: it + 1,
@@ -583,6 +652,8 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 expected_fits: strategy.fits_per_trial(),
                 data: trial_data,
                 prep,
+                boost,
+                tree_prep,
             });
         }
 
@@ -627,6 +698,7 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                             p.seed,
                             deadline,
                             fold_pool_ref,
+                            p.boost.as_ref(),
                         )
                     })
                     .deadline(deadline);
@@ -733,6 +805,9 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                         .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64));
                     let st = &states[p.li];
                     let td = p.data.as_deref().expect("live trials carry prepared data");
+                    // The warm plan is reused as-is: cache-eligible fits
+                    // are seed-invariant, so the retry seed cannot change
+                    // the continued tree sequence.
                     let job = Job::new(move |_ctx| {
                         run_trial_prepared(
                             td,
@@ -744,6 +819,7 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                             retry_seed,
                             retry_deadline,
                             fold_pool_ref,
+                            p.boost.as_ref(),
                         )
                     })
                     .deadline(retry_deadline);
@@ -791,11 +867,26 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                     cost_factor: p.cost_factor,
                     status,
                     message: None,
+                    fold_states: Vec::new(),
                 };
                 attempt_costs = line.attempt_costs;
                 (outcome, line.cost, line.wall_secs, line.attempts)
             };
             n_retries_total += n_retries_trial;
+
+            // Tree-cache store-back, in submission (= commit) order: each
+            // fold's grown prefix replaces a shorter cached one. A
+            // deadline-truncated continuation still lands here — its
+            // completed prefix is valid and worth keeping. Replayed and
+            // ineligible trials carry no states and store nothing.
+            if let Some(tb) = &p.boost {
+                for (key, state) in tb.keys.iter().zip(&outcome.fold_states) {
+                    if let Some(state) = state {
+                        tree_cache.store(key.clone(), state.clone());
+                    }
+                }
+                tree_cache.observe(p.tree_prep);
+            }
 
             // Feedback into the proposers.
             {
@@ -941,7 +1032,11 @@ pub(crate) fn run(data: &Dataset, settings: &AutoMl) -> Result<AutoMlResult, Aut
                 ev.message = outcome.message.clone();
                 ev.prepared_hits = p.prep.prepared_hits;
                 ev.prepared_misses = p.prep.prepared_misses;
+                ev.prepared_evictions = p.prep.prepared_evictions;
                 ev.bytes_copied_saved = p.prep.bytes_copied_saved;
+                ev.tree_cache_hits = p.tree_prep.tree_cache_hits;
+                ev.tree_cache_misses = p.tree_prep.tree_cache_misses;
+                ev.trees_saved = p.tree_prep.trees_saved;
                 ev.meta = Some(TrialMeta {
                     mode: p.mode.name().to_string(),
                     status: outcome.status.to_string(),

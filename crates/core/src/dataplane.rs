@@ -13,8 +13,8 @@
 //! selection order; [`flaml_learners::BinMapper::from_sorted`] equals a
 //! direct fit), so the search trace is byte-identical whether the plane
 //! is enabled, disabled (which reproduces the seed's per-trial copy
-//! path), or evicting under memory pressure. Only the hit/miss counters
-//! and wall time observe the cache.
+//! path), or evicting under memory pressure. Only the hit/miss/eviction
+//! counters and wall time observe the cache.
 //!
 //! The plane is owned and mutated by the controller's main thread at
 //! proposal time — worker jobs only read the `Arc`s captured in their
@@ -59,6 +59,9 @@ pub struct PrepStats {
     pub prepared_hits: usize,
     /// Prepared artifacts computed fresh.
     pub prepared_misses: usize,
+    /// Cached artifacts evicted under the byte budget while preparing
+    /// this trial's data.
+    pub prepared_evictions: usize,
     /// Bytes the copy-based seed path would have allocated to hand this
     /// trial its sample and fold datasets (a pure function of the trial,
     /// identical whether the cache hit or missed). Zero when the plane
@@ -174,6 +177,7 @@ impl DataPlane {
         };
         self.totals.prepared_hits += stats.prepared_hits;
         self.totals.prepared_misses += stats.prepared_misses;
+        self.totals.prepared_evictions += stats.prepared_evictions;
         self.totals.bytes_copied_saved += stats.bytes_copied_saved;
         (trial, stats)
     }
@@ -235,7 +239,7 @@ impl DataPlane {
             })
             .sum();
         self.folds.insert(s, v.clone());
-        self.remember(CacheKey::Folds(s), bytes);
+        stats.prepared_evictions += self.remember(CacheKey::Folds(s), bytes);
         v
     }
 
@@ -254,7 +258,7 @@ impl DataPlane {
         let sort = Arc::new(PreparedSort::compute(&views.folds[fi].train));
         let bytes = sort.heap_bytes();
         self.sorts.insert((s, fi), sort.clone());
-        self.remember(CacheKey::Sort(s, fi), bytes);
+        stats.prepared_evictions += self.remember(CacheKey::Sort(s, fi), bytes);
         sort
     }
 
@@ -275,19 +279,22 @@ impl DataPlane {
         let prepared = Arc::new(PreparedBins::prepare(&sort, &views.folds[fi].train, mb));
         let bytes = prepared.heap_bytes();
         self.bins.insert((s, fi, mb), prepared.clone());
-        self.remember(CacheKey::Bins(s, fi, mb), bytes);
+        stats.prepared_evictions += self.remember(CacheKey::Bins(s, fi, mb), bytes);
         prepared
     }
 
     /// Records a fresh entry and evicts from the front of the insertion
     /// queue while over budget (never the entry just inserted, so a trial
-    /// always finds its own artifacts).
-    fn remember(&mut self, key: CacheKey, bytes: usize) {
+    /// always finds its own artifacts). Returns how many entries were
+    /// evicted, for the trial's `prepared_evictions` accounting.
+    fn remember(&mut self, key: CacheKey, bytes: usize) -> usize {
         self.held_bytes += bytes;
         self.order.push_back((key, bytes));
+        let mut evicted = 0;
         while self.held_bytes > self.budget_bytes && self.order.len() > 1 {
             let (victim, freed) = self.order.pop_front().expect("len checked");
             self.held_bytes -= freed;
+            evicted += 1;
             match victim {
                 CacheKey::Folds(s) => {
                     self.folds.remove(&s);
@@ -300,6 +307,7 @@ impl DataPlane {
                 }
             }
         }
+        evicted
     }
 }
 
@@ -421,12 +429,20 @@ mod tests {
         // evicts the first, so revisiting the first misses again.
         let mut plane = DataPlane::new(d.view(), strategy, true, 4_000);
         plane.prepare(100, Some(255));
-        plane.prepare(200, Some(255));
+        let (_, s2) = plane.prepare(200, Some(255));
         assert!(plane.held_bytes() <= 4_000 + 2_000, "budget roughly held");
+        assert!(
+            s2.prepared_evictions > 0,
+            "the second sample size must push the first out"
+        );
         let (_, s3) = plane.prepare(100, Some(255));
         assert!(
             s3.prepared_misses > 0,
             "evicted sample size is recomputed, not served"
+        );
+        assert!(
+            plane.totals().prepared_evictions >= s2.prepared_evictions,
+            "run totals accumulate evictions"
         );
     }
 

@@ -17,13 +17,15 @@
 
 use crate::custom::Estimator;
 use crate::dataplane::{DataPlane, TrialData};
+use crate::treecache::TrialBoost;
 use flaml_data::Dataset;
 use flaml_exec::{ExecPool, Job, JobStatus};
-use flaml_learners::FittedModel;
+use flaml_learners::{FittedModel, GbdtFitState};
 use flaml_metrics::Metric;
 use flaml_search::{Config, SearchSpace};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The resampling strategy used to assess each trial.
@@ -181,6 +183,11 @@ pub struct TrialOutcome {
     pub status: TrialStatus,
     /// Panic or diagnostic message, if any.
     pub message: Option<String>,
+    /// Per-fold boosting states after a warm (tree-cache-eligible) trial,
+    /// in fold order — what the controller stores back into the
+    /// [`crate::TreeCache`]. Empty when the trial ran without a
+    /// continuation plan or aborted before any fit.
+    pub fold_states: Vec<Option<Arc<GbdtFitState>>>,
 }
 
 impl TrialOutcome {
@@ -193,6 +200,7 @@ impl TrialOutcome {
             cost_factor,
             status: TrialStatus::Failed,
             message: None,
+            fold_states: Vec::new(),
         }
     }
 
@@ -239,7 +247,7 @@ pub fn run_trial(
     let mut plane = DataPlane::new(shuffled.view(), strategy, true, usize::MAX);
     let (trial, _) = plane.prepare(sample_size, kind.max_bin(config, space));
     run_trial_prepared(
-        &trial, kind, config, space, strategy, metric, seed, deadline, pool,
+        &trial, kind, config, space, strategy, metric, seed, deadline, pool, None,
     )
 }
 
@@ -252,6 +260,13 @@ pub fn run_trial(
 /// Failures (unfittable subsample, degenerate metric, a panicking
 /// learner) surface as `error = INFINITY` rather than an `Err`, because
 /// a failed trial is a legitimate observation for the search.
+///
+/// `boost`, when given, switches cache-eligible boosting fits to the
+/// warm-continuation path: each fold continues from its cached prefix in
+/// `boost.warm` (or starts cold under the same staged code path) and the
+/// resulting states come back in [`TrialOutcome::fold_states`] for
+/// store-back. Warm and cold fits are bit-identical by the
+/// [`flaml_learners::Gbdt::fit_continue`] contract.
 #[allow(clippy::too_many_arguments)]
 pub fn run_trial_prepared(
     trial: &TrialData,
@@ -263,6 +278,7 @@ pub fn run_trial_prepared(
     seed: u64,
     deadline: Option<Duration>,
     pool: &ExecPool,
+    boost: Option<&TrialBoost>,
 ) -> TrialOutcome {
     let cost_factor = kind.cost_factor(config, space);
     match strategy {
@@ -271,24 +287,38 @@ pub fn run_trial_prepared(
                 return TrialOutcome::aborted(cost_factor);
             };
             let job = Job::new(move |ctx: &flaml_exec::JobCtx| {
-                match kind.fit_prepared(
-                    &fold.train,
-                    config,
-                    space,
-                    seed,
-                    ctx.remaining(),
-                    fold.bins.as_deref(),
-                ) {
-                    Ok(model) => {
+                let fitted = match boost {
+                    Some(b) => crate::learner::fit_gbdt_warm(
+                        &fold.train,
+                        &b.params,
+                        seed,
+                        ctx.remaining(),
+                        fold.bins.as_deref(),
+                        b.warm.first().cloned().flatten(),
+                    )
+                    .map(|(model, state)| (model, Some(state))),
+                    None => kind
+                        .fit_prepared(
+                            &fold.train,
+                            config,
+                            space,
+                            seed,
+                            ctx.remaining(),
+                            fold.bins.as_deref(),
+                        )
+                        .map(|model| (model, None)),
+                };
+                match fitted {
+                    Ok((model, state)) => {
                         // Keep the raw loss (possibly NaN) so the commit
                         // path can distinguish a non-finite loss from a
                         // deterministic fit failure.
                         let err = metric
                             .loss(&model.predict(&fold.valid), &fold.valid_target)
                             .unwrap_or(f64::INFINITY);
-                        (FoldEval::Scored(err), Some(model))
+                        (FoldEval::Scored(err), Some(model), state)
                     }
-                    Err(_) => (FoldEval::FitFailed, None),
+                    Err(_) => (FoldEval::FitFailed, None, None),
                 }
             })
             .deadline(deadline);
@@ -298,7 +328,9 @@ pub fn run_trial_prepared(
                 .expect("one job in, one result out");
             let timed_out = result.status.timed_out();
             match result.status {
-                JobStatus::Finished((eval, model)) | JobStatus::TimedOut((eval, model)) => {
+                JobStatus::Finished((eval, model, state))
+                | JobStatus::TimedOut((eval, model, state)) => {
+                    let fold_states = vec![state];
                     match eval {
                         FoldEval::Scored(err) => {
                             let (error, status) = if err.is_nan() {
@@ -317,6 +349,7 @@ pub fn run_trial_prepared(
                                 cost_factor,
                                 status,
                                 message: None,
+                                fold_states,
                             }
                         }
                         FoldEval::FitFailed | FoldEval::Skipped => TrialOutcome {
@@ -326,6 +359,7 @@ pub fn run_trial_prepared(
                             cost_factor,
                             status: TrialStatus::Failed,
                             message: None,
+                            fold_states,
                         },
                     }
                 }
@@ -336,6 +370,7 @@ pub fn run_trial_prepared(
                     cost_factor,
                     status: TrialStatus::Panicked,
                     message: Some(msg),
+                    fold_states: vec![None],
                 },
             }
         }
@@ -353,31 +388,46 @@ pub fn run_trial_prepared(
             // break exactly.
             let aborted = AtomicBool::new(false);
             let aborted_ref = &aborted;
-            let jobs: Vec<Job<'_, FoldEval>> = trial
+            let jobs: Vec<Job<'_, (FoldEval, Option<Arc<GbdtFitState>>)>> = trial
                 .folds
                 .iter()
-                .map(|fold| {
+                .enumerate()
+                .map(|(fi, fold)| {
                     Job::new(move |ctx: &flaml_exec::JobCtx| {
                         if aborted_ref.load(Ordering::SeqCst) {
-                            return FoldEval::Skipped;
+                            return (FoldEval::Skipped, None);
                         }
-                        match kind.fit_prepared(
-                            &fold.train,
-                            config,
-                            space,
-                            seed,
-                            ctx.remaining(),
-                            fold.bins.as_deref(),
-                        ) {
-                            Ok(model) => {
+                        let fitted = match boost {
+                            Some(b) => crate::learner::fit_gbdt_warm(
+                                &fold.train,
+                                &b.params,
+                                seed,
+                                ctx.remaining(),
+                                fold.bins.as_deref(),
+                                b.warm.get(fi).cloned().flatten(),
+                            )
+                            .map(|(model, state)| (model, Some(state))),
+                            None => kind
+                                .fit_prepared(
+                                    &fold.train,
+                                    config,
+                                    space,
+                                    seed,
+                                    ctx.remaining(),
+                                    fold.bins.as_deref(),
+                                )
+                                .map(|model| (model, None)),
+                        };
+                        match fitted {
+                            Ok((model, state)) => {
                                 let err = metric
                                     .loss(&model.predict(&fold.valid), &fold.valid_target)
                                     .unwrap_or(f64::INFINITY);
-                                FoldEval::Scored(err)
+                                (FoldEval::Scored(err), state)
                             }
                             Err(_) => {
                                 aborted_ref.store(true, Ordering::SeqCst);
-                                FoldEval::FitFailed
+                                (FoldEval::FitFailed, None)
                             }
                         }
                     })
@@ -394,13 +444,15 @@ pub fn run_trial_prepared(
             let mut panicked = false;
             let mut timed_out = false;
             let mut message = None;
+            let mut fold_states: Vec<Option<Arc<GbdtFitState>>> = Vec::with_capacity(n_fits);
             for result in results {
                 if result.status.timed_out() {
                     timed_out = true;
                 }
                 match result.status {
-                    JobStatus::Finished(FoldEval::Scored(err))
-                    | JobStatus::TimedOut(FoldEval::Scored(err)) => {
+                    JobStatus::Finished((FoldEval::Scored(err), state))
+                    | JobStatus::TimedOut((FoldEval::Scored(err), state)) => {
+                        fold_states.push(state);
                         if err.is_nan() {
                             saw_nan = true;
                         } else {
@@ -408,8 +460,11 @@ pub fn run_trial_prepared(
                             n_ok += 1;
                         }
                     }
-                    JobStatus::Finished(_) | JobStatus::TimedOut(_) => {}
+                    JobStatus::Finished((_, state)) | JobStatus::TimedOut((_, state)) => {
+                        fold_states.push(state);
+                    }
                     JobStatus::Panicked(msg) => {
+                        fold_states.push(None);
                         panicked = true;
                         message.get_or_insert(msg);
                     }
@@ -438,6 +493,7 @@ pub fn run_trial_prepared(
                 cost_factor,
                 status,
                 message,
+                fold_states,
             }
         }
     }

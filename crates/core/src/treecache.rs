@@ -1,0 +1,312 @@
+//! The cross-trial tree cache: boosting prefixes cached the way the
+//! [`crate::dataplane::DataPlane`] caches binned matrices.
+//!
+//! FLOW² and ECI frequently re-propose a configuration that differs from
+//! an already-evaluated one only in `tree_num` — the search's
+//! cheap-to-expensive ordering sweeps that axis constantly. For
+//! seed-invariant boosting fits (no row/column subsampling, no early
+//! stopping — which is exactly the paper's low-cost initial region for
+//! the LightGBM- and XGBoost-style learners), the tree sequence is a
+//! pure, prefix-stable function of (config-without-`tree_num`, fold
+//! data, bins): the first `r` rounds of any run equal a shorter run's
+//! `r` rounds bit-for-bit. So the controller caches each fold's
+//! [`GbdtFitState`] keyed by that identity and later trials continue
+//! boosting from the cached prefix, paying only for the *marginal*
+//! trees (or zero, when the cached prefix is already long enough — a
+//! backward snapshot serves smaller `tree_num` values for free).
+//!
+//! Caching is **observationally pure**: a continued fit is bit-identical
+//! to a fresh fit at the larger round count
+//! ([`flaml_learners::Gbdt::fit_continue`]'s contract), so search traces
+//! are byte-identical with the cache on, off, or evicting under memory
+//! pressure. Only the `tree_cache_hits` / `tree_cache_misses` /
+//! `trees_saved` telemetry counters and wall time observe it.
+//!
+//! Like the data plane, the cache is owned and mutated only by the
+//! controller thread: lookups happen at proposal time, store-backs at
+//! commit time (in submission order), and worker jobs only read the
+//! `Arc`-captured states — no locking, deterministic at any worker
+//! count. Within one speculative batch every proposal touches a
+//! *different* learner (the controller never batches a learner twice)
+//! and the learner name is part of the key, so a batch's lookups can
+//! never race its own store-backs and hit/miss accounting is invariant
+//! across worker counts.
+
+use flaml_learners::GbdtFitState;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Identity of one cached boosting prefix. Two trials share an entry
+/// exactly when continuing one's fit reproduces the other's bit-for-bit:
+/// same learner, same configuration *with the tree count erased*, same
+/// sample size and fold (which pin the training rows), same binning
+/// resolution, and same dataset fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TreeKey {
+    /// Learner name (`lgbm`, `xgboost`, ...).
+    pub learner: String,
+    /// The trial's decoded configuration values with the `tree_num` slot
+    /// zeroed, as raw bits (exact equality, no float comparison).
+    pub config_bits: Vec<u64>,
+    /// The trial's sample size.
+    pub sample_size: usize,
+    /// Fold index within the trial's resampling strategy.
+    pub fold: usize,
+    /// Binning resolution the fit uses.
+    pub max_bin: usize,
+    /// Fingerprint of the (cleaned) training dataset.
+    pub fingerprint: u64,
+}
+
+impl TreeKey {
+    /// Builds a key from a trial's decoded configuration, erasing the
+    /// value at `tree_num_index` (when present) so configurations that
+    /// differ only in their tree count collide.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        learner: String,
+        config_values: &[f64],
+        tree_num_index: Option<usize>,
+        sample_size: usize,
+        fold: usize,
+        max_bin: usize,
+        fingerprint: u64,
+    ) -> TreeKey {
+        let config_bits = config_values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                if Some(i) == tree_num_index {
+                    0u64
+                } else {
+                    v.to_bits()
+                }
+            })
+            .collect();
+        TreeKey {
+            learner,
+            config_bits,
+            sample_size,
+            fold,
+            max_bin,
+            fingerprint,
+        }
+    }
+}
+
+/// Per-trial tree-cache accounting, surfaced through trial events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeCacheStats {
+    /// Folds whose fit continued from a cached prefix.
+    pub tree_cache_hits: usize,
+    /// Cache-eligible folds that started from round zero.
+    pub tree_cache_misses: usize,
+    /// Trees served from cached prefixes instead of being refit
+    /// (`min(cached_rounds, target_rounds) × n_groups`, summed over
+    /// folds) — the work the cache saved this trial.
+    pub trees_saved: usize,
+}
+
+/// A trial's warm-continuation plan, built by the controller at proposal
+/// time: the concrete boosting parameters plus, per fold, the cache key
+/// and the cached prefix to continue from (if any). Worker jobs read the
+/// `Arc`-captured states; the controller stores the grown states back at
+/// commit time under the same keys.
+#[derive(Debug, Clone)]
+pub struct TrialBoost {
+    /// The fit's boosting parameters (`n_trees` is the trial's target).
+    pub params: flaml_learners::GbdtParams,
+    /// Per-fold cache keys, in fold order.
+    pub keys: Vec<TreeKey>,
+    /// Per-fold cached prefixes, in fold order (`None` = cold start).
+    pub warm: Vec<Option<Arc<GbdtFitState>>>,
+}
+
+/// The boosting-prefix cache, keyed by [`TreeKey`].
+///
+/// Eviction is deterministic LRU-by-insertion under a byte budget,
+/// exactly like the data plane: entries leave in the order they were
+/// (last) stored, never the entry just inserted. Storing a longer
+/// prefix under an existing key replaces the entry in place and
+/// refreshes its queue position. Lookups never mutate, so a speculative
+/// proposal that is later discarded leaves no trace in the cache.
+#[derive(Debug)]
+pub struct TreeCache {
+    enabled: bool,
+    budget_bytes: usize,
+    entries: BTreeMap<TreeKey, Arc<GbdtFitState>>,
+    order: VecDeque<(TreeKey, usize)>,
+    held_bytes: usize,
+    totals: TreeCacheStats,
+}
+
+impl TreeCache {
+    /// A tree cache with the given byte budget. `enabled = false`
+    /// disables lookups and store-backs entirely: every fit runs from
+    /// round zero, bit-identical to the cached path.
+    pub fn new(enabled: bool, budget_bytes: usize) -> TreeCache {
+        TreeCache {
+            enabled,
+            budget_bytes,
+            entries: BTreeMap::new(),
+            order: VecDeque::new(),
+            held_bytes: 0,
+            totals: TreeCacheStats::default(),
+        }
+    }
+
+    /// Whether the cache serves and stores prefixes.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The cached prefix for `key`, if any. Pure: no recency bookkeeping,
+    /// so a lookup (even one whose trial is later discarded) cannot
+    /// change what any other trial observes.
+    pub fn get(&self, key: &TreeKey) -> Option<Arc<GbdtFitState>> {
+        if !self.enabled {
+            return None;
+        }
+        self.entries.get(key).cloned()
+    }
+
+    /// Stores `state` under `key`, keeping the *longest* prefix: an entry
+    /// is only replaced when the incoming state has strictly more rounds.
+    /// Evicts oldest-stored entries while over the byte budget (never the
+    /// entry just stored).
+    pub fn store(&mut self, key: TreeKey, state: Arc<GbdtFitState>) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(existing) = self.entries.get(&key) {
+            if existing.rounds_done() >= state.rounds_done() {
+                return;
+            }
+            // Replace in place: drop the stale queue entry and bytes so
+            // accounting stays exact, then re-enter at the back.
+            if let Some(pos) = self.order.iter().position(|(k, _)| *k == key) {
+                let (_, stale) = self.order.remove(pos).expect("position just found");
+                self.held_bytes -= stale;
+            }
+        }
+        let bytes = state.heap_bytes();
+        self.entries.insert(key.clone(), state);
+        self.held_bytes += bytes;
+        self.order.push_back((key, bytes));
+        while self.held_bytes > self.budget_bytes && self.order.len() > 1 {
+            let (victim, freed) = self.order.pop_front().expect("len checked");
+            self.held_bytes -= freed;
+            self.entries.remove(&victim);
+        }
+    }
+
+    /// Accumulates one trial's stats into the run totals.
+    pub fn observe(&mut self, stats: TreeCacheStats) {
+        self.totals.tree_cache_hits += stats.tree_cache_hits;
+        self.totals.tree_cache_misses += stats.tree_cache_misses;
+        self.totals.trees_saved += stats.trees_saved;
+    }
+
+    /// Run totals across every observed trial.
+    pub fn totals(&self) -> TreeCacheStats {
+        self.totals
+    }
+
+    /// Bytes currently held by cached prefixes (their owned parts; the
+    /// `Arc`-shared binned matrices are budgeted by the data plane).
+    pub fn held_bytes(&self) -> usize {
+        self.held_bytes
+    }
+
+    /// Number of cached prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flaml_data::{Dataset, Task};
+    use flaml_learners::{Gbdt, GbdtParams};
+
+    fn state(rounds: usize) -> Arc<GbdtFitState> {
+        let x: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| f64::from(v > 0.5)).collect();
+        let d = Dataset::new("t", Task::Binary, vec![x], y).unwrap();
+        let mut s = Gbdt::fit_start(&d, &GbdtParams::default(), 0, None).unwrap();
+        Gbdt::fit_continue(&mut s, rounds);
+        Arc::new(s)
+    }
+
+    fn key(sample: usize, fold: usize) -> TreeKey {
+        TreeKey::new(
+            "lgbm".to_string(),
+            &[4.0, 1.5, 0.25],
+            Some(0),
+            sample,
+            fold,
+            255,
+            0xfeed,
+        )
+    }
+
+    #[test]
+    fn key_erases_tree_num() {
+        let a = TreeKey::new("lgbm".into(), &[4.0, 1.5], Some(0), 100, 0, 255, 1);
+        let b = TreeKey::new("lgbm".into(), &[512.0, 1.5], Some(0), 100, 0, 255, 1);
+        let c = TreeKey::new("lgbm".into(), &[4.0, 2.5], Some(0), 100, 0, 255, 1);
+        assert_eq!(a, b, "tree counts must collide");
+        assert_ne!(a, c, "other params must not");
+    }
+
+    #[test]
+    fn store_keeps_longest_prefix() {
+        let mut cache = TreeCache::new(true, usize::MAX);
+        cache.store(key(100, 0), state(8));
+        cache.store(key(100, 0), state(3));
+        assert_eq!(cache.get(&key(100, 0)).unwrap().rounds_done(), 8);
+        cache.store(key(100, 0), state(12));
+        assert_eq!(cache.get(&key(100, 0)).unwrap().rounds_done(), 12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_in_insertion_order_but_keeps_newest() {
+        let mut cache = TreeCache::new(true, 1);
+        cache.store(key(100, 0), state(2));
+        assert_eq!(cache.len(), 1, "newest always survives");
+        cache.store(key(100, 1), state(2));
+        assert_eq!(cache.len(), 1, "oldest evicted under a 1-byte budget");
+        assert!(cache.get(&key(100, 0)).is_none());
+        assert!(cache.get(&key(100, 1)).is_some());
+    }
+
+    #[test]
+    fn replacement_keeps_byte_accounting_exact() {
+        let mut cache = TreeCache::new(true, usize::MAX);
+        cache.store(key(100, 0), state(2));
+        let small = cache.held_bytes();
+        cache.store(key(100, 0), state(10));
+        assert!(cache.held_bytes() > small);
+        assert_eq!(
+            cache.held_bytes(),
+            cache.get(&key(100, 0)).unwrap().heap_bytes(),
+            "replaced entry's bytes must not linger"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_stores_and_serves_nothing() {
+        let mut cache = TreeCache::new(false, usize::MAX);
+        cache.store(key(100, 0), state(2));
+        assert!(cache.get(&key(100, 0)).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.held_bytes(), 0);
+    }
+}

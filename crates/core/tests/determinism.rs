@@ -168,6 +168,107 @@ fn resume_refuses_a_journal_from_different_settings() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Builds the `base` search with one tree-cache variant applied.
+fn with_tree_cache(workers: usize, variant: &str) -> AutoMl {
+    match variant {
+        "on" => base(workers).tree_cache(true),
+        "off" => base(workers).tree_cache(false),
+        // A one-byte budget: every store-back immediately evicts, so the
+        // cache is permanently cold while its code path still runs.
+        "evicting" => base(workers).tree_cache_bytes(1),
+        other => unreachable!("unknown tree cache variant {other}"),
+    }
+}
+
+#[test]
+fn tree_cache_on_off_and_evicting_traces_are_identical() {
+    // The cross-trial tree cache must be observationally pure: a warm
+    // continuation is bit-identical to a cold fit, so the committed trial
+    // trace — configs, losses, costs, learner choices — cannot depend on
+    // whether the cache is on (the default), off, or thrashing under a
+    // one-byte budget. The roster includes LightGbm, whose eligible
+    // configurations drive real lookups and store-backs, at both worker
+    // counts.
+    let data = binary_dataset(700, 12);
+    let reference = base(1).fit(&data).unwrap();
+    assert!(reference.trials.len() > 5, "sweep ran too few trials");
+    let want = trace(&reference.trials);
+    for workers in [1, 4] {
+        for variant in ["on", "off", "evicting"] {
+            let run = with_tree_cache(workers, variant).fit(&data).unwrap();
+            assert_eq!(
+                want,
+                trace(&run.trials),
+                "workers={workers}, tree cache {variant}: trace diverged"
+            );
+            assert_eq!(
+                reference.best_error.to_bits(),
+                run.best_error.to_bits(),
+                "workers={workers}, tree cache {variant}: best error diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn kill_and_resume_with_tree_cache_variants_matches() {
+    // Crash recovery must not depend on tree-cache warmth: the
+    // uninterrupted run carries whatever the cache accumulated, while a
+    // resumed process replays the journal with a cold cache and rebuilds
+    // warmth only from the trials it actually re-executes. Traces must
+    // match anyway, and the journals must agree byte-for-byte under
+    // [`flaml_core::Journal::canonical_bytes`], which zeroes exactly the
+    // process-lifetime fields (wall time and cache counters).
+    let data = binary_dataset(700, 13);
+    for variant in ["on", "evicting", "off"] {
+        let full = with_tree_cache(1, variant).fit(&data).unwrap();
+        let total = full.trials.len();
+        assert!(total >= 4, "tree cache {variant}: too few trials ({total})");
+        let k = total / 2;
+        let path = journal_path("treecache_resume", 1, k);
+        with_tree_cache(1, variant)
+            .max_trials(k)
+            .journal(&path)
+            .fit(&data)
+            .unwrap();
+        let resumed = with_tree_cache(1, variant)
+            .resume_from(&path)
+            .fit(&data)
+            .unwrap();
+        assert_eq!(
+            trace(&full.trials),
+            trace(&resumed.trials),
+            "tree cache {variant}: resumed trace diverged"
+        );
+        assert_eq!(full.best_error.to_bits(), resumed.best_error.to_bits());
+        // The resumed journal must be canonically identical to one from a
+        // run that was never interrupted.
+        let fresh = journal_path("treecache_fresh", 1, k);
+        with_tree_cache(1, variant)
+            .journal(&fresh)
+            .fit(&data)
+            .unwrap();
+        // Strip the header line first: the killed run was capped at k
+        // trials, so its header records a different `max_trials` — the
+        // trial records themselves are what must agree.
+        let canonical_trials = |p: &std::path::Path| {
+            let journal = flaml_core::Journal::read(p).unwrap();
+            let bytes = journal.canonical_bytes();
+            bytes
+                .split_once('\n')
+                .map(|(_, rest)| rest.to_string())
+                .unwrap_or_default()
+        };
+        assert_eq!(
+            canonical_trials(&path),
+            canonical_trials(&fresh),
+            "tree cache {variant}: canonical journal bytes diverged"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&fresh);
+    }
+}
+
 #[test]
 fn speculative_holdout_also_matches() {
     // Same contract when trials are holdout-evaluated (the model is

@@ -161,9 +161,20 @@ pub struct TrialEvent {
     pub prepared_hits: usize,
     /// Prepared-data cache misses during this trial's preparation.
     pub prepared_misses: usize,
+    /// Prepared-data cache entries evicted under the byte budget during
+    /// this trial's preparation.
+    pub prepared_evictions: usize,
     /// Bytes of dataset copies the zero-copy data plane avoided
     /// materializing for this trial.
     pub bytes_copied_saved: usize,
+    /// Folds of this trial that continued boosting from a cached tree
+    /// prefix (committed terminal events only; 0 elsewhere).
+    pub tree_cache_hits: usize,
+    /// Cache-eligible folds of this trial that started from round zero.
+    pub tree_cache_misses: usize,
+    /// Trees served from cached prefixes instead of being refit for this
+    /// trial, summed over folds.
+    pub trees_saved: usize,
     /// Full per-trial metadata (committed terminal events only).
     pub meta: Option<TrialMeta>,
 }
@@ -185,7 +196,11 @@ impl TrialEvent {
             message: None,
             prepared_hits: 0,
             prepared_misses: 0,
+            prepared_evictions: 0,
             bytes_copied_saved: 0,
+            tree_cache_hits: 0,
+            tree_cache_misses: 0,
+            trees_saved: 0,
             meta: None,
         }
     }
@@ -355,9 +370,19 @@ pub struct Telemetry {
     pub prepared_hits: usize,
     /// Prepared-data cache misses summed over all events.
     pub prepared_misses: usize,
+    /// Prepared-data cache evictions summed over all events.
+    pub prepared_evictions: usize,
     /// Bytes of dataset copies the zero-copy data plane avoided
     /// materializing, summed over all events.
     pub bytes_copied_saved: usize,
+    /// Tree-cache hits (warm-continued folds) summed over all events.
+    pub tree_cache_hits: usize,
+    /// Tree-cache misses (cold cache-eligible folds) summed over all
+    /// events.
+    pub tree_cache_misses: usize,
+    /// Trees served from cached prefixes instead of being refit, summed
+    /// over all events.
+    pub trees_saved: usize,
     /// Per-learner counts keyed by learner name (unnamed trials group
     /// under the empty string).
     pub by_learner: BTreeMap<String, LearnerCounts>,
@@ -376,7 +401,11 @@ impl Telemetry {
     pub fn record(&mut self, event: &TrialEvent) {
         self.prepared_hits += event.prepared_hits;
         self.prepared_misses += event.prepared_misses;
+        self.prepared_evictions += event.prepared_evictions;
         self.bytes_copied_saved += event.bytes_copied_saved;
+        self.tree_cache_hits += event.tree_cache_hits;
+        self.tree_cache_misses += event.tree_cache_misses;
+        self.trees_saved += event.trees_saved;
         if !event.tenant.is_empty() {
             let usage = self.by_tenant.entry(event.tenant.clone()).or_default();
             match event.kind {
@@ -572,16 +601,28 @@ mod tests {
         let mut ev = TrialEvent::new(TrialEventKind::Finished);
         ev.prepared_hits = 2;
         ev.prepared_misses = 3;
+        ev.prepared_evictions = 1;
         ev.bytes_copied_saved = 4096;
+        ev.tree_cache_hits = 1;
+        ev.tree_cache_misses = 4;
+        ev.trees_saved = 12;
         sink.emit(ev.clone());
         ev.prepared_hits = 5;
         ev.prepared_misses = 0;
+        ev.prepared_evictions = 2;
         ev.bytes_copied_saved = 1024;
+        ev.tree_cache_hits = 5;
+        ev.tree_cache_misses = 0;
+        ev.trees_saved = 100;
         sink.emit(ev);
         let t = Telemetry::new().drain(&rx);
         assert_eq!(t.prepared_hits, 7);
         assert_eq!(t.prepared_misses, 3);
+        assert_eq!(t.prepared_evictions, 3);
         assert_eq!(t.bytes_copied_saved, 5120);
+        assert_eq!(t.tree_cache_hits, 6);
+        assert_eq!(t.tree_cache_misses, 4);
+        assert_eq!(t.trees_saved, 112);
     }
 
     #[test]

@@ -168,13 +168,16 @@ impl Journal {
 
     /// The journal re-serialized with every record's process-lifetime
     /// fields zeroed: the *deterministic* bytes of a run. `wall_secs`
-    /// records physical time and `prepared_hits` / `prepared_misses`
-    /// record the warmth of the in-process prepared-data cache; all
-    /// three depend on how the process ran, not on the search
-    /// trajectory, so two journals of the same virtual-clock search —
-    /// live, sliced, or killed-and-resumed — compare equal here.
-    /// (`TrialLine`'s JSON round-trip is a fixed point, so every other
-    /// field still compares byte-for-byte.)
+    /// records physical time; `prepared_hits` / `prepared_misses` /
+    /// `prepared_evictions` record the warmth of the in-process
+    /// prepared-data cache; `tree_cache_hits` / `tree_cache_misses` /
+    /// `trees_saved` record the warmth of the in-process tree cache. All
+    /// of these depend on how the process ran (a resumed run restarts
+    /// with cold caches), not on the search trajectory, so two journals
+    /// of the same virtual-clock search — live, sliced, or
+    /// killed-and-resumed — compare equal here. (`TrialLine`'s JSON
+    /// round-trip is a fixed point, so every other field still compares
+    /// byte-for-byte.)
     pub fn canonical_bytes(&self) -> String {
         let mut out =
             serde_json::to_string(&self.header).expect("header serialization is infallible");
@@ -184,6 +187,10 @@ impl Journal {
             trial.wall_secs = 0.0;
             trial.prepared_hits = 0;
             trial.prepared_misses = 0;
+            trial.prepared_evictions = 0;
+            trial.tree_cache_hits = 0;
+            trial.tree_cache_misses = 0;
+            trial.trees_saved = 0;
             out.push_str(
                 &serde_json::to_string(&trial).expect("record serialization is infallible"),
             );
@@ -271,7 +278,11 @@ mod tests {
             wall_secs: 0.0,
             prepared_hits: 0,
             prepared_misses: 0,
+            prepared_evictions: 0,
             bytes_copied_saved: 0,
+            tree_cache_hits: 0,
+            tree_cache_misses: 0,
+            trees_saved: 0,
             seed: 1,
             improved: false,
             best_loss: loss,

@@ -109,10 +109,25 @@ pub struct TrialLine {
     /// Prepared-data cache misses during this trial's preparation.
     #[serde(default)]
     pub prepared_misses: usize,
+    /// Prepared-data cache entries evicted under the byte budget during
+    /// this trial's preparation.
+    #[serde(default)]
+    pub prepared_evictions: usize,
     /// Bytes of dataset copies the zero-copy data plane avoided
     /// materializing for this trial.
     #[serde(default)]
     pub bytes_copied_saved: usize,
+    /// Folds of this trial that continued boosting from a cached tree
+    /// prefix.
+    #[serde(default)]
+    pub tree_cache_hits: usize,
+    /// Cache-eligible folds of this trial that started from round zero.
+    #[serde(default)]
+    pub tree_cache_misses: usize,
+    /// Trees served from cached prefixes instead of being refit, summed
+    /// over folds.
+    #[serde(default)]
+    pub trees_saved: usize,
     /// The trial's base evaluation seed.
     pub seed: u64,
     /// Whether the trial improved the run's global best error.
@@ -145,7 +160,11 @@ impl TrialLine {
             wall_secs: event.wall_secs.unwrap_or(0.0),
             prepared_hits: event.prepared_hits,
             prepared_misses: event.prepared_misses,
+            prepared_evictions: event.prepared_evictions,
             bytes_copied_saved: event.bytes_copied_saved,
+            tree_cache_hits: event.tree_cache_hits,
+            tree_cache_misses: event.tree_cache_misses,
+            trees_saved: event.trees_saved,
             seed: meta.seed,
             improved: meta.improved,
             best_loss: meta.best_error,
@@ -174,7 +193,11 @@ mod tests {
             wall_secs: 0.01,
             prepared_hits: 2,
             prepared_misses: 1,
+            prepared_evictions: 0,
             bytes_copied_saved: 4096,
+            tree_cache_hits: 1,
+            tree_cache_misses: 0,
+            trees_saved: 12,
             seed: 7,
             improved: true,
             best_loss: 0.125,
@@ -214,7 +237,11 @@ mod tests {
         ev.cost = Some(0.25);
         ev.prepared_hits = 3;
         ev.prepared_misses = 1;
+        ev.prepared_evictions = 2;
         ev.bytes_copied_saved = 2048;
+        ev.tree_cache_hits = 4;
+        ev.tree_cache_misses = 1;
+        ev.trees_saved = 96;
         ev.meta = Some(TrialMeta {
             mode: "search".into(),
             status: "ok".into(),
@@ -234,6 +261,10 @@ mod tests {
         assert_eq!(l.best_loss, 0.4);
         assert_eq!(l.prepared_hits, 3);
         assert_eq!(l.prepared_misses, 1);
+        assert_eq!(l.prepared_evictions, 2);
         assert_eq!(l.bytes_copied_saved, 2048);
+        assert_eq!(l.tree_cache_hits, 4);
+        assert_eq!(l.tree_cache_misses, 1);
+        assert_eq!(l.trees_saved, 96);
     }
 }

@@ -311,7 +311,11 @@ mod tests {
             wall_secs: 0.0,
             prepared_hits: 0,
             prepared_misses: 0,
+            prepared_evictions: 0,
             bytes_copied_saved: 0,
+            tree_cache_hits: 0,
+            tree_cache_misses: 0,
+            trees_saved: 0,
             seed: 7,
             improved: true,
             best_loss: 0.5 / iter as f64,

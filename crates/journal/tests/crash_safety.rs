@@ -103,7 +103,11 @@ fn random_line(rng: &mut Rng, i: usize) -> TrialLine {
         wall_secs: rng.f64_unit(),
         prepared_hits: (rng.next() % 16) as usize,
         prepared_misses: (rng.next() % 16) as usize,
+        prepared_evictions: (rng.next() % 8) as usize,
         bytes_copied_saved: (rng.next() % 1_000_000) as usize,
+        tree_cache_hits: (rng.next() % 16) as usize,
+        tree_cache_misses: (rng.next() % 16) as usize,
+        trees_saved: (rng.next() % 10_000) as usize,
         // Seeds above 2^53 catch any f64 carrier in the JSON layer.
         seed: rng.next() | (1 << 63),
         improved: rng.next().is_multiple_of(2),

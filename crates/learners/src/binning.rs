@@ -7,6 +7,7 @@
 //! `<= t` left, so missing values always travel with the leftmost bin.
 
 use flaml_data::DatasetView;
+use std::sync::Arc;
 
 /// The per-feature sorted-unique non-NaN values of one data view: the
 /// expensive part of quantile binning, computed once and shared.
@@ -181,7 +182,9 @@ impl BinMapper {
 #[derive(Debug, Clone)]
 pub struct PreparedBins {
     mapper: BinMapper,
-    binned: BinnedDataset,
+    /// `Arc`-shared so fit states ([`crate::GbdtFitState`]) can hold the
+    /// matrix without copying it; cloning a `PreparedBins` stays cheap.
+    binned: Arc<BinnedDataset>,
     max_bin: usize,
 }
 
@@ -196,7 +199,7 @@ impl PreparedBins {
     ) -> PreparedBins {
         let data: DatasetView = data.into();
         let mapper = BinMapper::from_sorted(sort, max_bin);
-        let binned = mapper.transform(&data);
+        let binned = Arc::new(mapper.transform(&data));
         PreparedBins {
             mapper,
             binned,
@@ -217,7 +220,7 @@ impl PreparedBins {
             .map(|j| mapper.n_bins(j).saturating_sub(1))
             .max()
             .unwrap_or(2);
-        let binned = mapper.transform(&data);
+        let binned = Arc::new(mapper.transform(&data));
         PreparedBins {
             mapper,
             binned,
@@ -238,6 +241,13 @@ impl PreparedBins {
     /// The pre-binned training matrix.
     pub fn binned(&self) -> &BinnedDataset {
         &self.binned
+    }
+
+    /// The pre-binned training matrix as a shared handle (what a
+    /// resumable fit state holds, so continuing a fit never copies the
+    /// matrix).
+    pub fn binned_arc(&self) -> Arc<BinnedDataset> {
+        self.binned.clone()
     }
 
     /// Approximate heap footprint in bytes (for cache budgeting).

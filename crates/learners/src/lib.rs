@@ -16,7 +16,11 @@
 //! subsample view, a fold view, ...) and produce a [`FittedModel`] whose
 //! [`FittedModel::predict`] returns a [`flaml_metrics::Pred`] ready for
 //! metric evaluation. [`PreparedSort`] and [`PreparedBins`] let callers
-//! hoist the per-fit binning work of [`Gbdt`] out of repeated trials.
+//! hoist the per-fit binning work of [`Gbdt`] out of repeated trials, and
+//! [`GbdtFitState`] makes a boosting run resumable: [`Gbdt::fit_start`]
+//! plus [`Gbdt::fit_continue`] grow a model in stages bit-identical to a
+//! single monolithic fit, so callers can cache and extend tree prefixes
+//! across trials.
 //!
 //! # Example
 //!
@@ -50,7 +54,7 @@ pub use binning::{BinMapper, BinnedDataset, PreparedBins, PreparedSort};
 pub use dtree::{goes_left, DTreeNode, DecisionTree, SplitCriterion, TreeParams};
 pub use error::FitError;
 pub use forest::{Forest, ForestModel, ForestParams};
-pub use gbdt::{Gbdt, GbdtModel, GbdtNode, GbdtParams, Growth};
+pub use gbdt::{Gbdt, GbdtFitState, GbdtModel, GbdtNode, GbdtParams, Growth};
 pub use linear::{Encoding, Linear, LinearModel, LinearParams};
 pub use stacking::{fit_meta, member_columns, meta_features, StackedModel};
 

@@ -35,6 +35,52 @@ fn arb_regression_dataset() -> impl Strategy<Value = Dataset> {
     })
 }
 
+/// A dataset of any task kind whose features mix ordinary values with
+/// NaN (missing) and subnormal magnitudes — the awkward inputs the
+/// binning layer must absorb without breaking continuation exactness.
+fn arb_messy_dataset() -> impl Strategy<Value = Dataset> {
+    // The stub's `prop_oneof!` draws arms uniformly; repeating the
+    // numeric arm biases features toward ordinary values.
+    let feature = |n: usize| {
+        proptest::collection::vec(
+            prop_oneof![
+                -100f64..100.0,
+                -100f64..100.0,
+                -100f64..100.0,
+                -100f64..100.0,
+                -100f64..100.0,
+                -100f64..100.0,
+                Just(f64::NAN),
+                Just(2.5e-310f64),
+                Just(-4.0e-320f64),
+            ],
+            n,
+        )
+    };
+    (0usize..3, 24usize..90).prop_flat_map(move |(kind, n)| {
+        let labels = match kind {
+            0 => proptest::collection::vec(0u8..2, n)
+                .prop_filter("both classes", |y| y.contains(&0) && y.contains(&1))
+                .boxed(),
+            1 => proptest::collection::vec(0u8..3, n)
+                .prop_filter("all classes", |y| {
+                    y.contains(&0) && y.contains(&1) && y.contains(&2)
+                })
+                .boxed(),
+            _ => proptest::collection::vec(0u8..200, n).boxed(),
+        };
+        (feature(n), feature(n), labels).prop_map(move |(c0, c1, y)| {
+            let task = match kind {
+                0 => Task::Binary,
+                1 => Task::MultiClass(3),
+                _ => Task::Regression,
+            };
+            let y = y.into_iter().map(f64::from).collect();
+            Dataset::new("messy", task, vec![c0, c1], y).unwrap()
+        })
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -109,5 +155,52 @@ proptest! {
         let a = Gbdt::fit(&data, &params, seed).unwrap().raw_scores(&data);
         let b = Gbdt::fit(&data, &params, seed).unwrap().raw_scores(&data);
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gbdt_continuation_is_bit_exact(
+        data in arb_messy_dataset(),
+        n in 2usize..9,
+        ksel in 0usize..4,
+        seed in 0u64..5,
+    ) {
+        // fit(n) == fit(k) + fit_continue(n - k), bit for bit, for every
+        // split point — including the k ∈ {0, 1, n-1} edges — across
+        // binary/multiclass/regression objectives and features containing
+        // NaN and subnormal values.
+        let k = [0, 1, n - 1, n / 2][ksel];
+        let params = GbdtParams { n_trees: n, ..GbdtParams::default() };
+        let full = Gbdt::fit(&data, &params, seed).unwrap();
+
+        let mut state = Gbdt::fit_start(&data, &params, seed, None).unwrap();
+        Gbdt::fit_continue(&mut state, k);
+        prop_assert_eq!(state.rounds_done(), k);
+        Gbdt::fit_continue(&mut state, n - k);
+        prop_assert_eq!(state.rounds_done(), n);
+        let staged = state.model();
+
+        let full_bits: Vec<u64> =
+            full.raw_scores(&data).iter().map(|v| v.to_bits()).collect();
+        let staged_bits: Vec<u64> =
+            staged.raw_scores(&data).iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(full_bits, staged_bits, "k = {}", k);
+
+        // A backward snapshot at k rounds equals the direct k-round fit.
+        if k >= 1 {
+            let short = Gbdt::fit(
+                &data,
+                &GbdtParams { n_trees: k, ..params },
+                seed,
+            ).unwrap();
+            let short_bits: Vec<u64> =
+                short.raw_scores(&data).iter().map(|v| v.to_bits()).collect();
+            let snap_bits: Vec<u64> = state
+                .model_at(k)
+                .raw_scores(&data)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            prop_assert_eq!(short_bits, snap_bits, "backward snapshot at k = {}", k);
+        }
     }
 }
