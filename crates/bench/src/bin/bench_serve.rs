@@ -37,17 +37,15 @@
 //! ```
 
 use flaml_bench::grid::default_groups;
+use flaml_bench::roster::{fastest, fit_roster, pred_bits, tile_dataset};
 use flaml_bench::Args;
-use flaml_core::{event_channel, BatchEngine, CompiledModel, ExecPool, ModelRegistry};
-use flaml_data::Dataset;
-use flaml_learners::{
-    fit_meta, meta_features, FittedModel, Forest, ForestParams, Gbdt, GbdtParams, Linear,
-    LinearParams, StackedModel,
+use flaml_core::{
+    event_channel, ArtifactFormat, BatchEngine, BlobOptions, CompiledModel, ExecPool, ModelRegistry,
 };
-use flaml_metrics::Pred;
+use flaml_data::Dataset;
+use flaml_learners::{FittedModel, Linear, LinearParams};
 use serde::Serialize;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// One dataset × learner correctness-plus-throughput measurement.
 #[derive(Debug, Clone, Serialize)]
@@ -100,97 +98,6 @@ struct ServeReport {
     speedup: f64,
     min_speedup: f64,
     pass: bool,
-}
-
-fn pred_bits(p: &Pred) -> Vec<u64> {
-    match p {
-        Pred::Values(v) => v.iter().map(|x| x.to_bits()).collect(),
-        Pred::Probs { p, .. } => p.iter().map(|x| x.to_bits()).collect(),
-    }
-}
-
-/// Fits the full learner roster the artifact format covers.
-fn fit_roster(data: &Dataset, seed: u64) -> Vec<(&'static str, FittedModel)> {
-    let gbdt: FittedModel = match Gbdt::fit(
-        data,
-        &GbdtParams {
-            n_trees: 20,
-            ..GbdtParams::default()
-        },
-        seed,
-    ) {
-        Ok(m) => m.into(),
-        Err(e) => {
-            eprintln!("[serve] {}: gbdt fit failed: {e}", data.name());
-            return Vec::new();
-        }
-    };
-    let forest: FittedModel = match Forest::fit(
-        data,
-        &ForestParams {
-            n_trees: 10,
-            ..ForestParams::default()
-        },
-        seed,
-    ) {
-        Ok(m) => m.into(),
-        Err(e) => {
-            eprintln!("[serve] {}: forest fit failed: {e}", data.name());
-            return Vec::new();
-        }
-    };
-    let linear: FittedModel = match Linear::fit(data, &LinearParams::default(), seed) {
-        Ok(m) => m.into(),
-        Err(e) => {
-            eprintln!("[serve] {}: linear fit failed: {e}", data.name());
-            return Vec::new();
-        }
-    };
-    let members = vec![gbdt.clone(), forest.clone()];
-    let oof = meta_features(&members, data, data.target().to_vec());
-    let stacked: FittedModel = match fit_meta(&oof, seed) {
-        Ok(meta) => StackedModel::new(members, meta, data.task()).into(),
-        Err(e) => {
-            eprintln!("[serve] {}: meta fit failed: {e}", data.name());
-            return Vec::new();
-        }
-    };
-    vec![
-        ("gbdt", gbdt),
-        ("forest", forest),
-        ("linear", linear),
-        ("stacked", stacked),
-    ]
-}
-
-/// Tiles a dataset's rows cyclically up to `rows` — a serving request
-/// large enough to amortize chunk dispatch (real services batch many
-/// requests over one model; the training matrix alone is far smaller
-/// than a steady-state serving window).
-fn tile_dataset(data: &Dataset, rows: usize) -> Dataset {
-    let n = data.n_rows();
-    if rows <= n {
-        return data.clone();
-    }
-    let cols: Vec<Vec<f64>> = data
-        .columns()
-        .iter()
-        .map(|c| (0..rows).map(|i| c[i % n]).collect())
-        .collect();
-    let y: Vec<f64> = (0..rows).map(|i| data.target()[i % n]).collect();
-    Dataset::new(data.name(), data.task(), cols, y).expect("tiled dataset")
-}
-
-/// Fastest of `cycles` timed runs of `f`, after one untimed warmup.
-fn fastest(cycles: usize, mut f: impl FnMut()) -> f64 {
-    f();
-    let mut best = f64::INFINITY;
-    for _ in 0..cycles.max(1) {
-        let started = Instant::now();
-        f();
-        best = best.min(started.elapsed().as_secs_f64());
-    }
-    best
 }
 
 /// Publishes a stream of versions under concurrent readers; returns
@@ -292,13 +199,20 @@ fn main() {
                 let _ = std::fs::remove_file(&path);
                 if !exported {
                     if let Some(out) = &exec.artifact {
-                        match compiled.save(out) {
+                        let saved = match exec.artifact_format {
+                            ArtifactFormat::Json => compiled.save(out),
+                            ArtifactFormat::Blob => {
+                                flaml_core::save_blob(&compiled, out, BlobOptions::tuned())
+                            }
+                        };
+                        match saved {
                             Ok(fp) => {
                                 eprintln!(
-                                    "[serve] exported {learner} on {} to {} (fingerprint \
+                                    "[serve] exported {learner} on {} to {} as {} (fingerprint \
                                      {fp:#018x})",
                                     data.name(),
-                                    out.display()
+                                    out.display(),
+                                    exec.artifact_format,
                                 );
                                 exported = true;
                             }

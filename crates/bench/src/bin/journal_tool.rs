@@ -7,8 +7,11 @@
 //! journal_tool export-csv <journal.jsonl> [--out trials.csv]
 //! ```
 //!
-//! `inspect` prints the header, the committed trials, and the per-learner
-//! best configurations. `export-csv` renders the trial records as CSV.
+//! `inspect` prints the header, the committed trials, the per-learner
+//! best configurations, and — when `<stem>.artifact.blob` or
+//! `<stem>.artifact.json` siblings exist next to the journal (the
+//! server's completion artifacts) — each artifact's format, size and
+//! fingerprint. `export-csv` renders the trial records as CSV.
 //! `verify-replay` is the strong check: it reconstructs the run's
 //! settings from the journal header, locates the dataset among the
 //! built-in synthetic suites (by name, then by the header's content
@@ -45,7 +48,7 @@ fn main() {
         }
     };
     match cmd {
-        "inspect" => inspect(&journal),
+        "inspect" => inspect(&journal, path),
         "export-csv" => export_csv(&journal, args.opt_str("out")),
         "verify-replay" => {
             if !verify_replay(&journal, path, args.f64("test-ratio", 0.2)) {
@@ -59,7 +62,7 @@ fn main() {
     }
 }
 
-fn inspect(journal: &Journal) {
+fn inspect(journal: &Journal, path: &str) {
     let h = &journal.header;
     println!("run:");
     println!("  schema         v{}", h.schema_version);
@@ -83,11 +86,13 @@ fn inspect(journal: &Journal) {
         h.dataset.name, h.dataset.task, h.dataset.rows, h.dataset.features, h.dataset.fingerprint
     );
     println!(
-        "journal: {} committed trials, {} committed bytes, {:.4}s budget spent\n",
+        "journal: {} committed trials, {} committed bytes, {:.4}s budget spent",
         journal.trials.len(),
         journal.committed_bytes,
         journal.spent_budget()
     );
+    describe_artifacts(path);
+    println!();
 
     let rows: Vec<Vec<String>> = journal
         .trials
@@ -138,6 +143,44 @@ fn inspect(journal: &Journal) {
         println!("per-learner best (warm-start seeds):");
         for (learner, values, loss) in configs {
             println!("  {learner:12} loss {loss:.6}  values {values:?}");
+        }
+    }
+}
+
+/// Prints one line per completion-artifact sibling of the journal
+/// (`<stem>.artifact.blob` / `<stem>.artifact.json` — the files the
+/// server writes next to `<stem>.jsonl` when a search finishes), with
+/// format, size and fingerprint. Unreadable artifacts are reported,
+/// never fatal.
+fn describe_artifacts(journal_path: &str) {
+    use flaml_core::{ArtifactFormat, BlobModel, CompiledModel};
+    let stem = std::path::Path::new(journal_path).with_extension("");
+    for format in ArtifactFormat::ALL {
+        let sibling = std::path::PathBuf::from(format!("{}{}", stem.display(), format.suffix()));
+        let Ok(meta) = std::fs::metadata(&sibling) else {
+            continue;
+        };
+        let described = match format {
+            ArtifactFormat::Blob => BlobModel::open(&sibling).map(|b| {
+                format!(
+                    "fingerprint {:#018x}, {} node order, {} thresholds",
+                    b.fingerprint(),
+                    if b.hot_first() { "hot-first" } else { "export" },
+                    if b.quantized() { "f32-exact" } else { "f64" },
+                )
+            }),
+            ArtifactFormat::Json => CompiledModel::load(&sibling).map(|m| {
+                let payload = serde_json::to_string(&m).expect("serialize artifact");
+                format!("fingerprint {:#018x}", flaml_serve::fingerprint(&payload))
+            }),
+        };
+        match described {
+            Ok(detail) => println!(
+                "artifact: {} ({format}, {} bytes, {detail})",
+                sibling.display(),
+                meta.len()
+            ),
+            Err(e) => println!("artifact: {} ({format}) UNREADABLE: {e}", sibling.display()),
         }
     }
 }

@@ -18,6 +18,7 @@
 //! | `journal_tool` | (no figure) inspect / verify-replay / export-csv on trial journals |
 //! | `bench_dataplane` | (no figure) prepared-data cache purity + replay throughput gate |
 //! | `bench_serve` | (no figure) compiled-artifact bit-exactness, batched-inference identity + throughput gate, hot-swap soak, serving latency JSON |
+//! | `bench_blob` | (no figure) binary-artifact bit-exactness per layout, open-to-first-predict speedup gate vs. JSON, cross-process page-sharing probe |
 //! | `bench_server` | (no figure) multi-tenant service load generator: mixed fit/predict stream with p99 + rows/sec gates, and `--verify` byte-compares resumed search journals against in-process reference runs |
 //!
 //! Every binary accepts the shared execution flags parsed by
@@ -36,6 +37,7 @@ pub mod cli;
 pub mod csv;
 pub mod grid;
 pub mod report;
+pub mod roster;
 pub mod run;
 
 pub use cli::{journal_stem, Args, ExecArgs};

@@ -1,0 +1,106 @@
+//! The serving benchmark roster: one fitted model per learner kind the
+//! artifact format covers (GBDT, random forest, linear, stacked), plus
+//! the request-shaping and timing helpers the serving benchmarks
+//! (`bench_serve`, `bench_blob`) share.
+
+use flaml_data::Dataset;
+use flaml_learners::{
+    fit_meta, meta_features, FittedModel, Forest, ForestParams, Gbdt, GbdtParams, Linear,
+    LinearParams, StackedModel,
+};
+use flaml_metrics::Pred;
+use std::time::Instant;
+
+/// The prediction vector as raw bits, for exact comparisons.
+pub fn pred_bits(p: &Pred) -> Vec<u64> {
+    match p {
+        Pred::Values(v) => v.iter().map(|x| x.to_bits()).collect(),
+        Pred::Probs { p, .. } => p.iter().map(|x| x.to_bits()).collect(),
+    }
+}
+
+/// Fits the full learner roster the artifact format covers. Returns an
+/// empty roster (after printing the failure) if any fit fails, so
+/// callers skip the dataset rather than benchmark a partial roster.
+pub fn fit_roster(data: &Dataset, seed: u64) -> Vec<(&'static str, FittedModel)> {
+    let gbdt: FittedModel = match Gbdt::fit(
+        data,
+        &GbdtParams {
+            n_trees: 20,
+            ..GbdtParams::default()
+        },
+        seed,
+    ) {
+        Ok(m) => m.into(),
+        Err(e) => {
+            eprintln!("[roster] {}: gbdt fit failed: {e}", data.name());
+            return Vec::new();
+        }
+    };
+    let forest: FittedModel = match Forest::fit(
+        data,
+        &ForestParams {
+            n_trees: 10,
+            ..ForestParams::default()
+        },
+        seed,
+    ) {
+        Ok(m) => m.into(),
+        Err(e) => {
+            eprintln!("[roster] {}: forest fit failed: {e}", data.name());
+            return Vec::new();
+        }
+    };
+    let linear: FittedModel = match Linear::fit(data, &LinearParams::default(), seed) {
+        Ok(m) => m.into(),
+        Err(e) => {
+            eprintln!("[roster] {}: linear fit failed: {e}", data.name());
+            return Vec::new();
+        }
+    };
+    let members = vec![gbdt.clone(), forest.clone()];
+    let oof = meta_features(&members, data, data.target().to_vec());
+    let stacked: FittedModel = match fit_meta(&oof, seed) {
+        Ok(meta) => StackedModel::new(members, meta, data.task()).into(),
+        Err(e) => {
+            eprintln!("[roster] {}: meta fit failed: {e}", data.name());
+            return Vec::new();
+        }
+    };
+    vec![
+        ("gbdt", gbdt),
+        ("forest", forest),
+        ("linear", linear),
+        ("stacked", stacked),
+    ]
+}
+
+/// Tiles a dataset's rows cyclically up to `rows` — a serving request
+/// large enough to amortize chunk dispatch (real services batch many
+/// requests over one model; the training matrix alone is far smaller
+/// than a steady-state serving window).
+pub fn tile_dataset(data: &Dataset, rows: usize) -> Dataset {
+    let n = data.n_rows();
+    if rows <= n {
+        return data.clone();
+    }
+    let cols: Vec<Vec<f64>> = data
+        .columns()
+        .iter()
+        .map(|c| (0..rows).map(|i| c[i % n]).collect())
+        .collect();
+    let y: Vec<f64> = (0..rows).map(|i| data.target()[i % n]).collect();
+    Dataset::new(data.name(), data.task(), cols, y).expect("tiled dataset")
+}
+
+/// Fastest of `cycles` timed runs of `f`, after one untimed warmup.
+pub fn fastest(cycles: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..cycles.max(1) {
+        let started = Instant::now();
+        f();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best
+}

@@ -1,0 +1,795 @@
+//! Opening and serving a blob: validate once, then predict straight
+//! off the mapped bytes.
+//!
+//! [`BlobModel::open`] does all the work the format ever requires:
+//! header checks (magic, version, endianness, flags), an FNV-1a
+//! fingerprint pass over the whole file, and a structural walk that proves
+//! every section the model graph references is present, aligned,
+//! in-bounds and internally consistent (child indices strictly
+//! increase, so tree evaluation provably terminates). What it does
+//! *not* do is deserialize: the parsed representation is a tree of
+//! section descriptors — offsets and counts into the mapping — and
+//! [`BlobModel::view`] turns those into borrowed slices feeding the
+//! same [`ModelView`] evaluator that owned [`CompiledModel`]s use.
+//! Every rejection is a typed [`ArtifactError`]; no input bytes can
+//! make `open` panic or `predict` loop.
+
+use crate::format::{self, Elem};
+use crate::mapping::Mapping;
+use flaml_data::{DatasetView, Task};
+use flaml_learners::Encoding;
+use flaml_metrics::Pred;
+use flaml_serve::{
+    ArtifactError, CompiledLinear, CompiledModel, CutsRef, FloatSlab, ForestView, GbdtView,
+    LeafFlags, ModelView,
+};
+use flaml_store::Storage;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Stacked ensembles deeper than this are rejected at open — far above
+/// anything the search produces, low enough that a crafted file cannot
+/// recurse the parser off the stack.
+const MAX_STACK_DEPTH: usize = 32;
+
+fn layout(msg: impl Into<String>) -> ArtifactError {
+    ArtifactError::Layout(msg.into())
+}
+
+/// A validated section: `count` elements starting `off` bytes into the
+/// file. Ranges, not slices — the mapping and its views live in the
+/// same struct, so views are minted on demand instead of self-borrowed.
+#[derive(Debug, Clone, Copy)]
+struct Slab {
+    off: usize,
+    count: usize,
+}
+
+/// A float slab plus the precision it was stored at.
+#[derive(Debug, Clone, Copy)]
+struct FloatRange {
+    slab: Slab,
+    quantized: bool,
+}
+
+#[derive(Debug)]
+struct GbdtNode {
+    task: Task,
+    n_groups: usize,
+    init_scores: Slab,
+    cuts_offsets: Slab,
+    cuts_values: FloatRange,
+    tree_roots: Slab,
+    feature: Slab,
+    threshold: Slab,
+    left: Slab,
+    right: Slab,
+    leaf_value: Slab,
+    is_leaf: Slab,
+}
+
+#[derive(Debug)]
+struct ForestNode {
+    task: Task,
+    n_features: usize,
+    leaf_width: usize,
+    tree_roots: Slab,
+    feature: Slab,
+    threshold: FloatRange,
+    left: Slab,
+    right: Slab,
+    is_leaf: Slab,
+    values: Slab,
+}
+
+/// The parsed model graph: section descriptors for slab models, small
+/// owned parts for linear ones (whose evaluator needs an owned
+/// [`flaml_learners::LinearModel`] anyway).
+#[derive(Debug)]
+enum Node {
+    Gbdt(GbdtNode),
+    Forest(ForestNode),
+    Linear(CompiledLinear),
+    Stacked {
+        meta: CompiledLinear,
+        members: Vec<Node>,
+        task: Task,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    elem: Elem,
+    off: usize,
+    count: usize,
+}
+
+/// A model served directly from blob bytes — a memory mapping (or an
+/// aligned heap copy when the storage declines mapping) plus the
+/// validated section descriptors into it. Prediction goes through the
+/// exact [`ModelView`] evaluator owned [`CompiledModel`]s use, so
+/// outputs are bit-identical to the JSON-artifact path.
+#[derive(Debug)]
+pub struct BlobModel {
+    map: Mapping,
+    flags: u32,
+    fingerprint: u64,
+    root: Node,
+}
+
+impl BlobModel {
+    /// Maps and validates the blob at `path` on the local filesystem.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] when the file cannot be read,
+    /// [`ArtifactError::BadMagic`] / [`ArtifactError::Version`] for
+    /// foreign or future files, [`ArtifactError::FingerprintMismatch`]
+    /// for payload corruption, [`ArtifactError::Layout`] for truncation
+    /// and every structural violation.
+    pub fn open(path: impl AsRef<Path>) -> Result<BlobModel, ArtifactError> {
+        BlobModel::parse(Mapping::from_file(path.as_ref())?)
+    }
+
+    /// [`BlobModel::open`] against an explicit [`Storage`]. Storages
+    /// backed by real files expose a mappable path
+    /// ([`Storage::mmap_source`]) and get the zero-copy mapping;
+    /// fault-injecting or virtual storages decline, and the blob is
+    /// read through [`Storage::read`] into an aligned buffer — slower,
+    /// but every byte still flows through the storage's fault surface.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BlobModel::open`], with read failures surfacing as
+    /// [`ArtifactError::Storage`].
+    pub fn open_with(storage: &dyn Storage, path: &Path) -> Result<BlobModel, ArtifactError> {
+        match storage.mmap_source(path) {
+            Some(real) => BlobModel::parse(Mapping::from_file(&real)?),
+            None => {
+                let bytes = storage.read(path)?;
+                BlobModel::parse(Mapping::from_bytes(&bytes))
+            }
+        }
+    }
+
+    /// Validates blob bytes already in memory (copied into an aligned
+    /// buffer).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BlobModel::open`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<BlobModel, ArtifactError> {
+        BlobModel::parse(Mapping::from_bytes(bytes))
+    }
+
+    fn parse(map: Mapping) -> Result<BlobModel, ArtifactError> {
+        if cfg!(target_endian = "big") {
+            return Err(layout(
+                "blob artifacts are little-endian memory images; use the JSON artifact \
+                 format on big-endian hosts",
+            ));
+        }
+        let bytes = map.bytes();
+        let len = bytes.len();
+        if len < format::HEADER_LEN {
+            return Err(layout(format!(
+                "truncated header: {len} bytes, need {}",
+                format::HEADER_LEN
+            )));
+        }
+        if bytes[0..8] != format::BLOB_MAGIC {
+            return Err(ArtifactError::BadMagic {
+                found: String::from_utf8_lossy(&bytes[0..8]).into_owned(),
+            });
+        }
+        let version = read_u32(bytes, 8);
+        if version != format::BLOB_VERSION {
+            return Err(ArtifactError::Version {
+                found: version,
+                supported: format::BLOB_VERSION,
+            });
+        }
+        if read_u32(bytes, 12) != format::ENDIAN_MARK {
+            return Err(layout("endianness marker mismatch"));
+        }
+        let flags = read_u32(bytes, 16);
+        if flags & !format::KNOWN_FLAGS != 0 {
+            return Err(layout(format!("unknown layout flags {flags:#010x}")));
+        }
+        let n_sections = read_u32(bytes, 20) as usize;
+        let n_models = read_u32(bytes, 24) as usize;
+        let payload_len = read_u64(bytes, 32);
+        if payload_len != (len - format::HEADER_LEN) as u64 {
+            return Err(layout(format!(
+                "payload length {payload_len} does not match file ({} payload bytes)",
+                len - format::HEADER_LEN
+            )));
+        }
+        let expected = read_u64(bytes, 40);
+        let found = format::blob_fingerprint(bytes);
+        if found != expected {
+            return Err(ArtifactError::FingerprintMismatch { expected, found });
+        }
+
+        let table_len = n_sections
+            .checked_mul(format::SECTION_ENTRY_LEN)
+            .ok_or_else(|| layout("section count overflows"))?;
+        let table_end = format::HEADER_LEN + table_len;
+        if table_end > len {
+            return Err(layout(format!(
+                "section table of {n_sections} entries exceeds file length {len}"
+            )));
+        }
+        let mut sections: HashMap<u32, Entry> = HashMap::with_capacity(n_sections);
+        for i in 0..n_sections {
+            let at = format::HEADER_LEN + i * format::SECTION_ENTRY_LEN;
+            let tag = read_u32(bytes, at);
+            let elem = Elem::from_code(read_u32(bytes, at + 4))
+                .ok_or_else(|| layout(format!("section {tag:#x}: unknown element type")))?;
+            let off = read_u64(bytes, at + 8);
+            let count = read_u64(bytes, at + 16);
+            let off = usize::try_from(off)
+                .map_err(|_| layout(format!("section {tag:#x}: offset out of range")))?;
+            let count = usize::try_from(count)
+                .map_err(|_| layout(format!("section {tag:#x}: count out of range")))?;
+            if off % crate::format::BLOB_ALIGN != 0 {
+                return Err(layout(format!(
+                    "section {tag:#x}: offset {off} not {}-byte aligned",
+                    crate::format::BLOB_ALIGN
+                )));
+            }
+            let nbytes = count
+                .checked_mul(elem.size())
+                .ok_or_else(|| layout(format!("section {tag:#x}: byte length overflows")))?;
+            let end = off
+                .checked_add(nbytes)
+                .ok_or_else(|| layout(format!("section {tag:#x}: extent overflows")))?;
+            if off < table_end || end > len {
+                return Err(layout(format!(
+                    "section {tag:#x}: bytes {off}..{end} outside payload {table_end}..{len}"
+                )));
+            }
+            if sections.insert(tag, Entry { elem, off, count }).is_some() {
+                return Err(layout(format!("duplicate section tag {tag:#x}")));
+            }
+        }
+
+        let mut parser = Parser {
+            bytes,
+            sections: &sections,
+            next_model: 0,
+        };
+        let root = parser.parse_node(0)?;
+        if parser.next_model != n_models {
+            return Err(layout(format!(
+                "header declares {n_models} models, structure contains {}",
+                parser.next_model
+            )));
+        }
+        let fingerprint = expected;
+        Ok(BlobModel {
+            map,
+            flags,
+            fingerprint,
+            root,
+        })
+    }
+
+    /// Renders the mapped slabs as the shared [`ModelView`] evaluator
+    /// input. No allocation beyond stacked-member vectors.
+    pub fn view(&self) -> ModelView<'_> {
+        node_view(&self.root, self.map.bytes())
+    }
+
+    /// Predicts on `data` straight off the mapped bytes — bit-identical
+    /// to [`CompiledModel::predict`] of the same model.
+    pub fn predict(&self, data: impl Into<DatasetView>) -> Pred {
+        let data: DatasetView = data.into();
+        self.view().predict_view(&data)
+    }
+
+    /// Materializes an owned [`CompiledModel`] (a slab copy; see
+    /// [`ModelView::to_compiled`] for the node-order caveat on
+    /// hot-first blobs).
+    pub fn to_compiled(&self) -> CompiledModel {
+        self.view().to_compiled()
+    }
+
+    /// The payload fingerprint recorded in (and verified against) the
+    /// header.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Whether tree nodes are stored in hot-first (BFS) order.
+    pub fn hot_first(&self) -> bool {
+        self.flags & format::FLAG_HOT_FIRST != 0
+    }
+
+    /// Whether any threshold/cut section is stored quantized to `f32`.
+    pub fn quantized(&self) -> bool {
+        self.flags & format::FLAG_QUANTIZED != 0
+    }
+
+    /// Whether the bytes are a shared file mapping (as opposed to an
+    /// owned aligned copy).
+    pub fn is_mmap(&self) -> bool {
+        self.map.is_mmap()
+    }
+
+    /// Total blob size in bytes.
+    pub fn n_bytes(&self) -> usize {
+        self.map.bytes().len()
+    }
+
+    /// The task the model predicts.
+    pub fn task(&self) -> Task {
+        self.view().task()
+    }
+
+    /// Feature columns the model expects.
+    pub fn n_features(&self) -> usize {
+        self.view().n_features()
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Reinterprets a validated slab as a typed slice. Soundness: `parse`
+/// proved `off + count * size_of::<T>() <= bytes.len()` and
+/// `off % 64 == 0`, and the mapping base is 64-byte-aligned (page
+/// alignment or the aligned heap buffer), so the pointer is aligned
+/// and in-bounds for all `T` the format stores.
+fn slab_slice<'a, T>(bytes: &'a [u8], slab: &Slab) -> &'a [T] {
+    debug_assert!(slab.off + slab.count * std::mem::size_of::<T>() <= bytes.len());
+    debug_assert_eq!(bytes.as_ptr() as usize % crate::format::BLOB_ALIGN, 0);
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().add(slab.off).cast::<T>(), slab.count) }
+}
+
+fn float_slab<'a>(bytes: &'a [u8], range: &FloatRange) -> FloatSlab<'a> {
+    if range.quantized {
+        FloatSlab::F32(slab_slice::<f32>(bytes, &range.slab))
+    } else {
+        FloatSlab::F64(slab_slice::<f64>(bytes, &range.slab))
+    }
+}
+
+fn node_view<'a>(node: &'a Node, bytes: &'a [u8]) -> ModelView<'a> {
+    match node {
+        Node::Gbdt(n) => ModelView::Gbdt(GbdtView {
+            task: n.task,
+            n_groups: n.n_groups,
+            init_scores: slab_slice(bytes, &n.init_scores),
+            cuts: CutsRef::Flat {
+                offsets: slab_slice(bytes, &n.cuts_offsets),
+                values: float_slab(bytes, &n.cuts_values),
+            },
+            tree_roots: slab_slice(bytes, &n.tree_roots),
+            feature: slab_slice(bytes, &n.feature),
+            threshold: slab_slice(bytes, &n.threshold),
+            left: slab_slice(bytes, &n.left),
+            right: slab_slice(bytes, &n.right),
+            leaf_value: slab_slice(bytes, &n.leaf_value),
+            is_leaf: LeafFlags::Bytes(slab_slice(bytes, &n.is_leaf)),
+        }),
+        Node::Forest(n) => ModelView::Forest(ForestView {
+            task: n.task,
+            n_features: n.n_features,
+            leaf_width: n.leaf_width,
+            tree_roots: slab_slice(bytes, &n.tree_roots),
+            feature: slab_slice(bytes, &n.feature),
+            threshold: float_slab(bytes, &n.threshold),
+            left: slab_slice(bytes, &n.left),
+            right: slab_slice(bytes, &n.right),
+            is_leaf: LeafFlags::Bytes(slab_slice(bytes, &n.is_leaf)),
+            values: slab_slice(bytes, &n.values),
+        }),
+        Node::Linear(m) => ModelView::Linear(m),
+        Node::Stacked {
+            meta,
+            members,
+            task,
+        } => ModelView::Stacked {
+            members: members.iter().map(|m| node_view(m, bytes)).collect(),
+            meta,
+            task: *task,
+        },
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    sections: &'a HashMap<u32, Entry>,
+    next_model: usize,
+}
+
+impl Parser<'_> {
+    fn section(&self, model: u32, kind: u32, elem: Elem) -> Result<Slab, ArtifactError> {
+        let tag = format::section_tag(model, kind);
+        let entry = self
+            .sections
+            .get(&tag)
+            .ok_or_else(|| layout(format!("model {model}: missing section kind {kind}")))?;
+        if entry.elem != elem {
+            return Err(layout(format!(
+                "model {model}: section kind {kind} has element code {}, expected {}",
+                entry.elem.code(),
+                elem.code()
+            )));
+        }
+        Ok(Slab {
+            off: entry.off,
+            count: entry.count,
+        })
+    }
+
+    /// A float section that may be stored `f64` or (quantized) `f32`.
+    fn float_section(&self, model: u32, kind: u32) -> Result<FloatRange, ArtifactError> {
+        let tag = format::section_tag(model, kind);
+        let entry = self
+            .sections
+            .get(&tag)
+            .ok_or_else(|| layout(format!("model {model}: missing section kind {kind}")))?;
+        let quantized = match entry.elem {
+            Elem::F64 => false,
+            Elem::F32 => true,
+            other => {
+                return Err(layout(format!(
+                    "model {model}: section kind {kind} has element code {}, expected f64 or f32",
+                    other.code()
+                )))
+            }
+        };
+        Ok(FloatRange {
+            slab: Slab {
+                off: entry.off,
+                count: entry.count,
+            },
+            quantized,
+        })
+    }
+
+    fn meta(&self, model: u32, min_words: usize) -> Result<Vec<u64>, ArtifactError> {
+        let slab = self.section(model, format::KIND_META, Elem::U64)?;
+        if slab.count < min_words {
+            return Err(layout(format!(
+                "model {model}: meta stream has {} words, need {min_words}",
+                slab.count
+            )));
+        }
+        Ok((0..slab.count)
+            .map(|i| read_u64(self.bytes, slab.off + i * 8))
+            .collect())
+    }
+
+    fn task_of(&self, model: u32, tag: u64, k: u64) -> Result<Task, ArtifactError> {
+        match (tag, k) {
+            (format::TASK_REGRESSION, 0) => Ok(Task::Regression),
+            (format::TASK_BINARY, 0) => Ok(Task::Binary),
+            (format::TASK_MULTICLASS, k) if k >= 2 => Ok(Task::MultiClass(k as usize)),
+            _ => Err(layout(format!(
+                "model {model}: invalid task encoding ({tag}, {k})"
+            ))),
+        }
+    }
+
+    fn parse_node(&mut self, depth: usize) -> Result<Node, ArtifactError> {
+        if depth > MAX_STACK_DEPTH {
+            return Err(layout("model nesting exceeds supported depth"));
+        }
+        let model = self.next_model as u32;
+        self.next_model += 1;
+        let meta = self.meta(model, 3)?;
+        let task = self.task_of(model, meta[1], meta[2])?;
+        match meta[0] {
+            format::MODEL_GBDT => self.parse_gbdt(model, &meta, task).map(Node::Gbdt),
+            format::MODEL_FOREST => self.parse_forest(model, &meta, task).map(Node::Forest),
+            format::MODEL_LINEAR => self.parse_linear(model, &meta, task).map(Node::Linear),
+            format::MODEL_STACKED => {
+                if meta.len() < 4 {
+                    return Err(layout(format!("model {model}: stacked meta too short")));
+                }
+                let n_members = meta[3] as usize;
+                if n_members == 0 || n_members > 1024 {
+                    return Err(layout(format!(
+                        "model {model}: implausible member count {n_members}"
+                    )));
+                }
+                // Pre-order: meta-learner first, then the members.
+                let meta_model = self.next_model as u32;
+                let meta_linear = match self.parse_node(depth + 1)? {
+                    Node::Linear(l) => l,
+                    _ => {
+                        return Err(layout(format!(
+                            "model {meta_model}: stacked meta-learner must be linear"
+                        )))
+                    }
+                };
+                let members = (0..n_members)
+                    .map(|_| self.parse_node(depth + 1))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Node::Stacked {
+                    meta: meta_linear,
+                    members,
+                    task,
+                })
+            }
+            other => Err(layout(format!("model {model}: unknown model kind {other}"))),
+        }
+    }
+
+    /// Validates the tree slabs shared by gbdt and forest models:
+    /// consistent lengths, roots in range, and — for every internal
+    /// node — in-range feature and strictly forward child pointers.
+    /// Forward pointers are what both writers produce (children follow
+    /// parents in DFS and BFS layouts alike) and they make tree
+    /// evaluation provably terminating on any accepted file.
+    #[allow(clippy::too_many_arguments)]
+    fn check_trees(
+        &self,
+        model: u32,
+        n_features: usize,
+        tree_roots: &Slab,
+        feature: &Slab,
+        left: &Slab,
+        right: &Slab,
+        is_leaf: &Slab,
+    ) -> Result<(), ArtifactError> {
+        let n_nodes = feature.count;
+        for (name, count) in [
+            ("left", left.count),
+            ("right", right.count),
+            ("is_leaf", is_leaf.count),
+        ] {
+            if count != n_nodes {
+                return Err(layout(format!(
+                    "model {model}: {name} slab has {count} nodes, feature slab has {n_nodes}"
+                )));
+            }
+        }
+        let roots: &[u32] = slab_slice(self.bytes, tree_roots);
+        if let Some(&r) = roots.iter().find(|&&r| r as usize >= n_nodes) {
+            return Err(layout(format!(
+                "model {model}: tree root {r} out of range ({n_nodes} nodes)"
+            )));
+        }
+        let features: &[u32] = slab_slice(self.bytes, feature);
+        let lefts: &[u32] = slab_slice(self.bytes, left);
+        let rights: &[u32] = slab_slice(self.bytes, right);
+        let leaves: &[u8] = slab_slice(self.bytes, is_leaf);
+        for i in 0..n_nodes {
+            if leaves[i] != 0 {
+                continue;
+            }
+            if features[i] as usize >= n_features {
+                return Err(layout(format!(
+                    "model {model}: node {i} splits on feature {} of {n_features}",
+                    features[i]
+                )));
+            }
+            for (name, child) in [("left", lefts[i]), ("right", rights[i])] {
+                let child = child as usize;
+                if child <= i || child >= n_nodes {
+                    return Err(layout(format!(
+                        "model {model}: node {i} has non-forward {name} child {child}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_gbdt(&self, model: u32, meta: &[u64], task: Task) -> Result<GbdtNode, ArtifactError> {
+        if meta.len() < 5 {
+            return Err(layout(format!("model {model}: gbdt meta too short")));
+        }
+        let n_features = meta[3] as usize;
+        let n_groups = meta[4] as usize;
+        let task_groups = match task {
+            Task::MultiClass(k) => k,
+            Task::Regression | Task::Binary => 1,
+        };
+        if n_groups != task_groups {
+            return Err(layout(format!(
+                "model {model}: {n_groups} score groups for a {task_groups}-group task"
+            )));
+        }
+        let init_scores = self.section(model, format::KIND_INIT_SCORES, Elem::F64)?;
+        if init_scores.count != n_groups {
+            return Err(layout(format!(
+                "model {model}: {} init scores for {n_groups} groups",
+                init_scores.count
+            )));
+        }
+        let cuts_offsets = self.section(model, format::KIND_CUTS_OFFSETS, Elem::U64)?;
+        let cuts_values = self.float_section(model, format::KIND_CUTS_VALUES)?;
+        if cuts_offsets.count != n_features + 1 {
+            return Err(layout(format!(
+                "model {model}: {} cut offsets for {n_features} features",
+                cuts_offsets.count
+            )));
+        }
+        let offsets: &[u64] = slab_slice(self.bytes, &cuts_offsets);
+        if offsets.first() != Some(&0)
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || offsets.last() != Some(&(cuts_values.slab.count as u64))
+        {
+            return Err(layout(format!(
+                "model {model}: cut offsets are not a prefix sum over the cut values"
+            )));
+        }
+        let tree_roots = self.section(model, format::KIND_TREE_ROOTS, Elem::U32)?;
+        let feature = self.section(model, format::KIND_FEATURE, Elem::U32)?;
+        let threshold = self.section(model, format::KIND_THRESHOLD, Elem::U32)?;
+        let left = self.section(model, format::KIND_LEFT, Elem::U32)?;
+        let right = self.section(model, format::KIND_RIGHT, Elem::U32)?;
+        let leaf_value = self.section(model, format::KIND_LEAF_VALUE, Elem::F64)?;
+        let is_leaf = self.section(model, format::KIND_IS_LEAF, Elem::U8)?;
+        if threshold.count != feature.count || leaf_value.count != feature.count {
+            return Err(layout(format!(
+                "model {model}: inconsistent node slab lengths"
+            )));
+        }
+        self.check_trees(
+            model,
+            n_features,
+            &tree_roots,
+            &feature,
+            &left,
+            &right,
+            &is_leaf,
+        )?;
+        Ok(GbdtNode {
+            task,
+            n_groups,
+            init_scores,
+            cuts_offsets,
+            cuts_values,
+            tree_roots,
+            feature,
+            threshold,
+            left,
+            right,
+            leaf_value,
+            is_leaf,
+        })
+    }
+
+    fn parse_forest(
+        &self,
+        model: u32,
+        meta: &[u64],
+        task: Task,
+    ) -> Result<ForestNode, ArtifactError> {
+        if meta.len() < 5 {
+            return Err(layout(format!("model {model}: forest meta too short")));
+        }
+        let n_features = meta[3] as usize;
+        let leaf_width = meta[4] as usize;
+        if leaf_width == 0 {
+            return Err(layout(format!("model {model}: zero leaf width")));
+        }
+        let tree_roots = self.section(model, format::KIND_TREE_ROOTS, Elem::U32)?;
+        let feature = self.section(model, format::KIND_FEATURE, Elem::U32)?;
+        let threshold = self.float_section(model, format::KIND_THRESHOLD)?;
+        let left = self.section(model, format::KIND_LEFT, Elem::U32)?;
+        let right = self.section(model, format::KIND_RIGHT, Elem::U32)?;
+        let is_leaf = self.section(model, format::KIND_IS_LEAF, Elem::U8)?;
+        let values = self.section(model, format::KIND_VALUES, Elem::F64)?;
+        let n_nodes = feature.count;
+        if threshold.slab.count != n_nodes {
+            return Err(layout(format!(
+                "model {model}: inconsistent node slab lengths"
+            )));
+        }
+        if values.count != n_nodes * leaf_width {
+            return Err(layout(format!(
+                "model {model}: {} leaf values for {n_nodes} nodes of width {leaf_width}",
+                values.count
+            )));
+        }
+        self.check_trees(
+            model,
+            n_features,
+            &tree_roots,
+            &feature,
+            &left,
+            &right,
+            &is_leaf,
+        )?;
+        Ok(ForestNode {
+            task,
+            n_features,
+            leaf_width,
+            tree_roots,
+            feature,
+            threshold,
+            left,
+            right,
+            is_leaf,
+            values,
+        })
+    }
+
+    fn parse_linear(
+        &self,
+        model: u32,
+        meta: &[u64],
+        task: Task,
+    ) -> Result<CompiledLinear, ArtifactError> {
+        if meta.len() < 7 {
+            return Err(layout(format!("model {model}: linear meta too short")));
+        }
+        let y_mean = f64::from_bits(meta[3]);
+        let y_std = f64::from_bits(meta[4]);
+        let n_encodings = meta[5] as usize;
+        let n_groups = meta[6] as usize;
+        let enc_slab = self.section(model, format::KIND_ENCODINGS, Elem::F64)?;
+        if enc_slab.count != n_encodings * 3 {
+            return Err(layout(format!(
+                "model {model}: {} encoding words for {n_encodings} features",
+                enc_slab.count
+            )));
+        }
+        let enc_words: &[f64] = slab_slice(self.bytes, &enc_slab);
+        let mut encodings = Vec::with_capacity(n_encodings);
+        for (j, triple) in enc_words.chunks_exact(3).enumerate() {
+            if triple[0] == format::ENC_NUMERIC {
+                encodings.push(Encoding::Numeric {
+                    mean: triple[1],
+                    std: triple[2],
+                });
+            } else if triple[0] == format::ENC_ONE_HOT {
+                let card = triple[1];
+                if !(card.is_finite() && card >= 0.0 && card.fract() == 0.0 && card <= 1e15) {
+                    return Err(layout(format!(
+                        "model {model}: feature {j} has invalid one-hot cardinality {card}"
+                    )));
+                }
+                encodings.push(Encoding::OneHot {
+                    cardinality: card as usize,
+                });
+            } else {
+                return Err(layout(format!(
+                    "model {model}: feature {j} has unknown encoding tag {}",
+                    triple[0]
+                )));
+            }
+        }
+        let w_offsets = self.section(model, format::KIND_WEIGHTS_OFFSETS, Elem::U64)?;
+        let w_values = self.section(model, format::KIND_WEIGHTS_VALUES, Elem::F64)?;
+        if w_offsets.count != n_groups + 1 {
+            return Err(layout(format!(
+                "model {model}: {} weight offsets for {n_groups} groups",
+                w_offsets.count
+            )));
+        }
+        let offsets: &[u64] = slab_slice(self.bytes, &w_offsets);
+        if offsets.first() != Some(&0)
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || offsets.last() != Some(&(w_values.count as u64))
+        {
+            return Err(layout(format!(
+                "model {model}: weight offsets are not a prefix sum over the weight values"
+            )));
+        }
+        let values: &[f64] = slab_slice(self.bytes, &w_values);
+        let weights: Vec<Vec<f64>> = offsets
+            .windows(2)
+            .map(|w| values[w[0] as usize..w[1] as usize].to_vec())
+            .collect();
+        Ok(CompiledLinear {
+            encodings,
+            weights,
+            task,
+            y_mean,
+            y_std,
+        })
+    }
+}

@@ -1,0 +1,236 @@
+//! The format's headline contract: a [`BlobModel`] predicts
+//! bit-identically to the JSON-loaded [`CompiledModel`] for **every**
+//! learner kind, every task, every layout-option combination, and both
+//! byte backings (aligned heap copy and the real file mapping).
+
+use flaml_blob::{encode_blob, save_blob, BlobModel, BlobOptions};
+use flaml_data::{Dataset, Task};
+use flaml_learners::{
+    fit_meta, meta_features, FittedModel, Forest, ForestParams, Gbdt, GbdtParams, Linear,
+    LinearParams, StackedModel,
+};
+use flaml_metrics::Pred;
+use flaml_serve::CompiledModel;
+
+fn pred_bits(p: &Pred) -> Vec<u64> {
+    match p {
+        Pred::Values(v) => v.iter().map(|x| x.to_bits()).collect(),
+        Pred::Probs { p, .. } => p.iter().map(|x| x.to_bits()).collect(),
+    }
+}
+
+/// Deterministic datasets, one per task. Feature values are small
+/// integers and halves so that at least some fitted thresholds are
+/// exactly f32-representable (letting the quantized path actually
+/// engage on real models), with a few deliberately non-representable
+/// values mixed in so the exactness gate is also exercised.
+fn datasets() -> Vec<Dataset> {
+    let n = 120;
+    let c0: Vec<f64> = (0..n).map(|i| f64::from(i % 17)).collect();
+    let c1: Vec<f64> = (0..n).map(|i| f64::from(i % 5) * 0.5 - 1.0).collect();
+    let c2: Vec<f64> = (0..n).map(|i| 0.1 * f64::from(i % 7)).collect();
+    let mk = |task: Task, y: Vec<f64>, name: &str| {
+        Dataset::new(name, task, vec![c0.clone(), c1.clone(), c2.clone()], y).unwrap()
+    };
+    vec![
+        mk(
+            Task::Binary,
+            (0..n).map(|i| f64::from(i % 17 > 8)).collect(),
+            "bin",
+        ),
+        mk(
+            Task::MultiClass(3),
+            (0..n).map(|i| f64::from(i % 3)).collect(),
+            "multi",
+        ),
+        mk(
+            Task::Regression,
+            (0..n)
+                .map(|i| f64::from(i % 17) * 0.25 + f64::from(i % 5))
+                .collect(),
+            "reg",
+        ),
+    ]
+}
+
+fn fit_roster(data: &Dataset) -> Vec<(&'static str, FittedModel)> {
+    let gbdt: FittedModel = Gbdt::fit(
+        data,
+        &GbdtParams {
+            n_trees: 12,
+            ..GbdtParams::default()
+        },
+        7,
+    )
+    .expect("gbdt fit")
+    .into();
+    let forest: FittedModel = Forest::fit(
+        data,
+        &ForestParams {
+            n_trees: 6,
+            ..ForestParams::default()
+        },
+        7,
+    )
+    .expect("forest fit")
+    .into();
+    let linear: FittedModel = Linear::fit(data, &LinearParams::default(), 7)
+        .expect("linear fit")
+        .into();
+    let members = vec![gbdt.clone(), forest.clone()];
+    let oof = meta_features(&members, data, data.target().to_vec());
+    let stacked: FittedModel =
+        StackedModel::new(members, fit_meta(&oof, 7).expect("meta fit"), data.task()).into();
+    vec![
+        ("gbdt", gbdt),
+        ("forest", forest),
+        ("linear", linear),
+        ("stacked", stacked),
+    ]
+}
+
+fn option_grid() -> [(&'static str, BlobOptions); 4] {
+    [
+        ("plain", BlobOptions::default()),
+        (
+            "hot_first",
+            BlobOptions {
+                hot_first: true,
+                quantize: false,
+            },
+        ),
+        (
+            "quantized",
+            BlobOptions {
+                hot_first: false,
+                quantize: true,
+            },
+        ),
+        ("tuned", BlobOptions::tuned()),
+    ]
+}
+
+#[test]
+fn blob_predictions_are_bit_identical_across_every_learner_and_layout() {
+    let dir = std::env::temp_dir().join(format!("flaml_blob_equiv_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for data in datasets() {
+        for (learner, model) in fit_roster(&data) {
+            let compiled = CompiledModel::compile(&model).expect("compile");
+            // The blob competes against the *JSON round-tripped* model:
+            // the two on-disk formats must converge on identical bits.
+            let json_loaded =
+                CompiledModel::from_artifact_str(&compiled.to_artifact_string()).expect("json");
+            let reference = pred_bits(&json_loaded.predict(&data));
+            assert_eq!(
+                reference,
+                pred_bits(&model.predict(&data)),
+                "{learner}/{}: compiled vs interpreted",
+                data.name()
+            );
+            for (combo, opts) in option_grid() {
+                let ctx = format!("{learner}/{}/{combo}", data.name());
+
+                // Heap backing: parse the encoded bytes directly.
+                let bytes = encode_blob(&compiled, opts);
+                let heap = BlobModel::from_bytes(&bytes).unwrap_or_else(|e| {
+                    panic!("{ctx}: open from bytes failed: {e}");
+                });
+                assert!(!heap.is_mmap());
+                assert_eq!(reference, pred_bits(&heap.predict(&data)), "{ctx}: heap");
+
+                // File backing: save atomically, reopen via mmap.
+                let path = dir.join(format!("{}_{learner}_{combo}.artifact.blob", data.name()));
+                let fp = save_blob(&compiled, &path, opts).expect("save blob");
+                let mapped = BlobModel::open(&path).expect("open blob");
+                assert_eq!(fp, mapped.fingerprint(), "{ctx}: fingerprint");
+                #[cfg(all(unix, target_pointer_width = "64"))]
+                assert!(mapped.is_mmap(), "{ctx}: expected a real mapping");
+                assert_eq!(reference, pred_bits(&mapped.predict(&data)), "{ctx}: mmap");
+                assert_eq!(mapped.task(), compiled.task(), "{ctx}: task");
+                assert_eq!(mapped.n_features(), compiled.n_features(), "{ctx}: width");
+
+                // Materializing back to an owned model preserves
+                // predictions too (node order may differ; bits may not).
+                let owned = mapped.to_compiled();
+                assert_eq!(
+                    reference,
+                    pred_bits(&owned.predict(&data)),
+                    "{ctx}: to_compiled"
+                );
+                if !opts.hot_first {
+                    assert_eq!(
+                        owned, compiled,
+                        "{ctx}: unpermuted slabs round-trip exactly"
+                    );
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn layout_flags_reflect_what_was_written() {
+    // Every feature value (and hence every split midpoint) sits on an
+    // integer or half-integer grid — all exactly f32-representable —
+    // so the quantizer is *required* to engage.
+    let n = 120;
+    let data = Dataset::new(
+        "exact",
+        Task::Binary,
+        vec![
+            (0..n).map(|i| f64::from(i % 17)).collect(),
+            (0..n).map(|i| f64::from(i % 5) * 0.5).collect(),
+        ],
+        (0..n).map(|i| f64::from(i % 17 > 8)).collect(),
+    )
+    .unwrap();
+    let (_, model) = fit_roster(&data).remove(0);
+    let compiled = CompiledModel::compile(&model).expect("compile");
+
+    let plain = BlobModel::from_bytes(&encode_blob(&compiled, BlobOptions::default())).unwrap();
+    assert!(!plain.hot_first());
+    assert!(!plain.quantized());
+
+    let hot = BlobModel::from_bytes(&encode_blob(
+        &compiled,
+        BlobOptions {
+            hot_first: true,
+            quantize: false,
+        },
+    ))
+    .unwrap();
+    assert!(hot.hot_first(), "fitted gbdt slabs satisfy the BFS layout");
+
+    // Integer-grid cut points are all exactly f32-representable, so the
+    // quantizer must engage on this model.
+    let quant = BlobModel::from_bytes(&encode_blob(
+        &compiled,
+        BlobOptions {
+            hot_first: false,
+            quantize: true,
+        },
+    ))
+    .unwrap();
+    assert!(
+        quant.quantized(),
+        "f32-exact thresholds must be stored quantized"
+    );
+    assert!(quant.n_bytes() < plain.n_bytes(), "quantized blob shrinks");
+}
+
+#[test]
+fn deterministic_bytes_and_stable_fingerprint() {
+    let data = &datasets()[2];
+    let (_, model) = fit_roster(data).remove(3); // stacked: exercises nesting
+    let compiled = CompiledModel::compile(&model).expect("compile");
+    let a = encode_blob(&compiled, BlobOptions::tuned());
+    let b = encode_blob(&compiled, BlobOptions::tuned());
+    assert_eq!(a, b, "same model + options => identical bytes");
+    assert_ne!(
+        a,
+        encode_blob(&compiled, BlobOptions::default()),
+        "layout options are visible in the bytes"
+    );
+}

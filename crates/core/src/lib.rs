@@ -67,7 +67,7 @@ pub use learner::{config_cost_factor, fit_learner, fit_learner_prepared};
 pub use resample::{
     run_trial, run_trial_prepared, ResampleRule, ResampleStrategy, TrialOutcome, TrialStatus,
 };
-pub use serving::export_artifact_from_log;
+pub use serving::{export_artifact_from_log, export_artifact_from_log_as};
 pub use spaces::LearnerKind;
 pub use treecache::{TreeCache, TreeCacheStats, TreeKey, TrialBoost};
 
@@ -96,4 +96,10 @@ pub use flaml_store::{
 pub use flaml_serve::{
     ArtifactError, BatchEngine, CompiledModel, ModelRegistry, PromoteReason, Published,
     ServeTelemetry, SlotStats, VersionedModel,
+};
+
+// Re-export the binary artifact layer alongside: same "fit, then
+// serve" story, mmap-backed.
+pub use flaml_blob::{
+    encode_blob, save_blob, save_blob_with, ArtifactFormat, BlobModel, BlobOptions, BLOB_MAGIC,
 };

@@ -4,10 +4,26 @@
 
 use std::path::Path;
 
+use flaml_blob::{save_blob, ArtifactFormat, BlobOptions};
 use flaml_data::Dataset;
 use flaml_serve::CompiledModel;
 
 use crate::automl::{retrain_from_log, AutoMlError, AutoMlResult, Retrained};
+
+/// Writes `model` to `path` in the requested format, returning the
+/// artifact fingerprint. Blob exports use the tuned layout (hot-first
+/// node order plus exact-only quantization) — both are guaranteed not
+/// to change predicted bits.
+fn export_compiled(
+    model: &CompiledModel,
+    path: &Path,
+    format: ArtifactFormat,
+) -> Result<u64, AutoMlError> {
+    Ok(match format {
+        ArtifactFormat::Json => model.save(path)?,
+        ArtifactFormat::Blob => save_blob(model, path, BlobOptions::tuned())?,
+    })
+}
 
 impl AutoMlResult {
     /// Compiles the run's final refit model into a serving artifact.
@@ -28,7 +44,23 @@ impl AutoMlResult {
     /// Returns [`AutoMlError::Artifact`] if compilation or the write
     /// fails.
     pub fn export_artifact(&self, path: impl AsRef<Path>) -> Result<u64, AutoMlError> {
-        Ok(self.compile()?.save(path)?)
+        self.export_artifact_as(path, ArtifactFormat::Json)
+    }
+
+    /// [`AutoMlResult::export_artifact`] in an explicit format: the
+    /// portable JSON document, or the mmap-able binary blob
+    /// (`ArtifactFormat::Blob`) whose predictions are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutoMlError::Artifact`] if compilation or the write
+    /// fails.
+    pub fn export_artifact_as(
+        &self,
+        path: impl AsRef<Path>,
+        format: ArtifactFormat,
+    ) -> Result<u64, AutoMlError> {
+        export_compiled(&self.compile()?, path.as_ref(), format)
     }
 }
 
@@ -51,7 +83,22 @@ impl Retrained {
     /// Returns [`AutoMlError::Artifact`] if compilation or the write
     /// fails.
     pub fn export_artifact(&self, path: impl AsRef<Path>) -> Result<u64, AutoMlError> {
-        Ok(self.compile()?.save(path)?)
+        self.export_artifact_as(path, ArtifactFormat::Json)
+    }
+
+    /// [`Retrained::export_artifact`] in an explicit format (see
+    /// [`AutoMlResult::export_artifact_as`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutoMlError::Artifact`] if compilation or the write
+    /// fails.
+    pub fn export_artifact_as(
+        &self,
+        path: impl AsRef<Path>,
+        format: ArtifactFormat,
+    ) -> Result<u64, AutoMlError> {
+        export_compiled(&self.compile()?, path.as_ref(), format)
     }
 }
 
@@ -69,8 +116,22 @@ pub fn export_artifact_from_log(
     data: &Dataset,
     out: impl AsRef<Path>,
 ) -> Result<Retrained, AutoMlError> {
+    export_artifact_from_log_as(journal, data, out, ArtifactFormat::Json)
+}
+
+/// [`export_artifact_from_log`] in an explicit artifact format.
+///
+/// # Errors
+///
+/// Same as [`export_artifact_from_log`].
+pub fn export_artifact_from_log_as(
+    journal: impl AsRef<Path>,
+    data: &Dataset,
+    out: impl AsRef<Path>,
+    format: ArtifactFormat,
+) -> Result<Retrained, AutoMlError> {
     let retrained = retrain_from_log(journal, data)?;
-    retrained.export_artifact(out)?;
+    retrained.export_artifact_as(out, format)?;
     Ok(retrained)
 }
 
@@ -116,6 +177,27 @@ mod tests {
         assert_eq!(
             flaml_serve::fingerprint(&serde_json::to_string(&loaded).unwrap()),
             fp
+        );
+    }
+
+    #[test]
+    fn blob_export_opens_and_predicts_bit_identically() {
+        let data = dataset();
+        let result = AutoMl::new()
+            .time_budget(0.5)
+            .estimators([LearnerKind::LightGbm])
+            .fit(&data)
+            .unwrap();
+        let path = std::env::temp_dir().join("flaml-core-serving-test/automl.artifact.blob");
+        let fp = result
+            .export_artifact_as(&path, flaml_blob::ArtifactFormat::Blob)
+            .unwrap();
+        let blob = flaml_blob::BlobModel::open(&path).unwrap();
+        assert_eq!(blob.fingerprint(), fp);
+        assert_eq!(
+            bits(&blob.predict(&data)),
+            bits(&result.model.predict(&data)),
+            "blob artifact must predict exactly like the run's model"
         );
     }
 

@@ -18,12 +18,9 @@
 //! [`ArtifactError`]s before a single prediction is made.
 
 use crate::error::ArtifactError;
+use crate::view::Bound;
 use flaml_data::{DatasetView, Task};
-use flaml_learners::link::{sigmoid, softmax_in_place};
-use flaml_learners::{
-    goes_left, BinMapper, BinnedDataset, Encoding, FittedModel, ForestModel, GbdtModel,
-    LinearModel, PreparedBins, StackedModel,
-};
+use flaml_learners::{Encoding, FittedModel, ForestModel, GbdtModel, LinearModel, StackedModel};
 use flaml_metrics::Pred;
 use flaml_store::{atomic_write_file, Storage};
 use serde::{Deserialize, Serialize};
@@ -114,21 +111,6 @@ impl CompiledGbdt {
             is_leaf,
         }
     }
-
-    fn eval_tree(&self, root: u32, binned: &BinnedDataset, row: usize) -> f64 {
-        let mut at = root as usize;
-        loop {
-            if self.is_leaf[at] {
-                return self.leaf_value[at];
-            }
-            let bin = binned.column(self.feature[at] as usize)[row];
-            at = if bin <= self.threshold[at] {
-                self.left[at] as usize
-            } else {
-                self.right[at] as usize
-            };
-        }
-    }
 }
 
 /// A forest compiled to structure-of-arrays form.
@@ -200,21 +182,6 @@ impl CompiledForest {
             right,
             is_leaf,
             values,
-        }
-    }
-
-    fn leaf_of(&self, root: u32, cols: &[Vec<f64>], row: usize) -> usize {
-        let mut at = root as usize;
-        loop {
-            if self.is_leaf[at] {
-                return at;
-            }
-            let v = cols[self.feature[at] as usize][row];
-            at = if goes_left(v, self.threshold[at]) {
-                self.left[at] as usize
-            } else {
-                self.right[at] as usize
-            };
         }
     }
 }
@@ -292,28 +259,6 @@ impl CompiledStacked {
             task: m.task(),
         })
     }
-
-    /// The meta-feature columns for `data`: the same extraction
-    /// [`flaml_learners::member_columns`] performs, but over compiled
-    /// member predictions (which are bit-identical to interpreted ones).
-    fn member_columns(&self, data: &DatasetView) -> Vec<Vec<f64>> {
-        let n = data.n_rows();
-        let mut columns: Vec<Vec<f64>> = Vec::new();
-        for member in &self.members {
-            match member.predict(data) {
-                Pred::Values(v) => {
-                    assert_eq!(v.len(), n);
-                    columns.push(v);
-                }
-                Pred::Probs { n_classes, p } => {
-                    for c in 0..n_classes.saturating_sub(1) {
-                        columns.push(p.chunks_exact(n_classes).map(|row| row[c]).collect());
-                    }
-                }
-            }
-        }
-        columns
-    }
 }
 
 /// Any learner compiled into serving form.
@@ -387,39 +332,7 @@ impl CompiledModel {
     /// Panics if `data` has a different feature count than the model
     /// was trained on.
     pub fn bind(&self, data: &DatasetView) -> Bound<'_> {
-        let n_rows = data.n_rows();
-        let inner = match self {
-            CompiledModel::Gbdt(m) => {
-                assert_eq!(
-                    data.n_features(),
-                    m.cuts.len(),
-                    "predicting with a different feature count"
-                );
-                // The request matrix is binned once through the
-                // training-time mapper, exactly as the interpreted
-                // model's predict does.
-                let bins = PreparedBins::from_mapper(BinMapper::from_cuts(m.cuts.clone()), data);
-                BoundInner::Gbdt { model: m, bins }
-            }
-            CompiledModel::Forest(m) => {
-                assert_eq!(
-                    data.n_features(),
-                    m.n_features,
-                    "predicting with a different feature count"
-                );
-                let cols = gather_columns(data);
-                BoundInner::Forest { model: m, cols }
-            }
-            CompiledModel::Linear(m) => BoundInner::Linear {
-                model: m.to_model(),
-                cols: gather_columns(data),
-            },
-            CompiledModel::Stacked(m) => BoundInner::Linear {
-                model: m.meta.to_model(),
-                cols: m.member_columns(data),
-            },
-        };
-        Bound { inner, n_rows }
+        self.view().bind(data)
     }
 
     /// Predicts on `data` through the compiled evaluator. Bit-identical
@@ -558,159 +471,6 @@ pub struct ArtifactFile {
 struct ArtifactHeader {
     magic: String,
     version: u32,
-}
-
-fn gather_columns(data: &DatasetView) -> Vec<Vec<f64>> {
-    (0..data.n_features())
-        .map(|j| data.column_values(j).collect())
-        .collect()
-}
-
-/// A compiled model bound to one request matrix (see
-/// [`CompiledModel::bind`]). All per-request setup — binning, column
-/// gathering, member prediction — happened at bind time;
-/// [`Bound::eval_range`] touches only the rows it is asked for, so
-/// disjoint ranges can run on different workers and concatenate into
-/// exactly the sequential result.
-pub struct Bound<'m> {
-    inner: BoundInner<'m>,
-    n_rows: usize,
-}
-
-enum BoundInner<'m> {
-    Gbdt {
-        model: &'m CompiledGbdt,
-        bins: PreparedBins,
-    },
-    Forest {
-        model: &'m CompiledForest,
-        cols: Vec<Vec<f64>>,
-    },
-    Linear {
-        model: LinearModel,
-        cols: Vec<Vec<f64>>,
-    },
-}
-
-impl Bound<'_> {
-    /// Rows in the bound request matrix.
-    pub fn n_rows(&self) -> usize {
-        self.n_rows
-    }
-
-    /// Output values per row in the flat representation
-    /// [`Bound::eval_range`] produces.
-    pub fn width(&self) -> usize {
-        match &self.inner {
-            BoundInner::Gbdt { model, .. } => match model.task {
-                Task::Regression | Task::Binary => 1,
-                Task::MultiClass(k) => k,
-            },
-            BoundInner::Forest { model, .. } => model.leaf_width,
-            BoundInner::Linear { model, .. } => match model.task() {
-                Task::Regression | Task::Binary => 1,
-                Task::MultiClass(k) => k,
-            },
-        }
-    }
-
-    /// Evaluates rows `lo..hi`, returning `(hi - lo) * width` values in
-    /// row-major order. Row-independent math: the concatenation of
-    /// adjacent ranges is bitwise equal to one evaluation of the union.
-    pub fn eval_range(&self, lo: usize, hi: usize) -> Vec<f64> {
-        match &self.inner {
-            BoundInner::Gbdt { model, bins } => {
-                let n = hi - lo;
-                let k = model.n_groups;
-                let mut scores = vec![0.0; n * k];
-                for slot in scores.chunks_exact_mut(k) {
-                    slot.copy_from_slice(&model.init_scores);
-                }
-                // Tree-outer accumulation in boosting order: per row,
-                // additions happen in exactly the interpreted
-                // `raw_scores` order.
-                for (t, &root) in model.tree_roots.iter().enumerate() {
-                    let c = t % k;
-                    for (r, slot) in scores.chunks_exact_mut(k).enumerate() {
-                        slot[c] += model.eval_tree(root, bins.binned(), lo + r);
-                    }
-                }
-                match model.task {
-                    Task::Regression => scores,
-                    Task::Binary => scores.iter().map(|&f| sigmoid(f)).collect(),
-                    Task::MultiClass(k) => {
-                        let mut p = scores;
-                        for row in p.chunks_exact_mut(k) {
-                            softmax_in_place(row);
-                        }
-                        p
-                    }
-                }
-            }
-            BoundInner::Forest { model, cols } => {
-                let n = hi - lo;
-                let w = model.leaf_width;
-                let m = model.tree_roots.len() as f64;
-                let mut out = vec![0.0; n * w];
-                for &root in &model.tree_roots {
-                    for (r, slot) in out.chunks_exact_mut(w).enumerate() {
-                        let leaf = model.leaf_of(root, cols, lo + r);
-                        let vals = &model.values[leaf * w..(leaf + 1) * w];
-                        for (o, v) in slot.iter_mut().zip(vals) {
-                            *o += *v;
-                        }
-                    }
-                }
-                for v in &mut out {
-                    *v /= m;
-                }
-                out
-            }
-            BoundInner::Linear { model, cols } => {
-                let sub: Vec<Vec<f64>> = cols.iter().map(|c| c[lo..hi].to_vec()).collect();
-                match model.predict_columns(&sub, hi - lo) {
-                    Pred::Values(v) => v,
-                    pred @ Pred::Probs { .. } => match model.task() {
-                        Task::Binary => pred
-                            .positive_scores()
-                            .expect("binary probabilities carry positive scores"),
-                        _ => pred.probs().expect("probabilities").1.to_vec(),
-                    },
-                }
-            }
-        }
-    }
-
-    /// Wraps a full flat evaluation (the concatenation of
-    /// [`Bound::eval_range`] chunks covering every row, in order) into
-    /// the model's [`Pred`], exactly as the interpreted predict does.
-    pub fn finish(&self, flat: Vec<f64>) -> Pred {
-        match &self.inner {
-            BoundInner::Gbdt { model, .. } => match model.task {
-                Task::Regression => Pred::from_values(flat),
-                Task::Binary => Pred::binary_probs(flat),
-                Task::MultiClass(k) => Pred::Probs {
-                    n_classes: k,
-                    p: flat,
-                },
-            },
-            BoundInner::Forest { model, .. } => match model.task {
-                Task::Regression => Pred::from_values(flat),
-                Task::Binary | Task::MultiClass(_) => Pred::Probs {
-                    n_classes: model.leaf_width,
-                    p: flat,
-                },
-            },
-            BoundInner::Linear { model, .. } => match model.task() {
-                Task::Regression => Pred::from_values(flat),
-                Task::Binary => Pred::binary_probs(flat),
-                Task::MultiClass(k) => Pred::Probs {
-                    n_classes: k,
-                    p: flat,
-                },
-            },
-        }
-    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,13 @@ pub enum ArtifactError {
         /// Format version this build supports.
         supported: u32,
     },
+    /// The file's structural layout is invalid: truncated slabs,
+    /// misaligned section offsets, out-of-range node indices or
+    /// inconsistent slab lengths in a binary artifact. Distinct from
+    /// [`ArtifactError::Parse`] so operators can tell a torn download
+    /// from a file that hashes correctly but violates the layout
+    /// contract.
+    Layout(String),
     /// The model payload does not hash to the fingerprint in the header.
     FingerprintMismatch {
         /// Fingerprint recorded in the header.
@@ -57,6 +64,7 @@ impl fmt::Display for ArtifactError {
                     "artifact format v{found} not supported (this build reads v{supported})"
                 )
             }
+            ArtifactError::Layout(msg) => write!(f, "artifact layout error: {msg}"),
             ArtifactError::FingerprintMismatch { expected, found } => {
                 write!(
                     f,

@@ -57,12 +57,14 @@ mod batch;
 mod error;
 mod registry;
 mod telemetry;
+mod view;
 
 pub use artifact::{
-    fingerprint, ArtifactFile, Bound, CompiledForest, CompiledGbdt, CompiledLinear, CompiledModel,
+    fingerprint, ArtifactFile, CompiledForest, CompiledGbdt, CompiledLinear, CompiledModel,
     CompiledStacked, ARTIFACT_MAGIC, ARTIFACT_VERSION,
 };
 pub use batch::BatchEngine;
 pub use error::ArtifactError;
 pub use registry::{ModelRegistry, PromoteReason, Published, VersionedModel};
 pub use telemetry::{ServeTelemetry, SlotStats};
+pub use view::{Bound, CutsRef, FloatSlab, ForestView, GbdtView, LeafFlags, ModelView};

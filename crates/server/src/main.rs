@@ -4,9 +4,11 @@
 //! flaml-server [--port N] [--root DIR] [--max-inflight N]
 //!              [--batch-rows N] [--serve-workers N] [--fit-workers N]
 //!              [--tenants a,b,c] [--socket-timeout SECS]
-//!              [--io-chaos SEED:RATE]
+//!              [--artifact-format json|blob] [--io-chaos SEED:RATE]
 //! ```
 //!
+//! `--artifact-format blob` publishes artifacts as mmap-able binary
+//! blobs instead of JSON documents; recovery reads both regardless.
 //! `--socket-timeout 0` disables socket timeouts. `--io-chaos`
 //! wraps the disk in a seeded fault-injecting storage (short writes,
 //! failed fsyncs, ENOSPC at the given rate) — a chaos-testing mode,
@@ -56,6 +58,11 @@ fn main() {
                         .map(str::to_string)
                         .collect(),
                 );
+            }
+            "--artifact-format" => {
+                cfg.artifact_format = value("--artifact-format")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("--artifact-format: {e}"));
             }
             "--socket-timeout" => {
                 let secs: u64 = value("--socket-timeout")

@@ -18,8 +18,8 @@
 
 use crate::api::SearchStatus;
 use flaml_core::{
-    AutoMlError, AutoMlResult, EventSink, Journal, ModelRegistry, SearchHandle, SliceOutcome,
-    TrialEvent, TrialEventKind,
+    save_blob_with, ArtifactFormat, AutoMlError, AutoMlResult, BlobOptions, CompiledModel,
+    EventSink, Journal, ModelRegistry, SearchHandle, SliceOutcome, TrialEvent, TrialEventKind,
 };
 use flaml_data::Dataset;
 use flaml_store::{atomic_write_file, Storage};
@@ -59,6 +59,7 @@ pub struct Scheduler {
     registry: Arc<ModelRegistry>,
     sink: EventSink,
     storage: Arc<dyn Storage>,
+    artifact_format: ArtifactFormat,
     queues: Mutex<Queues>,
     work: Condvar,
     statuses: Mutex<BTreeMap<(String, String), SearchStatus>>,
@@ -67,14 +68,15 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// A scheduler writing artifacts under `root` (through `storage`)
-    /// and publishing into `registry`; at most `max_inflight` searches
-    /// queued or running.
+    /// in `artifact_format` and publishing into `registry`; at most
+    /// `max_inflight` searches queued or running.
     pub fn new(
         root: PathBuf,
         max_inflight: usize,
         registry: Arc<ModelRegistry>,
         sink: EventSink,
         storage: Arc<dyn Storage>,
+        artifact_format: ArtifactFormat,
     ) -> Scheduler {
         Scheduler {
             root,
@@ -82,6 +84,7 @@ impl Scheduler {
             registry,
             sink,
             storage,
+            artifact_format,
             queues: Mutex::new(Queues {
                 queued: VecDeque::new(),
                 running: 0,
@@ -277,6 +280,33 @@ impl Scheduler {
         self.sink.emit(ev);
     }
 
+    /// Writes `compiled` to `{stem}{suffix}` in the configured format
+    /// and best-effort removes the other-format sibling, so recovery
+    /// never resurrects a stale model from a previous format setting.
+    pub(crate) fn write_artifact(
+        &self,
+        compiled: &CompiledModel,
+        dir: &std::path::Path,
+        stem: &str,
+    ) -> Result<u64, flaml_core::ArtifactError> {
+        let format = self.artifact_format;
+        let path = dir.join(format!("{stem}{}", format.suffix()));
+        let fp = match format {
+            ArtifactFormat::Json => compiled.save_with(self.storage.as_ref(), &path)?,
+            ArtifactFormat::Blob => {
+                save_blob_with(self.storage.as_ref(), &path, compiled, BlobOptions::tuned())?
+            }
+        };
+        for other in ArtifactFormat::ALL {
+            if other != format {
+                let _ = self
+                    .storage
+                    .remove(&dir.join(format!("{stem}{}", other.suffix())));
+            }
+        }
+        Ok(fp)
+    }
+
     fn publish(&self, job: &SearchJob, result: &AutoMlResult) -> Result<u64, String> {
         let compiled = result
             .compile()
@@ -287,23 +317,13 @@ impl Scheduler {
         // Both writes publish atomically, so a crash anywhere in here
         // leaves either no marker (the journal re-derives the result on
         // restart) or a complete one — never a torn artifact.
-        compiled
-            .save_with(
-                self.storage.as_ref(),
-                &tenant_dir.join(format!("{}.artifact.json", job.id)),
-            )
+        self.write_artifact(&compiled, &tenant_dir, &job.id)
             .map_err(|e| {
                 self.emit_storage_fault(&job.tenant, &e.to_string());
                 format!("writing artifact failed: {e}")
             })?;
         // The slot file is the durable registry: restart republishes it.
-        compiled
-            .save_with(
-                self.storage.as_ref(),
-                &tenant_dir
-                    .join("slots")
-                    .join(format!("{}.artifact.json", job.slot)),
-            )
+        self.write_artifact(&compiled, &tenant_dir.join("slots"), &job.slot)
             .map_err(|e| {
                 self.emit_storage_fault(&job.tenant, &e.to_string());
                 format!("writing slot artifact failed: {e}")

@@ -7,8 +7,10 @@
 //! model slots (registry keys `tenant/slot`) and searches; everything
 //! durable lives under `root/{tenant}/`: the search journal
 //! (`{id}.jsonl`), the request sidecar (`{id}.request.json`), the
-//! completion marker (`{id}.artifact.json` or `{id}.failed`), and the
-//! durable slot registry (`slots/{slot}.artifact.json`). Names are
+//! completion marker (`{id}.artifact.json` / `{id}.artifact.blob` per
+//! [`ServerConfig::artifact_format`], or `{id}.failed`), and the
+//! durable slot registry (`slots/{slot}.artifact.json` or `.blob`).
+//! Recovery reads either artifact format, blob preferred. Names are
 //! restricted to `[A-Za-z0-9_-]`, so no request can escape its
 //! tenant's directory.
 //!
@@ -31,8 +33,8 @@ use crate::api::{
 use crate::http::{read_request, write_response, Request};
 use crate::scheduler::{journal_progress, Scheduler, SearchJob};
 use flaml_core::{
-    discover, BatchEngine, CompiledModel, EventSink, ExecPool, ModelRegistry, SearchHandle,
-    ServeTelemetry, Telemetry, TrialEvent, TrialEventKind,
+    discover, ArtifactFormat, BatchEngine, BlobModel, CompiledModel, EventSink, ExecPool,
+    ModelRegistry, SearchHandle, ServeTelemetry, Telemetry, TrialEvent, TrialEventKind,
 };
 use flaml_data::{Dataset, Task};
 use flaml_online::{ChunkOutcome, OnlineError, OnlineRuntime, OnlineSession};
@@ -70,6 +72,11 @@ pub struct ServerConfig {
     /// A stalled client beyond the timeout gets a 408 and its
     /// connection thread back.
     pub socket_timeout: Option<Duration>,
+    /// Format new artifacts are published in: the portable JSON
+    /// document (default) or the mmap-able binary blob. Recovery and
+    /// `/predict` read both regardless — the knob only picks what
+    /// *writes* produce.
+    pub artifact_format: ArtifactFormat,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +90,7 @@ impl Default for ServerConfig {
             tenants: None,
             storage: flaml_store::disk(),
             socket_timeout: Some(Duration::from_secs(30)),
+            artifact_format: ArtifactFormat::Json,
         }
     }
 }
@@ -133,6 +141,7 @@ impl Server {
             Arc::clone(&registry),
             sink.clone(),
             Arc::clone(&cfg.storage),
+            cfg.artifact_format,
         ));
         let server = Server {
             inner: Arc::new(Inner {
@@ -177,23 +186,26 @@ impl Server {
             self.sweep_stale_tmps(&tenant_path);
             self.sweep_stale_tmps(&slots_dir);
             // 1. Republish the durable slot registry; a slot file that
-            //    no longer parses is sidelined instead of served.
-            let slots = storage.scan(&slots_dir).unwrap_or_default();
-            for file in slots {
-                let Some(slot) = file
-                    .file_name()
-                    .and_then(|n| n.to_str())
-                    .and_then(|n| n.strip_suffix(".artifact.json"))
-                else {
+            //    no longer parses is sidelined instead of served. A
+            //    slot may carry a `.blob`, a `.json`, or (after a
+            //    format switch interrupted mid-publish) both — blob is
+            //    preferred and a corrupt file falls back to the other.
+            let mut slot_names = std::collections::BTreeSet::new();
+            for file in storage.scan(&slots_dir).unwrap_or_default() {
+                let Some(name) = file.file_name().and_then(|n| n.to_str()) else {
                     continue;
                 };
-                match CompiledModel::load_with(storage.as_ref(), &file) {
-                    Ok(model) => {
-                        self.inner
-                            .registry
-                            .publish(&format!("{tenant}/{slot}"), model);
+                for format in ArtifactFormat::ALL {
+                    if let Some(slot) = name.strip_suffix(format.suffix()) {
+                        slot_names.insert(slot.to_string());
                     }
-                    Err(e) => self.quarantine(&file, &tenant, &format!("slot artifact: {e}")),
+                }
+            }
+            for slot in slot_names {
+                if let Some(model) = self.load_artifact(&tenant, &slots_dir, &slot, "slot") {
+                    self.inner
+                        .registry
+                        .publish(&format!("{tenant}/{slot}"), model);
                 }
             }
             // 2. Replay every accepted search, newest id last.
@@ -257,10 +269,44 @@ impl Server {
         self.inner.sink.emit(ev);
     }
 
+    /// Loads `{stem}.artifact.blob` or `{stem}.artifact.json` from
+    /// `dir`, blob first (the cheaper, mmap-backed open). A file that
+    /// fails validation is quarantined and the next format is tried,
+    /// so a corrupt blob degrades to its JSON sibling instead of
+    /// losing the model. `what` labels the quarantine event ("slot",
+    /// "completion").
+    fn load_artifact(
+        &self,
+        tenant: &str,
+        dir: &std::path::Path,
+        stem: &str,
+        what: &str,
+    ) -> Option<CompiledModel> {
+        let storage = self.inner.cfg.storage.as_ref();
+        for format in ArtifactFormat::ALL {
+            let path = dir.join(format!("{stem}{}", format.suffix()));
+            if !storage.exists(&path) {
+                continue;
+            }
+            let loaded = match format {
+                ArtifactFormat::Blob => {
+                    BlobModel::open_with(storage, &path).map(|b| b.to_compiled())
+                }
+                ArtifactFormat::Json => CompiledModel::load_with(storage, &path),
+            };
+            match loaded {
+                Ok(model) => return Some(model),
+                Err(e) => {
+                    self.quarantine(&path, tenant, &format!("{what} artifact ({format}): {e}"));
+                }
+            }
+        }
+        None
+    }
+
     fn recover_search(&self, tenant: &str, id: &str, sidecar: &std::path::Path) {
         let tenant_dir = self.inner.cfg.root.join(tenant);
         let journal = tenant_dir.join(format!("{id}.jsonl"));
-        let artifact = tenant_dir.join(format!("{id}.artifact.json"));
         let failed = tenant_dir.join(format!("{id}.failed"));
         let request: Option<FitRequest> = std::fs::read_to_string(sidecar)
             .ok()
@@ -300,30 +346,23 @@ impl Server {
                 .record_terminal(tenant, terminal("failed", &request.slot, None, Some(msg)));
             return;
         }
-        if artifact.exists() {
-            // Finished on a previous process: republish its artifact so
-            // the slot serves again even if the slot file was lost. A
-            // corrupt completion marker is quarantined and the search
-            // falls through to journal re-admission, which re-derives
-            // the artifact from the committed trials.
-            let storage = Arc::clone(&self.inner.cfg.storage);
-            match CompiledModel::load_with(storage.as_ref(), &artifact) {
-                Ok(m) => {
-                    let version = self
-                        .inner
-                        .registry
-                        .publish(&format!("{tenant}/{}", request.slot), m)
-                        .version;
-                    self.inner.scheduler.record_terminal(
-                        tenant,
-                        terminal("finished", &request.slot, Some(version), None),
-                    );
-                    return;
-                }
-                Err(e) => {
-                    self.quarantine(&artifact, tenant, &format!("completion artifact: {e}"));
-                }
-            }
+        // Finished on a previous process: republish its completion
+        // artifact (`.blob` preferred, `.json` fallback) so the slot
+        // serves again even if the slot file was lost. A corrupt
+        // completion marker is quarantined and the search falls through
+        // to journal re-admission, which re-derives the artifact from
+        // the committed trials.
+        if let Some(m) = self.load_artifact(tenant, &tenant_dir, id, "completion") {
+            let version = self
+                .inner
+                .registry
+                .publish(&format!("{tenant}/{}", request.slot), m)
+                .version;
+            self.inner.scheduler.record_terminal(
+                tenant,
+                terminal("finished", &request.slot, Some(version), None),
+            );
+            return;
         }
         // In flight when the process died: re-admit, resuming the
         // journal byte-identically where one exists. An unreadable
@@ -704,23 +743,33 @@ impl Server {
         if !valid_name(slot) {
             return (400, ErrorBody::json("invalid slot name"));
         }
-        let text = match std::str::from_utf8(body) {
-            Ok(t) => t,
-            Err(_) => return (400, ErrorBody::json("artifact body is not UTF-8")),
-        };
-        let model = match CompiledModel::from_artifact_str(text) {
-            Ok(m) => m,
-            Err(e) => return (400, ErrorBody::json(format!("bad artifact: {e}"))),
+        // Sniff the format from the payload itself: a binary blob
+        // leads with its magic, everything else must be the UTF-8 JSON
+        // document. Either way the model re-persists in the server's
+        // configured format — the wire format and the disk format are
+        // independent choices.
+        let model = if body.starts_with(&flaml_core::BLOB_MAGIC) {
+            match BlobModel::from_bytes(body) {
+                Ok(b) => b.to_compiled(),
+                Err(e) => return (400, ErrorBody::json(format!("bad blob artifact: {e}"))),
+            }
+        } else {
+            let text = match std::str::from_utf8(body) {
+                Ok(t) => t,
+                Err(_) => return (400, ErrorBody::json("artifact body is not UTF-8")),
+            };
+            match CompiledModel::from_artifact_str(text) {
+                Ok(m) => m,
+                Err(e) => return (400, ErrorBody::json(format!("bad artifact: {e}"))),
+            }
         };
         // Durable slot registry first, then the live swap.
-        let slot_file = self
+        let slots_dir = self.inner.cfg.root.join(tenant).join("slots");
+        if let Err(e) = self
             .inner
-            .cfg
-            .root
-            .join(tenant)
-            .join("slots")
-            .join(format!("{slot}.artifact.json"));
-        if let Err(e) = model.save_with(self.inner.cfg.storage.as_ref(), &slot_file) {
+            .scheduler
+            .write_artifact(&model, &slots_dir, slot)
+        {
             let mut ev = TrialEvent::new(TrialEventKind::StorageFault);
             ev.tenant = tenant.to_string();
             ev.message = Some(e.to_string());

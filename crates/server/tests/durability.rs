@@ -14,7 +14,9 @@
 mod common;
 
 use common::{await_terminal, http, payload, scratch_root};
-use flaml_core::{ChaosStorage, IoFaultPlan, Journal, SearchHandle};
+use flaml_core::{
+    ArtifactFormat, BlobModel, BlobOptions, ChaosStorage, IoFaultPlan, Journal, SearchHandle,
+};
 use flaml_server::{FitRequest, Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::SocketAddr;
@@ -443,4 +445,252 @@ fn stalled_client_gets_408_and_is_counted() {
     assert_eq!(status, 200);
     server.stop();
     let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Extracts the served-model fingerprint from a `/predict` body.
+fn predict_fingerprint(body: &str) -> u64 {
+    body.split("\"fingerprint\":")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no fingerprint in predict body: {body}"))
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("fingerprint parses")
+}
+
+#[test]
+fn blob_save_crashpoint_sweep_never_tears_the_final_name() {
+    // A real fitted model to publish as a binary blob.
+    let request = tiny_fit_request("blob");
+    let data = request.to_dataset().expect("dataset");
+    let result = request
+        .to_automl()
+        .expect("automl")
+        .fit(&data)
+        .expect("fit");
+    let compiled = result.compile().expect("compile");
+
+    let dir = scratch_root("blob_save_sweep");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let reference_path = dir.join("ref.artifact.blob");
+    let fp = flaml_core::save_blob(&compiled, &reference_path, BlobOptions::tuned())
+        .expect("reference save");
+    let reference = std::fs::read(&reference_path).expect("reference bytes");
+
+    // Count the mutating storage ops a fault-free blob save issues.
+    let total = {
+        let chaos = Arc::new(ChaosStorage::new(flaml_core::disk(), IoFaultPlan::new(1)));
+        flaml_core::save_blob_with(
+            chaos.as_ref(),
+            &dir.join("clean.artifact.blob"),
+            &compiled,
+            BlobOptions::tuned(),
+        )
+        .expect("clean chaos save");
+        chaos.ops_issued()
+    };
+    assert!(
+        total >= 3,
+        "blob save should issue several ops, got {total}"
+    );
+
+    // Crash at every op: the final name either never appears, or holds
+    // the complete byte-identical blob — never a torn prefix.
+    for k in 0..total {
+        let path = dir.join(format!("crash_{k}.artifact.blob"));
+        let chaos = Arc::new(ChaosStorage::new(
+            flaml_core::disk(),
+            IoFaultPlan::new(1).crash_at(k),
+        ));
+        let saved =
+            flaml_core::save_blob_with(chaos.as_ref(), &path, &compiled, BlobOptions::tuned());
+        if path.exists() {
+            assert_eq!(
+                std::fs::read(&path).expect("blob bytes"),
+                reference,
+                "op {k}: bytes under the final name are not the complete blob"
+            );
+            let blob = BlobModel::open(&path)
+                .unwrap_or_else(|e| panic!("op {k}: blob under final name rejected: {e}"));
+            assert_eq!(blob.fingerprint(), fp, "op {k}");
+        } else {
+            assert!(
+                saved.is_err(),
+                "op {k}: save claimed success but the final name is absent"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_blob_completion_artifact_is_quarantined_and_rederived() {
+    let request = tiny_fit_request("blobart");
+    let reference = reference_bytes(&request, "blobart");
+    let body = serde_json::to_string(&request).expect("serialize");
+
+    let blob_cfg = |root: PathBuf| {
+        let mut cfg = config(root, None);
+        cfg.artifact_format = ArtifactFormat::Blob;
+        cfg
+    };
+
+    // Run a search to completion under the blob format.
+    let root = scratch_root("blob_artifact");
+    let (server, addr) = start(blob_cfg(root.clone()));
+    let (status, resp) = http(addr, "POST", "/tenants/acme/fit", &body);
+    assert_eq!(status, 202, "{resp}");
+    let done = await_terminal(addr, "acme", "s0000");
+    assert_eq!(done.state, "finished", "{:?}", done.error);
+    server.stop();
+
+    let artifact = root.join("acme/s0000.artifact.blob");
+    assert!(artifact.exists(), "blob completion artifact missing");
+    assert!(
+        !root.join("acme/s0000.artifact.json").exists(),
+        "json sibling should not exist under the blob format"
+    );
+    assert!(
+        root.join("acme/slots/blobart.artifact.blob").exists(),
+        "blob slot artifact missing"
+    );
+    let pristine = std::fs::read(&artifact).expect("artifact bytes");
+
+    // Truncations (including an empty file and a cut inside the
+    // header) plus a mid-payload byte flip: every corruption must be
+    // quarantined on restart and the journal must re-derive the blob.
+    let mut corruptions: Vec<Vec<u8>> = [0, 1, 63, 64, pristine.len() / 2, pristine.len() - 1]
+        .iter()
+        .map(|&cut| pristine[..cut].to_vec())
+        .collect();
+    let mut flipped = pristine.clone();
+    flipped[pristine.len() / 3] ^= 0x40;
+    corruptions.push(flipped);
+    for (i, bytes) in corruptions.iter().enumerate() {
+        std::fs::write(&artifact, bytes).expect("corrupt artifact");
+        let _ = std::fs::remove_file(root.join("acme/s0000.failed"));
+
+        let (server, addr) = start(blob_cfg(root.clone()));
+        let done = await_terminal(addr, "acme", "s0000");
+        assert_eq!(done.state, "finished", "corruption {i}: {:?}", done.error);
+        assert!(
+            stats_counter(addr, "storage_quarantined") >= 1,
+            "corruption {i}"
+        );
+        // The re-derived blob is complete and validates.
+        assert!(
+            BlobModel::open(&artifact).is_ok(),
+            "corruption {i}: re-derived blob unreadable"
+        );
+        let resumed = Journal::read(root.join("acme/s0000.jsonl"))
+            .expect("journal")
+            .canonical_bytes();
+        assert_eq!(resumed, reference, "corruption {i}: journal changed");
+        let predict = "{\"slot\":\"blobart\",\"columns\":[[0.5,0.1],[0.2,0.9]]}";
+        let (status, resp) = http(addr, "POST", "/tenants/acme/predict", predict);
+        assert_eq!(status, 200, "corruption {i}: {resp}");
+        server.stop();
+        let _ = std::fs::remove_file(root.join("acme/s0000.artifact.blob.corrupt"));
+    }
+
+    // A restart in the default JSON configuration still serves the
+    // blob artifacts: readers are format-agnostic.
+    let (server, addr) = start(config(root.clone(), None));
+    let predict = "{\"slot\":\"blobart\",\"columns\":[[0.5,0.1],[0.2,0.9]]}";
+    let (status, resp) = http(addr, "POST", "/tenants/acme/predict", predict);
+    assert_eq!(status, 200, "{resp}");
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn slot_recovery_prefers_blob_and_falls_back_to_json_when_corrupt() {
+    // Two distinct models so the served fingerprint identifies which
+    // sibling recovery picked.
+    let fit = |seed: u64| {
+        let mut request = tiny_fit_request("dual");
+        request.seed = seed;
+        request.dataset = payload(120, seed);
+        let data = request.to_dataset().expect("dataset");
+        request
+            .to_automl()
+            .expect("automl")
+            .fit(&data)
+            .expect("fit")
+            .compile()
+            .expect("compile")
+    };
+    let model_a = fit(3);
+    let model_b = fit(41);
+
+    let probe = "{\"slot\":\"dual\",\"columns\":[[0.5,0.1],[0.2,0.9]]}";
+    let served_fp = |root: PathBuf| {
+        let (server, addr) = start(config(root, None));
+        let (status, resp) = http(addr, "POST", "/tenants/acme/predict", probe);
+        assert_eq!(status, 200, "{resp}");
+        let fp = predict_fingerprint(&resp);
+        server.stop();
+        fp
+    };
+
+    // Baseline fingerprints from single-format roots. The blob uses
+    // the default layout so its recovered CompiledModel is identical
+    // to `model_a` slab-for-slab.
+    let root_a = scratch_root("dual_a");
+    flaml_core::save_blob(
+        &model_a,
+        root_a.join("acme/slots/dual.artifact.blob"),
+        flaml_core::BlobOptions::default(),
+    )
+    .expect("blob save");
+    let fp_a = served_fp(root_a.clone());
+
+    let root_b = scratch_root("dual_b");
+    model_b
+        .save(root_b.join("acme/slots/dual.artifact.json"))
+        .expect("json save");
+    let fp_b = served_fp(root_b.clone());
+    assert_ne!(
+        fp_a, fp_b,
+        "distinct models should have distinct fingerprints"
+    );
+
+    // Both siblings present: the blob (model A) wins.
+    let root = scratch_root("dual_both");
+    let slots = root.join("acme/slots");
+    flaml_core::save_blob(
+        &model_a,
+        slots.join("dual.artifact.blob"),
+        flaml_core::BlobOptions::default(),
+    )
+    .expect("blob save");
+    model_b
+        .save(slots.join("dual.artifact.json"))
+        .expect("json save");
+    assert_eq!(
+        served_fp(root.clone()),
+        fp_a,
+        "blob sibling must be preferred"
+    );
+
+    // Corrupt the blob: recovery quarantines it and serves the JSON.
+    let blob_path = slots.join("dual.artifact.blob");
+    let bytes = std::fs::read(&blob_path).expect("blob bytes");
+    std::fs::write(&blob_path, &bytes[..bytes.len() / 2]).expect("tear blob");
+    let (server, addr) = start(config(root.clone(), None));
+    let (status, resp) = http(addr, "POST", "/tenants/acme/predict", probe);
+    assert_eq!(status, 200, "{resp}");
+    assert_eq!(
+        predict_fingerprint(&resp),
+        fp_b,
+        "corrupt blob must fall back to the JSON sibling"
+    );
+    assert!(slots.join("dual.artifact.blob.corrupt").exists());
+    assert!(stats_counter(addr, "storage_quarantined") >= 1);
+    server.stop();
+
+    for r in [root_a, root_b, root] {
+        let _ = std::fs::remove_dir_all(&r);
+    }
 }

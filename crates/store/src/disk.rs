@@ -69,6 +69,10 @@ impl StorageFile for DiskFile {
 }
 
 impl Storage for DiskStorage {
+    fn mmap_source(&self, path: &Path) -> Option<std::path::PathBuf> {
+        Some(path.to_path_buf())
+    }
+
     fn create(&self, path: &Path) -> Result<Box<dyn StorageFile>, StorageError> {
         let file = File::create(path).map_err(|e| io_err("create", path, e))?;
         Ok(Box::new(DiskFile {

@@ -84,6 +84,15 @@ pub trait Storage: Send + Sync + std::fmt::Debug {
     fn exists(&self, path: &Path) -> bool;
     /// Whether a path is a directory.
     fn is_dir(&self, path: &Path) -> bool;
+    /// The real filesystem path behind `path`, if this storage is plain
+    /// disk and the file may be memory-mapped directly. Fault-injecting
+    /// and virtual storages return `None` (the default): a mapping
+    /// would bypass their interception, so callers must fall back to
+    /// [`Storage::read`], which stays under fault control.
+    fn mmap_source(&self, path: &Path) -> Option<PathBuf> {
+        let _ = path;
+        None
+    }
 }
 
 /// The production storage as a shareable handle.
